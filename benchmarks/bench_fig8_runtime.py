@@ -1,0 +1,139 @@
+"""E6 / Figure 8: query processing time vs alternatives.
+
+Compares pkwise, pkwise-nonint (no interval sharing), Adapt, FBW and —
+on REUTERS only, as in the paper where it could not finish TREC —
+Faerie.  Expected shape: pkwise fastest among exact methods (paper:
+3.3-12.8x over Adapt), pkwise-nonint still beats Adapt, FBW faster but
+approximate (its result counts are reported next to the times), Faerie
+orders of magnitude slower.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import pytest
+
+from repro import PKWiseNonIntervalSearcher, PKWiseSearcher, SearchParams
+from repro.baselines import AdaptSearcher, FaerieSearcher, FBWSearcher
+from repro.eval import run_searcher
+
+from common import order_for, workload, write_report
+
+TAU_SWEEP = [2, 5, 8]
+W_SWEEP = [25, 50, 100]
+
+#: Faerie runs only on REUTERS and only at one setting (it is the
+#: paper's >24h case on TREC; at bench scale it is merely very slow).
+FAERIE_SETTING = ("REUTERS", 50, 2)
+
+_collected: dict[tuple, object] = {}
+
+
+@lru_cache(maxsize=None)
+def _searcher(profile: str, algorithm: str, w: int, tau: int):
+    data, _queries, _truth = workload(profile)
+    order = order_for(profile, w)
+    params = SearchParams(w=w, tau=tau, k_max=4)
+    flat = params.with_k_max(1)
+    if algorithm == "pkwise":
+        return PKWiseSearcher(data, params, order=order)
+    if algorithm == "pkwise-nonint":
+        return PKWiseNonIntervalSearcher(data, params, order=order)
+    if algorithm == "adapt":
+        return AdaptSearcher(data, flat, order=order)
+    if algorithm == "fbw":
+        return FBWSearcher(data, flat, order=order)
+    if algorithm == "faerie":
+        return FaerieSearcher(data, flat, order=order)
+    raise ValueError(algorithm)
+
+
+def _run(profile: str, algorithm: str, w: int, tau: int) -> float:
+    searcher = _searcher(profile, algorithm, w, tau)
+    _data, queries, _truth = workload(profile)
+    run = run_searcher(searcher, queries, name=algorithm)
+    _collected[(profile, algorithm, w, tau)] = run
+    return run.avg_query_seconds
+
+
+ALGORITHMS = ["pkwise", "pkwise-nonint", "adapt", "fbw"]
+
+
+@pytest.mark.parametrize("profile", ["REUTERS", "TREC"])
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("tau", TAU_SWEEP)
+def test_fig8_vary_tau(benchmark, profile, algorithm, tau):
+    """Figures 8(a)/(c): w=100, varying tau."""
+    _searcher(profile, algorithm, 100, tau)
+    benchmark.pedantic(
+        _run, args=(profile, algorithm, 100, tau), rounds=1, iterations=1
+    )
+
+
+@pytest.mark.parametrize("profile", ["REUTERS", "TREC"])
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("w", W_SWEEP)
+def test_fig8_vary_w(benchmark, profile, algorithm, w):
+    """Figures 8(b)/(d): tau=5, varying w."""
+    _searcher(profile, algorithm, w, 5)
+    benchmark.pedantic(
+        _run, args=(profile, algorithm, w, 5), rounds=1, iterations=1
+    )
+
+
+def test_fig8_faerie_single_setting(benchmark):
+    profile, w, tau = FAERIE_SETTING
+    _searcher(profile, "faerie", w, tau)
+    _run(profile, "pkwise", w, tau)  # reference point for the report
+    benchmark.pedantic(
+        _run, args=(profile, "faerie", w, tau), rounds=1, iterations=1
+    )
+
+
+def test_fig8_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = ["Figure 8: avg query time vs alternatives (ms; build excluded)"]
+    header = (
+        f"{'setting':<18}" + "".join(f"{a:>15}" for a in ALGORITHMS)
+        + f"{'pkw speedup vs adapt':>22}"
+    )
+    for profile in ("REUTERS", "TREC"):
+        lines.append(f"-- {profile}")
+        lines.append(header)
+        for w, tau in [(100, t) for t in TAU_SWEEP] + [(w, 5) for w in W_SWEEP]:
+            runs = {
+                a: _collected.get((profile, a, w, tau)) for a in ALGORITHMS
+            }
+            if not any(runs.values()):
+                continue
+            cells = "".join(
+                f"{runs[a].avg_query_seconds * 1e3:>15.2f}" if runs[a] else f"{'n/a':>15}"
+                for a in ALGORITHMS
+            )
+            speed = ""
+            if runs["pkwise"] and runs["adapt"]:
+                speed = (
+                    f"{runs['adapt'].avg_query_seconds / runs['pkwise'].avg_query_seconds:>21.1f}x"
+                )
+            lines.append(f"w={w:<4} tau={tau:<8}" + cells + speed)
+        fbw_runs = [
+            (_collected.get((profile, "fbw", w, tau)),
+             _collected.get((profile, "pkwise", w, tau)))
+            for w, tau in [(100, t) for t in TAU_SWEEP] + [(w, 5) for w in W_SWEEP]
+        ]
+        fractions = [
+            f"{fbw.num_results / max(1, pkw.num_results):.0%}"
+            for fbw, pkw in fbw_runs
+            if fbw and pkw
+        ]
+        lines.append(f"   FBW result fraction per setting: {', '.join(fractions)}")
+    faerie = _collected.get((FAERIE_SETTING[0], "faerie", *FAERIE_SETTING[1:]))
+    pkwise = _collected.get((FAERIE_SETTING[0], "pkwise", *FAERIE_SETTING[1:]))
+    if faerie and pkwise and pkwise.avg_query_seconds > 0:
+        lines.append(
+            f"Faerie at w={FAERIE_SETTING[1]}, tau={FAERIE_SETTING[2]} (REUTERS): "
+            f"{faerie.avg_query_seconds * 1e3:.1f}ms = "
+            f"{faerie.avg_query_seconds / pkwise.avg_query_seconds:.0f}x pkwise"
+        )
+    write_report("fig8_runtime", lines)

@@ -1,0 +1,42 @@
+"""E1 / Table 1: dataset statistics.
+
+Prints the paper's Table 1 (the published statistics of REUTERS, TREC
+and PAN) next to the statistics of the synthetic stand-ins actually used
+by this benchmark suite, so every other bench's scale is documented.
+"""
+
+from __future__ import annotations
+
+from repro.corpus import CollectionStats
+from repro.corpus.synthetic import DATASET_PROFILES
+
+from common import pan_workload, workload, write_report
+
+
+def build_all_stats():
+    rows = []
+    for name in ("REUTERS", "TREC"):
+        data, queries, _truth = workload(name)
+        rows.append((name, CollectionStats.compute(data, queries)))
+    data, queries, _truth = pan_workload()
+    rows.append(("PAN", CollectionStats.compute(data, queries)))
+    return rows
+
+
+def test_table1_dataset_statistics(benchmark):
+    rows = benchmark.pedantic(build_all_stats, rounds=1, iterations=1)
+    lines = ["Table 1: dataset statistics (paper vs bench-scale synthetic)"]
+    lines.append("--- paper (Table 1) ---")
+    for name, profile in DATASET_PROFILES.items():
+        lines.append(
+            f"{name:<10} |D|={profile.num_documents:<8} "
+            f"|Q|={profile.num_queries:<6} "
+            f"avg|d|={profile.avg_doc_length:<10.1f} "
+            f"avg|q|={profile.avg_query_length:<8.1f} "
+            f"|U|={profile.vocabulary_size}"
+        )
+    lines.append("--- this run (synthetic stand-ins) ---")
+    for name, stats in rows:
+        lines.append(stats.as_table_row(name))
+    write_report("table1_datasets", lines)
+    assert all(stats.num_data_documents >= 2 for _name, stats in rows)

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Near-duplicate passage detection across a news-wire style corpus.
+
+Simulates the classic news-agency scenario from the paper's
+introduction: outlets republish parts of wire stories with light edits.
+The example compares pkwise against the Adapt and FBW baselines on the
+same workload, printing runtimes and result agreement — a miniature of
+the paper's Figure 8 / Table 3 story.
+
+Run:  python examples/near_duplicate_news.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    DocumentCollection,
+    GlobalOrder,
+    PKWiseSearcher,
+    SearchParams,
+)
+from repro.baselines import AdaptSearcher, FBWSearcher
+from repro.corpus.plagiarism import ObfuscationLevel, PlagiarismInjector
+from repro.corpus.synthetic import DatasetProfile, SyntheticCorpusGenerator
+from repro.eval import run_searcher
+
+
+def build_newswire(seed: int = 11):
+    """A wire corpus plus outlet rewrites of random wire passages."""
+    profile = DatasetProfile(
+        name="WIRE",
+        num_documents=40,
+        num_queries=6,
+        avg_doc_length=300,
+        avg_query_length=250,
+        vocabulary_size=4_000,
+    )
+    generator = SyntheticCorpusGenerator(profile, seed=seed)
+    data = generator.generate_data()
+    injector = PlagiarismInjector(seed=seed + 1, vocabulary_size=len(data.vocabulary))
+    queries = []
+    for query_id, tokens in enumerate(generator.generate_queries()):
+        # Each outlet story republishes two wire passages with edits.
+        for level in (ObfuscationLevel.LOW, ObfuscationLevel.HIGH):
+            tokens, _truth = injector.splice_case(
+                data, query_id, tokens, segment_length=90, level=level
+            )
+        from repro.corpus import Document
+
+        queries.append(Document(query_id, tokens, name=f"outlet-{query_id}"))
+    return data, queries
+
+
+def main() -> None:
+    data, queries = build_newswire()
+    params = SearchParams(w=30, tau=5, k_max=3)
+    order = GlobalOrder(data, params.w)
+
+    print(f"wire corpus: {data}")
+    print(f"outlet stories: {len(queries)}  (w={params.w}, tau={params.tau})\n")
+
+    searchers = [
+        PKWiseSearcher(data, params, order=order),
+        AdaptSearcher(data, params.with_k_max(1), order=order),
+        FBWSearcher(data, params.with_k_max(1), order=order),
+    ]
+    runs = [run_searcher(searcher, queries) for searcher in searchers]
+
+    exact_results = runs[0].num_results
+    print(f"{'algorithm':<12}{'avg ms/story':>14}{'results':>9}{'found':>8}")
+    for run in runs:
+        fraction = run.num_results / exact_results if exact_results else 1.0
+        print(
+            f"{run.name:<12}{run.avg_query_seconds * 1e3:>14.2f}"
+            f"{run.num_results:>9}{fraction:>8.0%}"
+        )
+
+    assert runs[0].num_results == runs[1].num_results, "exact methods must agree"
+    print(
+        "\npkwise and adapt agree exactly; FBW is approximate and may "
+        "miss edited passages (word-order laundering breaks its q-gram "
+        "fingerprints)."
+    )
+
+
+if __name__ == "__main__":
+    main()

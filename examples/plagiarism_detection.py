@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Plagiarism detection on a synthetic PAN-style corpus.
+
+Generates a document collection with known injected plagiarism at all
+four PAN obfuscation levels, runs pkwise with the paper's recommended
+setting (w=25, tau=5 — Appendix D.2), merges the matched windows into
+readable *passages*, and scores the output against the exact ground
+truth.
+
+Run:  python examples/plagiarism_detection.py [--scale 0.004] [--seed 7]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import (
+    PKWiseSearcher,
+    SearchParams,
+    make_profile_collection,
+    merge_passages,
+)
+from repro.corpus.synthetic import ReuseSpec
+from repro.eval import evaluate_quality, run_searcher
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.004)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    print("generating corpus with injected plagiarism ...")
+    data, queries, truth = make_profile_collection(
+        "REUTERS",
+        scale=args.scale,
+        seed=args.seed,
+        reuse=ReuseSpec(segment_length=120),
+        num_queries=8,
+    )
+    print(f"  {len(data)} data documents, {len(queries)} suspicious documents, "
+          f"{len(truth)} planted cases")
+
+    params = SearchParams(w=25, tau=5, k_max=4)  # the paper's suggestion
+    searcher = PKWiseSearcher(data, params)
+    print(f"indexed {searcher.index.num_windows} windows "
+          f"({searcher.index.num_postings} interval postings) "
+          f"in {searcher.index_build_seconds:.2f}s")
+
+    run = run_searcher(searcher, queries)
+    print(f"searched {len(queries)} suspicious documents in "
+          f"{run.total_seconds:.2f}s "
+          f"({run.avg_query_seconds * 1e3:.1f}ms per document)")
+
+    for query in queries:
+        pairs = run.results_by_query.get(query.doc_id, [])
+        passages = merge_passages(pairs, params.w)
+        if not passages:
+            continue
+        print(f"\nsuspicious document {query.name}:")
+        for passage in passages:
+            q_lo, q_hi = passage.query_span
+            d_lo, d_hi = passage.data_span
+            print(
+                f"  tokens [{q_lo}..{q_hi}] match "
+                f"{data[passage.doc_id].name} [{d_lo}..{d_hi}] "
+                f"({passage.num_pairs} window pairs)"
+            )
+
+    report = evaluate_quality(run.results_by_query, truth, params.w)
+    print(f"\n{report.as_row('pkwise (w=25, tau=5)')}")
+    for level, recall in sorted(
+        report.recall_by_level.items(), key=lambda item: item[0].value
+    ):
+        print(f"  recall[{level.value:<10}] = {recall:.0%}")
+
+
+if __name__ == "__main__":
+    main()

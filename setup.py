@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` on modern pip requires building an editable wheel;
+this offline environment lacks the ``wheel`` module, so the legacy
+``python setup.py develop`` path (driven through this shim) is kept as a
+fallback.  All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,129 @@
+"""repro: local similarity search for unstructured text.
+
+A faithful open-source reproduction of *Local Similarity Search for
+Unstructured Text* (Wang, Xiao, Wang, Qin, Zhang, Ishikawa — SIGMOD
+2016).  Given a collection of data documents and a query document, the
+library finds every pair of sliding windows (one from each side) of size
+``w`` that differ by at most ``tau`` tokens — the paper's **pkwise**
+algorithm plus all of its evaluated baselines.
+
+Quickstart::
+
+    from repro import (
+        DocumentCollection, PKWiseSearcher, SearchParams
+    )
+
+    data = DocumentCollection()
+    data.add_text("the lord of the rings is a famous novel ...")
+    query = data.encode_query("the lord and the kings ...")
+
+    params = SearchParams(w=8, tau=2, k_max=2)
+    searcher = PKWiseSearcher(data, params)
+    for match in searcher.search(query):
+        print(match.doc_id, match.data_start, match.query_start, match.overlap)
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+reproduction of every table and figure of the paper.
+"""
+
+from .core import (
+    MatchPair,
+    PKWiseNonIntervalSearcher,
+    PKWiseSearcher,
+    SearchResult,
+    SearchStats,
+    SelfJoinPair,
+    WeightedMatchPair,
+    WeightedPKWiseSearcher,
+    local_similarity_self_join,
+)
+from .corpus import (
+    CollectionStats,
+    Document,
+    DocumentCollection,
+    GroundTruthPair,
+    ObfuscationLevel,
+    collection_from_directory,
+    collection_from_texts,
+    make_profile_collection,
+)
+from .errors import (
+    ConfigurationError,
+    CorpusError,
+    IndexStateError,
+    PartitioningError,
+    ReproError,
+    TokenizationError,
+)
+from .ordering import GlobalOrder
+from .params import SearchParams, suggested_subpartitions
+from .persistence import PersistenceError, load_bundle, load_searcher, save_searcher
+from .postprocess import Passage, filter_passages, merge_passages
+from .similarity import (
+    jaccard_to_overlap,
+    jaccard_to_tau,
+    overlap_to_jaccard,
+    tau_to_jaccard,
+)
+from .partition import (
+    CostWeights,
+    GreedyPartitioner,
+    PartitionScheme,
+    equi_width_scheme,
+    workload_cost,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # Core search
+    "PKWiseSearcher",
+    "PKWiseNonIntervalSearcher",
+    "WeightedPKWiseSearcher",
+    "MatchPair",
+    "WeightedMatchPair",
+    "SearchResult",
+    "SearchStats",
+    "SearchParams",
+    "suggested_subpartitions",
+    "SelfJoinPair",
+    "local_similarity_self_join",
+    # Post-processing
+    "Passage",
+    "merge_passages",
+    "filter_passages",
+    # Threshold conversions
+    "jaccard_to_overlap",
+    "overlap_to_jaccard",
+    "jaccard_to_tau",
+    "tau_to_jaccard",
+    # Persistence
+    "save_searcher",
+    "load_searcher",
+    "load_bundle",
+    "PersistenceError",
+    # Corpus
+    "Document",
+    "DocumentCollection",
+    "CollectionStats",
+    "collection_from_directory",
+    "collection_from_texts",
+    "make_profile_collection",
+    "GroundTruthPair",
+    "ObfuscationLevel",
+    # Ordering and partitioning
+    "GlobalOrder",
+    "PartitionScheme",
+    "GreedyPartitioner",
+    "CostWeights",
+    "workload_cost",
+    "equi_width_scheme",
+    # Errors
+    "ReproError",
+    "ConfigurationError",
+    "TokenizationError",
+    "CorpusError",
+    "PartitioningError",
+    "IndexStateError",
+]

@@ -1,0 +1,92 @@
+"""Brute-force local similarity search: the correctness oracle.
+
+Verifies every (data window, query window) pair, but does so with
+rolling hash tables so even the oracle is O(1) per pair after setup:
+for each query window the data side rolls across each document.  Used
+by the test suite to validate every other algorithm, and runnable as a
+baseline at small scales.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+
+from ..corpus import Document, DocumentCollection
+from ..ordering import GlobalOrder
+from ..params import SearchParams
+from .base_runner import BaselineSearcher
+from ..core.base import MatchPair, SearchResult, SearchStats
+
+
+class BruteForceSearcher(BaselineSearcher):
+    """Exhaustive pairwise verification with rolling overlap."""
+
+    name = "bruteforce"
+
+    def __init__(
+        self,
+        data: DocumentCollection,
+        params: SearchParams,
+        order: GlobalOrder | None = None,
+    ) -> None:
+        super().__init__(data, params, order)
+        self.index_build_seconds = 0.0  # no index
+
+    def search(self, query: Document) -> SearchResult:
+        """All matching window pairs between ``query`` and the data."""
+        stats = SearchStats()
+        w, tau = self.params.w, self.params.tau
+        query_ranks = self.order.rank_document(query)
+        num_query_windows = len(query_ranks) - w + 1
+        if num_query_windows <= 0:
+            return SearchResult(pairs=[], stats=stats)
+
+        pairs: list[MatchPair] = []
+        t0 = time.perf_counter()
+        query_counts = Counter(query_ranks[:w])
+        for query_start in range(num_query_windows):
+            if query_start > 0:
+                outgoing = query_ranks[query_start - 1]
+                incoming = query_ranks[query_start + w - 1]
+                if outgoing != incoming:
+                    if query_counts[outgoing] == 1:
+                        del query_counts[outgoing]
+                    else:
+                        query_counts[outgoing] -= 1
+                    query_counts[incoming] += 1
+            for doc_id, doc_ranks in enumerate(self.rank_docs):
+                num_windows = len(doc_ranks) - w + 1
+                if num_windows <= 0:
+                    continue
+                data_counts = Counter(doc_ranks[:w])
+                overlap = sum(
+                    min(count, query_counts.get(rank, 0))
+                    for rank, count in data_counts.items()
+                )
+                stats.hash_ops += 2 * w
+                for data_start in range(num_windows):
+                    if data_start > 0:
+                        outgoing = doc_ranks[data_start - 1]
+                        incoming = doc_ranks[data_start + w - 1]
+                        if outgoing != incoming:
+                            stats.hash_ops += 4
+                            old = data_counts[outgoing]
+                            if query_counts.get(outgoing, 0) >= old:
+                                overlap -= 1
+                            if old == 1:
+                                del data_counts[outgoing]
+                            else:
+                                data_counts[outgoing] = old - 1
+                            new = data_counts.get(incoming, 0) + 1
+                            data_counts[incoming] = new
+                            if query_counts.get(incoming, 0) >= new:
+                                overlap += 1
+                    stats.candidate_windows += 1
+                    if w - overlap <= tau:
+                        pairs.append(
+                            MatchPair(doc_id, data_start, query_start, overlap)
+                        )
+        stats.verify_time = time.perf_counter() - t0
+        stats.num_results = len(pairs)
+        return SearchResult(pairs=pairs, stats=stats)

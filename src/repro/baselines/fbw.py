@@ -1,0 +1,193 @@
+"""FBW: frequency-biased winnowing fingerprints (approximate).
+
+Reproduces the Winnowing-family algorithm of Sun, Qin & Wang (WISE
+2013) as used by the paper's Section 7.1: documents are transformed into
+token q-grams (q = 2 by default, the paper's setting); a winnowing pass
+slides a fingerprint window over the q-gram sequence and selects, per
+window, the *least frequent* q-gram (frequency measured over the data
+collection; ties by hash) as a fingerprint.  A shared fingerprint
+between a data and a query document anchors candidate window pairs along
+the alignment diagonal, which are then verified against the exact
+similarity constraint.
+
+FBW is approximate: replications whose rare q-grams were perturbed by
+obfuscation select *different* fingerprints on the two sides (the
+errors produce frequency-zero grams that win the selection), so results
+are missed — the paper measured only 10-43% of the exact result set,
+with recall dropping for heavy obfuscation.  The quality benches
+reproduce that failure mode.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+
+from ..corpus import Document, DocumentCollection
+from ..core.base import MatchPair, SearchResult, SearchStats
+from ..ordering import GlobalOrder
+from ..params import SearchParams
+from ..windows.rolling import window_overlap
+from .base_runner import BaselineSearcher
+
+#: A q-gram of token ranks.
+_Gram = tuple[int, ...]
+
+
+def default_winnow_window(w: int, q: int, tau: int) -> int:
+    """Fingerprint-window size balancing index size against recall.
+
+    A quarter of the gram span of a window: coarse enough that the
+    index stays far smaller than the exact methods' (the paper's
+    Figure 7 property), fine enough that a verbatim replication of ``w``
+    tokens always contributes several fingerprints.  Tolerance to
+    scattered errors is *not* guaranteed — that approximation is FBW's
+    defining trade-off (Table 3 / Figure 12).
+    """
+    del tau  # recall-vs-size is deliberately independent of tau here
+    return max(4, (w - q + 1) // 4)
+
+
+class FBWSearcher(BaselineSearcher):
+    """Frequency-biased winnowing; approximate (subset of results)."""
+
+    name = "fbw"
+
+    def __init__(
+        self,
+        data: DocumentCollection,
+        params: SearchParams,
+        q: int = 2,
+        winnow_window: int | None = None,
+        order: GlobalOrder | None = None,
+    ) -> None:
+        super().__init__(data, params, order)
+        if q < 1:
+            raise ValueError(f"q must be >= 1, got {q}")
+        self.q = q
+        self.winnow_window = (
+            winnow_window
+            if winnow_window is not None
+            else default_winnow_window(params.w, q, params.tau)
+        )
+        build_start = time.perf_counter()
+        gram_docs = [self._grams(ranks) for ranks in self.rank_docs]
+        self._gram_frequency: Counter[_Gram] = Counter()
+        for grams in gram_docs:
+            self._gram_frequency.update(grams)
+        self._fingerprints: dict[_Gram, list[tuple[int, int]]] = {}
+        for doc_id, grams in enumerate(gram_docs):
+            for position, gram in self._select(grams):
+                self._fingerprints.setdefault(gram, []).append((doc_id, position))
+        self.index_build_seconds = time.perf_counter() - build_start
+
+    def _grams(self, ranks: list[int]) -> list[_Gram]:
+        q = self.q
+        if len(ranks) < q:
+            return []
+        return [tuple(ranks[i : i + q]) for i in range(len(ranks) - q + 1)]
+
+    def _selection_keys(self, grams: list[_Gram]) -> list[tuple]:
+        """Per-gram selection key: least (frequency, hash) wins.
+
+        Overridden by :class:`WinnowingSearcher` to select by hash only
+        (the original, frequency-blind Winnowing of Schleimer et al.).
+        """
+        frequency = self._gram_frequency
+        return [(frequency[gram], hash(gram)) for gram in grams]
+
+    def _select(self, grams: list[_Gram]) -> list[tuple[int, int]]:
+        """Winnowing selection: per window, the minimum-key gram.
+
+        Standard winnowing de-duplication: a gram is recorded once per
+        maximal run of windows selecting the same position.
+        """
+        window = self.winnow_window
+        if not grams:
+            return []
+        keys = self._selection_keys(grams)
+        selected: list[tuple[int, int]] = []
+        last_position = -1
+        for start in range(max(1, len(grams) - window + 1)):
+            end = min(len(grams), start + window)
+            best = min(range(start, end), key=lambda i: (keys[i], i))
+            if best != last_position:
+                selected.append((best, grams[best]))
+                last_position = best
+        return [(position, gram) for position, gram in selected]
+
+    @property
+    def index_entries(self) -> int:
+        """Abstract index size: one entry per stored fingerprint."""
+        return sum(len(postings) for postings in self._fingerprints.values())
+
+    # ------------------------------------------------------------------
+    def search(self, query: Document) -> SearchResult:
+        """The matching window pairs this fingerprinting scheme finds."""
+        stats = SearchStats()
+        w, tau, q = self.params.w, self.params.tau, self.q
+        query_ranks = self.order.rank_document(query)
+        n = len(query_ranks)
+        if n < w:
+            return SearchResult(pairs=[], stats=stats)
+
+        t0 = time.perf_counter()
+        query_grams = self._grams(query_ranks)
+        selected = self._select(query_grams)
+        stats.signatures_generated += len(selected)
+        stats.signature_tokens += len(selected) * q
+        t1 = time.perf_counter()
+        stats.signature_time += t1 - t0
+
+        candidate_pairs: set[tuple[int, int, int]] = set()
+        max_query_start = n - w
+        for query_position, gram in selected:
+            postings = self._fingerprints.get(gram, ())
+            stats.postings_entries += len(postings)
+            for doc_id, data_position in postings:
+                max_data_start = len(self.rank_docs[doc_id]) - w
+                # Diagonal alignment: the shared gram sits at the same
+                # offset within both windows.
+                for offset in range(w - q + 1):
+                    data_start = data_position - offset
+                    query_start = query_position - offset
+                    if (
+                        0 <= data_start <= max_data_start
+                        and 0 <= query_start <= max_query_start
+                    ):
+                        candidate_pairs.add((doc_id, data_start, query_start))
+        t2 = time.perf_counter()
+        stats.candidate_time += t2 - t1
+
+        pairs: list[MatchPair] = []
+        for doc_id, data_start, query_start in candidate_pairs:
+            stats.candidate_windows += 1
+            stats.hash_ops += 2 * w
+            overlap = window_overlap(
+                self.rank_docs[doc_id][data_start : data_start + w],
+                query_ranks[query_start : query_start + w],
+            )
+            if w - overlap <= tau:
+                pairs.append(MatchPair(doc_id, data_start, query_start, overlap))
+        stats.verify_time += time.perf_counter() - t2
+
+        stats.num_results = len(pairs)
+        return SearchResult(pairs=pairs, stats=stats)
+
+
+class WinnowingSearcher(FBWSearcher):
+    """Classic Winnowing (Schleimer, Wilkerson & Aiken, SIGMOD 2003).
+
+    Identical pipeline to FBW but fingerprints are selected by minimum
+    *hash* instead of minimum collection frequency — the original,
+    frequency-blind scheme.  Included as the natural ablation of FBW's
+    frequency bias: on clean copies both behave alike; under obfuscation
+    their failure modes differ (FBW locks onto error grams because they
+    are rare; Winnowing's hash-min choice is error-agnostic but
+    unselective).
+    """
+
+    name = "winnowing"
+
+    def _selection_keys(self, grams: list[_Gram]) -> list[tuple]:
+        return [(hash(gram),) for gram in grams]

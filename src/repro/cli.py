@@ -1,0 +1,208 @@
+"""Command-line interface: index a corpus, search for local reuse.
+
+Three subcommands:
+
+* ``repro index``  — tokenize a directory of ``.txt`` files, build the
+  pkwise interval index (optionally with greedy partitioning), and save
+  it to a file.
+* ``repro search`` — load an index and report reused passages between a
+  query file and the corpus.
+* ``repro selfjoin`` — find replication *within* a directory of files.
+
+Examples::
+
+    repro index  --data corpus/ --out corpus.idx -w 25 --tau 5
+    repro search --index corpus.idx --query suspicious.txt
+    repro selfjoin --data corpus/ -w 25 --tau 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from .core.selfjoin import local_similarity_self_join
+from .corpus import collection_from_directory
+from .errors import ReproError
+from .params import SearchParams, suggested_subpartitions
+from .partition import GreedyPartitioner
+from .persistence import load_bundle, save_searcher
+from .postprocess import filter_passages, merge_passages
+
+
+def _add_search_params(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-w", "--window", type=int, default=25,
+                        help="window size in tokens (default 25)")
+    parser.add_argument("--tau", type=int, default=5,
+                        help="max differing tokens per window pair (default 5)")
+    parser.add_argument("--k-max", type=int, default=4,
+                        help="number of signature classes (default 4)")
+    parser.add_argument("-m", "--sub-partitions", type=int, default=None,
+                        help="sub-partitions per class (default: paper rule)")
+
+
+def _params_from_args(args: argparse.Namespace) -> SearchParams:
+    m = args.sub_partitions
+    if m is None:
+        m = suggested_subpartitions(args.tau)
+    return SearchParams(w=args.window, tau=args.tau, k_max=args.k_max, m=m)
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    from .core.pkwise import PKWiseSearcher
+    from .ordering import GlobalOrder
+
+    params = _params_from_args(args)
+    print(f"loading corpus from {args.data} ...", file=sys.stderr)
+    data = collection_from_directory(args.data, min_tokens=args.min_tokens)
+    print(f"  {data}", file=sys.stderr)
+
+    order = GlobalOrder(data, params.w)
+    scheme = None
+    if args.greedy_partition:
+        print("running greedy token-universe partitioning ...", file=sys.stderr)
+        partitioner = GreedyPartitioner(
+            data, params, order=order,
+            b1_fraction=0.25, b2_fraction=0.1, sample_ratio=args.sample_ratio,
+        )
+        scheme, report = partitioner.partition()
+        print(
+            f"  borders {scheme.borders} "
+            f"({report.evaluations} cost evaluations)",
+            file=sys.stderr,
+        )
+
+    start = time.perf_counter()
+    searcher = PKWiseSearcher(data, params, scheme=scheme, order=order)
+    print(
+        f"indexed {searcher.index.num_windows} windows "
+        f"({searcher.index.num_postings} interval postings) in "
+        f"{time.perf_counter() - start:.2f}s",
+        file=sys.stderr,
+    )
+    save_searcher(searcher, args.out, data=data)
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    searcher, data = load_bundle(args.index)
+    if data is None:
+        raise ReproError(
+            "index was saved without the document collection; rebuild with "
+            "'repro index' to enable text reports"
+        )
+    params = searcher.params
+    text = Path(args.query).read_text(encoding="utf-8")
+    query = data.encode_query(text, name=Path(args.query).name)
+    result = searcher.search(query)
+    passages = filter_passages(
+        merge_passages(result.pairs, params.w),
+        min_pairs=args.min_pairs,
+    )
+    if not passages:
+        print("no reused passages found")
+        return 1
+    for passage in passages:
+        document = data[passage.doc_id]
+        q_lo, q_hi = passage.query_span
+        d_lo, d_hi = passage.data_span
+        print(
+            f"{query.name}[{q_lo}:{q_hi + 1}] ~ "
+            f"{document.name}[{d_lo}:{d_hi + 1}] "
+            f"({passage.num_pairs} window pairs, "
+            f"best overlap {passage.max_overlap}/{params.w})"
+        )
+        if args.show_text:
+            snippet = " ".join(
+                data.vocabulary.decode(query.tokens[q_lo : q_hi + 1])
+            )
+            print(f"    {snippet}")
+    return 0
+
+
+def _cmd_selfjoin(args: argparse.Namespace) -> int:
+    params = _params_from_args(args)
+    data = collection_from_directory(args.data, min_tokens=args.min_tokens)
+    print(f"loaded {data}", file=sys.stderr)
+    pairs = local_similarity_self_join(
+        data, params, exclude_same_document_within=params.w
+    )
+    if not pairs:
+        print("no replicated windows found")
+        return 1
+    # Group pairs into document-pair summaries.
+    from collections import Counter
+
+    doc_pairs: Counter[tuple[int, int]] = Counter()
+    for pair in pairs:
+        doc_pairs[(pair.left_doc, pair.right_doc)] += 1
+    for (left, right), count in doc_pairs.most_common():
+        print(
+            f"{data[left].name} ~ {data[right].name}: "
+            f"{count} replicated window pairs"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro`` argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Local similarity search for unstructured text "
+        "(SIGMOD 2016 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    index_parser = subparsers.add_parser(
+        "index", help="build and save a pkwise index from a text directory"
+    )
+    index_parser.add_argument("--data", required=True, help="directory of .txt files")
+    index_parser.add_argument("--out", required=True, help="output index file")
+    index_parser.add_argument("--min-tokens", type=int, default=0,
+                              help="drop documents shorter than this")
+    index_parser.add_argument("--greedy-partition", action="store_true",
+                              help="run the cost-based greedy partitioner")
+    index_parser.add_argument("--sample-ratio", type=float, default=0.01,
+                              help="surrogate workload sample ratio")
+    _add_search_params(index_parser)
+    index_parser.set_defaults(func=_cmd_index)
+
+    search_parser = subparsers.add_parser(
+        "search", help="search a query file against a saved index"
+    )
+    search_parser.add_argument("--index", required=True, help="saved index file")
+    search_parser.add_argument("--query", required=True, help="query .txt file")
+    search_parser.add_argument("--min-pairs", type=int, default=2,
+                               help="min window pairs per reported passage")
+    search_parser.add_argument("--show-text", action="store_true",
+                               help="print the reused query text")
+    search_parser.set_defaults(func=_cmd_search)
+
+    selfjoin_parser = subparsers.add_parser(
+        "selfjoin", help="find replication inside a directory of files"
+    )
+    selfjoin_parser.add_argument("--data", required=True,
+                                 help="directory of .txt files")
+    selfjoin_parser.add_argument("--min-tokens", type=int, default=0)
+    _add_search_params(selfjoin_parser)
+    selfjoin_parser.set_defaults(func=_cmd_selfjoin)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,103 @@
+"""Shared result and statistics types for all search algorithms.
+
+Every algorithm — pkwise and all baselines — returns the same
+:class:`SearchResult`, so tests can assert exact-algorithm agreement and
+benchmarks can decompose phase costs uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+
+class MatchPair(NamedTuple):
+    """One result of local similarity search: ``<W(d, x), W(q, y)>``.
+
+    ``overlap`` is the multiset intersection size ``O(x, y)``; a pair is
+    a result iff ``w - overlap <= tau``.
+    """
+
+    doc_id: int
+    data_start: int
+    query_start: int
+    overlap: int
+
+
+@dataclass
+class SearchStats:
+    """Phase decomposition of one query's processing (Section 5.1).
+
+    Wall-clock seconds per phase plus the abstract operation counters
+    the cost model weights with c_comb / c_int / c_hash.  Counter
+    meanings:
+
+    ``signature_tokens``
+        Sum of |s| over generated signatures (Equation 2's unit).
+    ``postings_entries``
+        Interval (or window) entries fetched from the index during
+        candidate generation (Equation 3's unit).
+    ``hash_ops``
+        Hash-table operations during verification (Equation 4's unit).
+    ``candidate_windows``
+        Number of data windows whose similarity was actually checked.
+    """
+
+    signature_time: float = 0.0
+    candidate_time: float = 0.0
+    verify_time: float = 0.0
+    signature_tokens: int = 0
+    signatures_generated: int = 0
+    postings_entries: int = 0
+    hash_ops: int = 0
+    candidate_windows: int = 0
+    num_results: int = 0
+    shared_windows: int = 0
+    changed_windows: int = 0
+
+    @property
+    def total_time(self) -> float:
+        """Sum of the three phase times."""
+        return self.signature_time + self.candidate_time + self.verify_time
+
+    def abstract_cost(
+        self, c_comb: float = 10.0, c_int: float = 2.0, c_hash: float = 1.0
+    ) -> float:
+        """Weighted operation count (the paper's default weights)."""
+        return (
+            c_comb * self.signature_tokens
+            + c_int * self.postings_entries
+            + c_hash * self.hash_ops
+        )
+
+    def merge(self, other: "SearchStats") -> None:
+        """Accumulate another query's stats into this one (in place)."""
+        self.signature_time += other.signature_time
+        self.candidate_time += other.candidate_time
+        self.verify_time += other.verify_time
+        self.signature_tokens += other.signature_tokens
+        self.signatures_generated += other.signatures_generated
+        self.postings_entries += other.postings_entries
+        self.hash_ops += other.hash_ops
+        self.candidate_windows += other.candidate_windows
+        self.num_results += other.num_results
+        self.shared_windows += other.shared_windows
+        self.changed_windows += other.changed_windows
+
+
+@dataclass
+class SearchResult:
+    """Match pairs plus the stats of producing them."""
+
+    pairs: list[MatchPair]
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    def sorted_pairs(self) -> list[MatchPair]:
+        """Canonical ordering for cross-algorithm comparison."""
+        return sorted(self.pairs)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self):
+        return iter(self.pairs)

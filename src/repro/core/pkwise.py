@@ -1,0 +1,279 @@
+"""pkwise: partitioned k-wise signatures with interval sharing (Alg. 4).
+
+This is the paper's proposed algorithm.  Indexing streams signature
+open/close events over every data document into an
+:class:`~repro.index.IntervalIndex`.  Query processing streams the same
+events over the query document; the candidate interval multiset ``A`` is
+carried from window to window and only updated when the signature set
+changes (Lines 12-16 of Algorithm 4), merged (with the Section 4.3
+gap rule), and verified with rolling hash tables and early-termination
+skips.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+
+from ..corpus import Document, DocumentCollection
+from ..errors import ConfigurationError
+from ..index.interval_index import IntervalIndex
+from ..index.intervals import WindowInterval, merge_intervals
+from ..ordering import GlobalOrder
+from ..params import SearchParams
+from ..partition.scheme import PartitionScheme
+from ..signatures.maintain import SignatureStream
+from .base import SearchResult, SearchStats
+from .verify import IntervalVerifier
+
+
+#: Relative window-frequency span used by :func:`default_scheme`:
+#: tokens appearing in fewer than FREQ_LOW of all data windows stay
+#: 1-wise; the thresholds for classes 2..k_max are log-spaced up to
+#: FREQ_HIGH.  These defaults follow the paper's observation that only
+#: the (relatively) frequent head of the universe needs combining.
+DEFAULT_FREQ_LOW = 0.002
+DEFAULT_FREQ_HIGH = 0.05
+
+
+def default_scheme(
+    params: SearchParams,
+    order: GlobalOrder,
+    freq_low: float = DEFAULT_FREQ_LOW,
+    freq_high: float = DEFAULT_FREQ_HIGH,
+) -> PartitionScheme:
+    """A frequency-threshold scheme when no cost-optimized one is given.
+
+    Tokens are assigned to classes by their relative window frequency:
+    rare tokens (below ``freq_low``) are selective enough as single
+    tokens; increasingly frequent tokens move into higher classes, with
+    the class thresholds log-spaced between ``freq_low`` and
+    ``freq_high``.  This mirrors where the greedy cost-based partitioner
+    (:mod:`repro.partition.greedy`) typically lands while costing
+    nothing to compute; use the partitioner for the tuned result.
+    """
+    size = order.universe_size
+    k_max = params.k_max
+    if k_max == 1 or size == 0:
+        return PartitionScheme(universe_size=size, borders=(), m=params.m)
+    thresholds = []
+    for class_index in range(2, k_max + 1):
+        if k_max == 2:
+            fraction = 0.0
+        else:
+            fraction = (class_index - 2) / (k_max - 2)
+        thresholds.append(freq_low * (freq_high / freq_low) ** fraction)
+    borders = []
+    rank = 0
+    for threshold in thresholds:
+        while (
+            rank < size and order.relative_frequency_of_rank(rank) < threshold
+        ):
+            rank += 1
+        borders.append(rank)
+    return PartitionScheme(universe_size=size, borders=tuple(borders), m=params.m)
+
+
+class PKWiseSearcher:
+    """Local similarity search with partitioned k-wise signatures.
+
+    Parameters
+    ----------
+    data:
+        The data document collection (indexed at construction).
+    params:
+        Validated search parameters (w, tau, k_max, m).
+    scheme:
+        Partition scheme; defaults to :func:`default_scheme`.  Use
+        :class:`~repro.partition.GreedyPartitioner` to obtain a
+        cost-optimized scheme first.
+    order:
+        Global token order; built from ``data`` if omitted.  Pass a
+        shared order when comparing multiple algorithms so they agree on
+        ranks.
+    hashed:
+        Key the index by 64-bit signature hashes (paper's Section 7.1
+        hashing) instead of rank tuples.
+    """
+
+    name = "pkwise"
+
+    def __init__(
+        self,
+        data: DocumentCollection,
+        params: SearchParams,
+        scheme: PartitionScheme | None = None,
+        order: GlobalOrder | None = None,
+        hashed: bool = False,
+    ) -> None:
+        self.params = params
+        self.order = order if order is not None else GlobalOrder(data, params.w)
+        if scheme is None:
+            scheme = default_scheme(params, self.order)
+        if scheme.m != params.m:
+            raise ConfigurationError(
+                f"scheme.m ({scheme.m}) disagrees with params.m ({params.m})"
+            )
+        self.scheme = scheme
+        self.rank_docs: list[list[int]] = [
+            self.order.rank_document(document) for document in data
+        ]
+        self._removed: set[int] = set()
+        build_start = time.perf_counter()
+        self.index = IntervalIndex(params.w, params.tau, scheme, hashed=hashed)
+        for doc_id, ranks in enumerate(self.rank_docs):
+            self.index.add_document(doc_id, ranks)
+        self.index_build_seconds = time.perf_counter() - build_start
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def add_document(self, document: Document) -> int:
+        """Index one more document; returns its doc_id in this searcher.
+
+        The document must be encoded against the same vocabulary as the
+        original collection (e.g. produced by ``data.add_text``).  The
+        global order stays fixed: tokens first seen now are treated as
+        rarest (class 1), and existing tokens keep their build-time
+        frequencies — a heuristic drift that affects performance only,
+        never correctness (any fixed total order is valid, Theorem 1).
+        """
+        doc_id = len(self.rank_docs)
+        ranks = self.order.rank_document(document)
+        self.rank_docs.append(ranks)
+        self.index.add_document(doc_id, ranks)
+        return doc_id
+
+    def remove_document(self, doc_id: int) -> None:
+        """Stop returning matches from ``doc_id`` (tombstone removal).
+
+        Postings are filtered at candidate-generation time rather than
+        rewritten; memory is reclaimed only by rebuilding.  Removing an
+        unknown id raises ``IndexError``.
+        """
+        if not 0 <= doc_id < len(self.rank_docs):
+            raise IndexError(f"no document with id {doc_id}")
+        self._removed.add(doc_id)
+
+    @property
+    def removed_documents(self) -> frozenset[int]:
+        """Ids tombstoned by :meth:`remove_document`."""
+        return frozenset(self._removed)
+
+    # ------------------------------------------------------------------
+    def search(self, query: Document) -> SearchResult:
+        """All matching window pairs between ``query`` and the data."""
+        stats = SearchStats()
+        params = self.params
+        w, tau = params.w, params.tau
+        query_ranks = self.order.rank_document(query)
+        if len(query_ranks) < w:
+            return SearchResult(pairs=[], stats=stats)
+
+        stream = SignatureStream(query_ranks, w, tau, self.scheme)
+        verifier = IntervalVerifier(query_ranks, w, tau)
+        index = self.index
+        merge_gap = w // 2
+
+        candidates: Counter[WindowInterval] = Counter()
+        merged: list[WindowInterval] = []
+        removed = self._removed
+        pairs = []
+
+        events = stream.events()
+        while True:
+            t_sig = time.perf_counter()
+            event = next(events, None)
+            stats.signature_time += time.perf_counter() - t_sig
+            if event is None or event.final:
+                break
+            t0 = time.perf_counter()
+            changed = not event.unchanged
+            if changed:
+                for signature in event.opened:
+                    postings = index.probe(signature)
+                    stats.postings_entries += len(postings)
+                    for interval in postings:
+                        candidates[interval] += 1
+                for signature in event.closed:
+                    postings = index.probe(signature)
+                    stats.postings_entries += len(postings)
+                    for interval in postings:
+                        count = candidates[interval] - 1
+                        if count <= 0:
+                            del candidates[interval]
+                        else:
+                            candidates[interval] = count
+                live = (
+                    candidates.keys()
+                    if not removed
+                    else (
+                        interval
+                        for interval in candidates
+                        if interval.doc_id not in removed
+                    )
+                )
+                merged = merge_intervals(live, merge_gap)
+            t1 = time.perf_counter()
+            stats.candidate_time += t1 - t0
+
+            if merged:
+                verifier.advance_to(event.start)
+                for interval in merged:
+                    pairs.extend(
+                        verifier.verify_interval(
+                            interval.doc_id,
+                            self.rank_docs[interval.doc_id],
+                            interval.u,
+                            interval.v,
+                        )
+                    )
+            stats.verify_time += time.perf_counter() - t1
+
+        stats.signature_tokens = stream.generated_token_cost
+        stats.signatures_generated = stream.generated_signatures
+        stats.shared_windows = stream.shared_windows
+        stats.changed_windows = stream.changed_windows
+        stats.hash_ops = verifier.hash_ops
+        stats.candidate_windows = verifier.candidate_windows
+        stats.num_results = len(pairs)
+        return SearchResult(pairs=pairs, stats=stats)
+
+    # ------------------------------------------------------------------
+    def search_top_k(self, query: Document, k: int) -> list:
+        """The ``k`` best-matching window pairs (highest overlap first).
+
+        Convenience wrapper: runs the exact threshold search and keeps
+        the top ``k`` by (overlap, then position).  For "best matches
+        anywhere" semantics, run with a loose ``tau`` and let this
+        method rank.
+        """
+        import heapq
+
+        result = self.search(query)
+        return heapq.nlargest(
+            k,
+            result.pairs,
+            key=lambda pair: (
+                pair.overlap,
+                -pair.doc_id,
+                -pair.data_start,
+                -pair.query_start,
+            ),
+        )
+
+    def search_many(self, queries: list[Document]) -> tuple[list[SearchResult], SearchStats]:
+        """Search every query; returns per-query results and summed stats."""
+        total = SearchStats()
+        results = []
+        for query in queries:
+            result = self.search(query)
+            total.merge(result.stats)
+            results.append(result)
+        return results, total
+
+    def __repr__(self) -> str:
+        return (
+            f"PKWiseSearcher(w={self.params.w}, tau={self.params.tau}, "
+            f"k_max={self.scheme.k_max}, m={self.scheme.m}, index={self.index!r})"
+        )

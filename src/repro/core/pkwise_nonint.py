@@ -1,0 +1,128 @@
+"""pkwise without interval sharing (Algorithm 2; "pkwise-nonint").
+
+Every window — data and query — is processed individually: signatures
+are generated from scratch per window, the index stores individual
+windows, candidates are deduplicated per query window and each is
+verified with a fresh overlap computation.  This is the paper's
+Figure 6/8 comparison point isolating the benefit of interval sharing
+from the benefit of partitioned k-wise signatures.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..corpus import Document, DocumentCollection
+from ..errors import ConfigurationError
+from ..index.inverted import WindowInvertedIndex
+from ..ordering import GlobalOrder
+from ..params import SearchParams
+from ..partition.scheme import PartitionScheme
+from ..signatures.generate import generate_signatures
+from ..windows.rolling import window_overlap
+from ..windows.slider import WindowSlider
+from .base import MatchPair, SearchResult, SearchStats
+from .pkwise import default_scheme
+
+
+class PKWiseNonIntervalSearcher:
+    """Partitioned k-wise signatures, windows processed individually."""
+
+    name = "pkwise-nonint"
+
+    def __init__(
+        self,
+        data: DocumentCollection,
+        params: SearchParams,
+        scheme: PartitionScheme | None = None,
+        order: GlobalOrder | None = None,
+        hashed: bool = False,
+    ) -> None:
+        self.params = params
+        self.order = order if order is not None else GlobalOrder(data, params.w)
+        if scheme is None:
+            scheme = default_scheme(params, self.order)
+        if scheme.m != params.m:
+            raise ConfigurationError(
+                f"scheme.m ({scheme.m}) disagrees with params.m ({params.m})"
+            )
+        self.scheme = scheme
+        self.rank_docs: list[list[int]] = [
+            self.order.rank_document(document) for document in data
+        ]
+        build_start = time.perf_counter()
+        self.index = WindowInvertedIndex(params.w, params.tau, scheme, hashed=hashed)
+        for doc_id, ranks in enumerate(self.rank_docs):
+            self.index.add_document(doc_id, ranks)
+        self.index_build_seconds = time.perf_counter() - build_start
+
+    # ------------------------------------------------------------------
+    def search(self, query: Document) -> SearchResult:
+        """All matching window pairs between ``query`` and the data."""
+        stats = SearchStats()
+        w, tau = self.params.w, self.params.tau
+        query_ranks = self.order.rank_document(query)
+        if len(query_ranks) < w:
+            return SearchResult(pairs=[], stats=stats)
+
+        index = self.index
+        rank_docs = self.rank_docs
+        pairs: list[MatchPair] = []
+        slider = WindowSlider(query_ranks, w)
+        for start, _outgoing, _incoming in slider.slides():
+            t0 = time.perf_counter()
+            signatures = generate_signatures(slider.multiset.raw, tau, self.scheme)
+            stats.signatures_generated += len(signatures)
+            stats.signature_tokens += sum(len(s) for s in signatures)
+            t1 = time.perf_counter()
+            stats.signature_time += t1 - t0
+
+            candidates: set[tuple[int, int]] = set()
+            for signature in set(signatures):
+                postings = index.probe(signature)
+                stats.postings_entries += len(postings)
+                candidates.update(postings)
+            t2 = time.perf_counter()
+            stats.candidate_time += t2 - t1
+
+            query_window = query_ranks[start : start + w]
+            for doc_id, data_start in candidates:
+                stats.candidate_windows += 1
+                stats.hash_ops += 2 * w
+                overlap = window_overlap(
+                    rank_docs[doc_id][data_start : data_start + w], query_window
+                )
+                if w - overlap <= tau:
+                    pairs.append(MatchPair(doc_id, data_start, start, overlap))
+            stats.verify_time += time.perf_counter() - t2
+
+        stats.num_results = len(pairs)
+        return SearchResult(pairs=pairs, stats=stats)
+
+    def search_many(
+        self, queries: list[Document]
+    ) -> tuple[list[SearchResult], SearchStats]:
+        """Search every query; returns per-query results and summed stats."""
+        total = SearchStats()
+        results = []
+        for query in queries:
+            result = self.search(query)
+            total.merge(result.stats)
+            results.append(result)
+        return results, total
+
+    def __repr__(self) -> str:
+        return (
+            f"PKWiseNonIntervalSearcher(w={self.params.w}, "
+            f"tau={self.params.tau}, k_max={self.scheme.k_max})"
+        )
+
+
+def non_partitioned_scheme(order: GlobalOrder, k: int, m: int = 1) -> PartitionScheme:
+    """All tokens in class ``k`` (the "Non-P" variant of Figure 6)."""
+    return PartitionScheme.all_k(order.universe_size, k, m=m)
+
+
+def standard_prefix_scheme(order: GlobalOrder) -> PartitionScheme:
+    """k_max = 1: standard prefix filtering as a pkwise special case."""
+    return PartitionScheme.single(order.universe_size)

@@ -1,0 +1,130 @@
+"""Rolling verification of candidate intervals (Section 4.3).
+
+:class:`IntervalVerifier` owns the *query-side* multiplicity table,
+updated in two hash operations as the query window slides, and verifies
+candidate intervals by filling a data-side table once per interval and
+rolling it across the interval in four operations per step.  It applies
+the paper's early-termination rule: when window ``W(d, j)`` misses the
+threshold by ``delta`` (``w - O = tau + delta``), the next possible
+result is ``W(d, j + delta)``; if that exceeds the interval end, the
+rest of the interval is abandoned without rolling through it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+
+from .base import MatchPair
+
+
+class IntervalVerifier:
+    """Verifies query windows against data window intervals.
+
+    Parameters
+    ----------
+    query_ranks:
+        The query document as a rank sequence.
+    w, tau:
+        Search parameters.
+
+    The verifier is positional: :meth:`advance_to` moves the query-side
+    table to a given query window (normally one slide at a time), then
+    :meth:`verify_interval` checks one candidate interval of one data
+    document against the current query window.
+    """
+
+    def __init__(self, query_ranks: Sequence[int], w: int, tau: int) -> None:
+        self.query_ranks = query_ranks
+        self.w = w
+        self.tau = tau
+        self.query_start = 0
+        self._query_counts: Counter[int] = Counter(query_ranks[:w])
+        self.hash_ops = min(w, len(query_ranks))  # initial fill operations
+        self.candidate_windows = 0
+
+    # ------------------------------------------------------------------
+    def advance_to(self, query_start: int) -> None:
+        """Slide the query-side table forward to ``query_start``."""
+        if query_start < self.query_start:
+            raise ValueError(
+                f"cannot slide query backwards ({self.query_start} -> {query_start})"
+            )
+        counts = self._query_counts
+        ranks = self.query_ranks
+        w = self.w
+        while self.query_start < query_start:
+            start = self.query_start
+            outgoing = ranks[start]
+            incoming = ranks[start + w]
+            if outgoing != incoming:
+                old = counts[outgoing]
+                if old == 1:
+                    del counts[outgoing]
+                else:
+                    counts[outgoing] = old - 1
+                counts[incoming] += 1
+                self.hash_ops += 2
+            self.query_start = start + 1
+
+    # ------------------------------------------------------------------
+    def verify_interval(
+        self, doc_id: int, doc_ranks: Sequence[int], u: int, v: int
+    ) -> list[MatchPair]:
+        """All matches of the current query window in ``d[u, v]``."""
+        w = self.w
+        tau = self.tau
+        query_counts = self._query_counts
+        window = doc_ranks[u : u + w]
+        data_counts: Counter[int] = Counter(window)
+        # Initial overlap: fill (w ops) + lookups (w ops) = 2w, per paper.
+        self.hash_ops += 2 * w
+        overlap = 0
+        for rank, count in data_counts.items():
+            other = query_counts.get(rank)
+            if other:
+                overlap += min(count, other)
+
+        matches: list[MatchPair] = []
+        query_start = self.query_start
+        j = u
+        while True:
+            self.candidate_windows += 1
+            deficit = (w - overlap) - tau
+            if deficit <= 0:
+                matches.append(MatchPair(doc_id, j, query_start, overlap))
+                step = 1
+            else:
+                # Windows j+1 .. j+deficit-1 cannot match (overlap grows
+                # by at most 1 per slide); jump to j+deficit.
+                step = deficit
+            if j + step > v:
+                break
+            # Roll `step` slides, 4 hash ops each.
+            for slide in range(step):
+                outgoing = doc_ranks[j + slide]
+                incoming = doc_ranks[j + slide + w]
+                if outgoing == incoming:
+                    continue
+                self.hash_ops += 4
+                old = data_counts[outgoing]
+                if query_counts.get(outgoing, 0) >= old:
+                    overlap -= 1
+                if old == 1:
+                    del data_counts[outgoing]
+                else:
+                    data_counts[outgoing] = old - 1
+                new = data_counts.get(incoming, 0) + 1
+                data_counts[incoming] = new
+                if query_counts.get(incoming, 0) >= new:
+                    overlap += 1
+            j += step
+        return matches
+
+    # ------------------------------------------------------------------
+    def verify_single(
+        self, doc_id: int, doc_ranks: Sequence[int], start: int
+    ) -> MatchPair | None:
+        """Verify one data window against the current query window."""
+        pairs = self.verify_interval(doc_id, doc_ranks, start, start)
+        return pairs[0] if pairs else None

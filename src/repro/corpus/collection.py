@@ -1,0 +1,133 @@
+"""DocumentCollection: a set of documents sharing one vocabulary.
+
+All algorithms in the library take a collection of *data documents* and
+one or more *query documents*.  Data and query documents must share the
+same :class:`~repro.tokenize.Vocabulary` so token ids are comparable; a
+collection owns that vocabulary and offers helpers to encode additional
+(query) documents against it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from ..errors import CorpusError
+from ..tokenize import Tokenizer, Vocabulary, WhitespaceTokenizer
+from .document import Document
+
+
+class DocumentCollection:
+    """An ordered, append-only set of tokenized documents.
+
+    Construct empty and :meth:`add_text`/:meth:`add_tokens`, or use the
+    loader helpers in :mod:`repro.corpus.loaders`.
+    """
+
+    def __init__(
+        self,
+        tokenizer: Tokenizer | None = None,
+        vocabulary: Vocabulary | None = None,
+    ) -> None:
+        self.tokenizer = tokenizer if tokenizer is not None else WhitespaceTokenizer()
+        self.vocabulary = vocabulary if vocabulary is not None else Vocabulary()
+        self._documents: list[Document] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_text(self, text: str, name: str | None = None) -> Document:
+        """Tokenize ``text`` with the collection tokenizer and append it."""
+        token_ids = self.vocabulary.encode(self.tokenizer.tokenize(text))
+        return self.add_token_ids(token_ids, name=name)
+
+    def add_tokens(self, tokens: Sequence[str], name: str | None = None) -> Document:
+        """Append a document given as pre-split token strings."""
+        return self.add_token_ids(self.vocabulary.encode(tokens), name=name)
+
+    def add_token_ids(
+        self, token_ids: Sequence[int], name: str | None = None
+    ) -> Document:
+        """Append a document given directly as token ids.
+
+        The ids must have been produced by this collection's vocabulary
+        (or at least be < len(vocabulary)); otherwise decoding and
+        frequency tables would be inconsistent.
+        """
+        vocab_size = len(self.vocabulary)
+        for token_id in token_ids:
+            if not 0 <= token_id < vocab_size:
+                raise CorpusError(
+                    f"token id {token_id} out of range for vocabulary of "
+                    f"size {vocab_size}"
+                )
+        document = Document(len(self._documents), token_ids, name=name)
+        self._documents.append(document)
+        return document
+
+    def encode_query(self, text: str, name: str | None = None) -> Document:
+        """Tokenize a query document against this collection's vocabulary.
+
+        Query tokens absent from the data documents are still interned
+        (they get fresh ids); the global order assigns them window
+        frequency zero, which makes them maximally selective, exactly as
+        in the paper's Example 1 (tokens E and F).
+
+        The returned document is *not* added to the collection; its
+        ``doc_id`` is -1 to make accidental use as a data document loud.
+        """
+        token_ids = self.vocabulary.encode(self.tokenizer.tokenize(text))
+        return Document(-1, token_ids, name=name or "query")
+
+    def encode_query_tokens(
+        self, tokens: Sequence[str], name: str | None = None
+    ) -> Document:
+        """Like :meth:`encode_query` but for pre-split token strings."""
+        token_ids = self.vocabulary.encode(tokens)
+        return Document(-1, token_ids, name=name or "query")
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def documents(self) -> list[Document]:
+        """The documents, in insertion (doc_id) order."""
+        return self._documents
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self._documents)
+
+    def __getitem__(self, doc_id: int) -> Document:
+        return self._documents[doc_id]
+
+    def total_tokens(self) -> int:
+        """Sum of document lengths."""
+        return sum(len(document) for document in self._documents)
+
+    def total_windows(self, w: int) -> int:
+        """Total number of sliding windows of size ``w`` over all docs."""
+        return sum(document.num_windows(w) for document in self._documents)
+
+    def subset(self, doc_ids: Iterable[int]) -> "DocumentCollection":
+        """A new collection containing the given documents (re-numbered).
+
+        The vocabulary and tokenizer are shared (not copied) so token
+        ids remain comparable across the parent and the subset — this is
+        what the scalability experiment (Figure 9) relies on when
+        sampling 20%..100% of the data documents.
+        """
+        sub = DocumentCollection(tokenizer=self.tokenizer, vocabulary=self.vocabulary)
+        for new_id, doc_id in enumerate(doc_ids):
+            original = self._documents[doc_id]
+            sub._documents.append(
+                Document(new_id, original.tokens, name=original.name)
+            )
+        return sub
+
+    def __repr__(self) -> str:
+        return (
+            f"DocumentCollection(docs={len(self)}, "
+            f"vocab={len(self.vocabulary)}, tokens={self.total_tokens()})"
+        )

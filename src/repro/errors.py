@@ -1,0 +1,46 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch the whole family with a single
+``except`` clause while still being able to discriminate on subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter or combination of parameters is invalid.
+
+    Raised, for example, when the window size violates the completeness
+    condition of Theorem 2 (``w >= tau + 1 + k_max * (k_max - 1) / 2``),
+    or when a threshold is out of range.
+    """
+
+
+class TokenizationError(ReproError):
+    """A document could not be tokenized (e.g. bad q-gram length)."""
+
+
+class CorpusError(ReproError):
+    """A document collection is malformed or cannot be loaded."""
+
+
+class PartitioningError(ReproError):
+    """A partition scheme is inconsistent with the token universe."""
+
+
+class IndexError_(ReproError):
+    """The inverted/interval index is in an inconsistent state.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`; exported as ``IndexStateError`` from the package
+    root.
+    """
+
+
+# Public alias with a less awkward name.
+IndexStateError = IndexError_

@@ -1,0 +1,146 @@
+"""Structural analysis utilities behind the paper's side measurements.
+
+Section 7.3 quantifies *why* interval sharing works: the average Jaccard
+similarity of adjacent windows' prefixes is 0.87–0.97 on REUTERS.  This
+module computes that measurement, plus postings-length and
+candidate-distribution statistics useful when tuning a deployment.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..corpus import Document, DocumentCollection
+from ..index.interval_index import IntervalIndex
+from ..ordering import GlobalOrder
+from ..partition.scheme import PartitionScheme
+from ..signatures.prefix import prefix_length
+from ..windows.slider import WindowSlider
+
+
+def multiset_jaccard(left: list[int], right: list[int]) -> float:
+    """Jaccard similarity of two multisets (union with multiplicities)."""
+    counts_left = Counter(left)
+    counts_right = Counter(right)
+    intersection = sum(
+        min(count, counts_right.get(token, 0))
+        for token, count in counts_left.items()
+    )
+    union = len(left) + len(right) - intersection
+    return intersection / union if union else 1.0
+
+
+@dataclass(frozen=True)
+class PrefixSharingReport:
+    """Average adjacent-prefix similarity over a set of documents."""
+
+    average_jaccard: float
+    num_adjacent_pairs: int
+    unchanged_fraction: float  # prefixes literally identical
+
+    def __str__(self) -> str:
+        return (
+            f"adjacent-prefix Jaccard {self.average_jaccard:.3f} over "
+            f"{self.num_adjacent_pairs} pairs "
+            f"({self.unchanged_fraction:.0%} identical)"
+        )
+
+
+def prefix_sharing(
+    documents: list[Document],
+    order: GlobalOrder,
+    w: int,
+    tau: int,
+    scheme: PartitionScheme,
+) -> PrefixSharingReport:
+    """Average Jaccard of adjacent windows' prefixes (Section 7.3).
+
+    The paper reports 0.966 at (w=100, tau=5) on REUTERS, dropping to
+    0.872 at w=25 — the quantity that predicts how often the
+    interval-sharing fast path fires.
+    """
+    total = 0.0
+    pairs = 0
+    unchanged = 0
+    for document in documents:
+        ranks = order.rank_document(document)
+        slider = WindowSlider(ranks, w)
+        previous: list[int] | None = None
+        for _start, _out, _in in slider.slides():
+            raw = slider.multiset.raw
+            length = prefix_length(raw, tau, scheme)
+            prefix = raw[:length]
+            if previous is not None:
+                pairs += 1
+                if prefix == previous:
+                    unchanged += 1
+                    total += 1.0
+                else:
+                    total += multiset_jaccard(prefix, previous)
+            previous = prefix
+    if pairs == 0:
+        return PrefixSharingReport(0.0, 0, 0.0)
+    return PrefixSharingReport(total / pairs, pairs, unchanged / pairs)
+
+
+@dataclass(frozen=True)
+class PostingsReport:
+    """Distribution of postings-list lengths in an interval index."""
+
+    num_signatures: int
+    num_postings: int
+    mean_length: float
+    max_length: int
+    singleton_fraction: float  # signatures with exactly one interval
+
+    def __str__(self) -> str:
+        return (
+            f"{self.num_signatures} signatures, {self.num_postings} "
+            f"postings (mean {self.mean_length:.2f}, max {self.max_length}, "
+            f"{self.singleton_fraction:.0%} singletons)"
+        )
+
+
+def postings_statistics(index: IntervalIndex) -> PostingsReport:
+    """Summary of the index's postings-length distribution.
+
+    High singleton fraction = highly selective signatures = cheap
+    candidate generation; a heavy tail means some signatures behave like
+    frequent single tokens and the partitioning may want another class.
+    """
+    lengths = list(index.postings_lengths())
+    if not lengths:
+        return PostingsReport(0, 0, 0.0, 0, 0.0)
+    return PostingsReport(
+        num_signatures=len(lengths),
+        num_postings=sum(lengths),
+        mean_length=sum(lengths) / len(lengths),
+        max_length=max(lengths),
+        singleton_fraction=sum(1 for n in lengths if n == 1) / len(lengths),
+    )
+
+
+def selectivity_by_class(
+    data: DocumentCollection,
+    order: GlobalOrder,
+    scheme: PartitionScheme,
+) -> dict[int, float]:
+    """Average relative window frequency of the tokens in each class.
+
+    Confirms the partitioning intuition: class 1 should hold tokens that
+    are orders of magnitude rarer than the top class.
+    """
+    del data  # frequencies live in the order; parameter kept for symmetry
+    totals: dict[int, float] = {}
+    counts: dict[int, int] = {}
+    for rank in range(order.universe_size):
+        class_index = scheme.class_of(rank)
+        totals[class_index] = totals.get(class_index, 0.0) + (
+            order.relative_frequency_of_rank(rank)
+        )
+        counts[class_index] = counts.get(class_index, 0) + 1
+    return {
+        class_index: totals[class_index] / counts[class_index]
+        for class_index in totals
+    }

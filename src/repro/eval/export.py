@@ -1,0 +1,97 @@
+"""Export of run and quality data to CSV / JSON.
+
+Benchmark and evaluation objects are plain dataclasses; these helpers
+flatten them into rows so downstream tooling (spreadsheets, plotting
+notebooks) can consume experiment outputs without importing the
+library.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from collections.abc import Iterable, Mapping
+from pathlib import Path
+
+from .harness import AggregateRun
+from .metrics import QualityReport
+
+
+def aggregate_to_row(run: AggregateRun, **extra) -> dict:
+    """Flatten an :class:`AggregateRun` into one CSV-friendly dict.
+
+    ``extra`` key-values (e.g. ``w=100, tau=5``) are prepended so sweep
+    parameters travel with the measurements.
+    """
+    stats = run.stats
+    row = dict(extra)
+    row.update(
+        {
+            "algorithm": run.name,
+            "num_queries": run.num_queries,
+            "total_seconds": run.total_seconds,
+            "avg_query_seconds": run.avg_query_seconds,
+            "signature_seconds": stats.signature_time,
+            "candidate_seconds": stats.candidate_time,
+            "verify_seconds": stats.verify_time,
+            "signature_tokens": stats.signature_tokens,
+            "signatures_generated": stats.signatures_generated,
+            "postings_entries": stats.postings_entries,
+            "hash_ops": stats.hash_ops,
+            "candidate_windows": stats.candidate_windows,
+            "num_results": stats.num_results,
+            "shared_windows": stats.shared_windows,
+            "changed_windows": stats.changed_windows,
+        }
+    )
+    return row
+
+
+def quality_to_row(report: QualityReport, **extra) -> dict:
+    """Flatten a :class:`QualityReport` into one CSV-friendly dict."""
+    row = dict(extra)
+    row.update(
+        {
+            "precision": report.precision,
+            "recall": report.recall,
+            "num_truth": report.num_truth,
+            "num_identified": report.num_identified,
+            "positives": report.positives,
+            "true_positives": report.true_positives,
+        }
+    )
+    for level, recall in sorted(
+        report.recall_by_level.items(), key=lambda item: item[0].value
+    ):
+        row[f"recall_{level.value}"] = recall
+    return row
+
+
+def write_csv(path: str | Path, rows: Iterable[Mapping]) -> int:
+    """Write dict rows to CSV; returns the number of rows written.
+
+    The header is the union of keys across all rows, in first-seen
+    order; missing cells are empty.
+    """
+    rows = list(rows)
+    path = Path(path)
+    fieldnames: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames, restval="")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return len(rows)
+
+
+def write_json(path: str | Path, rows: Iterable[Mapping]) -> int:
+    """Write dict rows as a JSON array; returns the row count."""
+    rows = list(rows)
+    Path(path).write_text(
+        json.dumps(rows, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
+    return len(rows)

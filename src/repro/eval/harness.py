@@ -1,0 +1,73 @@
+"""Workload runner: aggregate timing with phase decomposition.
+
+``run_searcher`` drives one algorithm over a query workload and returns
+an :class:`AggregateRun` with the per-query averages the paper reports
+(average query processing time, per-phase split, candidate and result
+counts).  Wall-clock per phase comes from the searchers' own
+instrumentation (:class:`~repro.core.SearchStats`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..core.base import MatchPair, SearchStats
+from ..corpus import Document
+
+
+@dataclass
+class AggregateRun:
+    """Summary of one algorithm over one workload."""
+
+    name: str
+    num_queries: int
+    total_seconds: float
+    stats: SearchStats
+    results_by_query: dict[int, list[MatchPair]] = field(default_factory=dict)
+
+    @property
+    def avg_query_seconds(self) -> float:
+        """Mean wall-clock seconds per query."""
+        return self.total_seconds / self.num_queries if self.num_queries else 0.0
+
+    @property
+    def num_results(self) -> int:
+        """Total match pairs across the workload."""
+        return self.stats.num_results
+
+    def phase_row(self) -> str:
+        """Phase-decomposed row (Figure 6 style); all times per query."""
+        n = max(1, self.num_queries)
+        return (
+            f"{self.name:<16} avg={self.avg_query_seconds * 1e3:9.2f}ms  "
+            f"sig={self.stats.signature_time / n * 1e3:8.2f}ms  "
+            f"cand={self.stats.candidate_time / n * 1e3:8.2f}ms  "
+            f"verify={self.stats.verify_time / n * 1e3:8.2f}ms  "
+            f"cands={self.stats.candidate_windows:<9} "
+            f"results={self.num_results}"
+        )
+
+
+def run_searcher(searcher, queries: list[Document], name: str | None = None) -> AggregateRun:
+    """Run ``searcher.search`` over every query, collecting aggregates.
+
+    The searcher only needs a ``search(query) -> SearchResult`` method
+    (all core and baseline searchers qualify).
+    """
+    total_stats = SearchStats()
+    results_by_query: dict[int, list[MatchPair]] = {}
+    start = time.perf_counter()
+    for index, query in enumerate(queries):
+        result = searcher.search(query)
+        total_stats.merge(result.stats)
+        query_id = query.doc_id if query.doc_id >= 0 else index
+        results_by_query[query_id] = result.pairs
+    total_seconds = time.perf_counter() - start
+    return AggregateRun(
+        name=name if name is not None else getattr(searcher, "name", "searcher"),
+        num_queries=len(queries),
+        total_seconds=total_seconds,
+        stats=total_stats,
+        results_by_query=results_by_query,
+    )

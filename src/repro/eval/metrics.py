@@ -1,0 +1,121 @@
+"""Quality metrics for local similarity search (Appendix D.2).
+
+Given the result pairs of a search and the injected ground truth:
+
+* A ground-truth pair ``<d[u, v], q[u', v']>`` is **identified** when
+  some result pair ``<W(d, i), W(q, j)>`` overlaps it on *both* sides:
+  ``[i, i + w - 1]`` intersects ``[u, v]`` and ``[j, j + w - 1]``
+  intersects ``[u', v']``.
+* **Recall** is the fraction of ground-truth pairs identified.
+* **Precision** is token-level on the query side: a query token is
+  *positive* if some result window covers it, a *true positive* if an
+  identified ground-truth pair's query span covers it; precision is
+  true positives / positives.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..core.base import MatchPair
+from ..corpus.plagiarism import GroundTruthPair, ObfuscationLevel
+
+
+@dataclass
+class QualityReport:
+    """Precision/recall summary, with a per-obfuscation-level breakdown."""
+
+    precision: float
+    recall: float
+    num_truth: int
+    num_identified: int
+    positives: int
+    true_positives: int
+    recall_by_level: dict[ObfuscationLevel, float] = field(default_factory=dict)
+
+    def as_row(self, name: str) -> str:
+        """One formatted precision/recall line for reports."""
+        return (
+            f"{name:<24} precision={self.precision:6.1%}  "
+            f"recall={self.recall:6.1%}  "
+            f"({self.num_identified}/{self.num_truth} truths, "
+            f"{self.true_positives}/{self.positives} tokens)"
+        )
+
+
+def _spans_overlap(a_lo: int, a_hi: int, b_lo: int, b_hi: int) -> bool:
+    return a_lo <= b_hi and b_lo <= a_hi
+
+
+def evaluate_quality(
+    results_by_query: dict[int, list[MatchPair]],
+    truths: list[GroundTruthPair],
+    w: int,
+) -> QualityReport:
+    """Score results against ground truth per the paper's definitions.
+
+    ``results_by_query`` maps each query id to the result pairs of that
+    query document (the :class:`MatchPair` ``query_start`` values are
+    positions within that query).
+    """
+    truths_by_query: dict[int, list[GroundTruthPair]] = defaultdict(list)
+    for truth in truths:
+        truths_by_query[truth.query_id].append(truth)
+
+    identified: set[int] = set()  # indexes into `truths`
+    truth_index = {id(truth): i for i, truth in enumerate(truths)}
+
+    # Pass 1: identification.
+    for query_id, pairs in results_by_query.items():
+        for truth in truths_by_query.get(query_id, ()):
+            lo_d, hi_d = truth.data_span
+            lo_q, hi_q = truth.query_span
+            for pair in pairs:
+                if pair.doc_id != truth.data_doc_id:
+                    continue
+                if _spans_overlap(
+                    pair.data_start, pair.data_start + w - 1, lo_d, hi_d
+                ) and _spans_overlap(
+                    pair.query_start, pair.query_start + w - 1, lo_q, hi_q
+                ):
+                    identified.add(truth_index[id(truth)])
+                    break
+
+    # Pass 2: token-level precision on the query side.
+    positives = 0
+    true_positives = 0
+    for query_id, pairs in results_by_query.items():
+        if not pairs:
+            continue
+        covered: set[int] = set()
+        for pair in pairs:
+            covered.update(range(pair.query_start, pair.query_start + w))
+        positives += len(covered)
+        true_spans = [
+            truth.query_span
+            for truth in truths_by_query.get(query_id, ())
+            if truth_index[id(truth)] in identified
+        ]
+        for position in covered:
+            if any(lo <= position <= hi for lo, hi in true_spans):
+                true_positives += 1
+
+    recall_by_level: dict[ObfuscationLevel, float] = {}
+    by_level: dict[ObfuscationLevel, list[int]] = defaultdict(list)
+    for index, truth in enumerate(truths):
+        by_level[truth.level].append(index)
+    for level, indexes in by_level.items():
+        hit = sum(1 for index in indexes if index in identified)
+        recall_by_level[level] = hit / len(indexes)
+
+    num_truth = len(truths)
+    return QualityReport(
+        precision=true_positives / positives if positives else 0.0,
+        recall=len(identified) / num_truth if num_truth else 0.0,
+        num_truth=num_truth,
+        num_identified=len(identified),
+        positives=positives,
+        true_positives=true_positives,
+        recall_by_level=recall_by_level,
+    )

@@ -1,0 +1,43 @@
+"""Fixed-width report printers used by the benchmark harness.
+
+Benchmarks print paper-style tables to stdout so that `pytest
+benchmarks/ --benchmark-only -s` reproduces the rows/series of each
+table and figure.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-scale duration: us / ms / s with 3 significant figures."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.2f}s"
+
+
+def print_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    min_width: int = 10,
+) -> None:
+    """Print an aligned table with a title banner."""
+    widths = [max(min_width, len(header)) for header in headers]
+    formatted_rows = []
+    for row in rows:
+        cells = [str(cell) for cell in row]
+        for index, cell in enumerate(cells):
+            widths[index] = max(widths[index], len(cell))
+        formatted_rows.append(cells)
+    print()
+    print("=" * max(len(title), sum(widths) + 2 * len(widths)))
+    print(title)
+    print("-" * max(len(title), sum(widths) + 2 * len(widths)))
+    print("  ".join(header.ljust(width) for header, width in zip(headers, widths)))
+    for cells in formatted_rows:
+        print("  ".join(cell.ljust(width) for cell, width in zip(cells, widths)))
+    print()

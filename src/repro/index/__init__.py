@@ -1,0 +1,23 @@
+"""Inverted indexes over signatures.
+
+Two index flavours, matching Sections 3 and 4 of the paper:
+
+* :class:`WindowInvertedIndex` maps each signature to the list of
+  individual data windows whose prefix generates it (Algorithm 2).
+* :class:`IntervalIndex` maps each signature to maximal *window
+  intervals* ``d[u, v]`` (Section 4.1), built by streaming signature
+  open/close events while sliding through each document; it is both
+  smaller (the paper reports 3-14x) and enables candidate-set sharing
+  between adjacent query windows.
+"""
+
+from .intervals import WindowInterval, merge_intervals
+from .interval_index import IntervalIndex
+from .inverted import WindowInvertedIndex
+
+__all__ = [
+    "WindowInterval",
+    "merge_intervals",
+    "IntervalIndex",
+    "WindowInvertedIndex",
+]

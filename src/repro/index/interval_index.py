@@ -1,0 +1,128 @@
+"""The interval postings index (Section 4.1).
+
+Maps each signature to the maximal window intervals that generate it.
+Built by consuming :class:`~repro.signatures.SignatureStream` events per
+data document: a signature's interval opens at the first window whose
+prefix generates it and closes just before the first window that stops
+generating it.  The stream already collapses duplicate-signature "false"
+opens/closes (the paper's gamma counter), so every event here is a true
+transition and every stored interval is maximal.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..errors import IndexStateError
+from ..partition.scheme import PartitionScheme
+from ..signatures.generate import Signature, signature_hash
+from ..signatures.maintain import SignatureStream
+from .intervals import WindowInterval
+
+
+class IntervalIndex:
+    """Signature -> list of :class:`WindowInterval` postings.
+
+    Parameters
+    ----------
+    scheme:
+        Partition scheme used for signature generation.
+    tau, w:
+        Search parameters the index was built for.  Queries must use the
+        same values; :meth:`probe` does not re-check.
+    hashed:
+        When true, postings are keyed by the 64-bit
+        :func:`~repro.signatures.signature_hash` instead of the rank
+        tuple, trading a negligible collision probability (extra
+        candidates only — never lost results) for less key memory; this
+        mirrors the paper's 4-byte signature hashing.
+    """
+
+    def __init__(
+        self, w: int, tau: int, scheme: PartitionScheme, hashed: bool = False
+    ) -> None:
+        self.w = w
+        self.tau = tau
+        self.scheme = scheme
+        self.hashed = hashed
+        self._postings: dict[object, list[WindowInterval]] = {}
+        self.num_documents = 0
+        self.num_windows = 0
+        self.build_stats: dict[str, int] = {
+            "generated_signatures": 0,
+            "generated_token_cost": 0,
+            "shared_windows": 0,
+            "changed_windows": 0,
+        }
+
+    def _key(self, signature: Signature) -> object:
+        return signature_hash(signature) if self.hashed else signature
+
+    # ------------------------------------------------------------------
+    def add_document(self, doc_id: int, ranks: Sequence[int]) -> None:
+        """Index all windows of one document (given as a rank sequence)."""
+        stream = SignatureStream(ranks, self.w, self.tau, self.scheme)
+        open_at: dict[Signature, int] = {}
+        postings = self._postings
+        key_of = self._key
+        for event in stream.events():
+            for signature in event.opened:
+                if signature in open_at:
+                    raise IndexStateError(
+                        f"signature {signature} opened twice at window "
+                        f"{event.start} of document {doc_id}"
+                    )
+                open_at[signature] = event.start
+            for signature in event.closed:
+                start = open_at.pop(signature, None)
+                if start is None:
+                    raise IndexStateError(
+                        f"signature {signature} closed while not open at "
+                        f"window {event.start} of document {doc_id}"
+                    )
+                interval = WindowInterval(doc_id, start, event.start - 1)
+                postings.setdefault(key_of(signature), []).append(interval)
+        if open_at:
+            raise IndexStateError(
+                f"{len(open_at)} signatures left open at end of document {doc_id}"
+            )
+        self.num_documents += 1
+        self.num_windows += max(0, len(ranks) - self.w + 1)
+        for name in self.build_stats:
+            self.build_stats[name] += getattr(stream, name)
+
+    # ------------------------------------------------------------------
+    def probe(self, signature: Signature) -> list[WindowInterval]:
+        """Postings list of ``signature`` (empty list if absent)."""
+        return self._postings.get(self._key(signature), [])
+
+    def __contains__(self, signature: Signature) -> bool:
+        return self._key(signature) in self._postings
+
+    @property
+    def num_signatures(self) -> int:
+        """Number of distinct signatures indexed."""
+        return len(self._postings)
+
+    @property
+    def num_postings(self) -> int:
+        """Total number of stored intervals."""
+        return sum(len(postings) for postings in self._postings.values())
+
+    def size_in_entries(self) -> int:
+        """Abstract index size: one entry per (signature, interval).
+
+        Used by the Figure 7 bench; comparable across index types when
+        the window-level index counts one entry per (signature, window).
+        """
+        return self.num_postings
+
+    def postings_lengths(self):
+        """Iterator of per-signature postings-list lengths (analysis)."""
+        return (len(postings) for postings in self._postings.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"IntervalIndex(signatures={self.num_signatures}, "
+            f"postings={self.num_postings}, docs={self.num_documents})"
+        )

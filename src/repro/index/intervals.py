@@ -1,0 +1,63 @@
+"""Window intervals and interval merging (Sections 4.1-4.3).
+
+A window interval ``d[u, v]`` denotes all windows ``W(d, u) ..
+W(d, v)`` of document ``d`` (inclusive, 0-based starts).  Candidate
+generation produces multisets of intervals which are merged before
+verification; merging also coalesces *nearby* intervals whose gap is
+under ``w / 2``, because rolling verification across the gap is cheaper
+than re-filling the hash table (Section 4.3's 4w + 4(...) vs 2w + 4(...)
+operation count).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import NamedTuple
+
+
+class WindowInterval(NamedTuple):
+    """Maximal run of windows of one document containing a signature."""
+
+    doc_id: int
+    u: int
+    v: int
+
+    @property
+    def num_windows(self) -> int:
+        """Number of windows the interval covers (inclusive ends)."""
+        return self.v - self.u + 1
+
+    def __str__(self) -> str:
+        return f"d{self.doc_id}[{self.u},{self.v}]"
+
+
+def merge_intervals(
+    intervals: Iterable[WindowInterval], merge_gap: int = 0
+) -> list[WindowInterval]:
+    """Coalesce overlapping (and nearby) intervals per document.
+
+    Two consecutive intervals ``d[u1, v1]`` and ``d[u2, v2]`` (``u2 >
+    v1``) are merged when ``u2 - v1 < merge_gap``; Section 4.3 shows
+    ``merge_gap = w // 2`` balances hash-table refill cost against
+    rolling through non-candidate windows.  Regardless of ``merge_gap``,
+    overlapping and touching intervals (``u2 <= v1 + 1``) always merge.
+
+    Returns intervals sorted by (doc_id, u).
+    """
+    ordered = sorted(intervals)
+    threshold = max(2, merge_gap)
+    merged: list[WindowInterval] = []
+    for interval in ordered:
+        if merged:
+            last = merged[-1]
+            if interval.doc_id == last.doc_id and interval.u - last.v < threshold:
+                if interval.v > last.v:
+                    merged[-1] = WindowInterval(last.doc_id, last.u, interval.v)
+                continue
+        merged.append(interval)
+    return merged
+
+
+def total_window_count(intervals: Iterable[WindowInterval]) -> int:
+    """Sum of window counts over intervals (assumed disjoint)."""
+    return sum(interval.num_windows for interval in intervals)

@@ -1,0 +1,133 @@
+"""Window frequencies and the global token order O.
+
+The prefix-filtering framework requires one total order over the token
+universe, shared by indexing and query processing.  Following
+Section 2.2, tokens are ordered by increasing window frequency (number
+of data windows containing the token), breaking ties by token string.
+
+Tokens that first appear in *query* documents (window frequency zero by
+definition) are admitted lazily: they are ordered before every data
+token — they are the rarest possible — and among themselves by arrival.
+This matches the paper's Example 1/2, where the query-only tokens E and
+F sort first.  Extending the order this way never perturbs the relative
+order of data tokens, so signatures indexed before the extension remain
+valid (see the proof of Theorem 1, which only needs O to be a fixed
+total order consistent between both sides).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..corpus import Document, DocumentCollection
+from ..errors import ConfigurationError
+
+
+def window_frequencies(data: DocumentCollection, w: int) -> list[int]:
+    """Number of data windows of size ``w`` containing each token.
+
+    Returns a list indexed by token id (length = vocabulary size).  A
+    window "contains" a token if at least one of its ``w`` positions
+    holds it; multiplicities within one window do not add.
+
+    Runs in O(total tokens): for each occurrence at position ``p`` the
+    containing window starts form the interval
+    ``[max(0, p - w + 1), min(p, n - w)]``; per token we count the union
+    of those intervals with a running high-water mark.
+    """
+    if w < 1:
+        raise ConfigurationError(f"window size must be >= 1, got {w}")
+    freq = [0] * len(data.vocabulary)
+    for document in data:
+        n = len(document)
+        if n < w:
+            continue
+        covered_to: dict[int, int] = {}  # token -> last counted window start
+        for p, token in enumerate(document.tokens):
+            lo = max(0, p - w + 1)
+            hi = min(p, n - w)
+            start = max(lo, covered_to.get(token, -1) + 1)
+            if start <= hi:
+                freq[token] += hi - start + 1
+                covered_to[token] = hi
+    return freq
+
+
+class GlobalOrder:
+    """The total order O: token id -> dense rank.
+
+    Ranks are non-negative for tokens known when the order was built
+    (rank 0 = rarest data token) and negative, decreasing, for tokens
+    that appear later (query-only tokens), which keeps them first in the
+    order without renumbering anything.
+
+    The order also carries the window frequency of each *rank*, which
+    the cost model and the partitioners consume.
+    """
+
+    def __init__(self, data: DocumentCollection, w: int) -> None:
+        self._vocabulary = data.vocabulary
+        self.w = w
+        freq = window_frequencies(data, w)
+        token_of = data.vocabulary.token_of
+        order = sorted(range(len(freq)), key=lambda t: (freq[t], token_of(t)))
+        self._rank_of_token: list[int] = [0] * len(freq)
+        self._token_of_rank: list[int] = order
+        for rank, token in enumerate(order):
+            self._rank_of_token[token] = rank
+        self._freq_of_rank: list[int] = [freq[token] for token in order]
+        self._built_size = len(freq)
+        self._extra_ranks: dict[int, int] = {}
+        self.num_data_windows = data.total_windows(w)
+
+    # ------------------------------------------------------------------
+    @property
+    def universe_size(self) -> int:
+        """Number of tokens known at build time (rank space size)."""
+        return self._built_size
+
+    def rank(self, token_id: int) -> int:
+        """Rank of ``token_id``; lazily admits tokens unseen at build."""
+        if 0 <= token_id < self._built_size:
+            return self._rank_of_token[token_id]
+        rank = self._extra_ranks.get(token_id)
+        if rank is None:
+            rank = -1 - len(self._extra_ranks)
+            self._extra_ranks[token_id] = rank
+        return rank
+
+    def token_of_rank(self, rank: int) -> int:
+        """Token id holding non-negative ``rank``."""
+        return self._token_of_rank[rank]
+
+    def frequency_of_rank(self, rank: int) -> int:
+        """Window frequency of the token at ``rank`` (0 for negatives)."""
+        if rank < 0:
+            return 0
+        return self._freq_of_rank[rank]
+
+    def relative_frequency_of_rank(self, rank: int) -> float:
+        """Window frequency normalized by the number of data windows."""
+        if self.num_data_windows == 0:
+            return 0.0
+        return self.frequency_of_rank(rank) / self.num_data_windows
+
+    # ------------------------------------------------------------------
+    def rank_sequence(self, tokens: Sequence[int]) -> list[int]:
+        """Map a token-id sequence to its rank sequence."""
+        rank = self.rank
+        return [rank(token) for token in tokens]
+
+    def rank_document(self, document: Document) -> list[int]:
+        """Rank sequence of a document (original token order preserved)."""
+        return self.rank_sequence(document.tokens)
+
+    def sorted_window(self, document: Document, start: int, w: int) -> list[int]:
+        """Ranks of window ``W(document, start)`` sorted by O (ascending)."""
+        return sorted(self.rank_sequence(document.window(start, w)))
+
+    def __repr__(self) -> str:
+        return (
+            f"GlobalOrder(universe={self._built_size}, w={self.w}, "
+            f"windows={self.num_data_windows}, extras={len(self._extra_ranks)})"
+        )

@@ -1,0 +1,129 @@
+"""Validated search parameters shared by every algorithm in the library.
+
+The paper (Section 2.1) defines local similarity search by a window size
+``w`` and a dissimilarity threshold ``tau`` (equivalently an overlap
+threshold ``theta = w - tau``).  The pkwise algorithm additionally takes
+the number of token classes ``k_max`` (Section 3.2) and the number of
+equi-width sub-partitions per class ``m`` (Section 6).
+
+:class:`SearchParams` validates all of these once, up front, so the rest
+of the code can assume a consistent configuration.  In particular it
+enforces the completeness condition of Theorem 2::
+
+    w >= tau + 1 + k_max * (k_max - 1) / 2      (m == 1)
+    w >= tau + 1 + m * k_max * (k_max - 1) / 2  (m > 1, Section 6)
+
+Violating it would allow a window's prefix to exceed the window itself,
+in which case prefix filtering can miss results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import ConfigurationError
+
+#: Default number of token classes (the paper's default, Section 7.1).
+DEFAULT_K_MAX = 4
+
+#: Suggested rule from Section 7.5: use m = 1 for tau <= 20 and
+#: m = 0.25 * tau for larger thresholds.
+LARGE_TAU_CUTOFF = 20
+LARGE_TAU_M_FACTOR = 0.25
+
+
+def suggested_subpartitions(tau: int) -> int:
+    """Return the number of sub-partitions the paper suggests for ``tau``.
+
+    Section 7.5: ``m = 1`` when ``tau <= 20``, else ``m = 0.25 * tau``.
+    """
+    if tau <= LARGE_TAU_CUTOFF:
+        return 1
+    return max(1, round(LARGE_TAU_M_FACTOR * tau))
+
+
+def max_prefix_length(tau: int, k_max: int, m: int = 1) -> int:
+    """Upper bound of the prefix length (Corollary 1 and its Section 6 form).
+
+    For ``m == 1`` the bound is ``tau + 1 + k_max * (k_max - 1) / 2``; for
+    ``m > 1`` every class above 1 contributes ``m * (i - 1)`` extra
+    tokens, giving ``tau + 1 + m * k_max * (k_max - 1) / 2``.
+    """
+    return tau + 1 + m * (k_max * (k_max - 1)) // 2
+
+
+@dataclass(frozen=True)
+class SearchParams:
+    """Immutable, validated parameters for one search configuration.
+
+    Parameters
+    ----------
+    w:
+        Window size in tokens.  Every window of a document is exactly
+        ``w`` consecutive tokens; documents shorter than ``w`` produce no
+        windows.
+    tau:
+        Maximum number of differing tokens between matching windows,
+        i.e. results satisfy ``w - O(x, y) <= tau``.  Use
+        :meth:`from_theta` to construct from an overlap threshold
+        instead.
+    k_max:
+        Number of token classes for partitioned k-wise signatures.
+        ``k_max = 1`` degenerates to standard prefix filtering.
+    m:
+        Number of equi-width sub-partitions per class above 1
+        (Section 6).  ``m = 1`` disables sub-partitioning.
+    """
+
+    w: int
+    tau: int
+    k_max: int = DEFAULT_K_MAX
+    m: int = 1
+    theta: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.w < 1:
+            raise ConfigurationError(f"window size w must be >= 1, got {self.w}")
+        if self.tau < 0:
+            raise ConfigurationError(f"threshold tau must be >= 0, got {self.tau}")
+        if self.tau >= self.w:
+            raise ConfigurationError(
+                f"tau must be < w (otherwise every window pair matches); "
+                f"got tau={self.tau}, w={self.w}"
+            )
+        if self.k_max < 1:
+            raise ConfigurationError(f"k_max must be >= 1, got {self.k_max}")
+        if self.m < 1:
+            raise ConfigurationError(f"m must be >= 1, got {self.m}")
+        bound = max_prefix_length(self.tau, self.k_max, self.m)
+        if self.w < bound:
+            raise ConfigurationError(
+                f"completeness condition violated (Theorem 2): need "
+                f"w >= tau + 1 + m*k_max*(k_max-1)/2 = {bound}, got w={self.w}. "
+                f"Lower k_max or m, or raise w."
+            )
+        object.__setattr__(self, "theta", self.w - self.tau)
+
+    @classmethod
+    def from_theta(
+        cls, w: int, theta: int, k_max: int = DEFAULT_K_MAX, m: int = 1
+    ) -> "SearchParams":
+        """Build params from an overlap threshold ``theta = w - tau``."""
+        if theta < 1 or theta > w:
+            raise ConfigurationError(
+                f"theta must be in [1, w]; got theta={theta}, w={w}"
+            )
+        return cls(w=w, tau=w - theta, k_max=k_max, m=m)
+
+    @property
+    def prefix_length_bound(self) -> int:
+        """Corollary 1 upper bound on any window's prefix length."""
+        return max_prefix_length(self.tau, self.k_max, self.m)
+
+    def with_k_max(self, k_max: int) -> "SearchParams":
+        """Return a copy with a different ``k_max`` (re-validated)."""
+        return SearchParams(w=self.w, tau=self.tau, k_max=k_max, m=self.m)
+
+    def with_m(self, m: int) -> "SearchParams":
+        """Return a copy with a different sub-partition count ``m``."""
+        return SearchParams(w=self.w, tau=self.tau, k_max=self.k_max, m=m)

@@ -1,0 +1,23 @@
+"""Token-universe partitioning: schemes, cost model, and optimizers.
+
+Section 3.2 partitions the token universe (sorted by the global order)
+into ``k_max`` classes; class ``i`` tokens are combined ``i`` at a time
+into signatures.  Section 6 further splits each class above 1 into ``m``
+equi-width sub-partitions.  Section 5 defines the query-processing cost
+model (Equations 2-4) and the greedy two-level blocking algorithm that
+chooses class borders to minimize workload cost.
+"""
+
+from .cost_model import CostWeights, workload_cost
+from .equi_width import equi_width_scheme
+from .greedy import GreedyPartitioner, PartitioningReport
+from .scheme import PartitionScheme
+
+__all__ = [
+    "PartitionScheme",
+    "CostWeights",
+    "workload_cost",
+    "equi_width_scheme",
+    "GreedyPartitioner",
+    "PartitioningReport",
+]

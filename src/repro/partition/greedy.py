@@ -1,0 +1,226 @@
+"""Greedy two-level-blocking token-universe partitioning (Section 5.2).
+
+The optimizer fixes the global order (increasing window frequency) and
+chooses the ``k_max - 1`` class borders greedily: first the border
+between 1-wise and 2-wise tokens, then — inside the remaining high
+region — between 2-wise and 3-wise, and so on.  Exhaustively evaluating
+every possible border is prohibitive (each evaluation rebuilds the index
+and replays the workload), so candidates are restricted to *block*
+boundaries of size ``B1``; around the best block boundary, *sub-block*
+boundaries of size ``B2`` refine the choice.  The number of
+C_workload evaluations is bounded by
+``(k_max - 1) * (ceil(|U|/B1) + 2*ceil(B1/B2) - 1)``.
+
+When no historical query workload exists, a fraction ``sample_ratio`` of
+the data documents serves as a surrogate workload (the paper's choice,
+1% by default).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..corpus import Document, DocumentCollection
+from ..errors import PartitioningError
+from ..ordering import GlobalOrder
+from ..params import SearchParams
+from .cost_model import CostWeights, workload_cost
+from .scheme import PartitionScheme
+
+
+@dataclass
+class PartitioningReport:
+    """Trace of one greedy partitioning run (for tests and benches)."""
+
+    evaluations: int = 0
+    stage_borders: list[int] = field(default_factory=list)
+    stage_costs: list[float] = field(default_factory=list)
+    final_cost: float = 0.0
+
+
+class GreedyPartitioner:
+    """Finds a good :class:`PartitionScheme` for a data collection.
+
+    Parameters
+    ----------
+    data, params:
+        The collection and search parameters to optimize for.
+    order:
+        Shared global order; built if omitted.
+    weights:
+        Cost-model weights (paper defaults).
+    b1_fraction, b2_fraction:
+        Block and sub-block sizes as fractions of |U| (paper: 0.1 and
+        0.01).
+    sample_ratio:
+        Fraction of data documents used as the surrogate workload when
+        no explicit workload is given (paper: 1%).
+    perturb_sample:
+        Obfuscate the sampled surrogate documents (HIGH level) before
+        using them as queries.  The paper samples data documents as-is;
+        at small corpus scales a verbatim sample is wall-to-wall
+        self-duplicate text, its verification cost dominates every
+        scheme equally and the cost landscape goes flat — perturbing
+        restores the partial-reuse structure real queries have.  Pass
+        False for the paper's literal behaviour.
+    seed:
+        Seed for workload sampling.
+    """
+
+    def __init__(
+        self,
+        data: DocumentCollection,
+        params: SearchParams,
+        order: GlobalOrder | None = None,
+        weights: CostWeights = CostWeights(),
+        b1_fraction: float = 0.1,
+        b2_fraction: float = 0.01,
+        sample_ratio: float = 0.01,
+        perturb_sample: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if not 0 < b2_fraction <= b1_fraction <= 1:
+            raise PartitioningError(
+                f"need 0 < b2_fraction <= b1_fraction <= 1; got "
+                f"B1={b1_fraction}, B2={b2_fraction}"
+            )
+        if not 0 < sample_ratio <= 1:
+            raise PartitioningError(
+                f"sample_ratio must be in (0, 1], got {sample_ratio}"
+            )
+        self.data = data
+        self.params = params
+        self.order = order if order is not None else GlobalOrder(data, params.w)
+        self.weights = weights
+        universe = self.order.universe_size
+        self.block_size = max(1, round(b1_fraction * universe))
+        self.sub_block_size = max(1, round(b2_fraction * universe))
+        self.sample_ratio = sample_ratio
+        self.perturb_sample = perturb_sample
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    def sample_workload(self) -> list[Document]:
+        """Surrogate workload Q': a sample of the data documents.
+
+        With ``perturb_sample`` (default) each sampled document is
+        obfuscated so it *partially* matches the index, like a real
+        query, instead of matching itself verbatim everywhere.
+        """
+        count = max(1, round(self.sample_ratio * len(self.data)))
+        doc_ids = self._rng.sample(range(len(self.data)), min(count, len(self.data)))
+        sampled = [self.data[doc_id] for doc_id in sorted(doc_ids)]
+        if not self.perturb_sample:
+            return sampled
+        from ..corpus.document import Document as Doc
+        from ..corpus.plagiarism import ObfuscationLevel, PlagiarismInjector
+
+        injector = PlagiarismInjector(
+            seed=self._seed + 1, vocabulary_size=len(self.data.vocabulary)
+        )
+        return [
+            Doc(
+                -1,
+                injector.obfuscate(list(document.tokens), ObfuscationLevel.HIGH),
+                name=f"sample-{document.name}",
+            )
+            for document in sampled
+        ]
+
+    def _cost(
+        self,
+        borders: tuple[int, ...],
+        workload: list[Document],
+        report: PartitioningReport,
+    ) -> float:
+        scheme = PartitionScheme(
+            universe_size=self.order.universe_size,
+            borders=borders,
+            m=self.params.m,
+        )
+        report.evaluations += 1
+        return workload_cost(
+            self.data, workload, self.params, scheme, self.order, self.weights
+        )
+
+    # ------------------------------------------------------------------
+    def partition(
+        self, workload: list[Document] | None = None
+    ) -> tuple[PartitionScheme, PartitioningReport]:
+        """Run the greedy search; returns the scheme and its trace."""
+        if workload is None:
+            workload = self.sample_workload()
+        report = PartitioningReport()
+        universe = self.order.universe_size
+        borders: list[int] = []
+        previous_border = 0
+
+        for _stage in range(self.params.k_max - 1):
+            # Level 1: block boundaries at multiples of B1, at or above
+            # the previous border (plus both extremes).
+            candidates = sorted(
+                {
+                    boundary
+                    for boundary in range(0, universe + 1, self.block_size)
+                    if boundary >= previous_border
+                }
+                | {previous_border, universe}
+            )
+            best_boundary, best_cost = self._best_candidate(
+                candidates, borders, workload, report
+            )
+            # Level 2: refine within the two blocks adjacent to the
+            # winning boundary, at sub-block granularity.
+            lo = max(previous_border, best_boundary - self.block_size)
+            hi = min(universe, best_boundary + self.block_size)
+            refined = sorted(
+                {
+                    boundary
+                    for boundary in range(lo, hi + 1, self.sub_block_size)
+                    if boundary >= previous_border
+                }
+                | {best_boundary}
+            )
+            refined_boundary, refined_cost = self._best_candidate(
+                refined, borders, workload, report, seed_cost=(best_boundary, best_cost)
+            )
+            borders.append(refined_boundary)
+            previous_border = refined_boundary
+            report.stage_borders.append(refined_boundary)
+            report.stage_costs.append(refined_cost)
+
+        scheme = PartitionScheme(
+            universe_size=universe, borders=tuple(borders), m=self.params.m
+        )
+        report.final_cost = report.stage_costs[-1] if report.stage_costs else 0.0
+        return scheme, report
+
+    def _best_candidate(
+        self,
+        candidates: list[int],
+        borders: list[int],
+        workload: list[Document],
+        report: PartitioningReport,
+        seed_cost: tuple[int, float] | None = None,
+    ) -> tuple[int, float]:
+        """Evaluate candidate borders, returning the cheapest.
+
+        ``seed_cost`` lets the refinement stage reuse the level-1
+        winner's already-computed cost instead of re-evaluating it.
+        """
+        best_boundary, best_cost = (-1, float("inf"))
+        if seed_cost is not None:
+            best_boundary, best_cost = seed_cost
+        for boundary in candidates:
+            if seed_cost is not None and boundary == seed_cost[0]:
+                continue
+            cost = self._cost(tuple(borders) + (boundary,), workload, report)
+            # Strict '<' keeps the earlier (smaller) boundary on ties,
+            # which favours fewer combined tokens.
+            if cost < best_cost:
+                best_boundary, best_cost = boundary, cost
+        if best_boundary < 0:
+            raise PartitioningError("no candidate boundaries to evaluate")
+        return best_boundary, best_cost

@@ -1,0 +1,94 @@
+"""Saving and loading built searchers.
+
+Index construction (and especially greedy partitioning) is the
+expensive, offline part of the pipeline; production deployments build
+once and serve many queries.  This module persists a fully built
+:class:`~repro.PKWiseSearcher` — interval index, partition scheme,
+global order and rank-converted documents — to a single file.
+
+Format: Python pickle wrapped in a small versioned envelope.  Pickle is
+appropriate here because an index file is a local artifact produced by
+the same trust domain that loads it; never load index files from
+untrusted sources (the standard pickle caveat, restated in
+:func:`load_searcher`).
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+from .core.pkwise import PKWiseSearcher
+from .errors import ReproError
+
+#: Bumped whenever the on-disk layout changes incompatibly.
+FORMAT_VERSION = 1
+_MAGIC = "repro-pkwise-index"
+
+
+class PersistenceError(ReproError):
+    """The index file is missing, corrupt, or from another version."""
+
+
+def save_searcher(
+    searcher: PKWiseSearcher, path: str | Path, data=None
+) -> None:
+    """Serialize a built searcher to ``path`` (atomic via temp file).
+
+    Pass the :class:`~repro.DocumentCollection` as ``data`` to bundle
+    the original documents (needed to decode matches back to text, e.g.
+    by the CLI); omit it for a leaner, ids-only index file.
+    """
+    path = Path(path)
+    envelope = {
+        "magic": _MAGIC,
+        "version": FORMAT_VERSION,
+        "params": {
+            "w": searcher.params.w,
+            "tau": searcher.params.tau,
+            "k_max": searcher.params.k_max,
+            "m": searcher.params.m,
+        },
+        "searcher": searcher,
+        "data": data,
+    }
+    temp_path = path.with_suffix(path.suffix + ".tmp")
+    with open(temp_path, "wb") as handle:
+        pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    temp_path.replace(path)
+
+
+def _load_envelope(path: Path) -> dict:
+    if not path.exists():
+        raise PersistenceError(f"index file {path} does not exist")
+    try:
+        with open(path, "rb") as handle:
+            envelope = pickle.load(handle)
+    except (pickle.UnpicklingError, EOFError, AttributeError) as exc:
+        raise PersistenceError(f"cannot read index file {path}: {exc}") from exc
+    if not isinstance(envelope, dict) or envelope.get("magic") != _MAGIC:
+        raise PersistenceError(f"{path} is not a repro index file")
+    version = envelope.get("version")
+    if version != FORMAT_VERSION:
+        raise PersistenceError(
+            f"index file {path} has format version {version}; this build "
+            f"reads version {FORMAT_VERSION} — rebuild the index"
+        )
+    if not isinstance(envelope.get("searcher"), PKWiseSearcher):
+        raise PersistenceError(f"{path} does not contain a PKWiseSearcher")
+    return envelope
+
+
+def load_searcher(path: str | Path) -> PKWiseSearcher:
+    """Load a searcher saved by :func:`save_searcher`.
+
+    SECURITY: this unpickles the file — only load files you (or your
+    pipeline) wrote.
+    """
+    return _load_envelope(Path(path))["searcher"]
+
+
+def load_bundle(path: str | Path):
+    """Load ``(searcher, data)``; ``data`` is None for ids-only files."""
+    envelope = _load_envelope(Path(path))
+    return envelope["searcher"], envelope.get("data")

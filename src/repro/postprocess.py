@@ -1,0 +1,138 @@
+"""Post-processing of raw window matches into passage reports.
+
+Local similarity search returns *window pairs*; a single copied
+paragraph produces hundreds of overlapping pairs along an alignment
+diagonal.  :func:`merge_passages` collapses them into human-readable
+passages — one per (document, diagonal neighbourhood) — which is what a
+plagiarism-report UI or a dedup pipeline actually consumes.  The paper
+leaves post-processing open ("additional post processing methods can be
+applied for the sake of high precision"); this module provides the
+baseline geometric consolidation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from .core.base import MatchPair
+
+
+@dataclass(frozen=True)
+class Passage:
+    """A contiguous region of reuse between one document and the query.
+
+    Token spans are inclusive.  ``num_pairs`` counts the window pairs
+    merged into this passage; ``max_overlap`` is the best single-window
+    overlap seen, a cheap confidence proxy.
+    """
+
+    doc_id: int
+    data_span: tuple[int, int]
+    query_span: tuple[int, int]
+    num_pairs: int
+    max_overlap: int
+
+    @property
+    def length(self) -> int:
+        """Token length of the query-side span."""
+        return self.query_span[1] - self.query_span[0] + 1
+
+
+def merge_passages(
+    pairs: Iterable[MatchPair], w: int, join_gap: int | None = None
+) -> list[Passage]:
+    """Collapse window matches into maximal passages.
+
+    Two matches merge when they belong to the same document, their query
+    windows are within ``join_gap`` tokens, and their alignment
+    diagonals (``data_start - query_start``) differ by at most
+    ``join_gap`` — i.e. they plausibly continue the same copied region
+    despite insertions/deletions shifting the alignment.
+
+    ``join_gap`` defaults to ``w // 2``, mirroring the verification
+    merge rule of Section 4.3.
+    """
+    if join_gap is None:
+        join_gap = max(1, w // 2)
+    by_doc: dict[int, list[MatchPair]] = defaultdict(list)
+    for pair in pairs:
+        by_doc[pair.doc_id].append(pair)
+
+    passages: list[Passage] = []
+    for doc_id in sorted(by_doc):
+        doc_pairs = sorted(
+            by_doc[doc_id], key=lambda p: (p.query_start, p.data_start)
+        )
+        # Greedy sweep: keep a set of open passage accumulators; matches
+        # arrive in query order, so an accumulator can close once the
+        # sweep has passed its query end by more than join_gap.
+        open_accs: list[dict] = []
+        for pair in doc_pairs:
+            diagonal = pair.data_start - pair.query_start
+            target = None
+            for acc in open_accs:
+                if (
+                    pair.query_start <= acc["q_hi"] + join_gap
+                    and abs(diagonal - acc["diagonal"]) <= join_gap
+                ):
+                    target = acc
+                    break
+            if target is None:
+                target = {
+                    "d_lo": pair.data_start,
+                    "d_hi": pair.data_start + w - 1,
+                    "q_lo": pair.query_start,
+                    "q_hi": pair.query_start + w - 1,
+                    "diagonal": diagonal,
+                    "count": 0,
+                    "max_overlap": 0,
+                }
+                open_accs.append(target)
+            target["d_lo"] = min(target["d_lo"], pair.data_start)
+            target["d_hi"] = max(target["d_hi"], pair.data_start + w - 1)
+            target["q_lo"] = min(target["q_lo"], pair.query_start)
+            target["q_hi"] = max(target["q_hi"], pair.query_start + w - 1)
+            target["diagonal"] = diagonal  # follow the drift
+            target["count"] += 1
+            target["max_overlap"] = max(target["max_overlap"], pair.overlap)
+            # Close accumulators the sweep has passed.
+            still_open = []
+            for acc in open_accs:
+                if acc["q_hi"] + join_gap < pair.query_start:
+                    passages.append(_finish(doc_id, acc))
+                else:
+                    still_open.append(acc)
+            open_accs = still_open
+        passages.extend(_finish(doc_id, acc) for acc in open_accs)
+    passages.sort(key=lambda p: (p.doc_id, p.query_span, p.data_span))
+    return passages
+
+
+def _finish(doc_id: int, acc: dict) -> Passage:
+    return Passage(
+        doc_id=doc_id,
+        data_span=(acc["d_lo"], acc["d_hi"]),
+        query_span=(acc["q_lo"], acc["q_hi"]),
+        num_pairs=acc["count"],
+        max_overlap=acc["max_overlap"],
+    )
+
+
+def filter_passages(
+    passages: Iterable[Passage],
+    min_pairs: int = 1,
+    min_length: int = 0,
+) -> list[Passage]:
+    """Drop weak passages (precision post-processing knob).
+
+    ``min_pairs`` requires corroboration by several window pairs;
+    ``min_length`` drops short regions.  Both raise precision at some
+    recall cost — the trade the paper's Appendix D.2 discusses.
+    """
+    return [
+        passage
+        for passage in passages
+        if passage.num_pairs >= min_pairs and passage.length >= min_length
+    ]

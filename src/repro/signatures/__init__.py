@@ -1,0 +1,30 @@
+"""Signature machinery: prefix lengths, k-wise generation, maintenance.
+
+Implements Algorithm 1 (PrefixLength) including the Section 6
+sub-partition generalization and the Appendix C weighted variant,
+Algorithm 3 (GenSignature), and the incremental per-slide signature
+maintenance of Section 4.1 (the library's equivalent of Algorithm 5).
+"""
+
+from .generate import (
+    Signature,
+    generate_signatures,
+    signatures_from_prefix,
+    signature_hash,
+)
+from .incremental import IncrementalPrefixLength
+from .maintain import SignatureEvent, SignatureStream
+from .prefix import coverage_of, prefix_length, weighted_prefix_length
+
+__all__ = [
+    "prefix_length",
+    "weighted_prefix_length",
+    "coverage_of",
+    "Signature",
+    "generate_signatures",
+    "signatures_from_prefix",
+    "signature_hash",
+    "SignatureStream",
+    "SignatureEvent",
+    "IncrementalPrefixLength",
+]

@@ -1,0 +1,156 @@
+"""Incremental prefix-length maintenance: the core of Algorithm 5.
+
+The paper's prefix maintenance algorithm (Section 4.1, Appendix A)
+avoids recomputing the prefix per window: it stores the window in a
+binary search tree, applies the outgoing/incoming token in O(log w),
+and *repairs* the prefix length — whose coverage can only land on
+``tau``, ``tau + 1`` or ``tau + 2`` after a slide — by extending or
+shrinking at the boundary, including the Corollary 2 rule that a
+minimal prefix never ends in non-covering tokens.
+
+:class:`IncrementalPrefixLength` implements exactly that repair loop
+over a :class:`~repro.windows.SortedMultiset` (the bisect-backed
+"tree"), maintaining per-group token counts and total coverage.  Its
+``length`` is provably the minimal prefix length after every slide:
+coverage is non-decreasing and 0/1-increment in the prefix length, so
+"coverage == tau + 1 and the last token is covering" pins the unique
+minimum that :func:`~repro.signatures.prefix_length` computes from
+scratch — asserted by property tests over random documents and schemes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..partition.scheme import PartitionScheme
+from ..windows.sorted_multiset import SortedMultiset
+
+
+class IncrementalPrefixLength:
+    """Maintains a window's prefix length across slides in O(log w).
+
+    Owns the window's sorted multiset.  Use :meth:`slide` for each
+    window transition; read :attr:`length` and :attr:`multiset` between
+    slides.
+    """
+
+    def __init__(
+        self,
+        window_ranks: Sequence[int],
+        tau: int,
+        scheme: PartitionScheme,
+    ) -> None:
+        self.tau = tau
+        self.scheme = scheme
+        self._table = scheme.key_table()
+        self._m = scheme.m
+        self.multiset = SortedMultiset(window_ranks)
+        self._counts: dict[int, int] = {}  # group key -> tokens in prefix
+        self._coverage = 0
+        self.length = 0
+        self._extend()
+
+    # ------------------------------------------------------------------
+    def _key(self, rank: int) -> int:
+        return self._table[rank] if rank >= 0 else self._m
+
+    def _gain_of_add(self, key: int) -> int:
+        """Coverage delta of adding one token to group ``key``."""
+        return 1 if self._counts.get(key, 0) + 1 >= key // self._m else 0
+
+    def _loss_of_remove(self, key: int) -> int:
+        """Coverage delta of removing one token from group ``key``."""
+        return 1 if self._counts.get(key, 0) >= key // self._m else 0
+
+    def _add_boundary(self, rank: int) -> None:
+        key = self._key(rank)
+        self._coverage += self._gain_of_add(key)
+        self._counts[key] = self._counts.get(key, 0) + 1
+        self.length += 1
+
+    def _remove_boundary(self, rank: int) -> None:
+        key = self._key(rank)
+        self._coverage -= self._loss_of_remove(key)
+        count = self._counts[key] - 1
+        if count:
+            self._counts[key] = count
+        else:
+            del self._counts[key]
+        self.length -= 1
+
+    def _extend(self) -> None:
+        """Grow the prefix until coverage reaches tau + 1 (or window end)."""
+        target = self.tau + 1
+        items = self.multiset.raw
+        while self._coverage < target and self.length < len(items):
+            self._add_boundary(items[self.length])
+
+    def _shrink(self) -> None:
+        """Trim the tail: excess coverage and non-covering tail tokens.
+
+        The Corollary 2 rule: a minimal prefix cannot end in tokens
+        whose group contributes zero coverage; popping those is free,
+        and popping a covering token is allowed only while coverage
+        exceeds tau + 1.
+        """
+        target = self.tau + 1
+        items = self.multiset.raw
+        while self.length > 0:
+            if self._coverage < target:
+                # Target unreachable: the whole window is the prefix
+                # (Algorithm 1's fall-through) — never trim below it.
+                break
+            key = self._key(items[self.length - 1])
+            covering = self._counts.get(key, 0) >= key // self._m
+            if covering and self._coverage == target:
+                break
+            # Either excess coverage (pop reduces it by 0 or 1) or a
+            # non-covering tail token, which a minimal prefix never
+            # ends with (Corollary 2); both pop.
+            self._remove_boundary(items[self.length - 1])
+
+    # ------------------------------------------------------------------
+    def slide(self, outgoing: int, incoming: int) -> int:
+        """Apply one window slide; returns the new prefix length."""
+        if outgoing == incoming:
+            return self.length
+        # Remove the outgoing token; it was in the prefix iff its first
+        # occurrence sits before the boundary.
+        position = self.multiset.index_of_first(outgoing)
+        if position < self.length:
+            key = self._key(outgoing)
+            self._coverage -= self._loss_of_remove(key)
+            count = self._counts[key] - 1
+            if count:
+                self._counts[key] = count
+            else:
+                del self._counts[key]
+            self.length -= 1
+        self.multiset.remove(outgoing)
+
+        # Insert the incoming token; it joins the prefix iff it lands
+        # strictly before the current last prefix token (insort_right
+        # places equals after, matching the paper's strict "t2 < x[l']").
+        insert_at = self.multiset.rank(incoming) + self.multiset.count(incoming)
+        self.multiset.add(incoming)
+        if insert_at < self.length:
+            key = self._key(incoming)
+            self._coverage += self._gain_of_add(key)
+            self._counts[key] = self._counts.get(key, 0) + 1
+            self.length += 1
+
+        # Repair: coverage is now tau, tau + 1 or tau + 2 (or anything
+        # below if the window cannot reach the target at all).
+        self._extend()
+        self._shrink()
+        return self.length
+
+    # ------------------------------------------------------------------
+    @property
+    def coverage(self) -> int:
+        """Current prefix coverage (tau + 1 unless the window is short)."""
+        return self._coverage
+
+    def prefix(self) -> list[int]:
+        """The current prefix tokens (copy)."""
+        return self.multiset.raw[: self.length]

@@ -1,0 +1,111 @@
+"""Prefix length computation (Algorithm 1 and its extensions).
+
+A window's *prefix* is its shortest head (in global order) whose
+*coverage* — the minimum number of errors needed to affect every
+signature generated from it — reaches ``tau + 1``.  Lemma 3 gives the
+coverage of ``n_i`` tokens of class ``i`` as ``max(0, n_i - i + 1)``;
+Lemma 4 sums coverage over classes (and, per Section 6, over
+sub-partitions, since combinations never cross a sub-partition border).
+
+The weighted variant (Appendix C) replaces the error count with an
+error *weight* budget: the weighted coverage of a group is the sum of
+its ``n_i - i + 1`` smallest token weights, and the prefix stops once
+total weighted coverage exceeds ``wt(x) - theta``.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from collections.abc import Callable, Sequence
+
+from ..partition.scheme import PartitionScheme
+
+
+def prefix_length(
+    sorted_ranks: Sequence[int], tau: int, scheme: PartitionScheme
+) -> int:
+    """Length of the prefix of a window sorted by the global order.
+
+    Iterates tokens in ascending rank, counting per-group sizes; a group
+    of class ``i`` starts contributing one unit of coverage per token
+    once it holds at least ``i`` tokens.  Returns as soon as total
+    coverage reaches ``tau + 1``; if the whole window cannot reach it
+    (only possible when the completeness bound is violated), returns the
+    window length, making the whole window the prefix.
+
+    Complexity: O(l) for output length l (Corollary 1 bounds l by
+    ``tau + 1 + m * k_max * (k_max - 1) / 2``).
+    """
+    coverage = 0
+    target = tau + 1
+    counts: dict[int, int] = {}
+    table = scheme.key_table()
+    m = scheme.m
+    for position, rank in enumerate(sorted_ranks):
+        key = table[rank] if rank >= 0 else m  # negative ranks: class 1
+        n = counts.get(key, 0) + 1
+        counts[key] = n
+        if n >= key // m:  # class index = key // m
+            coverage += 1
+            if coverage == target:
+                return position + 1
+    return len(sorted_ranks)
+
+
+def coverage_of(
+    sorted_ranks: Sequence[int], scheme: PartitionScheme
+) -> int:
+    """Total coverage of a token multiset (Lemmas 3 and 4).
+
+    Used by tests and by the analysis utilities; the search algorithms
+    use the streaming computation in :func:`prefix_length`.
+    """
+    counts: dict[int, int] = {}
+    for rank in sorted_ranks:
+        key = scheme.group_key(rank)
+        counts[key] = counts.get(key, 0) + 1
+    m = scheme.m
+    total = 0
+    for key, n in counts.items():
+        class_index = key // m
+        if n >= class_index:
+            total += n - class_index + 1
+    return total
+
+
+def weighted_prefix_length(
+    sorted_ranks: Sequence[int],
+    weight_of: Callable[[int], float],
+    budget: float,
+    scheme: PartitionScheme,
+) -> int:
+    """Weighted prefix length (Appendix C).
+
+    ``budget`` is the maximum total error weight a matching pair may
+    lose, i.e. ``wt(x) - theta``.  The prefix is the shortest head whose
+    weighted coverage strictly exceeds the budget (the paper's
+    ``wt(x) - theta + eps`` with infinitesimal eps).
+
+    The weighted coverage of a group of class ``i`` with weights ``W``
+    is the sum of the ``|W| - i + 1`` smallest weights (0 if ``|W| < i``):
+    an adversary kills all signatures cheapest by removing the lightest
+    tokens, and must remove all but ``i - 1`` of them.
+    """
+    group_weights: dict[int, list[float]] = {}
+    group_coverage: dict[int, float] = {}
+    total = 0.0
+    m = scheme.m
+    group_key = scheme.group_key
+    for position, rank in enumerate(sorted_ranks):
+        key = group_key(rank)
+        weights = group_weights.setdefault(key, [])
+        insort(weights, weight_of(rank))
+        class_index = key // m
+        n = len(weights)
+        if n >= class_index:
+            new_coverage = sum(weights[: n - class_index + 1])
+            total += new_coverage - group_coverage.get(key, 0.0)
+            group_coverage[key] = new_coverage
+        if total > budget:
+            return position + 1
+    return len(sorted_ranks)

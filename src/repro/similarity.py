@@ -1,0 +1,101 @@
+"""Similarity-threshold conversions for fixed-size windows.
+
+Local similarity search constrains the multiset overlap ``O(x, y)`` of
+two windows of identical size ``w``.  Related systems express their
+constraints in Jaccard, Dice or cosine similarity; because both windows
+have exactly ``w`` tokens, all of these are monotone bijections of the
+overlap, so thresholds convert exactly.  The paper uses this when
+adapting Faerie ("our overlap constraints are converted into
+corresponding equivalent Jaccard constraints", Section 7.1).
+
+For two multisets of size ``w`` with overlap ``O``:
+
+* Jaccard  ``J = O / (2w - O)``           (union counts multiplicities)
+* Dice     ``D = 2O / (2w) = O / w``
+* Cosine   ``C = O / w``                   (equal-size sets)
+
+All functions validate ranges and round conservatively so that a
+converted threshold never admits pairs the original would reject.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .errors import ConfigurationError
+
+
+def _check_w(w: int) -> None:
+    if w < 1:
+        raise ConfigurationError(f"window size must be >= 1, got {w}")
+
+
+def _check_fraction(name: str, value: float) -> None:
+    if not 0.0 < value <= 1.0:
+        raise ConfigurationError(f"{name} must be in (0, 1], got {value}")
+
+
+def _ceil(value: float) -> int:
+    """Ceiling with a tolerance for float noise.
+
+    Keeps exact round-trips exact: ``jaccard_to_overlap(w,
+    overlap_to_jaccard(w, theta)) == theta`` even when the intermediate
+    division is not representable.
+    """
+    return math.ceil(value - 1e-9)
+
+
+def jaccard_to_overlap(w: int, jaccard: float) -> int:
+    """Smallest overlap theta with ``J(x, y) >= jaccard`` for |x|=|y|=w.
+
+    ``J = O / (2w - O)``  =>  ``O >= 2wJ / (1 + J)``.
+    """
+    _check_w(w)
+    _check_fraction("jaccard", jaccard)
+    return min(w, _ceil(2 * w * jaccard / (1 + jaccard)))
+
+
+def overlap_to_jaccard(w: int, theta: int) -> float:
+    """Jaccard similarity implied by overlap ``theta`` at window size w."""
+    _check_w(w)
+    if not 0 <= theta <= w:
+        raise ConfigurationError(f"theta must be in [0, {w}], got {theta}")
+    return theta / (2 * w - theta) if theta else 0.0
+
+
+def dice_to_overlap(w: int, dice: float) -> int:
+    """Smallest overlap theta with Dice similarity >= ``dice``."""
+    _check_w(w)
+    _check_fraction("dice", dice)
+    return min(w, _ceil(dice * w))
+
+
+def overlap_to_dice(w: int, theta: int) -> float:
+    """Dice similarity implied by overlap ``theta``."""
+    _check_w(w)
+    if not 0 <= theta <= w:
+        raise ConfigurationError(f"theta must be in [0, {w}], got {theta}")
+    return theta / w
+
+
+def cosine_to_overlap(w: int, cosine: float) -> int:
+    """Smallest overlap theta with cosine similarity >= ``cosine``.
+
+    For equal-size multisets cosine equals ``O / w``.
+    """
+    _check_w(w)
+    _check_fraction("cosine", cosine)
+    return min(w, _ceil(cosine * w))
+
+
+def jaccard_to_tau(w: int, jaccard: float) -> int:
+    """Largest tau whose results all satisfy ``J >= jaccard``."""
+    return w - jaccard_to_overlap(w, jaccard)
+
+
+def tau_to_jaccard(w: int, tau: int) -> float:
+    """Jaccard similarity guaranteed by dissimilarity threshold tau."""
+    _check_w(w)
+    if not 0 <= tau < w:
+        raise ConfigurationError(f"tau must be in [0, {w}), got {tau}")
+    return overlap_to_jaccard(w, w - tau)

@@ -1,0 +1,80 @@
+"""Vocabulary: bidirectional interning of token strings to dense ids.
+
+Every document in a collection is stored as an array of integer token
+ids.  Ids are dense (0..len-1) so downstream structures (window
+frequency tables, the global order, partition schemes) can be plain
+arrays indexed by token id.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+
+class Vocabulary:
+    """Mutable string<->id mapping with dense ids.
+
+    ``add`` interns a token and returns its id; ``encode`` interns a
+    whole sequence.  Lookup of unknown tokens via ``id_of`` raises
+    ``KeyError``; use ``get`` for an optional lookup.
+
+    The mapping is append-only: ids are stable for the lifetime of the
+    vocabulary, which the rest of the library relies on (token ids are
+    baked into indexes and partition schemes).
+    """
+
+    __slots__ = ("_id_of", "_token_of")
+
+    def __init__(self, tokens: Iterable[str] = ()) -> None:
+        self._id_of: dict[str, int] = {}
+        self._token_of: list[str] = []
+        for token in tokens:
+            self.add(token)
+
+    def add(self, token: str) -> int:
+        """Intern ``token`` and return its id (existing or new)."""
+        token_id = self._id_of.get(token)
+        if token_id is None:
+            token_id = len(self._token_of)
+            self._id_of[token] = token_id
+            self._token_of.append(token)
+        return token_id
+
+    def encode(self, tokens: Iterable[str]) -> list[int]:
+        """Intern each token of ``tokens`` and return their ids."""
+        add = self.add
+        return [add(token) for token in tokens]
+
+    def encode_frozen(self, tokens: Iterable[str]) -> list[int]:
+        """Encode without interning; unknown tokens raise ``KeyError``."""
+        id_of = self._id_of
+        return [id_of[token] for token in tokens]
+
+    def decode(self, ids: Iterable[int]) -> list[str]:
+        """Map token ids back to their strings."""
+        token_of = self._token_of
+        return [token_of[token_id] for token_id in ids]
+
+    def id_of(self, token: str) -> int:
+        """Return the id of ``token``; raises ``KeyError`` if unknown."""
+        return self._id_of[token]
+
+    def get(self, token: str) -> int | None:
+        """Return the id of ``token`` or ``None`` if unknown."""
+        return self._id_of.get(token)
+
+    def token_of(self, token_id: int) -> str:
+        """Return the string of ``token_id``."""
+        return self._token_of[token_id]
+
+    def __len__(self) -> int:
+        return len(self._token_of)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._id_of
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._token_of)
+
+    def __repr__(self) -> str:
+        return f"Vocabulary(size={len(self)})"

@@ -1,0 +1,25 @@
+"""Sliding-window substrate.
+
+A window is ``w`` consecutive tokens viewed as a multiset.  This package
+provides the data structures the paper's Section 4 relies on: a sorted
+multiset with logarithmic-ish updates (the paper suggests a binary
+search tree; we ship both a bisect-backed sorted list — fastest in
+CPython for window-sized collections — and an order-statistic treap with
+the same interface), a :class:`WindowSlider` that walks a document
+maintaining the sorted view, and a :class:`RollingOverlap` that keeps
+the multiset-intersection size of a (data window, query window) pair
+up to date in O(1) per slide (Section 4.3).
+"""
+
+from .rolling import RollingOverlap, window_overlap
+from .slider import WindowSlider
+from .sorted_multiset import SortedMultiset
+from .treap import TreapMultiset
+
+__all__ = [
+    "SortedMultiset",
+    "TreapMultiset",
+    "WindowSlider",
+    "RollingOverlap",
+    "window_overlap",
+]

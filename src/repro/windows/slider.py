@@ -1,0 +1,74 @@
+"""WindowSlider: walk a document's windows maintaining a sorted view.
+
+Used by the interval-sharing index builder and query processor
+(Section 4): for each slide from ``W(d, i)`` to ``W(d, i + 1)`` exactly
+one token leaves (``d[i]``) and one enters (``d[i + w]``), so the sorted
+multiset is maintained incrementally instead of re-sorted per window.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from ..errors import ConfigurationError
+from .sorted_multiset import SortedMultiset
+
+
+class WindowSlider:
+    """Iterates the windows of a rank sequence.
+
+    Parameters
+    ----------
+    ranks:
+        The document as a sequence of token ranks (original order).
+    w:
+        Window size.
+
+    Attributes
+    ----------
+    multiset:
+        The sorted multiset of the *current* window; valid between
+        iterations of :meth:`slides`.
+    start:
+        Start position of the current window.
+    """
+
+    def __init__(self, ranks: Sequence[int], w: int) -> None:
+        if w < 1:
+            raise ConfigurationError(f"window size must be >= 1, got {w}")
+        self.ranks = ranks
+        self.w = w
+        self.start = 0
+        self.multiset = SortedMultiset(ranks[:w]) if len(ranks) >= w else SortedMultiset()
+
+    @property
+    def num_windows(self) -> int:
+        """Number of windows in the sequence (0 if shorter than w)."""
+        return max(0, len(self.ranks) - self.w + 1)
+
+    def slides(self) -> Iterator[tuple[int, int | None, int | None]]:
+        """Yield ``(start, outgoing, incoming)`` for every window.
+
+        The first yield is ``(0, None, None)`` with the multiset already
+        holding ``W(d, 0)``; each subsequent yield reports the rank that
+        left and the rank that entered, after the multiset was updated.
+        """
+        if self.num_windows == 0:
+            return
+        self.start = 0
+        yield (0, None, None)
+        ranks = self.ranks
+        w = self.w
+        multiset = self.multiset
+        for start in range(1, self.num_windows):
+            outgoing = ranks[start - 1]
+            incoming = ranks[start + w - 1]
+            if outgoing != incoming:
+                multiset.remove(outgoing)
+                multiset.add(incoming)
+            self.start = start
+            yield (start, outgoing, incoming)
+
+    def sorted_window(self) -> list[int]:
+        """Sorted ranks of the current window (copy)."""
+        return self.multiset.as_list()

@@ -1,0 +1,234 @@
+"""Order-statistic treap: the paper's "binary search tree" substrate.
+
+Section 4.1 suggests storing the window's tokens in a binary search
+tree so that the outgoing-token deletion and incoming-token insertion
+each take O(log w).  This treap provides exactly that, with subtree
+sizes maintained so positional access (k-th smallest) is also
+O(log w) — needed to read the prefix without materializing the whole
+window.
+
+The interface intentionally matches
+:class:`~repro.windows.SortedMultiset`; tests drive both through the
+same property suite.  Priorities come from a deterministic per-instance
+LCG so behaviour is reproducible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+
+class _Node:
+    __slots__ = ("value", "priority", "left", "right", "size", "count")
+
+    def __init__(self, value: int, priority: int) -> None:
+        self.value = value
+        self.priority = priority
+        self.left: _Node | None = None
+        self.right: _Node | None = None
+        self.size = 1  # total multiplicity in subtree
+        self.count = 1  # multiplicity of this value
+
+
+def _size(node: _Node | None) -> int:
+    return node.size if node is not None else 0
+
+
+def _update(node: _Node) -> None:
+    node.size = node.count + _size(node.left) + _size(node.right)
+
+
+def _rotate_right(node: _Node) -> _Node:
+    left = node.left
+    assert left is not None
+    node.left = left.right
+    left.right = node
+    _update(node)
+    _update(left)
+    return left
+
+
+def _rotate_left(node: _Node) -> _Node:
+    right = node.right
+    assert right is not None
+    node.right = right.left
+    right.left = node
+    _update(node)
+    _update(right)
+    return right
+
+
+class TreapMultiset:
+    """Randomized balanced BST holding an integer multiset.
+
+    Duplicate values are collapsed into a single node with a
+    multiplicity counter, so tree height depends on the number of
+    *distinct* values.
+    """
+
+    def __init__(self, items: Iterable[int] = (), seed: int = 0x9E3779B9) -> None:
+        self._root: _Node | None = None
+        self._state = seed & 0xFFFFFFFFFFFFFFFF or 1
+        for item in items:
+            self.add(item)
+
+    def _next_priority(self) -> int:
+        # xorshift64* — deterministic, cheap, well-mixed priorities.
+        x = self._state
+        x ^= (x << 13) & 0xFFFFFFFFFFFFFFFF
+        x ^= x >> 7
+        x ^= (x << 17) & 0xFFFFFFFFFFFFFFFF
+        self._state = x
+        return x
+
+    # ------------------------------------------------------------------
+    def add(self, value: int) -> None:
+        """Insert one occurrence of ``value``."""
+        self._root = self._insert(self._root, value)
+
+    def _insert(self, node: _Node | None, value: int) -> _Node:
+        if node is None:
+            return _Node(value, self._next_priority())
+        if value == node.value:
+            node.count += 1
+            node.size += 1
+            return node
+        if value < node.value:
+            node.left = self._insert(node.left, value)
+            if node.left.priority > node.priority:
+                node = _rotate_right(node)
+            else:
+                _update(node)
+        else:
+            node.right = self._insert(node.right, value)
+            if node.right.priority > node.priority:
+                node = _rotate_left(node)
+            else:
+                _update(node)
+        return node
+
+    def remove(self, value: int) -> None:
+        """Remove one occurrence of ``value``; KeyError if absent."""
+        if self.count(value) == 0:
+            raise KeyError(value)
+        self._root = self._remove(self._root, value)
+
+    def discard(self, value: int) -> bool:
+        """Remove one occurrence if present; returns whether removed."""
+        if self.count(value) == 0:
+            return False
+        self._root = self._remove(self._root, value)
+        return True
+
+    def _remove(self, node: _Node | None, value: int) -> _Node | None:
+        assert node is not None
+        if value < node.value:
+            node.left = self._remove(node.left, value)
+            _update(node)
+            return node
+        if value > node.value:
+            node.right = self._remove(node.right, value)
+            _update(node)
+            return node
+        if node.count > 1:
+            node.count -= 1
+            node.size -= 1
+            return node
+        # Remove the node entirely: rotate it down to a leaf.
+        if node.left is None:
+            return node.right
+        if node.right is None:
+            return node.left
+        if node.left.priority > node.right.priority:
+            node = _rotate_right(node)
+            node.right = self._remove(node.right, value)
+        else:
+            node = _rotate_left(node)
+            node.left = self._remove(node.left, value)
+        _update(node)
+        return node
+
+    # ------------------------------------------------------------------
+    def count(self, value: int) -> int:
+        """Multiplicity of ``value``."""
+        node = self._root
+        while node is not None:
+            if value == node.value:
+                return node.count
+            node = node.left if value < node.value else node.right
+        return 0
+
+    def rank(self, value: int) -> int:
+        """Number of elements strictly smaller than ``value``."""
+        node = self._root
+        smaller = 0
+        while node is not None:
+            if value <= node.value:
+                node = node.left
+            else:
+                smaller += _size(node.left) + node.count
+                node = node.right
+        return smaller
+
+    def __contains__(self, value: int) -> bool:
+        return self.count(value) > 0
+
+    def __len__(self) -> int:
+        return _size(self._root)
+
+    def __getitem__(self, index: int | slice) -> int | list[int]:
+        if isinstance(index, slice):
+            start, stop, step = index.indices(len(self))
+            return [self._kth(i) for i in range(start, stop, step)]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        return self._kth(index)
+
+    def _kth(self, index: int) -> int:
+        node = self._root
+        while node is not None:
+            left = _size(node.left)
+            if index < left:
+                node = node.left
+            elif index < left + node.count:
+                return node.value
+            else:
+                index -= left + node.count
+                node = node.right
+        raise IndexError(index)
+
+    def prefix(self, length: int) -> list[int]:
+        """The first ``length`` (smallest) elements."""
+        length = min(length, len(self))
+        out: list[int] = []
+        self._collect_prefix(self._root, length, out)
+        return out
+
+    def _collect_prefix(self, node: _Node | None, length: int, out: list[int]) -> None:
+        if node is None or len(out) >= length:
+            return
+        self._collect_prefix(node.left, length, out)
+        remaining = length - len(out)
+        if remaining > 0:
+            out.extend([node.value] * min(node.count, remaining))
+        self._collect_prefix(node.right, length, out)
+
+    def __iter__(self) -> Iterator[int]:
+        yield from self._iterate(self._root)
+
+    def _iterate(self, node: _Node | None) -> Iterator[int]:
+        if node is None:
+            return
+        yield from self._iterate(node.left)
+        for _ in range(node.count):
+            yield node.value
+        yield from self._iterate(node.right)
+
+    def as_list(self) -> list[int]:
+        """A copy of the contents in ascending order."""
+        return list(self)
+
+    def __repr__(self) -> str:
+        return f"TreapMultiset(len={len(self)})"

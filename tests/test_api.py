@@ -1,0 +1,60 @@
+"""Public API surface and error-hierarchy tests."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import (
+    ConfigurationError,
+    CorpusError,
+    IndexStateError,
+    PartitioningError,
+    ReproError,
+    TokenizationError,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error",
+        [
+            ConfigurationError,
+            TokenizationError,
+            CorpusError,
+            PartitioningError,
+            IndexStateError,
+        ],
+    )
+    def test_subclass_of_repro_error(self, error):
+        assert issubclass(error, ReproError)
+        assert issubclass(error, Exception)
+
+    def test_catchable_as_family(self):
+        with pytest.raises(ReproError):
+            raise ConfigurationError("boom")
+
+
+class TestPublicSurface:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ lists missing name {name}"
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_quickstart_from_docstring(self):
+        # The module docstring's quickstart must actually work.
+        from repro import DocumentCollection, PKWiseSearcher, SearchParams
+
+        data = DocumentCollection()
+        data.add_text(
+            "the lord of the rings is a famous novel about a ring of power"
+        )
+        query = data.encode_query(
+            "the lord of the rings was a famous novel about a ring of power"
+        )
+        params = SearchParams(w=8, tau=2, k_max=2)
+        searcher = PKWiseSearcher(data, params)
+        matches = searcher.search(query)
+        assert len(matches.pairs) > 0

@@ -1,0 +1,127 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def corpus_dir(tmp_path):
+    rng = random.Random(9)
+    vocab = [f"word{i}" for i in range(600)]
+    directory = tmp_path / "corpus"
+    directory.mkdir()
+    docs = []
+    for index in range(5):
+        tokens = [rng.choice(vocab) for _ in range(250)]
+        docs.append(tokens)
+        (directory / f"doc{index}.txt").write_text(" ".join(tokens))
+    # doc5 shares a 90-token passage with doc0.
+    shared = docs[0][40:130]
+    extra = [rng.choice(vocab) for _ in range(80)] + shared + [
+        rng.choice(vocab) for _ in range(80)
+    ]
+    (directory / "doc5.txt").write_text(" ".join(extra))
+    # A query file reusing doc1.
+    query_tokens = (
+        [rng.choice(vocab) for _ in range(60)]
+        + docs[1][10:110]
+        + [rng.choice(vocab) for _ in range(60)]
+    )
+    query_path = tmp_path / "query.txt"
+    query_path.write_text(" ".join(query_tokens))
+    return directory, query_path
+
+
+class TestIndexAndSearch:
+    def test_roundtrip(self, corpus_dir, tmp_path, capsys):
+        directory, query_path = corpus_dir
+        index_path = tmp_path / "corpus.idx"
+        rc = main(
+            [
+                "index", "--data", str(directory), "--out", str(index_path),
+                "-w", "20", "--tau", "4",
+            ]
+        )
+        assert rc == 0
+        assert index_path.exists()
+
+        rc = main(
+            ["search", "--index", str(index_path), "--query", str(query_path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "doc1.txt" in out
+
+    def test_search_show_text(self, corpus_dir, tmp_path, capsys):
+        directory, query_path = corpus_dir
+        index_path = tmp_path / "corpus.idx"
+        main(["index", "--data", str(directory), "--out", str(index_path),
+              "-w", "20", "--tau", "4"])
+        rc = main(
+            ["search", "--index", str(index_path), "--query", str(query_path),
+             "--show-text"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "word" in out  # snippet printed
+
+    def test_search_no_matches_returns_1(self, corpus_dir, tmp_path, capsys):
+        directory, _query_path = corpus_dir
+        index_path = tmp_path / "corpus.idx"
+        main(["index", "--data", str(directory), "--out", str(index_path),
+              "-w", "20", "--tau", "4"])
+        fresh = tmp_path / "fresh.txt"
+        fresh.write_text(" ".join(f"novel{i}" for i in range(100)))
+        rc = main(["search", "--index", str(index_path), "--query", str(fresh)])
+        assert rc == 1
+
+    def test_greedy_partition_flag(self, corpus_dir, tmp_path):
+        directory, _query = corpus_dir
+        index_path = tmp_path / "greedy.idx"
+        rc = main(
+            ["index", "--data", str(directory), "--out", str(index_path),
+             "-w", "20", "--tau", "3", "--greedy-partition",
+             "--sample-ratio", "0.3"]
+        )
+        assert rc == 0
+
+
+class TestSelfJoin:
+    def test_finds_shared_passage(self, corpus_dir, capsys):
+        directory, _query = corpus_dir
+        rc = main(["selfjoin", "--data", str(directory), "-w", "20", "--tau", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "doc0.txt ~ doc5.txt" in out
+
+    def test_no_replication(self, tmp_path, capsys):
+        directory = tmp_path / "unique"
+        directory.mkdir()
+        for index in range(3):
+            (directory / f"u{index}.txt").write_text(
+                " ".join(f"tok{index}_{i}" for i in range(100))
+            )
+        rc = main(["selfjoin", "--data", str(directory), "-w", "10", "--tau", "2"])
+        assert rc == 1
+
+
+class TestErrors:
+    def test_search_missing_index(self, tmp_path, capsys):
+        rc = main(
+            ["search", "--index", str(tmp_path / "nope.idx"),
+             "--query", str(tmp_path / "nope.txt")]
+        )
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_index_missing_directory(self, tmp_path):
+        rc = main(
+            ["index", "--data", str(tmp_path / "missing"),
+             "--out", str(tmp_path / "o.idx")]
+        )
+        assert rc == 2

@@ -1,0 +1,126 @@
+"""Edge-case coverage across modules: deterministic corner constructions."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    DocumentCollection,
+    GlobalOrder,
+    PartitionScheme,
+    SearchParams,
+    WeightedPKWiseSearcher,
+)
+from repro.core.weighted import UNIVERSAL_SIGNATURE
+from repro.index.intervals import WindowInterval, merge_intervals
+
+
+class TestWeightedFallbackDeterministic:
+    def test_universal_signature_used_when_unfilterable(self):
+        # Everything 2-wise; unit weights; w=3, theta=0.5: a window's
+        # weighted coverage (sum of n-1 smallest weights = 2) is below
+        # its budget wt - theta = 2.5, so prefix filtering is unsound
+        # for every window and the sentinel must kick in.
+        data = DocumentCollection()
+        data.add_tokens(["a", "b", "c", "d", "e"])
+        order = GlobalOrder(data, 3)
+        scheme = PartitionScheme.all_k(order.universe_size, 2)
+        searcher = WeightedPKWiseSearcher(
+            data, w=3, theta_weight=0.5, weight_of_token=lambda _t: 1.0,
+            scheme=scheme, order=order,
+        )
+        assert UNIVERSAL_SIGNATURE in searcher._postings
+        # Exactness despite the fallback: the identity windows match.
+        query = data.encode_query_tokens(["a", "b", "c"])
+        pairs, _stats = searcher.search(query)
+        assert any(
+            p.data_start == 0 and p.intersection_weight == 3.0 for p in pairs
+        )
+
+    def test_no_fallback_with_single_class(self):
+        data = DocumentCollection()
+        data.add_tokens(["a", "b", "c", "d"])
+        searcher = WeightedPKWiseSearcher(
+            data, w=3, theta_weight=0.5, weight_of_token=lambda _t: 1.0
+        )
+        assert UNIVERSAL_SIGNATURE not in searcher._postings
+
+
+class TestGlobalOrderEdges:
+    def test_window_larger_than_all_documents(self):
+        data = DocumentCollection()
+        data.add_text("a b c")
+        order = GlobalOrder(data, 10)
+        assert order.num_data_windows == 0
+        assert order.relative_frequency_of_rank(0) == 0.0
+
+    def test_empty_collection(self):
+        data = DocumentCollection()
+        order = GlobalOrder(data, 5)
+        assert order.universe_size == 0
+        # Any token id is "new" and gets a negative rank.
+        data.vocabulary.add("x")
+        assert order.rank(0) < 0
+
+
+class TestMergeIntervalsProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 100_000),
+        merge_gap=st.integers(0, 20),
+    )
+    def test_output_disjoint_and_covering(self, seed, merge_gap):
+        rng = random.Random(seed)
+        intervals = []
+        for _ in range(rng.randint(0, 20)):
+            doc = rng.randrange(3)
+            u = rng.randrange(50)
+            intervals.append(WindowInterval(doc, u, u + rng.randrange(10)))
+        merged = merge_intervals(intervals, merge_gap)
+        # Sorted, disjoint with gap >= threshold between same-doc runs.
+        threshold = max(2, merge_gap)
+        for left, right in zip(merged, merged[1:]):
+            assert (left.doc_id, left.u) <= (right.doc_id, right.u)
+            if left.doc_id == right.doc_id:
+                assert right.u - left.v >= threshold
+        # Coverage: every input window is inside some merged interval.
+        covered = {
+            (interval.doc_id, start)
+            for interval in merged
+            for start in range(interval.u, interval.v + 1)
+        }
+        for interval in intervals:
+            for start in range(interval.u, interval.v + 1):
+                assert (interval.doc_id, start) in covered
+
+
+class TestTokenizerUnicode:
+    def test_whitespace_handles_unicode(self):
+        from repro.tokenize import WhitespaceTokenizer
+
+        tokens = WhitespaceTokenizer().tokenize("naïve café　東京")
+        assert "naïve" in tokens and "café" in tokens
+
+    def test_word_tokenizer_ascii_only_words(self):
+        from repro.tokenize import WordTokenizer
+
+        # The word tokenizer extracts ASCII alphanumerics; non-Latin
+        # scripts need the whitespace tokenizer.
+        assert WordTokenizer().tokenize("abc123 déf") == ["abc123", "d", "f"]
+
+
+class TestSearchParamsEquality:
+    def test_frozen_dataclass_semantics(self):
+        a = SearchParams(w=10, tau=2, k_max=2)
+        b = SearchParams(w=10, tau=2, k_max=2)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_theta_derived_consistently(self):
+        params = SearchParams(w=10, tau=3, k_max=1)
+        assert params.theta == 7
+        roundtrip = SearchParams.from_theta(w=10, theta=params.theta, k_max=1)
+        assert roundtrip == params

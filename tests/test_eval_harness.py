@@ -1,0 +1,66 @@
+"""Tests for the workload runner and report printers."""
+
+from __future__ import annotations
+
+from repro import PKWiseSearcher, SearchParams
+from repro.eval import format_seconds, print_table, run_searcher
+
+
+class TestRunSearcher:
+    def test_aggregates(self, small_corpus):
+        params = SearchParams(w=10, tau=2, k_max=2)
+        searcher = PKWiseSearcher(small_corpus, params)
+        queries = [small_corpus[0], small_corpus[3]]
+        run = run_searcher(searcher, queries)
+        assert run.num_queries == 2
+        assert run.total_seconds > 0
+        assert run.avg_query_seconds == run.total_seconds / 2
+        assert run.name == "pkwise"
+        assert set(run.results_by_query) == {0, 3}
+        assert run.num_results == sum(
+            len(pairs) for pairs in run.results_by_query.values()
+        )
+
+    def test_custom_name(self, small_corpus):
+        params = SearchParams(w=10, tau=1, k_max=1)
+        searcher = PKWiseSearcher(small_corpus, params)
+        run = run_searcher(searcher, [small_corpus[0]], name="custom")
+        assert run.name == "custom"
+
+    def test_query_id_fallback_for_anonymous_queries(self, small_corpus):
+        params = SearchParams(w=10, tau=1, k_max=1)
+        searcher = PKWiseSearcher(small_corpus, params)
+        query = small_corpus.encode_query(" ".join(["tok"] * 15))
+        run = run_searcher(searcher, [query])
+        assert set(run.results_by_query) == {0}  # doc_id -1 -> index
+
+    def test_phase_row_mentions_phases(self, small_corpus):
+        params = SearchParams(w=10, tau=1, k_max=2)
+        searcher = PKWiseSearcher(small_corpus, params)
+        run = run_searcher(searcher, [small_corpus[0]])
+        row = run.phase_row()
+        assert "sig=" in row and "cand=" in row and "verify=" in row
+
+    def test_empty_workload(self, small_corpus):
+        params = SearchParams(w=10, tau=1, k_max=1)
+        searcher = PKWiseSearcher(small_corpus, params)
+        run = run_searcher(searcher, [])
+        assert run.avg_query_seconds == 0.0
+
+
+class TestReport:
+    def test_format_seconds_scales(self):
+        assert format_seconds(5e-7).endswith("us")
+        assert format_seconds(5e-3).endswith("ms")
+        assert format_seconds(2.0).endswith("s")
+
+    def test_print_table(self, capsys):
+        print_table(
+            "Table X: demo",
+            ["col_a", "col_b"],
+            [["1", "2"], ["333333333333", "4"]],
+        )
+        out = capsys.readouterr().out
+        assert "Table X: demo" in out
+        assert "col_a" in out
+        assert "333333333333" in out

@@ -1,0 +1,73 @@
+"""Tests for CSV/JSON export of runs and quality reports."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+from repro import PKWiseSearcher, SearchParams
+from repro.core.base import MatchPair
+from repro.corpus.plagiarism import GroundTruthPair, ObfuscationLevel
+from repro.eval import (
+    aggregate_to_row,
+    evaluate_quality,
+    quality_to_row,
+    run_searcher,
+    write_csv,
+    write_json,
+)
+
+
+def make_run(small_corpus):
+    params = SearchParams(w=10, tau=2, k_max=2)
+    searcher = PKWiseSearcher(small_corpus, params)
+    return run_searcher(searcher, [small_corpus[0]])
+
+
+class TestRowFlattening:
+    def test_aggregate_row_fields(self, small_corpus):
+        run = make_run(small_corpus)
+        row = aggregate_to_row(run, w=10, tau=2)
+        assert row["w"] == 10 and row["tau"] == 2  # extras first-class
+        assert row["algorithm"] == "pkwise"
+        assert row["num_results"] == run.num_results
+        assert row["avg_query_seconds"] > 0
+
+    def test_quality_row_fields(self):
+        truth = GroundTruthPair(0, (10, 29), 0, (5, 24), ObfuscationLevel.LOW)
+        report = evaluate_quality({0: [MatchPair(0, 15, 10, 9)]}, [truth], w=10)
+        row = quality_to_row(report, setting="w25")
+        assert row["setting"] == "w25"
+        assert row["recall"] == 1.0
+        assert row["recall_low"] == 1.0
+
+
+class TestWriters:
+    def test_write_csv_roundtrip(self, tmp_path, small_corpus):
+        run = make_run(small_corpus)
+        rows = [aggregate_to_row(run, w=10), aggregate_to_row(run, w=25)]
+        path = tmp_path / "runs.csv"
+        assert write_csv(path, rows) == 2
+        with open(path) as handle:
+            read_back = list(csv.DictReader(handle))
+        assert len(read_back) == 2
+        assert read_back[0]["algorithm"] == "pkwise"
+        assert read_back[1]["w"] == "25"
+
+    def test_write_csv_union_header(self, tmp_path):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        path = tmp_path / "union.csv"
+        write_csv(path, rows)
+        with open(path) as handle:
+            read_back = list(csv.DictReader(handle))
+        assert read_back[0]["b"] == ""  # missing cell empty
+        assert read_back[1]["b"] == "3"
+
+    def test_write_json(self, tmp_path):
+        path = tmp_path / "rows.json"
+        assert write_json(path, [{"x": 1}, {"x": 2}]) == 2
+        assert json.loads(path.read_text()) == [{"x": 1}, {"x": 2}]
+
+    def test_empty_rows(self, tmp_path):
+        assert write_csv(tmp_path / "empty.csv", []) == 0
+        assert write_json(tmp_path / "empty.json", []) == 0

@@ -1,0 +1,102 @@
+"""Final edge-behavior batch: CLI filters, passage properties, stats."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MatchPair, filter_passages, merge_passages
+
+
+class TestPassageProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_every_match_covered_by_exactly_one_passage(self, seed):
+        rng = random.Random(seed)
+        w = rng.randint(3, 15)
+        pairs = []
+        for _ in range(rng.randint(0, 40)):
+            doc = rng.randrange(3)
+            q = rng.randrange(100)
+            d = max(0, q + rng.randint(-5, 5))
+            pairs.append(MatchPair(doc, d, q, w))
+        passages = merge_passages(pairs, w)
+        for pair in pairs:
+            containing = [
+                p
+                for p in passages
+                if p.doc_id == pair.doc_id
+                and p.query_span[0] <= pair.query_start
+                and pair.query_start + w - 1 <= p.query_span[1]
+                and p.data_span[0] <= pair.data_start
+                and pair.data_start + w - 1 <= p.data_span[1]
+            ]
+            assert containing, f"pair {pair} not covered"
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_pair_counts_conserved(self, seed):
+        rng = random.Random(seed)
+        w = rng.randint(3, 10)
+        pairs = [
+            MatchPair(0, rng.randrange(50), rng.randrange(50), w)
+            for _ in range(rng.randint(0, 30))
+        ]
+        passages = merge_passages(pairs, w)
+        assert sum(p.num_pairs for p in passages) == len(pairs)
+
+    def test_filter_composes(self):
+        pairs = [MatchPair(0, i, i, 10) for i in range(20)]
+        passages = merge_passages(pairs, 10)
+        assert filter_passages(passages, min_pairs=21) == []
+        assert filter_passages(passages, min_pairs=20) == passages
+
+
+class TestCliFilters:
+    def test_min_pairs_filters_weak_passages(self, tmp_path, capsys):
+        import random as rnd
+
+        from repro.cli import main
+
+        rng = rnd.Random(2)
+        vocab = [f"v{i}" for i in range(800)]
+        directory = tmp_path / "corpus"
+        directory.mkdir()
+        base = [rng.choice(vocab) for _ in range(200)]
+        (directory / "a.txt").write_text(" ".join(base))
+        (directory / "b.txt").write_text(
+            " ".join(rng.choice(vocab) for _ in range(200))
+        )
+        # Query: long copy of a (many pairs) — should survive min-pairs.
+        query = tmp_path / "q.txt"
+        query.write_text(" ".join(base[50:150]))
+        index_path = tmp_path / "c.idx"
+        main(["index", "--data", str(directory), "--out", str(index_path),
+              "-w", "20", "--tau", "3"])
+        rc_loose = main(
+            ["search", "--index", str(index_path), "--query", str(query),
+             "--min-pairs", "1"]
+        )
+        out_loose = capsys.readouterr().out
+        rc_strict = main(
+            ["search", "--index", str(index_path), "--query", str(query),
+             "--min-pairs", "10000"]
+        )
+        out_strict = capsys.readouterr().out
+        assert rc_loose == 0 and "a.txt" in out_loose
+        assert rc_strict == 1 and "no reused passages" in out_strict
+
+
+class TestAnalysisOnProfiles:
+    def test_postings_singleton_heavy_for_tight_tau(self, small_corpus):
+        from repro import PKWiseSearcher, SearchParams
+        from repro.eval import postings_statistics
+
+        tight = PKWiseSearcher(small_corpus, SearchParams(w=20, tau=1, k_max=2))
+        loose = PKWiseSearcher(small_corpus, SearchParams(w=20, tau=5, k_max=2))
+        tight_stats = postings_statistics(tight.index)
+        loose_stats = postings_statistics(loose.index)
+        # Looser constraints index more signatures overall.
+        assert loose_stats.num_postings > tight_stats.num_postings

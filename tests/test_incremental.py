@@ -1,0 +1,140 @@
+"""Tests for incremental index maintenance and top-k search."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    DocumentCollection,
+    GlobalOrder,
+    PKWiseSearcher,
+    SearchParams,
+)
+
+from .conftest import brute_force_pairs, pairs_as_set
+
+
+def corpus(seed=0, docs=3, length=50, vocab=60):
+    rng = random.Random(seed)
+    data = DocumentCollection()
+    for _ in range(docs):
+        data.add_tokens([f"t{rng.randrange(vocab)}" for _ in range(length)])
+    return data, rng
+
+
+class TestAddDocument:
+    def test_added_document_searchable(self):
+        data, rng = corpus()
+        params = SearchParams(w=10, tau=2, k_max=2)
+        searcher = PKWiseSearcher(data, params)
+        new_doc = data.add_tokens([f"t{rng.randrange(60)}" for _ in range(50)])
+        doc_id = searcher.add_document(new_doc)
+        assert doc_id == 3
+        result = searcher.search(new_doc)
+        # The new document matches itself on every window.
+        for start in range(new_doc.num_windows(10)):
+            assert (doc_id, start, start, 10) in pairs_as_set(result)
+
+    def test_incremental_equals_batch(self):
+        # Index built incrementally returns the same results as one
+        # built from the full collection (with a shared order).
+        data, rng = corpus(seed=1, docs=4)
+        params = SearchParams(w=8, tau=2, k_max=2)
+        order = GlobalOrder(data, params.w)
+        batch = PKWiseSearcher(data, params, order=order)
+
+        partial = data.subset(range(2))
+        incremental = PKWiseSearcher(partial, params, order=order)
+        incremental.add_document(data[2])
+        incremental.add_document(data[3])
+
+        query = data.encode_query_tokens(
+            [f"t{rng.randrange(60)}" for _ in range(30)]
+        )
+        assert pairs_as_set(incremental.search(query)) == pairs_as_set(
+            batch.search(query)
+        )
+
+    def test_added_document_with_new_tokens(self):
+        data, _rng = corpus(seed=2)
+        params = SearchParams(w=6, tau=1, k_max=2)
+        searcher = PKWiseSearcher(data, params)
+        new_doc = data.add_tokens([f"fresh{i}" for i in range(20)])
+        doc_id = searcher.add_document(new_doc)
+        result = searcher.search(new_doc)
+        assert (doc_id, 0, 0, 6) in pairs_as_set(result)
+
+    def test_added_results_are_exact(self):
+        data, rng = corpus(seed=3, docs=2)
+        params = SearchParams(w=8, tau=2, k_max=2)
+        searcher = PKWiseSearcher(data, params)
+        extra = data.add_tokens([f"t{rng.randrange(60)}" for _ in range(40)])
+        searcher.add_document(extra)
+        query = data.encode_query_tokens(
+            [f"t{rng.randrange(60)}" for _ in range(30)]
+        )
+        assert pairs_as_set(searcher.search(query)) == brute_force_pairs(
+            data, query, 8, 2
+        )
+
+
+class TestRemoveDocument:
+    def test_removed_document_excluded(self):
+        data, _rng = corpus(seed=4)
+        params = SearchParams(w=10, tau=2, k_max=2)
+        searcher = PKWiseSearcher(data, params)
+        query = data[1]
+        before = pairs_as_set(searcher.search(query))
+        assert any(doc_id == 1 for doc_id, *_ in before)
+        searcher.remove_document(1)
+        after = pairs_as_set(searcher.search(query))
+        assert after == {t for t in before if t[0] != 1}
+        assert searcher.removed_documents == frozenset({1})
+
+    def test_remove_unknown_raises(self):
+        data, _rng = corpus()
+        searcher = PKWiseSearcher(data, SearchParams(w=10, tau=2, k_max=2))
+        with pytest.raises(IndexError):
+            searcher.remove_document(99)
+
+    def test_remove_then_add_independent(self):
+        data, rng = corpus(seed=5, docs=2)
+        params = SearchParams(w=8, tau=1, k_max=2)
+        searcher = PKWiseSearcher(data, params)
+        searcher.remove_document(0)
+        new_doc = data.add_tokens([f"t{rng.randrange(60)}" for _ in range(30)])
+        new_id = searcher.add_document(new_doc)
+        result = pairs_as_set(searcher.search(new_doc))
+        assert all(doc_id != 0 for doc_id, *_ in result)
+        assert any(doc_id == new_id for doc_id, *_ in result)
+
+
+class TestTopK:
+    def test_returns_best_overlaps(self):
+        data, _rng = corpus(seed=6)
+        params = SearchParams(w=10, tau=4, k_max=2)
+        searcher = PKWiseSearcher(data, params)
+        query = data[0]
+        top = searcher.search_top_k(query, 5)
+        assert len(top) == 5
+        full = sorted(
+            searcher.search(query).pairs, key=lambda p: -p.overlap
+        )
+        assert top[0].overlap == full[0].overlap
+        overlaps = [pair.overlap for pair in top]
+        assert overlaps == sorted(overlaps, reverse=True)
+
+    def test_k_larger_than_results(self):
+        data, _rng = corpus(seed=7, docs=1, length=15)
+        params = SearchParams(w=10, tau=1, k_max=2)
+        searcher = PKWiseSearcher(data, params)
+        query = data[0]
+        top = searcher.search_top_k(query, 1000)
+        assert len(top) == len(searcher.search(query).pairs)
+
+    def test_k_zero(self):
+        data, _rng = corpus(seed=8)
+        searcher = PKWiseSearcher(data, SearchParams(w=10, tau=2, k_max=2))
+        assert searcher.search_top_k(data[0], 0) == []

@@ -1,0 +1,113 @@
+"""Tests for the incremental prefix-length maintainer (Algorithm 5 core)."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PartitionScheme
+from repro.signatures import (
+    IncrementalPrefixLength,
+    SignatureStream,
+    prefix_length,
+)
+
+
+def random_setup(rng: random.Random):
+    universe = rng.randint(3, 25)
+    k_max = rng.randint(1, 4)
+    borders = tuple(sorted(rng.randint(0, universe) for _ in range(k_max - 1)))
+    m = rng.randint(1, 3)
+    scheme = PartitionScheme(universe_size=universe, borders=borders, m=m)
+    w = rng.randint(2, 10)
+    tau = rng.randint(0, min(4, w - 1))
+    length = rng.randint(w, 40)
+    ranks = [rng.randrange(universe) for _ in range(length)]
+    return scheme, w, tau, ranks
+
+
+class TestAgainstRescan:
+    @settings(max_examples=100, deadline=None)
+    @given(seed=st.integers(0, 10_000_000))
+    def test_length_matches_scratch_after_every_slide(self, seed):
+        rng = random.Random(seed)
+        scheme, w, tau, ranks = random_setup(rng)
+        maintainer = IncrementalPrefixLength(ranks[:w], tau, scheme)
+        assert maintainer.length == prefix_length(
+            sorted(ranks[:w]), tau, scheme
+        )
+        for start in range(1, len(ranks) - w + 1):
+            maintainer.slide(ranks[start - 1], ranks[start + w - 1])
+            assert maintainer.multiset.as_list() == sorted(
+                ranks[start : start + w]
+            )
+            assert maintainer.length == prefix_length(
+                maintainer.multiset.raw, tau, scheme
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000_000))
+    def test_coverage_invariant(self, seed):
+        # Coverage is tau + 1 when reachable, else the window total.
+        rng = random.Random(seed)
+        scheme, w, tau, ranks = random_setup(rng)
+        maintainer = IncrementalPrefixLength(ranks[:w], tau, scheme)
+        for start in range(1, len(ranks) - w + 1):
+            maintainer.slide(ranks[start - 1], ranks[start + w - 1])
+            if maintainer.length < w:
+                assert maintainer.coverage == tau + 1
+            else:
+                assert maintainer.coverage <= tau + 1
+
+
+class TestStreamEngines:
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 10_000_000))
+    def test_incremental_and_rescan_streams_identical(self, seed):
+        rng = random.Random(seed)
+        scheme, w, tau, ranks = random_setup(rng)
+        incremental = SignatureStream(ranks, w, tau, scheme, incremental=True)
+        rescan = SignatureStream(ranks, w, tau, scheme, incremental=False)
+        events_a = list(incremental.events())
+        events_b = list(rescan.events())
+        assert len(events_a) == len(events_b)
+        for a, b in zip(events_a, events_b):
+            assert a.start == b.start
+            assert sorted(a.opened) == sorted(b.opened)
+            assert sorted(a.closed) == sorted(b.closed)
+            assert a.final == b.final
+
+
+class TestEdgeCases:
+    def test_identity_slide_is_noop(self):
+        scheme = PartitionScheme.single(5)
+        maintainer = IncrementalPrefixLength([1, 2, 3], 1, scheme)
+        before = maintainer.length
+        maintainer.slide(2, 2)
+        assert maintainer.length == before
+        assert maintainer.multiset.as_list() == [1, 2, 3]
+
+    def test_single_token_window(self):
+        scheme = PartitionScheme.single(5)
+        maintainer = IncrementalPrefixLength([3], 0, scheme)
+        assert maintainer.length == 1
+        maintainer.slide(3, 1)
+        assert maintainer.multiset.as_list() == [1]
+        assert maintainer.length == 1
+
+    def test_prefix_returns_head(self):
+        scheme = PartitionScheme.single(10)
+        maintainer = IncrementalPrefixLength([5, 1, 9, 3], 1, scheme)
+        assert maintainer.prefix() == [1, 3]
+
+    def test_negative_ranks(self):
+        # Query-only tokens (negative ranks) are class 1.
+        scheme = PartitionScheme(universe_size=6, borders=(0,))
+        maintainer = IncrementalPrefixLength([-2, -1, 4, 5], 1, scheme)
+        assert maintainer.length == prefix_length([-2, -1, 4, 5], 1, scheme)
+        maintainer.slide(-2, -3)
+        assert maintainer.length == prefix_length(
+            maintainer.multiset.raw, 1, scheme
+        )

@@ -1,0 +1,176 @@
+"""Tests for the interval index and the window-level inverted index."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PartitionScheme
+from repro.index import IntervalIndex, WindowInvertedIndex, merge_intervals
+from repro.index.intervals import WindowInterval, total_window_count
+from repro.signatures import generate_signatures
+
+
+class TestIntervals:
+    def test_merge_overlapping(self):
+        merged = merge_intervals(
+            [WindowInterval(0, 1, 5), WindowInterval(0, 3, 8)]
+        )
+        assert merged == [WindowInterval(0, 1, 8)]
+
+    def test_merge_touching(self):
+        merged = merge_intervals(
+            [WindowInterval(0, 1, 2), WindowInterval(0, 3, 4)]
+        )
+        assert merged == [WindowInterval(0, 1, 4)]
+
+    def test_no_merge_across_documents(self):
+        intervals = [WindowInterval(0, 1, 5), WindowInterval(1, 1, 5)]
+        assert merge_intervals(intervals) == intervals
+
+    def test_gap_merge_rule(self):
+        # Section 4.3: merge when u2 - v1 < w/2.
+        a = WindowInterval(0, 0, 10)
+        b = WindowInterval(0, 18, 20)  # gap u2 - v1 = 8
+        assert merge_intervals([a, b], merge_gap=10) == [WindowInterval(0, 0, 20)]
+        assert merge_intervals([a, b], merge_gap=8) == [a, b]
+
+    def test_contained_interval(self):
+        merged = merge_intervals(
+            [WindowInterval(0, 1, 10), WindowInterval(0, 3, 5)]
+        )
+        assert merged == [WindowInterval(0, 1, 10)]
+
+    def test_total_window_count(self):
+        assert total_window_count(
+            [WindowInterval(0, 1, 3), WindowInterval(1, 0, 0)]
+        ) == 4
+
+    def test_interval_str(self):
+        assert str(WindowInterval(2, 3, 7)) == "d2[3,7]"
+
+
+def interval_presence(index: IntervalIndex, signature, num_windows: int) -> set[int]:
+    """Window starts covered by the signature's intervals."""
+    covered = set()
+    for interval in index.probe(signature):
+        covered.update(range(interval.u, interval.v + 1))
+    assert all(0 <= start < num_windows for start in covered)
+    return covered
+
+
+class TestIntervalIndex:
+    def test_paper_example5_intervals(self):
+        E, G, A, F, C, B, D = 4, 6, 0, 5, 2, 1, 3
+        ranks = [E, G, A, F, C, B, D]
+        scheme = PartitionScheme(universe_size=7, borders=(4,))
+        index = IntervalIndex(4, 1, scheme)
+        index.add_document(0, ranks)
+        assert index.probe((A,)) == [WindowInterval(0, 0, 2)]
+        assert index.probe((E, F)) == [WindowInterval(0, 0, 0)]
+        assert index.probe((C,)) == [
+            WindowInterval(0, 1, 1),
+            WindowInterval(0, 3, 3),
+        ]
+        assert index.probe((B,)) == [WindowInterval(0, 2, 3)]
+
+    def test_probe_missing_signature(self):
+        scheme = PartitionScheme.single(5)
+        index = IntervalIndex(2, 0, scheme)
+        index.add_document(0, [0, 1, 2])
+        assert index.probe((4,)) == []
+        assert (0,) in index
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 1_000_000))
+    def test_intervals_are_maximal_and_exact(self, seed):
+        rng = random.Random(seed)
+        universe = rng.randint(3, 15)
+        k_max = rng.randint(1, 3)
+        borders = tuple(sorted(rng.randint(0, universe) for _ in range(k_max - 1)))
+        scheme = PartitionScheme(universe_size=universe, borders=borders)
+        w = rng.randint(2, 8)
+        tau = rng.randint(0, min(3, w - 1))
+        ranks = [rng.randrange(universe) for _ in range(rng.randint(w, 40))]
+        num_windows = len(ranks) - w + 1
+
+        index = IntervalIndex(w, tau, scheme)
+        index.add_document(0, ranks)
+
+        # Reference presence per window.
+        presence: dict = {}
+        for start in range(num_windows):
+            window = sorted(ranks[start : start + w])
+            for signature in set(generate_signatures(window, tau, scheme)):
+                presence.setdefault(signature, set()).add(start)
+
+        # Exactness: the index covers exactly the presence sets.
+        all_signatures = set(presence)
+        for signature in all_signatures:
+            assert interval_presence(index, signature, num_windows) == presence[
+                signature
+            ]
+        # Maximality: intervals of one signature are disjoint and
+        # non-adjacent.
+        for signature in all_signatures:
+            intervals = sorted(index.probe(signature))
+            for left, right in zip(intervals, intervals[1:]):
+                assert right.u > left.v + 1
+
+    def test_multiple_documents(self):
+        scheme = PartitionScheme.single(4)
+        index = IntervalIndex(2, 0, scheme)
+        index.add_document(0, [0, 1, 2])
+        index.add_document(1, [0, 0, 0])
+        assert index.num_documents == 2
+        assert {interval.doc_id for interval in index.probe((0,))} == {0, 1}
+
+    def test_hashed_mode_equivalent(self):
+        rng = random.Random(9)
+        scheme = PartitionScheme(universe_size=8, borders=(4,))
+        ranks = [rng.randrange(8) for _ in range(30)]
+        plain = IntervalIndex(4, 1, scheme)
+        hashed = IntervalIndex(4, 1, scheme, hashed=True)
+        plain.add_document(0, ranks)
+        hashed.add_document(0, ranks)
+        assert plain.num_postings == hashed.num_postings
+        window = sorted(ranks[0:4])
+        for signature in set(generate_signatures(window, 1, scheme)):
+            assert plain.probe(signature) == hashed.probe(signature)
+
+    def test_build_stats_accumulate(self):
+        scheme = PartitionScheme.single(5)
+        index = IntervalIndex(2, 0, scheme)
+        index.add_document(0, [0, 1, 2, 3])
+        assert index.build_stats["generated_signatures"] > 0
+        assert index.num_windows == 3
+
+
+class TestWindowInvertedIndex:
+    def test_postings_per_window(self):
+        scheme = PartitionScheme.single(4)
+        index = WindowInvertedIndex(2, 0, scheme)
+        index.add_document(0, [0, 1, 0])
+        # tau=0: prefix length 1; windows [0,1] and [0,1] sorted -> rank 0
+        # is the prefix of both.
+        assert index.probe((0,)) == [(0, 0), (0, 1)]
+
+    def test_interval_index_is_smaller(self):
+        # On a repetitive document, interval postings collapse runs.
+        rng = random.Random(4)
+        scheme = PartitionScheme(universe_size=6, borders=(3,))
+        ranks = [rng.randrange(6) for _ in range(60)]
+        interval_index = IntervalIndex(6, 1, scheme)
+        window_index = WindowInvertedIndex(6, 1, scheme)
+        interval_index.add_document(0, ranks)
+        window_index.add_document(0, ranks)
+        assert interval_index.size_in_entries() <= window_index.size_in_entries()
+
+    def test_signature_and_posting_counts(self):
+        scheme = PartitionScheme.single(3)
+        index = WindowInvertedIndex(2, 0, scheme)
+        index.add_document(0, [0, 1, 2])
+        assert index.num_signatures >= 1
+        assert index.num_postings == 2  # one prefix token per window

@@ -1,0 +1,133 @@
+"""End-to-end integration tests on synthetic profile workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    GlobalOrder,
+    PKWiseNonIntervalSearcher,
+    PKWiseSearcher,
+    SearchParams,
+)
+from repro.baselines import (
+    AdaptSearcher,
+    FaerieSearcher,
+    FBWSearcher,
+    StandardPrefixSearcher,
+)
+from repro.corpus.plagiarism import ObfuscationLevel
+from repro.corpus.synthetic import ReuseSpec, make_profile_collection
+from repro.eval import evaluate_quality, run_searcher
+
+from .conftest import pairs_as_set
+
+
+@pytest.fixture(scope="module")
+def workload():
+    data, queries, truth = make_profile_collection(
+        "REUTERS",
+        scale=0.003,
+        seed=17,
+        reuse=ReuseSpec(segment_length=80),
+    )
+    params = SearchParams(w=25, tau=5, k_max=3)
+    order = GlobalOrder(data, params.w)
+    return data, queries, truth, params, order
+
+
+class TestExactAlgorithmsAgree:
+    def test_all_exact_algorithms_same_results(self, workload):
+        data, queries, _truth, params, order = workload
+        searchers = [
+            PKWiseSearcher(data, params, order=order),
+            PKWiseNonIntervalSearcher(data, params, order=order),
+            StandardPrefixSearcher(data, params.with_k_max(1), order=order),
+            AdaptSearcher(data, params.with_k_max(1), order=order),
+        ]
+        for query in queries[:3]:
+            reference = pairs_as_set(searchers[0].search(query))
+            for searcher in searchers[1:]:
+                assert pairs_as_set(searcher.search(query)) == reference
+
+    def test_faerie_agrees_on_small_subset(self, workload):
+        data, queries, _truth, params, order = workload
+        small = data.subset(range(min(5, len(data))))
+        small_order = GlobalOrder(small, params.w)
+        pkwise = PKWiseSearcher(small, params, order=small_order)
+        faerie = FaerieSearcher(small, params, order=small_order)
+        query = queries[0]
+        assert pairs_as_set(faerie.search(query)) == pairs_as_set(
+            pkwise.search(query)
+        )
+
+
+class TestFindsInjectedReuse:
+    def test_pkwise_recall_on_clean_copies(self):
+        data, queries, truth = make_profile_collection(
+            "REUTERS",
+            scale=0.003,
+            seed=23,
+            reuse=ReuseSpec(
+                levels=(ObfuscationLevel.NONE,), segment_length=80
+            ),
+        )
+        params = SearchParams(w=25, tau=5, k_max=3)
+        searcher = PKWiseSearcher(data, params)
+        run = run_searcher(searcher, queries)
+        report = evaluate_quality(run.results_by_query, truth, params.w)
+        assert report.recall == 1.0  # verbatim copies are always found
+
+    def test_recall_degrades_with_obfuscation_for_fbw(self):
+        data, queries, truth = make_profile_collection(
+            "REUTERS",
+            scale=0.003,
+            seed=29,
+            reuse=ReuseSpec(segment_length=80),
+        )
+        params = SearchParams(w=25, tau=5, k_max=3)
+        order = GlobalOrder(data, params.w)
+        exact = run_searcher(PKWiseSearcher(data, params, order=order), queries)
+        approx = run_searcher(
+            FBWSearcher(data, params.with_k_max(1), order=order), queries
+        )
+        exact_report = evaluate_quality(exact.results_by_query, truth, params.w)
+        approx_report = evaluate_quality(approx.results_by_query, truth, params.w)
+        assert approx_report.recall <= exact_report.recall
+        assert exact_report.recall > 0.5
+
+
+class TestIndexShapes:
+    def test_pkwise_index_smaller_than_adapt(self, workload):
+        # Figure 7's shape: interval postings on prefixes are much
+        # smaller than Adapt's per-window prefix entries.
+        data, _queries, _truth, params, order = workload
+        pkwise = PKWiseSearcher(data, params, order=order)
+        adapt = AdaptSearcher(data, params.with_k_max(1), order=order)
+        assert pkwise.index.size_in_entries() < adapt.index_entries
+
+    def test_fbw_index_smallest(self, workload):
+        data, _queries, _truth, params, order = workload
+        pkwise = PKWiseSearcher(data, params, order=order)
+        fbw = FBWSearcher(data, params.with_k_max(1), order=order)
+        assert fbw.index_entries < pkwise.index.size_in_entries()
+
+
+class TestScalabilityMechanics:
+    def test_subset_scaling_preserves_results(self, workload):
+        # Searching a 50% subset returns a subset of the full results
+        # when using a shared order (Figure 9's mechanics).
+        data, queries, _truth, params, order = workload
+        half = data.subset(range(0, len(data), 2))
+        full_searcher = PKWiseSearcher(data, params, order=order)
+        half_order = GlobalOrder(half, params.w)
+        half_searcher = PKWiseSearcher(half, params, order=half_order)
+        query = queries[0]
+        full = pairs_as_set(full_searcher.search(query))
+        half_pairs = half_searcher.search(query).pairs
+        # Map subset doc ids back to original ids (2 * id).
+        remapped = {
+            (2 * p.doc_id, p.data_start, p.query_start, p.overlap)
+            for p in half_pairs
+        }
+        assert remapped <= full

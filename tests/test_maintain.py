@@ -1,0 +1,143 @@
+"""Tests for incremental signature maintenance (Section 4.1).
+
+The key property: replaying a :class:`SignatureStream`'s open/close
+events reconstructs, for every window, exactly the signature set that
+from-scratch generation (Algorithm 3) produces — the stream is an
+extensionally faithful implementation of the paper's Algorithm 5.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PartitionScheme
+from repro.signatures import SignatureStream, generate_signatures
+
+
+def replay_presence(ranks, w, tau, scheme):
+    """Replay stream events into per-window signature presence sets."""
+    stream = SignatureStream(ranks, w, tau, scheme)
+    present: set = set()
+    by_window: list[set] = []
+    final_seen = False
+    for event in stream.events():
+        if event.final:
+            final_seen = True
+            for signature in event.closed:
+                present.discard(signature)
+            break
+        for signature in event.opened:
+            assert signature not in present, "opened while already present"
+            present.add(signature)
+        for signature in event.closed:
+            assert signature in present, "closed while absent"
+            present.discard(signature)
+        by_window.append(set(present))
+    num_windows = max(0, len(ranks) - w + 1)
+    if num_windows:
+        assert final_seen
+        assert not present, "final event must close everything"
+    return by_window, stream
+
+
+def scratch_presence(ranks, w, tau, scheme):
+    """Reference: per-window signature sets generated from scratch."""
+    out = []
+    for start in range(max(0, len(ranks) - w + 1)):
+        window = sorted(ranks[start : start + w])
+        out.append(set(generate_signatures(window, tau, scheme)))
+    return out
+
+
+class TestPaperExample5:
+    def test_prefix_maintenance_walkthrough(self):
+        # Example 5: d = [E, G, A, F, C, B, D], w=4, tau=1, alphabetical
+        # order, classes {A..D}=1, {E..G}=2.  Expected per-window
+        # signatures: {A, EF}, {A, C}, {A, B}, {B, C}.
+        E, G, A, F, C, B, D = 4, 6, 0, 5, 2, 1, 3
+        ranks = [E, G, A, F, C, B, D]
+        scheme = PartitionScheme(universe_size=7, borders=(4,))
+        by_window, _stream = replay_presence(ranks, 4, 1, scheme)
+        assert by_window == [
+            {(A,), (E, F)},
+            {(A,), (C,)},
+            {(A,), (B,)},
+            {(B,), (C,)},
+        ]
+
+
+class TestEquivalence:
+    @settings(max_examples=80, deadline=None)
+    @given(seed=st.integers(0, 1_000_000))
+    def test_stream_matches_scratch(self, seed):
+        rng = random.Random(seed)
+        universe = rng.randint(3, 25)
+        k_max = rng.randint(1, 4)
+        borders = tuple(sorted(rng.randint(0, universe) for _ in range(k_max - 1)))
+        m = rng.randint(1, 3)
+        scheme = PartitionScheme(universe_size=universe, borders=borders, m=m)
+        w = rng.randint(2, 10)
+        tau = rng.randint(0, min(4, w - 1))
+        length = rng.randint(0, 40)
+        ranks = [rng.randrange(universe) for _ in range(length)]
+        streamed, _ = replay_presence(ranks, w, tau, scheme)
+        assert streamed == scratch_presence(ranks, w, tau, scheme)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 1_000_000))
+    def test_stream_with_duplicates_heavy(self, seed):
+        # Tiny vocabularies force duplicate tokens (the gamma-counter
+        # case of Section 4.1).
+        rng = random.Random(seed)
+        scheme = PartitionScheme(universe_size=3, borders=(1,))
+        w = rng.randint(2, 6)
+        tau = rng.randint(0, 2)
+        ranks = [rng.randrange(3) for _ in range(rng.randint(0, 30))]
+        streamed, _ = replay_presence(ranks, w, tau, scheme)
+        assert streamed == scratch_presence(ranks, w, tau, scheme)
+
+
+class TestSharingCounters:
+    def test_constant_document_shares_everything(self):
+        scheme = PartitionScheme.single(5)
+        ranks = [1] * 30
+        _, stream = replay_presence(ranks, 5, 1, scheme)
+        assert stream.changed_windows == 1  # only the first window
+        assert stream.shared_windows == 25
+
+    def test_counters_sum_to_window_count(self):
+        rng = random.Random(3)
+        scheme = PartitionScheme(universe_size=10, borders=(5,))
+        ranks = [rng.randrange(10) for _ in range(40)]
+        _, stream = replay_presence(ranks, 6, 2, scheme)
+        assert stream.changed_windows + stream.shared_windows == 40 - 6 + 1
+
+    def test_token_cost_counts_constituents(self):
+        # One window, prefix all class 2 with 3 tokens: 3 signatures of
+        # size 2 -> token cost 6.
+        scheme = PartitionScheme.all_k(5, 2)
+        stream = SignatureStream([0, 1, 2, 3], 4, 1, scheme)
+        list(stream.events())
+        assert stream.generated_signatures == 3
+        assert stream.generated_token_cost == 6
+
+
+class TestShortDocuments:
+    def test_no_windows_no_events(self):
+        scheme = PartitionScheme.single(5)
+        stream = SignatureStream([1, 2], 5, 1, scheme)
+        assert list(stream.events()) == []
+
+    def test_single_window_opens_and_finally_closes(self):
+        scheme = PartitionScheme.single(5)
+        stream = SignatureStream([0, 1, 2], 3, 1, scheme)
+        events = list(stream.events())
+        assert len(events) == 2
+        first, final = events
+        assert Counter(first.opened) == Counter({(0,): 1, (1,): 1})
+        assert final.final
+        assert set(final.closed) == {(0,), (1,)}

@@ -1,0 +1,104 @@
+"""Tests for the Appendix D.2 quality metrics."""
+
+from __future__ import annotations
+
+from repro.core.base import MatchPair
+from repro.corpus.plagiarism import GroundTruthPair, ObfuscationLevel
+from repro.eval import evaluate_quality
+
+
+def truth(doc=0, dspan=(10, 29), qid=0, qspan=(5, 24), level=ObfuscationLevel.NONE):
+    return GroundTruthPair(doc, dspan, qid, qspan, level)
+
+
+class TestIdentification:
+    def test_overlapping_pair_identifies(self):
+        # Window covers part of both spans.
+        results = {0: [MatchPair(0, 15, 10, 9)]}
+        report = evaluate_quality(results, [truth()], w=10)
+        assert report.recall == 1.0
+        assert report.num_identified == 1
+
+    def test_wrong_document_does_not_identify(self):
+        results = {0: [MatchPair(1, 15, 10, 9)]}
+        report = evaluate_quality(results, [truth()], w=10)
+        assert report.recall == 0.0
+
+    def test_data_side_misses(self):
+        results = {0: [MatchPair(0, 40, 10, 9)]}  # data window past span
+        report = evaluate_quality(results, [truth()], w=10)
+        assert report.recall == 0.0
+
+    def test_query_side_misses(self):
+        results = {0: [MatchPair(0, 15, 30, 9)]}  # query window past span
+        report = evaluate_quality(results, [truth()], w=10)
+        assert report.recall == 0.0
+
+    def test_touching_boundary_counts(self):
+        # Window [1, 10] touches data span starting at 10.
+        results = {0: [MatchPair(0, 1, 5, 9)]}
+        report = evaluate_quality(results, [truth()], w=10)
+        assert report.recall == 1.0
+
+    def test_wrong_query_id(self):
+        results = {3: [MatchPair(0, 15, 10, 9)]}
+        report = evaluate_quality(results, [truth(qid=0)], w=10)
+        assert report.recall == 0.0
+
+
+class TestPrecision:
+    def test_perfect_precision(self):
+        # Result window [5, 14] entirely inside the identified query span.
+        results = {0: [MatchPair(0, 15, 5, 10)]}
+        report = evaluate_quality(results, [truth(qspan=(0, 30))], w=10)
+        assert report.precision == 1.0
+        assert report.positives == 10
+
+    def test_partial_precision(self):
+        # Result window [20, 29]; query span [5, 24] -> 5 of 10 covered
+        # tokens are true positives.
+        results = {0: [MatchPair(0, 15, 20, 10)]}
+        report = evaluate_quality(results, [truth()], w=10)
+        assert report.positives == 10
+        assert report.true_positives == 5
+        assert report.precision == 0.5
+
+    def test_unidentified_truth_gives_no_true_positives(self):
+        # Result overlaps the query span but not the data span: the
+        # truth is not identified, so covered tokens are false positives.
+        results = {0: [MatchPair(0, 90, 10, 10)]}
+        report = evaluate_quality(results, [truth()], w=10)
+        assert report.recall == 0.0
+        assert report.precision == 0.0
+
+    def test_no_results_zero_precision_and_recall(self):
+        report = evaluate_quality({0: []}, [truth()], w=10)
+        assert report.precision == 0.0 and report.recall == 0.0
+
+    def test_overlapping_result_windows_count_tokens_once(self):
+        results = {0: [MatchPair(0, 15, 5, 10), MatchPair(0, 15, 6, 10)]}
+        report = evaluate_quality(results, [truth(qspan=(0, 30))], w=10)
+        assert report.positives == 11  # tokens 5..15
+
+
+class TestLevels:
+    def test_recall_by_level(self):
+        truths = [
+            truth(qid=0, qspan=(5, 24), level=ObfuscationLevel.NONE),
+            truth(qid=1, qspan=(5, 24), level=ObfuscationLevel.HIGH),
+        ]
+        results = {0: [MatchPair(0, 15, 10, 9)], 1: []}
+        report = evaluate_quality(results, truths, w=10)
+        assert report.recall_by_level[ObfuscationLevel.NONE] == 1.0
+        assert report.recall_by_level[ObfuscationLevel.HIGH] == 0.0
+        assert report.recall == 0.5
+
+    def test_empty_truth(self):
+        report = evaluate_quality({0: [MatchPair(0, 0, 0, 5)]}, [], w=5)
+        assert report.recall == 0.0
+        assert report.num_truth == 0
+
+    def test_as_row_format(self):
+        report = evaluate_quality({0: [MatchPair(0, 15, 10, 9)]}, [truth()], w=10)
+        row = report.as_row("pkwise")
+        assert "pkwise" in row and "precision" in row and "recall" in row

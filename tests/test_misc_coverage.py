@@ -1,0 +1,127 @@
+"""Remaining coverage: stats accounting, report formats, misc paths."""
+
+from __future__ import annotations
+
+import random
+
+from repro import (
+    DocumentCollection,
+    GlobalOrder,
+    PKWiseNonIntervalSearcher,
+    PKWiseSearcher,
+    SearchParams,
+    SearchStats,
+)
+from repro.baselines import AdaptSearcher, FBWSearcher, StandardPrefixSearcher
+
+from .conftest import pairs_as_set
+
+
+class TestSearchStatsAccounting:
+    def test_merge_accumulates_every_field(self):
+        a = SearchStats(
+            signature_time=1.0, candidate_time=2.0, verify_time=3.0,
+            signature_tokens=4, signatures_generated=5, postings_entries=6,
+            hash_ops=7, candidate_windows=8, num_results=9,
+            shared_windows=10, changed_windows=11,
+        )
+        b = SearchStats(
+            signature_time=0.5, candidate_time=0.5, verify_time=0.5,
+            signature_tokens=1, signatures_generated=1, postings_entries=1,
+            hash_ops=1, candidate_windows=1, num_results=1,
+            shared_windows=1, changed_windows=1,
+        )
+        a.merge(b)
+        assert a.signature_time == 1.5
+        assert a.signature_tokens == 5
+        assert a.num_results == 10
+        assert a.changed_windows == 12
+        assert a.total_time == 1.5 + 2.5 + 3.5
+
+    def test_abstract_cost_default_weights(self):
+        stats = SearchStats(signature_tokens=1, postings_entries=1, hash_ops=1)
+        # Paper defaults: 10 + 2 + 1.
+        assert stats.abstract_cost() == 13.0
+
+
+class TestPhaseInstrumentation:
+    def test_nonint_counts_per_window_generation(self, small_corpus):
+        params = SearchParams(w=10, tau=2, k_max=2)
+        order = GlobalOrder(small_corpus, 10)
+        interval = PKWiseSearcher(small_corpus, params, order=order)
+        nonint = PKWiseNonIntervalSearcher(small_corpus, params, order=order)
+        query = small_corpus[3]
+        shared = interval.search(query).stats
+        unshared = nonint.search(query).stats
+        # Without sharing, far more signatures are generated ...
+        assert unshared.signatures_generated > shared.signatures_generated
+        # ... and far more candidate windows are verified.
+        assert unshared.candidate_windows > shared.candidate_windows
+
+    def test_interval_sharing_fast_path_dominates(self, small_corpus):
+        params = SearchParams(w=20, tau=2, k_max=2)
+        searcher = PKWiseSearcher(small_corpus, params)
+        stats = searcher.search(small_corpus[0]).stats
+        assert stats.shared_windows > stats.changed_windows
+
+
+class TestBaselineStats:
+    def test_adapt_reports_postings_and_candidates(self, small_corpus):
+        params = SearchParams(w=10, tau=2, k_max=1)
+        adapt = AdaptSearcher(small_corpus, params)
+        stats = adapt.search(small_corpus[2]).stats
+        assert stats.postings_entries > 0
+        assert stats.candidate_windows >= stats.num_results
+
+    def test_fbw_reports_fingerprint_counts(self, small_corpus):
+        params = SearchParams(w=10, tau=2, k_max=1)
+        fbw = FBWSearcher(small_corpus, params)
+        stats = fbw.search(small_corpus[2]).stats
+        assert stats.signatures_generated > 0
+        assert stats.signature_tokens == stats.signatures_generated * fbw.q
+
+
+class TestSharedOrderConsistency:
+    def test_algorithms_with_shared_order_vs_private_orders(self):
+        # Searchers must produce identical results whether they share a
+        # GlobalOrder instance or each build their own (same data).
+        rng = random.Random(12)
+        data = DocumentCollection()
+        for _ in range(3):
+            data.add_tokens([f"t{rng.randrange(40)}" for _ in range(60)])
+        query = data.encode_query_tokens(
+            [f"t{rng.randrange(40)}" for _ in range(40)]
+        )
+        params = SearchParams(w=10, tau=2, k_max=2)
+        shared = GlobalOrder(data, 10)
+        with_shared = PKWiseSearcher(data, params, order=shared).search(query)
+        with_private = PKWiseSearcher(data, params).search(query)
+        assert pairs_as_set(with_shared) == pairs_as_set(with_private)
+
+    def test_baseline_and_core_share_rank_docs_shape(self, small_corpus):
+        params = SearchParams(w=10, tau=1, k_max=1)
+        order = GlobalOrder(small_corpus, 10)
+        core = PKWiseSearcher(small_corpus, params, order=order)
+        baseline = StandardPrefixSearcher(small_corpus, params, order=order)
+        assert core.rank_docs == baseline.rank_docs
+
+
+class TestDocumentDecoding:
+    def test_match_decodes_to_text(self, paper_example):
+        data, query, params = paper_example
+        searcher = PKWiseSearcher(data, params)
+        match = searcher.search(query).pairs[0]
+        document = data[match.doc_id]
+        window = data.vocabulary.decode(
+            document.window(match.data_start, params.w)
+        )
+        assert window == ["the", "lord", "of", "the"]
+
+    def test_query_window_decodes(self, paper_example):
+        data, query, params = paper_example
+        searcher = PKWiseSearcher(data, params)
+        match = searcher.search(query).pairs[0]
+        window = data.vocabulary.decode(
+            query.window(match.query_start, params.w)
+        )
+        assert window == ["the", "lord", "and", "the"]

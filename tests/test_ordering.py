@@ -1,0 +1,134 @@
+"""Tests for window frequencies and the global order."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DocumentCollection, GlobalOrder
+from repro.ordering import window_frequencies
+
+
+def brute_window_frequencies(data, w):
+    freq = [0] * len(data.vocabulary)
+    for document in data:
+        n = len(document)
+        for token in range(len(data.vocabulary)):
+            freq[token] += sum(
+                1
+                for start in range(max(0, n - w + 1))
+                if token in document.tokens[start : start + w]
+            )
+    return freq
+
+
+class TestWindowFrequencies:
+    def test_paper_example(self):
+        # Example 1: window frequency of the/lord/of = 2, rings = 1.
+        data = DocumentCollection()
+        data.add_text("the lord of the rings")
+        freq = window_frequencies(data, 4)
+        vocab = data.vocabulary
+        assert freq[vocab.id_of("the")] == 2
+        assert freq[vocab.id_of("lord")] == 2
+        assert freq[vocab.id_of("of")] == 2
+        assert freq[vocab.id_of("rings")] == 1
+
+    def test_short_document_contributes_nothing(self):
+        data = DocumentCollection()
+        data.add_text("a b")
+        assert window_frequencies(data, 5) == [0, 0]
+
+    def test_w_equals_one(self):
+        data = DocumentCollection()
+        data.add_text("a b a")
+        freq = window_frequencies(data, 1)
+        assert freq[data.vocabulary.id_of("a")] == 2
+        assert freq[data.vocabulary.id_of("b")] == 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(1, 8))
+    def test_matches_brute_force(self, seed, w):
+        rng = random.Random(seed)
+        data = DocumentCollection()
+        for _ in range(rng.randint(1, 3)):
+            length = rng.randint(1, 25)
+            data.add_tokens([f"t{rng.randrange(6)}" for _ in range(length)])
+        assert window_frequencies(data, w) == brute_window_frequencies(data, w)
+
+
+class TestGlobalOrder:
+    def _paper_order(self):
+        data = DocumentCollection()
+        data.add_text("the lord of the rings")
+        return data, GlobalOrder(data, 4)
+
+    def test_example2_order(self):
+        # Paper Example 2: O is E < F < D < A < B < C, i.e. rings (D)
+        # before the/lord/of; with ties broken lexicographically the data
+        # tokens sort rings < lord < of < the.
+        data, order = self._paper_order()
+        vocab = data.vocabulary
+        ranks = {name: order.rank(vocab.id_of(name)) for name in
+                 ("the", "lord", "of", "rings")}
+        assert ranks["rings"] == 0  # unique rarest data token
+        assert ranks["lord"] < ranks["of"] < ranks["the"]  # freq ties, lexicographic
+
+    def test_query_only_tokens_rank_first(self):
+        data, order = self._paper_order()
+        query_token = data.vocabulary.add("and")
+        rank = order.rank(query_token)
+        assert rank < 0  # before every data token
+
+    def test_extra_ranks_stable(self):
+        data, order = self._paper_order()
+        t1 = data.vocabulary.add("zzz1")
+        t2 = data.vocabulary.add("zzz2")
+        assert order.rank(t1) == order.rank(t1)
+        assert order.rank(t1) != order.rank(t2)
+
+    def test_frequency_of_rank(self):
+        data, order = self._paper_order()
+        assert order.frequency_of_rank(0) == 1  # rings
+        assert order.frequency_of_rank(-5) == 0  # any query-only token
+
+    def test_relative_frequency(self):
+        data, order = self._paper_order()
+        assert order.num_data_windows == 2
+        assert order.frequency_of_rank(3) / 2 == order.relative_frequency_of_rank(3)
+
+    def test_rank_is_permutation(self):
+        rng = random.Random(0)
+        data = DocumentCollection()
+        for _ in range(4):
+            data.add_tokens([f"t{rng.randrange(30)}" for _ in range(30)])
+        order = GlobalOrder(data, 5)
+        ranks = sorted(order.rank(t) for t in range(len(data.vocabulary)))
+        assert ranks == list(range(len(data.vocabulary)))
+
+    def test_order_sorted_by_frequency(self):
+        rng = random.Random(1)
+        data = DocumentCollection()
+        for _ in range(4):
+            data.add_tokens([f"t{rng.randrange(15)}" for _ in range(40)])
+        order = GlobalOrder(data, 6)
+        freqs = [order.frequency_of_rank(r) for r in range(order.universe_size)]
+        assert freqs == sorted(freqs)
+
+    def test_sorted_window(self):
+        data = DocumentCollection()
+        document = data.add_text("the lord of the rings")
+        order = GlobalOrder(data, 4)
+        window = order.sorted_window(document, 0, 4)
+        assert window == sorted(window)
+        assert len(window) == 4
+
+    def test_rank_document_preserves_positions(self):
+        data = DocumentCollection()
+        document = data.add_text("a b a")
+        order = GlobalOrder(data, 2)
+        ranks = order.rank_document(document)
+        assert ranks[0] == ranks[2]
+        assert ranks[0] != ranks[1]

@@ -1,0 +1,104 @@
+"""Tests for index save/load."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import (
+    PersistenceError,
+    PKWiseSearcher,
+    SearchParams,
+    load_bundle,
+    load_searcher,
+    save_searcher,
+)
+
+from .conftest import pairs_as_set
+
+
+@pytest.fixture
+def built(small_corpus):
+    params = SearchParams(w=10, tau=2, k_max=3)
+    return small_corpus, PKWiseSearcher(small_corpus, params)
+
+
+class TestRoundtrip:
+    def test_search_results_identical(self, built, tmp_path):
+        data, searcher = built
+        path = tmp_path / "index.pkl"
+        save_searcher(searcher, path)
+        loaded = load_searcher(path)
+        query = data[3]
+        assert pairs_as_set(loaded.search(query)) == pairs_as_set(
+            searcher.search(query)
+        )
+
+    def test_bundle_with_data(self, built, tmp_path):
+        data, searcher = built
+        path = tmp_path / "index.pkl"
+        save_searcher(searcher, path, data=data)
+        loaded, loaded_data = load_bundle(path)
+        assert loaded_data is not None
+        assert len(loaded_data) == len(data)
+        assert loaded_data[0].tokens == data[0].tokens
+
+    def test_bundle_without_data(self, built, tmp_path):
+        _data, searcher = built
+        path = tmp_path / "index.pkl"
+        save_searcher(searcher, path)
+        _loaded, loaded_data = load_bundle(path)
+        assert loaded_data is None
+
+    def test_params_preserved(self, built, tmp_path):
+        _data, searcher = built
+        path = tmp_path / "index.pkl"
+        save_searcher(searcher, path)
+        loaded = load_searcher(path)
+        assert loaded.params == searcher.params
+        assert loaded.scheme.borders == searcher.scheme.borders
+
+    def test_atomic_write_leaves_no_temp(self, built, tmp_path):
+        _data, searcher = built
+        path = tmp_path / "index.pkl"
+        save_searcher(searcher, path)
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_searcher(tmp_path / "nope.pkl")
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "garbage.pkl"
+        path.write_bytes(b"not a pickle at all")
+        with pytest.raises(PersistenceError):
+            load_searcher(path)
+
+    def test_wrong_pickle_content(self, tmp_path):
+        path = tmp_path / "wrong.pkl"
+        path.write_bytes(pickle.dumps({"hello": "world"}))
+        with pytest.raises(PersistenceError):
+            load_searcher(path)
+
+    def test_version_mismatch(self, built, tmp_path):
+        _data, searcher = built
+        path = tmp_path / "index.pkl"
+        save_searcher(searcher, path)
+        envelope = pickle.loads(path.read_bytes())
+        envelope["version"] = 999
+        path.write_bytes(pickle.dumps(envelope))
+        with pytest.raises(PersistenceError, match="version"):
+            load_searcher(path)
+
+    def test_non_searcher_payload(self, tmp_path):
+        path = tmp_path / "odd.pkl"
+        path.write_bytes(
+            pickle.dumps(
+                {"magic": "repro-pkwise-index", "version": 1, "searcher": 42}
+            )
+        )
+        with pytest.raises(PersistenceError):
+            load_searcher(path)

@@ -1,0 +1,201 @@
+"""Tests for the pkwise searchers (Algorithms 2 and 4)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    ConfigurationError,
+    DocumentCollection,
+    GlobalOrder,
+    PartitionScheme,
+    PKWiseNonIntervalSearcher,
+    PKWiseSearcher,
+    SearchParams,
+)
+from repro.core.pkwise import default_scheme
+
+from .conftest import brute_force_pairs, pairs_as_set, random_collection
+
+
+class TestPaperExample1:
+    def test_result_pair(self, paper_example):
+        data, query, params = paper_example
+        result = PKWiseSearcher(data, params).search(query)
+        assert pairs_as_set(result) == {(0, 0, 0, 3)}
+
+    def test_nonint_agrees(self, paper_example):
+        data, query, params = paper_example
+        result = PKWiseNonIntervalSearcher(data, params).search(query)
+        assert pairs_as_set(result) == {(0, 0, 0, 3)}
+
+
+class TestEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 1_000_000))
+    def test_pkwise_variants_match_bruteforce(self, seed):
+        rng = random.Random(seed)
+        data, query = random_collection(rng)
+        w = rng.randint(3, 10)
+        tau = rng.randint(0, min(3, w - 1))
+        k_max = rng.randint(1, 3)
+        m = rng.randint(1, 2)
+        try:
+            params = SearchParams(w=w, tau=tau, k_max=k_max, m=m)
+        except ConfigurationError:
+            return
+        expected = brute_force_pairs(data, query, w, tau)
+        order = GlobalOrder(data, w)
+        interval = PKWiseSearcher(data, params, order=order)
+        nonint = PKWiseNonIntervalSearcher(data, params, order=order)
+        assert pairs_as_set(interval.search(query)) == expected
+        assert pairs_as_set(nonint.search(query)) == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1_000_000))
+    def test_hashed_index_equivalent(self, seed):
+        rng = random.Random(seed)
+        data, query = random_collection(rng)
+        params = SearchParams(w=5, tau=1, k_max=2)
+        order = GlobalOrder(data, params.w)
+        plain = PKWiseSearcher(data, params, order=order)
+        hashed = PKWiseSearcher(data, params, order=order, hashed=True)
+        assert pairs_as_set(plain.search(query)) == pairs_as_set(
+            hashed.search(query)
+        )
+
+    def test_query_is_data_document(self, small_corpus):
+        # Self-similarity: querying with a data document must at least
+        # find every window paired with itself.
+        params = SearchParams(w=10, tau=2, k_max=3)
+        searcher = PKWiseSearcher(small_corpus, params)
+        document = small_corpus[0]
+        result = searcher.search(document)
+        found = pairs_as_set(result)
+        for start in range(document.num_windows(10)):
+            assert (0, start, start, 10) in found
+
+
+class TestSchemes:
+    def test_custom_scheme_respected(self, small_corpus):
+        params = SearchParams(w=10, tau=2, k_max=2)
+        order = GlobalOrder(small_corpus, 10)
+        scheme = PartitionScheme(universe_size=order.universe_size, borders=(5,))
+        searcher = PKWiseSearcher(small_corpus, params, scheme=scheme, order=order)
+        assert searcher.scheme is scheme
+
+    def test_scheme_m_mismatch_rejected(self, small_corpus):
+        params = SearchParams(w=20, tau=2, k_max=2, m=2)
+        order = GlobalOrder(small_corpus, 20)
+        scheme = PartitionScheme(universe_size=order.universe_size, borders=(5,), m=1)
+        with pytest.raises(ConfigurationError):
+            PKWiseSearcher(small_corpus, params, scheme=scheme, order=order)
+        with pytest.raises(ConfigurationError):
+            PKWiseNonIntervalSearcher(
+                small_corpus, params, scheme=scheme, order=order
+            )
+
+    def test_default_scheme_covers_universe(self, small_corpus):
+        params = SearchParams(w=12, tau=2, k_max=4)
+        order = GlobalOrder(small_corpus, 12)
+        scheme = default_scheme(params, order)
+        assert scheme.k_max == 4
+        assert sum(scheme.class_sizes()) == order.universe_size
+
+    def test_k_max_1_equals_standard_prefix(self, small_corpus):
+        from repro.baselines import StandardPrefixSearcher
+
+        params = SearchParams(w=10, tau=2, k_max=1)
+        order = GlobalOrder(small_corpus, 10)
+        pkwise = PKWiseSearcher(data=small_corpus, params=params, order=order)
+        standard = StandardPrefixSearcher(small_corpus, params, order=order)
+        query = small_corpus[3]
+        assert pairs_as_set(pkwise.search(query)) == pairs_as_set(
+            standard.search(query)
+        )
+
+
+class TestEdgeCases:
+    def test_query_shorter_than_window(self, small_corpus):
+        params = SearchParams(w=10, tau=1, k_max=2)
+        searcher = PKWiseSearcher(small_corpus, params)
+        query = small_corpus.encode_query("only three tokens")
+        assert searcher.search(query).pairs == []
+
+    def test_data_document_shorter_than_window(self):
+        data = DocumentCollection()
+        data.add_text("too short")
+        data.add_text("this document is long enough for one window at least yes")
+        params = SearchParams(w=8, tau=1, k_max=2)
+        searcher = PKWiseSearcher(data, params)
+        query = data.encode_query(
+            "this document is long enough for one window at least yes"
+        )
+        result = searcher.search(query)
+        assert all(pair.doc_id == 1 for pair in result.pairs)
+        assert result.pairs  # exact copy present
+
+    def test_tau_zero_exact_windows(self):
+        data = DocumentCollection()
+        data.add_text("a b c d e f")
+        params = SearchParams(w=3, tau=0, k_max=1)
+        searcher = PKWiseSearcher(data, params)
+        query = data.encode_query("x b c d y")
+        result = searcher.search(query)
+        assert pairs_as_set(result) == {(0, 1, 1, 3)}
+
+    def test_unknown_query_tokens_handled(self, small_corpus):
+        params = SearchParams(w=10, tau=2, k_max=3)
+        searcher = PKWiseSearcher(small_corpus, params)
+        query = small_corpus.encode_query(" ".join(f"novel{i}" for i in range(30)))
+        assert searcher.search(query).pairs == []
+
+    def test_empty_collection(self):
+        data = DocumentCollection()
+        params = SearchParams(w=4, tau=1, k_max=2)
+        searcher = PKWiseSearcher(data, params)
+        query = data.encode_query("a b c d e")
+        assert searcher.search(query).pairs == []
+
+
+class TestStats:
+    def test_stats_populated(self, small_corpus):
+        params = SearchParams(w=10, tau=2, k_max=3)
+        searcher = PKWiseSearcher(small_corpus, params)
+        result = searcher.search(small_corpus[3])
+        stats = result.stats
+        assert stats.num_results == len(result.pairs)
+        assert stats.signatures_generated > 0
+        assert stats.shared_windows + stats.changed_windows == small_corpus[
+            3
+        ].num_windows(10)
+        assert stats.total_time >= 0.0
+
+    def test_abstract_cost_weighting(self, small_corpus):
+        params = SearchParams(w=10, tau=2, k_max=3)
+        searcher = PKWiseSearcher(small_corpus, params)
+        stats = searcher.search(small_corpus[0]).stats
+        assert stats.abstract_cost(1, 0, 0) == stats.signature_tokens
+        assert stats.abstract_cost(0, 1, 0) == stats.postings_entries
+        assert stats.abstract_cost(0, 0, 1) == stats.hash_ops
+
+    def test_search_many_merges(self, small_corpus):
+        params = SearchParams(w=10, tau=1, k_max=2)
+        searcher = PKWiseSearcher(small_corpus, params)
+        queries = [small_corpus[0], small_corpus[1]]
+        results, totals = searcher.search_many(queries)
+        assert len(results) == 2
+        assert totals.num_results == sum(len(r.pairs) for r in results)
+
+    def test_index_build_time_recorded(self, small_corpus):
+        params = SearchParams(w=10, tau=1, k_max=2)
+        searcher = PKWiseSearcher(small_corpus, params)
+        assert searcher.index_build_seconds > 0.0
+
+    def test_repr(self, small_corpus):
+        params = SearchParams(w=10, tau=1, k_max=2)
+        assert "pkwise" in repr(PKWiseSearcher(small_corpus, params)).lower()

@@ -1,0 +1,167 @@
+"""Tests for the plagiarism injector and ground-truth bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DocumentCollection
+from repro.corpus.plagiarism import (
+    GroundTruthPair,
+    ObfuscationLevel,
+    PlagiarismCase,
+    PlagiarismInjector,
+    shift_spans,
+)
+
+
+def make_data(num_docs=3, length=100):
+    data = DocumentCollection()
+    for d in range(num_docs):
+        data.add_tokens([f"t{d}_{i}" for i in range(length)])
+    return data
+
+
+class TestObfuscate:
+    def test_none_is_identity(self):
+        injector = PlagiarismInjector(seed=0, vocabulary_size=100)
+        tokens = list(range(50))
+        assert injector.obfuscate(tokens, ObfuscationLevel.NONE) == tokens
+
+    def test_low_changes_little(self):
+        injector = PlagiarismInjector(seed=0, vocabulary_size=100)
+        tokens = list(range(200))
+        out = injector.obfuscate(tokens, ObfuscationLevel.LOW)
+        shared = len(set(out) & set(tokens))
+        assert shared > 150  # most tokens survive
+
+    def test_simulated_changes_more_than_low(self):
+        tokens = list(range(300))
+        low = PlagiarismInjector(seed=1, vocabulary_size=10_000).obfuscate(
+            list(tokens), ObfuscationLevel.LOW
+        )
+        simulated = PlagiarismInjector(seed=1, vocabulary_size=10_000).obfuscate(
+            list(tokens), ObfuscationLevel.SIMULATED
+        )
+        assert len(set(simulated) & set(tokens)) < len(set(low) & set(tokens))
+
+    def test_deterministic(self):
+        a = PlagiarismInjector(seed=5, vocabulary_size=50).obfuscate(
+            list(range(100)), ObfuscationLevel.HIGH
+        )
+        b = PlagiarismInjector(seed=5, vocabulary_size=50).obfuscate(
+            list(range(100)), ObfuscationLevel.HIGH
+        )
+        assert a == b
+
+    def test_rejects_empty_vocabulary(self):
+        with pytest.raises(Exception):
+            PlagiarismInjector(seed=0, vocabulary_size=0)
+
+
+class TestSpliceCase:
+    def test_splice_records_exact_span(self):
+        data = make_data()
+        injector = PlagiarismInjector(seed=2, vocabulary_size=len(data.vocabulary))
+        query = list(range(1000, 1030))
+        new_tokens, truth = injector.splice_case(
+            data, query_id=0, query_tokens=query, segment_length=20,
+            level=ObfuscationLevel.NONE,
+        )
+        assert truth is not None
+        qlo, qhi = truth.query_span
+        dlo, dhi = truth.data_span
+        copied = new_tokens[qlo : qhi + 1]
+        original = list(data[truth.data_doc_id].tokens[dlo : dhi + 1])
+        assert copied == original
+        assert len(new_tokens) == len(query) + 20
+
+    def test_splice_no_donor(self):
+        data = make_data(num_docs=1, length=5)
+        injector = PlagiarismInjector(seed=0, vocabulary_size=len(data.vocabulary))
+        tokens, truth = injector.splice_case(
+            data, 0, [1, 2, 3], segment_length=50, level=ObfuscationLevel.NONE
+        )
+        assert truth is None
+        assert tokens == [1, 2, 3]
+
+    def test_levels_recorded(self):
+        data = make_data()
+        injector = PlagiarismInjector(seed=3, vocabulary_size=len(data.vocabulary))
+        _tokens, truth = injector.splice_case(
+            data, 7, list(range(40)), segment_length=10,
+            level=ObfuscationLevel.HIGH,
+        )
+        assert truth.level is ObfuscationLevel.HIGH
+        assert truth.query_id == 7
+
+
+class TestInjectAll:
+    def test_explicit_cases(self):
+        data = make_data()
+        injector = PlagiarismInjector(seed=0, vocabulary_size=len(data.vocabulary))
+        cases = [
+            PlagiarismCase(0, 10, 20, ObfuscationLevel.NONE),
+            PlagiarismCase(1, 0, 15, ObfuscationLevel.NONE),
+        ]
+        queries, truths = injector.inject_all(data, [list(range(30))], cases)
+        assert len(truths) == 2
+        # After both insertions, every recorded span is verbatim.
+        for truth in truths:
+            qlo, qhi = truth.query_span
+            dlo, dhi = truth.data_span
+            assert queries[truth.query_id][qlo : qhi + 1] == list(
+                data[truth.data_doc_id].tokens[dlo : dhi + 1]
+            )
+
+    def test_out_of_range_case(self):
+        data = make_data(length=10)
+        injector = PlagiarismInjector(seed=0, vocabulary_size=len(data.vocabulary))
+        with pytest.raises(Exception):
+            injector.inject_all(
+                data,
+                [[1, 2]],
+                [PlagiarismCase(0, 5, 20, ObfuscationLevel.NONE)],
+            )
+
+    def test_requires_queries(self):
+        data = make_data()
+        injector = PlagiarismInjector(seed=0, vocabulary_size=10)
+        with pytest.raises(Exception):
+            injector.inject_all(data, [], [])
+
+
+class TestShiftSpans:
+    def _truth(self, span, query_id=0):
+        return GroundTruthPair(
+            data_doc_id=0,
+            data_span=(0, 9),
+            query_id=query_id,
+            query_span=span,
+            level=ObfuscationLevel.NONE,
+        )
+
+    def test_insert_before_shifts(self):
+        out = shift_spans([self._truth((10, 19))], 0, insert_at=5, inserted_length=3)
+        assert out[0].query_span == (13, 22)
+
+    def test_insert_after_no_shift(self):
+        out = shift_spans([self._truth((10, 19))], 0, insert_at=25, inserted_length=3)
+        assert out[0].query_span == (10, 19)
+
+    def test_insert_inside_stretches(self):
+        out = shift_spans([self._truth((10, 19))], 0, insert_at=15, inserted_length=3)
+        assert out[0].query_span == (10, 22)
+
+    def test_other_query_untouched(self):
+        out = shift_spans([self._truth((10, 19), query_id=1)], 0, 0, 100)
+        assert out[0].query_span == (10, 19)
+
+
+class TestGroundTruthPair:
+    def test_overlap_predicates(self):
+        truth = GroundTruthPair(0, (10, 20), 0, (30, 40), ObfuscationLevel.NONE)
+        assert truth.data_overlaps(window_start=15, w=5)
+        assert truth.data_overlaps(window_start=5, w=6)  # touches at 10
+        assert not truth.data_overlaps(window_start=21, w=5)
+        assert truth.query_overlaps(window_start=36, w=5)
+        assert not truth.query_overlaps(window_start=41, w=5)

@@ -1,0 +1,93 @@
+"""Tests for passage merging and filtering."""
+
+from __future__ import annotations
+
+from repro import MatchPair, Passage, filter_passages, merge_passages
+
+
+def pair(doc=0, d=0, q=0, overlap=10):
+    return MatchPair(doc, d, q, overlap)
+
+
+class TestMergePassages:
+    def test_empty(self):
+        assert merge_passages([], w=10) == []
+
+    def test_single_pair(self):
+        passages = merge_passages([pair(0, 5, 7)], w=10)
+        assert passages == [
+            Passage(
+                doc_id=0,
+                data_span=(5, 14),
+                query_span=(7, 16),
+                num_pairs=1,
+                max_overlap=10,
+            )
+        ]
+
+    def test_diagonal_run_merges(self):
+        pairs = [pair(0, d=10 + i, q=20 + i) for i in range(30)]
+        passages = merge_passages(pairs, w=10)
+        assert len(passages) == 1
+        passage = passages[0]
+        assert passage.query_span == (20, 58)
+        assert passage.data_span == (10, 48)
+        assert passage.num_pairs == 30
+
+    def test_distant_matches_stay_separate(self):
+        pairs = [pair(0, d=0, q=0), pair(0, d=500, q=500)]
+        passages = merge_passages(pairs, w=10)
+        assert len(passages) == 2
+
+    def test_different_documents_never_merge(self):
+        pairs = [pair(0, 0, 0), pair(1, 0, 0)]
+        passages = merge_passages(pairs, w=10)
+        assert {p.doc_id for p in passages} == {0, 1}
+
+    def test_different_diagonals_stay_separate(self):
+        # Same query region matching two distant regions of one doc.
+        pairs = [pair(0, d=0, q=0), pair(0, d=400, q=2)]
+        passages = merge_passages(pairs, w=10)
+        assert len(passages) == 2
+
+    def test_diagonal_drift_tolerated(self):
+        # Insertions shift the diagonal gradually; drift within the gap
+        # keeps the passage whole.
+        pairs = [pair(0, d=i + i // 10, q=i) for i in range(0, 40, 2)]
+        passages = merge_passages(pairs, w=10, join_gap=8)
+        assert len(passages) == 1
+
+    def test_max_overlap_tracked(self):
+        pairs = [pair(0, 0, 0, overlap=8), pair(0, 1, 1, overlap=10)]
+        passages = merge_passages(pairs, w=10)
+        assert passages[0].max_overlap == 10
+
+    def test_default_join_gap_is_half_window(self):
+        # Gap of w//2 - 1 merges; a much larger gap does not.
+        near = [pair(0, 0, 0), pair(0, 13, 13)]
+        far = [pair(0, 0, 0), pair(0, 40, 40)]
+        assert len(merge_passages(near, w=10)) == 1  # windows touch (0-9, 13-22)?
+        assert len(merge_passages(far, w=10)) == 2
+
+    def test_passage_length(self):
+        passage = Passage(0, (0, 9), (5, 24), 3, 10)
+        assert passage.length == 20
+
+
+class TestFilterPassages:
+    def _passages(self):
+        return [
+            Passage(0, (0, 9), (0, 9), num_pairs=1, max_overlap=10),
+            Passage(0, (0, 49), (0, 49), num_pairs=20, max_overlap=10),
+        ]
+
+    def test_min_pairs(self):
+        kept = filter_passages(self._passages(), min_pairs=5)
+        assert len(kept) == 1 and kept[0].num_pairs == 20
+
+    def test_min_length(self):
+        kept = filter_passages(self._passages(), min_length=30)
+        assert len(kept) == 1 and kept[0].length == 50
+
+    def test_no_filters_keeps_all(self):
+        assert len(filter_passages(self._passages())) == 2

@@ -1,0 +1,159 @@
+"""Fixture-based tests for the real-corpus loaders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CorpusError
+from repro.corpus.plagiarism import ObfuscationLevel
+from repro.corpus.real_datasets import (
+    _char_span_to_tokens,
+    _tokenize_with_offsets,
+    load_medline_abstracts,
+    load_pan_corpus,
+    load_reuters_sgml,
+)
+from repro.tokenize import WhitespaceTokenizer
+
+
+class TestReuters:
+    def _write_sgm(self, tmp_path, bodies):
+        stories = "".join(
+            f'<REUTERS ID="{i}"><TEXT><TITLE>t</TITLE>'
+            f"<BODY>{body}</BODY></TEXT></REUTERS>\n"
+            for i, body in enumerate(bodies)
+        )
+        (tmp_path / "reut2-000.sgm").write_text(stories, encoding="latin-1")
+
+    def test_extracts_bodies(self, tmp_path):
+        long_body = "word " * 120
+        self._write_sgm(tmp_path, [long_body, "too short"])
+        collection = load_reuters_sgml(tmp_path, min_tokens=100)
+        assert len(collection) == 1
+        assert len(collection[0]) == 120
+
+    def test_unescapes_entities(self, tmp_path):
+        body = "profit &amp; loss " * 60
+        self._write_sgm(tmp_path, [body])
+        collection = load_reuters_sgml(tmp_path, min_tokens=10)
+        assert "&" in collection.vocabulary
+
+    def test_skips_bodyless_stories(self, tmp_path):
+        (tmp_path / "reut2-000.sgm").write_text(
+            '<REUTERS ID="0"><TEXT><TITLE>only title</TITLE></TEXT></REUTERS>'
+        )
+        collection = load_reuters_sgml(tmp_path, min_tokens=1)
+        assert len(collection) == 0
+
+    def test_missing_files(self, tmp_path):
+        with pytest.raises(CorpusError):
+            load_reuters_sgml(tmp_path)
+
+
+class TestMedline:
+    def test_parses_abstracts(self, tmp_path):
+        path = tmp_path / "ohsumed.87"
+        path.write_text(
+            ".I 1\n.U\n87001\n.W\n" + ("alpha " * 110) + "\n"
+            ".I 2\n.W\nshort abstract\n"
+            ".I 3\n.W\n" + ("beta " * 105) + "\n"
+        )
+        collection = load_medline_abstracts(path, min_tokens=100)
+        assert len(collection) == 2
+        assert collection[0].name == "medline-1"
+        assert collection[1].name == "medline-3"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CorpusError):
+            load_medline_abstracts(tmp_path / "nope")
+
+    def test_non_abstract_fields_ignored(self, tmp_path):
+        path = tmp_path / "x"
+        path.write_text(
+            ".I 9\n.T\nthe title not included\n.W\n"
+            + ("tok " * 120)
+            + "\n.S\nsource line\n"
+        )
+        collection = load_medline_abstracts(path, min_tokens=100)
+        assert len(collection) == 1
+        assert "title" not in collection.vocabulary
+
+
+class TestOffsets:
+    def test_tokenize_with_offsets(self):
+        tokens, starts = _tokenize_with_offsets(
+            "The quick  brown fox", WhitespaceTokenizer()
+        )
+        assert tokens == ["the", "quick", "brown", "fox"]
+        assert starts == [0, 4, 11, 17]
+
+    def test_char_span_to_tokens(self):
+        starts = [0, 4, 11, 17]
+        # Characters 4..15 cover tokens 1..2.
+        assert _char_span_to_tokens(starts, 4, 12) == (1, 2)
+        # A span before every token start maps to nothing.
+        assert _char_span_to_tokens(starts, 0, 0) is None
+        assert _char_span_to_tokens([], 0, 5) is None
+
+
+class TestPan:
+    def _write_pan(self, tmp_path):
+        src_dir = tmp_path / "source"
+        susp_dir = tmp_path / "suspicious"
+        src_dir.mkdir()
+        susp_dir.mkdir()
+        source_words = [f"s{i}" for i in range(150)]
+        (src_dir / "source-document00001.txt").write_text(" ".join(source_words))
+        # Suspicious doc: 50 own tokens + copy of source tokens 20..59.
+        own = [f"q{i}" for i in range(50)]
+        copied = source_words[20:60]
+        suspicious_words = own + copied
+        text = " ".join(suspicious_words)
+        (susp_dir / "suspicious-document00001.txt").write_text(text)
+        # Character offsets of the copied region.
+        this_offset = len(" ".join(own)) + 1
+        this_length = len(" ".join(copied))
+        source_offset = len(" ".join(source_words[:20])) + 1
+        source_length = len(" ".join(copied))
+        (susp_dir / "suspicious-document00001.xml").write_text(
+            '<?xml version="1.0"?>\n<document>\n'
+            f'<feature name="plagiarism" obfuscation="low" '
+            f'this_offset="{this_offset}" this_length="{this_length}" '
+            f'source_reference="source-document00001.txt" '
+            f'source_offset="{source_offset}" source_length="{source_length}"/>'
+            "\n</document>"
+        )
+        return src_dir, susp_dir
+
+    def test_loads_and_aligns_ground_truth(self, tmp_path):
+        src_dir, susp_dir = self._write_pan(tmp_path)
+        data, queries, truths = load_pan_corpus(src_dir, susp_dir, min_tokens=10)
+        assert len(data) == 1 and len(queries) == 1
+        assert len(truths) == 1
+        truth = truths[0]
+        assert truth.level is ObfuscationLevel.LOW
+        assert truth.query_span == (50, 89)
+        assert truth.data_span == (20, 59)
+        # The aligned spans really are copies of each other.
+        qlo, qhi = truth.query_span
+        dlo, dhi = truth.data_span
+        assert (
+            queries[0].tokens[qlo : qhi + 1]
+            == data[truth.data_doc_id].tokens[dlo : dhi + 1]
+        )
+
+    def test_search_finds_the_annotated_case(self, tmp_path):
+        from repro import PKWiseSearcher, SearchParams
+        from repro.eval import evaluate_quality
+
+        src_dir, susp_dir = self._write_pan(tmp_path)
+        data, queries, truths = load_pan_corpus(src_dir, susp_dir, min_tokens=10)
+        params = SearchParams(w=25, tau=5, k_max=3)
+        searcher = PKWiseSearcher(data, params)
+        results = {q.doc_id: searcher.search(q).pairs for q in queries}
+        report = evaluate_quality(results, truths, params.w)
+        assert report.recall == 1.0
+
+    def test_missing_directories(self, tmp_path):
+        with pytest.raises(CorpusError):
+            load_pan_corpus(tmp_path, tmp_path)

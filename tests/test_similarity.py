@@ -1,0 +1,80 @@
+"""Tests for similarity-threshold conversions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    ConfigurationError,
+    jaccard_to_overlap,
+    jaccard_to_tau,
+    overlap_to_jaccard,
+    tau_to_jaccard,
+)
+from repro.similarity import (
+    cosine_to_overlap,
+    dice_to_overlap,
+    overlap_to_dice,
+)
+
+
+class TestJaccard:
+    def test_known_values(self):
+        # O = w (identical windows): J = w / w = 1.
+        assert overlap_to_jaccard(10, 10) == 1.0
+        # O = 0: J = 0.
+        assert overlap_to_jaccard(10, 0) == 0.0
+        # w=4, O=3 (the paper's Example 1): J = 3 / 5.
+        assert overlap_to_jaccard(4, 3) == pytest.approx(0.6)
+
+    def test_jaccard_to_overlap_inverts(self):
+        # theta must be the smallest overlap achieving the threshold.
+        for w in (4, 25, 100):
+            for theta in range(1, w + 1):
+                jaccard = overlap_to_jaccard(w, theta)
+                assert jaccard_to_overlap(w, jaccard) == theta
+
+    def test_tau_roundtrip(self):
+        assert jaccard_to_tau(25, tau_to_jaccard(25, 5)) == 5
+
+    @settings(max_examples=50, deadline=None)
+    @given(w=st.integers(1, 200), data=st.data())
+    def test_conversion_is_conservative(self, w, data):
+        jaccard = data.draw(st.floats(0.01, 1.0))
+        theta = jaccard_to_overlap(w, jaccard)
+        # Windows meeting theta satisfy the Jaccard constraint ...
+        assert overlap_to_jaccard(w, theta) >= jaccard - 1e-7
+        # ... and theta-1 would not (unless theta = minimum).
+        if theta > 1:
+            assert overlap_to_jaccard(w, theta - 1) < jaccard
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            jaccard_to_overlap(0, 0.5)
+        with pytest.raises(ConfigurationError):
+            jaccard_to_overlap(10, 0.0)
+        with pytest.raises(ConfigurationError):
+            jaccard_to_overlap(10, 1.5)
+        with pytest.raises(ConfigurationError):
+            overlap_to_jaccard(10, 11)
+        with pytest.raises(ConfigurationError):
+            tau_to_jaccard(10, 10)
+
+
+class TestDiceCosine:
+    def test_dice_is_overlap_fraction(self):
+        assert overlap_to_dice(10, 7) == pytest.approx(0.7)
+        assert dice_to_overlap(10, 0.7) == 7
+        assert dice_to_overlap(10, 0.71) == 8  # conservative ceiling
+
+    def test_cosine_equals_dice_for_equal_sizes(self):
+        for w in (5, 30):
+            for value in (0.3, 0.65, 1.0):
+                assert cosine_to_overlap(w, value) == dice_to_overlap(w, value)
+
+    def test_bounds(self):
+        assert dice_to_overlap(10, 1.0) == 10
+        with pytest.raises(ConfigurationError):
+            dice_to_overlap(10, 0.0)

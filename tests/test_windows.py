@@ -1,0 +1,128 @@
+"""Tests for the window slider and rolling overlap."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.windows import RollingOverlap, WindowSlider, window_overlap
+
+
+class TestWindowOverlap:
+    def test_paper_example_multiset_semantics(self):
+        # {A,A,A,B} ∩ {A,A,B,B} = {A,A,B} (Section 2.1).
+        assert window_overlap([0, 0, 0, 1], [0, 0, 1, 1]) == 3
+
+    def test_disjoint(self):
+        assert window_overlap([1, 2], [3, 4]) == 0
+
+    def test_identical(self):
+        assert window_overlap([1, 1, 2], [1, 1, 2]) == 3
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        x=st.lists(st.integers(0, 6), min_size=0, max_size=20),
+        y=st.lists(st.integers(0, 6), min_size=0, max_size=20),
+    )
+    def test_symmetric_and_bounded(self, x, y):
+        overlap = window_overlap(x, y)
+        assert overlap == window_overlap(y, x)
+        assert 0 <= overlap <= min(len(x), len(y))
+
+
+class TestWindowSlider:
+    def test_windows_enumerated(self):
+        slider = WindowSlider([1, 2, 3, 4, 5], 3)
+        contents = []
+        for start, _out, _in in slider.slides():
+            contents.append((start, slider.sorted_window()))
+        assert contents == [
+            (0, [1, 2, 3]),
+            (1, [2, 3, 4]),
+            (2, [3, 4, 5]),
+        ]
+
+    def test_multiset_maintained_with_duplicates(self):
+        slider = WindowSlider([1, 1, 2, 1, 1], 3)
+        windows = [slider.sorted_window() for _ in slider.slides()]
+        assert windows == [[1, 1, 2], [1, 1, 2], [1, 1, 2]]
+
+    def test_short_sequence(self):
+        slider = WindowSlider([1, 2], 5)
+        assert slider.num_windows == 0
+        assert list(slider.slides()) == []
+
+    def test_exact_length(self):
+        slider = WindowSlider([4, 2, 7], 3)
+        assert slider.num_windows == 1
+        slides = list(slider.slides())
+        assert slides == [(0, None, None)]
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            WindowSlider([1], 0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        ranks=st.lists(st.integers(0, 9), min_size=1, max_size=40),
+        w=st.integers(1, 12),
+    )
+    def test_matches_fresh_sort(self, ranks, w):
+        slider = WindowSlider(ranks, w)
+        for start, _out, _in in slider.slides():
+            assert slider.sorted_window() == sorted(ranks[start : start + w])
+
+
+class TestRollingOverlap:
+    def test_initial_overlap(self):
+        rolling = RollingOverlap([1, 2, 3], [2, 3, 4])
+        assert rolling.overlap == 2
+
+    def test_slide_data_matches_reference(self):
+        data_seq = [1, 2, 3, 4, 5, 1, 2]
+        query = [2, 3, 1]
+        w = 3
+        rolling = RollingOverlap(data_seq[:w], query)
+        for start in range(1, len(data_seq) - w + 1):
+            rolling.slide_data(data_seq[start - 1], data_seq[start + w - 1])
+            assert rolling.overlap == window_overlap(
+                data_seq[start : start + w], query
+            )
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_random_walk_both_sides(self, seed):
+        rng = random.Random(seed)
+        w = rng.randint(1, 8)
+        data_seq = [rng.randrange(5) for _ in range(w + rng.randint(0, 15))]
+        query_seq = [rng.randrange(5) for _ in range(w + rng.randint(0, 15))]
+        rolling = RollingOverlap(data_seq[:w], query_seq[:w])
+        di = qi = 0
+        for _ in range(30):
+            move_data = rng.random() < 0.5
+            if move_data and di + w < len(data_seq):
+                rolling.slide_data(data_seq[di], data_seq[di + w])
+                di += 1
+            elif qi + w < len(query_seq):
+                rolling.slide_query(query_seq[qi], query_seq[qi + w])
+                qi += 1
+            assert rolling.overlap == window_overlap(
+                data_seq[di : di + w], query_seq[qi : qi + w]
+            )
+
+    def test_reset_data(self):
+        rolling = RollingOverlap([1, 2, 3], [3, 4, 5])
+        rolling.reset_data([3, 4, 5])
+        assert rolling.overlap == 3
+
+    def test_hash_ops_accounting(self):
+        rolling = RollingOverlap([1, 2, 3], [4, 5, 6])
+        assert rolling.hash_ops == 6  # two fills of w=3
+        rolling.slide_data(1, 9)
+        assert rolling.hash_ops == 10  # +4 per slide
+        rolling.slide_data(2, 2)  # no-op slide costs nothing
+        assert rolling.hash_ops == 10
