@@ -56,6 +56,7 @@ from .errors import (
     TokenizationError,
 )
 from .ordering import GlobalOrder
+from .parallel import ParallelExecutor
 from .params import SearchParams, suggested_subpartitions
 from .persistence import PersistenceError, load_bundle, load_searcher, save_searcher
 from .postprocess import Passage, filter_passages, merge_passages
@@ -89,6 +90,8 @@ __all__ = [
     "suggested_subpartitions",
     "SelfJoinPair",
     "local_similarity_self_join",
+    # Parallel execution
+    "ParallelExecutor",
     # Post-processing
     "Passage",
     "merge_passages",

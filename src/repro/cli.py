@@ -14,6 +14,10 @@ Examples::
     repro index  --data corpus/ --out corpus.idx -w 25 --tau 5
     repro search --index corpus.idx --query suspicious.txt
     repro selfjoin --data corpus/ -w 25 --tau 5
+
+All subcommands accept ``--jobs N`` to spread the work over ``N``
+worker processes (``--jobs 0`` = one per CPU); results are identical
+to single-process runs.
 """
 
 from __future__ import annotations
@@ -43,6 +47,16 @@ def _add_search_params(parser: argparse.ArgumentParser) -> None:
                         help="sub-partitions per class (default: paper rule)")
 
 
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-j", "--jobs", type=int, default=1,
+                        help="worker processes (0 = one per CPU; default 1)")
+
+
+def _jobs_from_args(args: argparse.Namespace) -> int | None:
+    """``--jobs`` as the library convention: None = auto, else N."""
+    return None if args.jobs == 0 else args.jobs
+
+
 def _params_from_args(args: argparse.Namespace) -> SearchParams:
     m = args.sub_partitions
     if m is None:
@@ -55,13 +69,15 @@ def _cmd_index(args: argparse.Namespace) -> int:
     from .ordering import GlobalOrder
 
     params = _params_from_args(args)
+    jobs = _jobs_from_args(args)
     print(f"loading corpus from {args.data} ...", file=sys.stderr)
     data = collection_from_directory(args.data, min_tokens=args.min_tokens)
     print(f"  {data}", file=sys.stderr)
 
-    order = GlobalOrder(data, params.w)
+    order = None
     scheme = None
     if args.greedy_partition:
+        order = GlobalOrder(data, params.w)
         print("running greedy token-universe partitioning ...", file=sys.stderr)
         partitioner = GreedyPartitioner(
             data, params, order=order,
@@ -75,7 +91,14 @@ def _cmd_index(args: argparse.Namespace) -> int:
         )
 
     start = time.perf_counter()
-    searcher = PKWiseSearcher(data, params, scheme=scheme, order=order)
+    if jobs != 1:
+        from .parallel import ParallelExecutor
+
+        searcher = ParallelExecutor(jobs=jobs).build_searcher(
+            data, params, scheme=scheme, order=order
+        )
+    else:
+        searcher = PKWiseSearcher(data, params, scheme=scheme, order=order)
     print(
         f"indexed {searcher.index.num_windows} windows "
         f"({searcher.index.num_postings} interval postings) in "
@@ -88,6 +111,8 @@ def _cmd_index(args: argparse.Namespace) -> int:
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
+    from .eval.harness import run_searcher
+
     searcher, data = load_bundle(args.index)
     if data is None:
         raise ReproError(
@@ -95,31 +120,40 @@ def _cmd_search(args: argparse.Namespace) -> int:
             "'repro index' to enable text reports"
         )
     params = searcher.params
-    text = Path(args.query).read_text(encoding="utf-8")
-    query = data.encode_query(text, name=Path(args.query).name)
-    result = searcher.search(query)
-    passages = filter_passages(
-        merge_passages(result.pairs, params.w),
-        min_pairs=args.min_pairs,
-    )
-    if not passages:
+    queries = [
+        data.encode_query(
+            Path(path).read_text(encoding="utf-8"), name=Path(path).name
+        )
+        for path in args.query
+    ]
+    run = run_searcher(searcher, queries, jobs=_jobs_from_args(args))
+    found_any = False
+    for position, query in enumerate(queries):
+        # encode_query yields doc_id -1, so the run keys by position.
+        pairs = run.results_by_query.get(position, [])
+        passages = filter_passages(
+            merge_passages(pairs, params.w),
+            min_pairs=args.min_pairs,
+        )
+        found_any = found_any or bool(passages)
+        for passage in passages:
+            document = data[passage.doc_id]
+            q_lo, q_hi = passage.query_span
+            d_lo, d_hi = passage.data_span
+            print(
+                f"{query.name}[{q_lo}:{q_hi + 1}] ~ "
+                f"{document.name}[{d_lo}:{d_hi + 1}] "
+                f"({passage.num_pairs} window pairs, "
+                f"best overlap {passage.max_overlap}/{params.w})"
+            )
+            if args.show_text:
+                snippet = " ".join(
+                    data.vocabulary.decode(query.tokens[q_lo : q_hi + 1])
+                )
+                print(f"    {snippet}")
+    if not found_any:
         print("no reused passages found")
         return 1
-    for passage in passages:
-        document = data[passage.doc_id]
-        q_lo, q_hi = passage.query_span
-        d_lo, d_hi = passage.data_span
-        print(
-            f"{query.name}[{q_lo}:{q_hi + 1}] ~ "
-            f"{document.name}[{d_lo}:{d_hi + 1}] "
-            f"({passage.num_pairs} window pairs, "
-            f"best overlap {passage.max_overlap}/{params.w})"
-        )
-        if args.show_text:
-            snippet = " ".join(
-                data.vocabulary.decode(query.tokens[q_lo : q_hi + 1])
-            )
-            print(f"    {snippet}")
     return 0
 
 
@@ -128,7 +162,10 @@ def _cmd_selfjoin(args: argparse.Namespace) -> int:
     data = collection_from_directory(args.data, min_tokens=args.min_tokens)
     print(f"loaded {data}", file=sys.stderr)
     pairs = local_similarity_self_join(
-        data, params, exclude_same_document_within=params.w
+        data,
+        params,
+        exclude_same_document_within=params.w,
+        jobs=_jobs_from_args(args),
     )
     if not pairs:
         print("no replicated windows found")
@@ -168,17 +205,20 @@ def build_parser() -> argparse.ArgumentParser:
     index_parser.add_argument("--sample-ratio", type=float, default=0.01,
                               help="surrogate workload sample ratio")
     _add_search_params(index_parser)
+    _add_jobs_flag(index_parser)
     index_parser.set_defaults(func=_cmd_index)
 
     search_parser = subparsers.add_parser(
         "search", help="search a query file against a saved index"
     )
     search_parser.add_argument("--index", required=True, help="saved index file")
-    search_parser.add_argument("--query", required=True, help="query .txt file")
+    search_parser.add_argument("--query", required=True, action="append",
+                               help="query .txt file (repeat for a batch)")
     search_parser.add_argument("--min-pairs", type=int, default=2,
                                help="min window pairs per reported passage")
     search_parser.add_argument("--show-text", action="store_true",
                                help="print the reused query text")
+    _add_jobs_flag(search_parser)
     search_parser.set_defaults(func=_cmd_search)
 
     selfjoin_parser = subparsers.add_parser(
@@ -188,6 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="directory of .txt files")
     selfjoin_parser.add_argument("--min-tokens", type=int, default=0)
     _add_search_params(selfjoin_parser)
+    _add_jobs_flag(selfjoin_parser)
     selfjoin_parser.set_defaults(func=_cmd_selfjoin)
 
     return parser

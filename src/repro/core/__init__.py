@@ -14,7 +14,7 @@ benchmarks.
 from .base import MatchPair, SearchResult, SearchStats
 from .pkwise import PKWiseSearcher
 from .pkwise_nonint import PKWiseNonIntervalSearcher
-from .selfjoin import SelfJoinPair, local_similarity_self_join
+from .selfjoin import SelfJoinPair, document_join_pairs, local_similarity_self_join
 from .verify import IntervalVerifier
 from .weighted import WeightedMatchPair, WeightedPKWiseSearcher
 
@@ -28,5 +28,6 @@ __all__ = [
     "WeightedMatchPair",
     "IntervalVerifier",
     "SelfJoinPair",
+    "document_join_pairs",
     "local_similarity_self_join",
 ]

@@ -7,7 +7,7 @@ benchmarks can decompose phase costs uniformly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import NamedTuple
 
 
@@ -72,17 +72,18 @@ class SearchStats:
 
     def merge(self, other: "SearchStats") -> None:
         """Accumulate another query's stats into this one (in place)."""
-        self.signature_time += other.signature_time
-        self.candidate_time += other.candidate_time
-        self.verify_time += other.verify_time
-        self.signature_tokens += other.signature_tokens
-        self.signatures_generated += other.signatures_generated
-        self.postings_entries += other.postings_entries
-        self.hash_ops += other.hash_ops
-        self.candidate_windows += other.candidate_windows
-        self.num_results += other.num_results
-        self.shared_windows += other.shared_windows
-        self.changed_windows += other.changed_windows
+        for spec in fields(self):
+            setattr(
+                self,
+                spec.name,
+                getattr(self, spec.name) + getattr(other, spec.name),
+            )
+
+    def to_dict(self) -> dict:
+        """All fields (plus ``total_time``) as a JSON-ready dict."""
+        row = {spec.name: getattr(self, spec.name) for spec in fields(self)}
+        row["total_time"] = self.total_time
+        return row
 
 
 @dataclass

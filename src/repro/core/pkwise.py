@@ -124,6 +124,46 @@ class PKWiseSearcher:
         for doc_id, ranks in enumerate(self.rank_docs):
             self.index.add_document(doc_id, ranks)
         self.index_build_seconds = time.perf_counter() - build_start
+        #: Per-worker build reports when constructed by
+        #: :meth:`repro.parallel.ParallelExecutor.build_searcher`.
+        self.build_worker_reports: list = []
+
+    @classmethod
+    def from_prebuilt(
+        cls,
+        params: SearchParams,
+        order: GlobalOrder,
+        scheme: PartitionScheme,
+        index: IntervalIndex,
+        rank_docs: list[list[int]],
+        build_seconds: float = 0.0,
+    ) -> "PKWiseSearcher":
+        """Assemble a searcher around an already-built interval index.
+
+        Used by :mod:`repro.parallel` after merging per-worker partial
+        indexes; the parts must be mutually consistent (``rank_docs[i]``
+        is document ``i``'s rank sequence under ``order``, and ``index``
+        covers exactly those documents with ``scheme``/``params``).
+        """
+        if scheme.m != params.m:
+            raise ConfigurationError(
+                f"scheme.m ({scheme.m}) disagrees with params.m ({params.m})"
+            )
+        if index.w != params.w or index.tau != params.tau:
+            raise ConfigurationError(
+                f"index built for (w={index.w}, tau={index.tau}) but params "
+                f"are (w={params.w}, tau={params.tau})"
+            )
+        self = cls.__new__(cls)
+        self.params = params
+        self.order = order
+        self.scheme = scheme
+        self.rank_docs = rank_docs
+        self._removed = set()
+        self.index = index
+        self.index_build_seconds = build_seconds
+        self.build_worker_reports = []
+        return self
 
     # ------------------------------------------------------------------
     # Incremental maintenance

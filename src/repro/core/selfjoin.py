@@ -34,12 +34,46 @@ class SelfJoinPair(NamedTuple):
     overlap: int
 
 
+def document_join_pairs(
+    searcher: PKWiseSearcher,
+    document,
+    exclude_same_document_within: int | None = None,
+) -> list[SelfJoinPair]:
+    """One document's self-join contribution (canonical orientation).
+
+    Runs ``document`` as a query against ``searcher`` and keeps only the
+    pairs whose left side sorts strictly below the right side, so
+    summing this over any partition of the collection yields each
+    unordered pair exactly once — the unit of work for both the serial
+    join and the parallel document-pair blocks.
+    """
+    results: list[SelfJoinPair] = []
+    for pair in searcher.search(document).pairs:
+        left = (pair.doc_id, pair.data_start)
+        right = (document.doc_id, pair.query_start)
+        if left >= right:
+            continue  # identity pair, or the mirror orientation
+        if (
+            exclude_same_document_within is not None
+            and pair.doc_id == document.doc_id
+            and abs(pair.data_start - pair.query_start)
+            <= exclude_same_document_within
+        ):
+            continue
+        results.append(
+            SelfJoinPair(left[0], left[1], right[0], right[1], pair.overlap)
+        )
+    return results
+
+
 def local_similarity_self_join(
     data: DocumentCollection,
     params: SearchParams,
     scheme: PartitionScheme | None = None,
     order: GlobalOrder | None = None,
     exclude_same_document_within: int | None = None,
+    jobs: int = 1,
+    start_method: str | None = None,
 ) -> list[SelfJoinPair]:
     """All window pairs of ``data`` with ``w - O(x, y) <= tau``.
 
@@ -51,26 +85,27 @@ def local_similarity_self_join(
     overlapping windows of one document trivially share most tokens, and
     dedup pipelines rarely want them.  Pass ``params.w`` to drop exactly
     the self-overlapping pairs; ``None`` keeps everything.
+
+    ``jobs`` distributes both the index build and the join itself over
+    that many worker processes (``None`` = one per CPU); the output is
+    identical to the serial join.
     """
+    if jobs is None or jobs != 1:
+        from ..parallel import ParallelExecutor
+
+        executor = ParallelExecutor(jobs=jobs, start_method=start_method)
+        return executor.self_join(
+            data,
+            params,
+            scheme=scheme,
+            order=order,
+            exclude_same_document_within=exclude_same_document_within,
+        )
     searcher = PKWiseSearcher(data, params, scheme=scheme, order=order)
     results: list[SelfJoinPair] = []
     for document in data:
-        for pair in searcher.search(document).pairs:
-            left = (pair.doc_id, pair.data_start)
-            right = (document.doc_id, pair.query_start)
-            if left >= right:
-                continue  # identity pair, or the mirror orientation
-            if (
-                exclude_same_document_within is not None
-                and pair.doc_id == document.doc_id
-                and abs(pair.data_start - pair.query_start)
-                <= exclude_same_document_within
-            ):
-                continue
-            results.append(
-                SelfJoinPair(
-                    left[0], left[1], right[0], right[1], pair.overlap
-                )
-            )
+        results.extend(
+            document_join_pairs(searcher, document, exclude_same_document_within)
+        )
     results.sort()
     return results

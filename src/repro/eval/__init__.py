@@ -15,7 +15,7 @@ from .analysis import (
     selectivity_by_class,
 )
 from .export import aggregate_to_row, quality_to_row, write_csv, write_json
-from .harness import AggregateRun, run_searcher
+from .harness import AggregateRun, WorkerReport, canonical_pair_order, run_searcher
 from .metrics import QualityReport, evaluate_quality
 from .report import format_seconds, print_table
 
@@ -23,6 +23,8 @@ __all__ = [
     "QualityReport",
     "evaluate_quality",
     "AggregateRun",
+    "WorkerReport",
+    "canonical_pair_order",
     "run_searcher",
     "print_table",
     "format_seconds",

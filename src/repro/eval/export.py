@@ -23,7 +23,6 @@ def aggregate_to_row(run: AggregateRun, **extra) -> dict:
     ``extra`` key-values (e.g. ``w=100, tau=5``) are prepended so sweep
     parameters travel with the measurements.
     """
-    stats = run.stats
     row = dict(extra)
     row.update(
         {
@@ -31,19 +30,14 @@ def aggregate_to_row(run: AggregateRun, **extra) -> dict:
             "num_queries": run.num_queries,
             "total_seconds": run.total_seconds,
             "avg_query_seconds": run.avg_query_seconds,
-            "signature_seconds": stats.signature_time,
-            "candidate_seconds": stats.candidate_time,
-            "verify_seconds": stats.verify_time,
-            "signature_tokens": stats.signature_tokens,
-            "signatures_generated": stats.signatures_generated,
-            "postings_entries": stats.postings_entries,
-            "hash_ops": stats.hash_ops,
-            "candidate_windows": stats.candidate_windows,
-            "num_results": stats.num_results,
-            "shared_windows": stats.shared_windows,
-            "changed_windows": stats.changed_windows,
         }
     )
+    # Column names keep the historical *_seconds suffix for the phase
+    # times; the counters pass through under their SearchStats names.
+    for key, value in run.stats.to_dict().items():
+        if key == "total_time":
+            continue
+        row[key.replace("_time", "_seconds")] = value
     return row
 
 

@@ -5,6 +5,10 @@ an :class:`AggregateRun` with the per-query averages the paper reports
 (average query processing time, per-phase split, candidate and result
 counts).  Wall-clock per phase comes from the searchers' own
 instrumentation (:class:`~repro.core.SearchStats`).
+
+With ``jobs > 1`` the workload is sharded across a process pool by
+:class:`~repro.parallel.ParallelExecutor`; the merged run carries one
+:class:`WorkerReport` per pool worker so load skew is visible.
 """
 
 from __future__ import annotations
@@ -16,6 +20,39 @@ from ..core.base import MatchPair, SearchStats
 from ..corpus import Document
 
 
+def canonical_pair_order(pairs: list[MatchPair]) -> list[MatchPair]:
+    """Pairs sorted by (doc_id, data_start, query_start).
+
+    The canonical per-query result order: every execution path (serial,
+    sharded, any worker count) reports the same byte sequence of pairs,
+    so parity checks never depend on generation order.
+    """
+    return sorted(
+        pairs, key=lambda pair: (pair.doc_id, pair.data_start, pair.query_start)
+    )
+
+
+@dataclass
+class WorkerReport:
+    """One pool worker's share of a parallel run."""
+
+    worker_id: int
+    chunks: int = 0
+    num_queries: int = 0
+    seconds: float = 0.0
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary of this worker's share."""
+        return {
+            "worker_id": self.worker_id,
+            "chunks": self.chunks,
+            "num_queries": self.num_queries,
+            "seconds": self.seconds,
+            "stats": self.stats.to_dict(),
+        }
+
+
 @dataclass
 class AggregateRun:
     """Summary of one algorithm over one workload."""
@@ -25,6 +62,8 @@ class AggregateRun:
     total_seconds: float
     stats: SearchStats
     results_by_query: dict[int, list[MatchPair]] = field(default_factory=dict)
+    jobs: int = 1
+    worker_reports: list[WorkerReport] = field(default_factory=list)
 
     @property
     def avg_query_seconds(self) -> float:
@@ -35,6 +74,20 @@ class AggregateRun:
     def num_results(self) -> int:
         """Total match pairs across the workload."""
         return self.stats.num_results
+
+    @property
+    def worker_skew(self) -> float:
+        """Max over mean of per-worker busy seconds (1.0 = balanced).
+
+        A skew of 2.0 means the slowest worker was busy twice as long as
+        the average one — the workload sharded unevenly and the slowest
+        worker bounds the wall clock.  Serial runs report 1.0.
+        """
+        busy = [report.seconds for report in self.worker_reports]
+        if len(busy) <= 1:
+            return 1.0
+        mean = sum(busy) / len(busy)
+        return max(busy) / mean if mean > 0 else 1.0
 
     def phase_row(self) -> str:
         """Phase-decomposed row (Figure 6 style); all times per query."""
@@ -48,13 +101,75 @@ class AggregateRun:
             f"results={self.num_results}"
         )
 
+    def worker_rows(self) -> list[str]:
+        """One formatted line per worker (empty for serial runs)."""
+        return [
+            f"worker {report.worker_id:<3} chunks={report.chunks:<4} "
+            f"queries={report.num_queries:<5} busy={report.seconds * 1e3:9.2f}ms"
+            for report in self.worker_reports
+        ]
 
-def run_searcher(searcher, queries: list[Document], name: str | None = None) -> AggregateRun:
+    def to_dict(self, include_results: bool = False) -> dict:
+        """JSON-ready dict of the run (no hand-rolled field lists).
+
+        ``include_results`` additionally embeds every match pair, keyed
+        by query id; leave it off for benchmark records where only the
+        aggregates matter.
+        """
+        row = {
+            "name": self.name,
+            "num_queries": self.num_queries,
+            "total_seconds": self.total_seconds,
+            "avg_query_seconds": self.avg_query_seconds,
+            "num_results": self.num_results,
+            "jobs": self.jobs,
+            "worker_skew": self.worker_skew,
+            "stats": self.stats.to_dict(),
+            "workers": [report.to_dict() for report in self.worker_reports],
+        }
+        if include_results:
+            row["results_by_query"] = {
+                str(query_id): [list(pair) for pair in pairs]
+                for query_id, pairs in self.results_by_query.items()
+            }
+        return row
+
+
+def run_searcher(
+    searcher,
+    queries: list[Document],
+    name: str | None = None,
+    *,
+    jobs: int = 1,
+    start_method: str | None = None,
+    chunk_size: int | None = None,
+) -> AggregateRun:
     """Run ``searcher.search`` over every query, collecting aggregates.
 
     The searcher only needs a ``search(query) -> SearchResult`` method
-    (all core and baseline searchers qualify).
+    (all core and baseline searchers qualify).  Per-query result lists
+    are in canonical (doc_id, data_start, query_start) order regardless
+    of how the searcher emitted them.
+
+    ``jobs`` shards the workload over that many worker processes
+    (``None`` = one per CPU); results are merged back deterministically,
+    identical to the serial run.  ``start_method`` and ``chunk_size``
+    are forwarded to :class:`~repro.parallel.ParallelExecutor`.
     """
+    if jobs is None or jobs != 1:
+        from ..parallel import ParallelExecutor
+
+        executor = ParallelExecutor(
+            jobs=jobs, start_method=start_method, chunk_size=chunk_size
+        )
+        return executor.run_workload(searcher, queries, name=name)
+    return serial_run(searcher, queries, name=name)
+
+
+def serial_run(
+    searcher, queries: list[Document], name: str | None = None
+) -> AggregateRun:
+    """The single-process workload loop behind :func:`run_searcher`."""
     total_stats = SearchStats()
     results_by_query: dict[int, list[MatchPair]] = {}
     start = time.perf_counter()
@@ -62,7 +177,7 @@ def run_searcher(searcher, queries: list[Document], name: str | None = None) -> 
         result = searcher.search(query)
         total_stats.merge(result.stats)
         query_id = query.doc_id if query.doc_id >= 0 else index
-        results_by_query[query_id] = result.pairs
+        results_by_query[query_id] = canonical_pair_order(result.pairs)
     total_seconds = time.perf_counter() - start
     return AggregateRun(
         name=name if name is not None else getattr(searcher, "name", "searcher"),

@@ -1,0 +1,22 @@
+"""Multi-core batch execution (query sharding, build, self-join).
+
+The pkwise pipeline is embarrassingly parallel at two natural grains:
+queries within a workload, and data-document partitions within index
+construction or a self-join.  :class:`ParallelExecutor` exploits both
+with a process pool (pure-Python hot loops gain nothing from threads
+under the GIL) while guaranteeing that every parallel code path returns
+exactly what the serial path returns, in the same order.
+
+Worker state transport
+----------------------
+Workers need the read-only searcher (or collection).  On POSIX the pool
+uses the ``fork`` start method and workers inherit it through
+copy-on-write memory — zero serialization cost.  Where ``fork`` is
+unavailable (Windows, macOS default) the executor falls back to
+``spawn``: a :class:`~repro.PKWiseSearcher` travels through a temporary
+:mod:`repro.persistence` index file, any other payload through pickle.
+"""
+
+from .executor import ParallelExecutor, split_blocks
+
+__all__ = ["ParallelExecutor", "split_blocks"]

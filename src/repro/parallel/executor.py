@@ -1,0 +1,339 @@
+"""The multi-core execution engine behind ``--jobs``.
+
+:class:`ParallelExecutor` runs the three batch-shaped operations of the
+library — a query workload, index construction, and the all-pairs
+self-join — across a process pool, with three invariants:
+
+* **Determinism.**  Every operation returns exactly what its serial
+  counterpart returns: per-query pair lists in canonical order, an
+  interval index with byte-identical postings lists, self-join pairs in
+  sorted order.  Chunks are reassembled by index, never by arrival.
+* **Chunked dispatch.**  Work is cut into ~``CHUNKS_PER_WORKER`` pieces
+  per worker so one slow shard cannot idle the rest of the pool; the
+  resulting skew is measured and reported per worker.
+* **Graceful degradation.**  ``jobs=1`` (or trivially small inputs)
+  bypasses the pool entirely and runs the serial code in-process.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import tempfile
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+from ..core.base import SearchStats
+from ..core.pkwise import PKWiseSearcher, default_scheme
+from ..corpus import Document, DocumentCollection
+from ..errors import ConfigurationError
+from ..eval.harness import (
+    AggregateRun,
+    WorkerReport,
+    canonical_pair_order,
+    serial_run,
+)
+from ..index.interval_index import IntervalIndex
+from ..ordering import GlobalOrder
+from ..params import SearchParams
+from ..partition.scheme import PartitionScheme
+from . import worker
+
+#: Target number of chunks dispatched per pool worker.  More chunks
+#: smooth out skew between uneven shards; fewer chunks amortize task
+#: pickling better.  4 is the usual sweet spot for workloads of tens to
+#: thousands of items.
+CHUNKS_PER_WORKER = 4
+
+
+def split_blocks(total: int, parts: int) -> list[tuple[int, int]]:
+    """Cut ``range(total)`` into at most ``parts`` contiguous blocks.
+
+    Blocks differ in size by at most one and are returned in order, so
+    concatenating per-block results preserves item order.
+    """
+    parts = max(1, min(parts, total))
+    base, remainder = divmod(total, parts)
+    blocks = []
+    lo = 0
+    for part in range(parts):
+        hi = lo + base + (1 if part < remainder else 0)
+        blocks.append((lo, hi))
+        lo = hi
+    return blocks
+
+
+class ParallelExecutor:
+    """Process-pool execution of workloads, builds, and self-joins.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``None`` means one per CPU.  ``1`` disables
+        the pool (serial pass-through).
+    start_method:
+        ``"fork"`` (POSIX; workers inherit state through copy-on-write)
+        or ``"spawn"`` (portable; state travels through a persisted
+        index file or pickle).  ``None`` picks ``fork`` when available.
+    chunk_size:
+        Items per dispatched chunk; ``None`` derives it from the
+        workload size and ``CHUNKS_PER_WORKER``.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        start_method: str | None = None,
+        chunk_size: int | None = None,
+    ) -> None:
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        available = multiprocessing.get_all_start_methods()
+        if start_method is None:
+            start_method = "fork" if "fork" in available else "spawn"
+        elif start_method not in available:
+            raise ConfigurationError(
+                f"start method {start_method!r} not available here "
+                f"(have: {', '.join(available)})"
+            )
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.jobs = jobs
+        self.start_method = start_method
+        self.chunk_size = chunk_size
+
+    # ------------------------------------------------------------------
+    # Pool plumbing
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _pool(self, state, processes: int, persist: bool = False):
+        """A pool whose workers all see ``state`` as ``worker._STATE``.
+
+        ``persist`` routes a :class:`PKWiseSearcher` state through a
+        temporary :mod:`repro.persistence` file under ``spawn`` (the
+        searcher is by far the largest payload, and the versioned file
+        format already knows how to carry it); other payloads are
+        pickled straight into the pool initializer.
+        """
+        context = multiprocessing.get_context(self.start_method)
+        temp_dir: tempfile.TemporaryDirectory | None = None
+        if self.start_method == "fork":
+            worker.set_forked_state(state)
+            pool = context.Pool(processes)
+        elif persist and isinstance(state, PKWiseSearcher):
+            from ..persistence import save_searcher
+
+            temp_dir = tempfile.TemporaryDirectory(prefix="repro-parallel-")
+            index_path = Path(temp_dir.name) / "searcher.idx"
+            save_searcher(state, index_path)
+            pool = context.Pool(
+                processes,
+                initializer=worker.init_searcher_file,
+                initargs=(str(index_path),),
+            )
+        else:
+            pool = context.Pool(
+                processes, initializer=worker.init_state, initargs=(state,)
+            )
+        try:
+            yield pool
+        finally:
+            pool.close()
+            pool.join()
+            if self.start_method == "fork":
+                worker.clear_forked_state()
+            if temp_dir is not None:
+                temp_dir.cleanup()
+
+    def _chunk(self, items: list) -> list[list]:
+        """Cut ``items`` into dispatch chunks (order-preserving)."""
+        if not items:
+            return []
+        if self.chunk_size is not None:
+            size = self.chunk_size
+        else:
+            size = max(1, math.ceil(len(items) / (self.jobs * CHUNKS_PER_WORKER)))
+        return [items[lo : lo + size] for lo in range(0, len(items), size)]
+
+    @staticmethod
+    def _reports_by_pid(raw_chunks) -> list[WorkerReport]:
+        """Fold ``(chunk_index, pid, elapsed, ...)`` rows into reports."""
+        by_pid: dict[int, WorkerReport] = {}
+        for row in raw_chunks:
+            pid, elapsed = row[1], row[2]
+            report = by_pid.setdefault(pid, WorkerReport(worker_id=0))
+            report.chunks += 1
+            report.seconds += elapsed
+        reports = [by_pid[pid] for pid in sorted(by_pid)]
+        for worker_id, report in enumerate(reports):
+            report.worker_id = worker_id
+        return reports
+
+    # ------------------------------------------------------------------
+    # (a) Query-workload sharding
+    # ------------------------------------------------------------------
+    def run_workload(
+        self, searcher, queries: list[Document], name: str | None = None
+    ) -> AggregateRun:
+        """Shard ``queries`` over the pool; merge into an AggregateRun.
+
+        The merged run is identical to :func:`~repro.eval.serial_run`
+        on the same inputs — per-query pair lists in canonical order,
+        ``results_by_query`` keyed and inserted in workload order —
+        plus per-worker skew reports.  Timing fields reflect the
+        parallel wall clock, never the serial one.
+        """
+        if self.jobs == 1 or len(queries) <= 1:
+            return serial_run(searcher, queries, name=name)
+        chunks = self._chunk(list(enumerate(queries)))
+        tasks = list(enumerate(chunks))
+        processes = min(self.jobs, len(tasks))
+        started = time.perf_counter()
+        with self._pool(searcher, processes, persist=True) as pool:
+            raw = pool.map(worker.search_chunk, tasks)
+        total_seconds = time.perf_counter() - started
+
+        raw.sort(key=lambda row: row[0])
+        total_stats = SearchStats()
+        rows = []
+        by_pid: dict[int, tuple[list, SearchStats]] = {}
+        for _chunk_index, pid, _elapsed, chunk_stats, chunk_rows in raw:
+            total_stats.merge(chunk_stats)
+            rows.extend(chunk_rows)
+            counter, pid_stats = by_pid.setdefault(pid, ([0], SearchStats()))
+            counter[0] += len(chunk_rows)
+            pid_stats.merge(chunk_stats)
+        reports = self._reports_by_pid(raw)
+        for worker_id, pid in enumerate(sorted(by_pid)):
+            reports[worker_id].num_queries = by_pid[pid][0][0]
+            reports[worker_id].stats = by_pid[pid][1]
+
+        rows.sort(key=lambda row: row[0])
+        results_by_query: dict[int, list] = {}
+        for position, doc_id, pairs in rows:
+            query_id = doc_id if doc_id >= 0 else position
+            results_by_query[query_id] = canonical_pair_order(pairs)
+
+        return AggregateRun(
+            name=name if name is not None else getattr(searcher, "name", "searcher"),
+            num_queries=len(queries),
+            total_seconds=total_seconds,
+            stats=total_stats,
+            results_by_query=results_by_query,
+            jobs=processes,
+            worker_reports=reports,
+        )
+
+    # ------------------------------------------------------------------
+    # (b) Parallel index construction
+    # ------------------------------------------------------------------
+    def build_searcher(
+        self,
+        data: DocumentCollection,
+        params: SearchParams,
+        scheme: PartitionScheme | None = None,
+        order: GlobalOrder | None = None,
+        hashed: bool = False,
+    ) -> PKWiseSearcher:
+        """Build a :class:`PKWiseSearcher` by document partition.
+
+        Two pool phases: (1) per-block window-frequency vectors, summed
+        elementwise into the exact global vector the serial
+        :class:`GlobalOrder` would compute; (2) per-block partial
+        interval indexes, merged in block order so every postings list
+        matches the serial build byte for byte.
+        """
+        started = time.perf_counter()
+        if self.jobs == 1 or len(data) <= 1:
+            return PKWiseSearcher(
+                data, params, scheme=scheme, order=order, hashed=hashed
+            )
+        if order is None:
+            blocks = split_blocks(len(data), self.jobs * CHUNKS_PER_WORKER)
+            tasks = [(i, lo, hi) for i, (lo, hi) in enumerate(blocks)]
+            with self._pool((data, params.w), min(self.jobs, len(tasks))) as pool:
+                raw = pool.map(worker.frequency_chunk, tasks)
+            frequencies = [0] * len(data.vocabulary)
+            for _chunk_index, _pid, _elapsed, partial in raw:
+                for token_id, count in enumerate(partial):
+                    frequencies[token_id] += count
+            order = GlobalOrder.from_frequencies(
+                data.vocabulary, params.w, frequencies, data.total_windows(params.w)
+            )
+        if scheme is None:
+            scheme = default_scheme(params, order)
+
+        blocks = split_blocks(len(data), self.jobs * CHUNKS_PER_WORKER)
+        tasks = [(i, lo, hi) for i, (lo, hi) in enumerate(blocks)]
+        state = (data, params, scheme, order, hashed)
+        with self._pool(state, min(self.jobs, len(tasks))) as pool:
+            raw = pool.map(worker.index_chunk, tasks)
+        raw.sort(key=lambda row: row[0])
+        index = IntervalIndex(params.w, params.tau, scheme, hashed=hashed)
+        rank_docs: list[list[int]] = []
+        for _chunk_index, _pid, _elapsed, partial_index, partial_ranks in raw:
+            index.merge(partial_index)
+            rank_docs.extend(partial_ranks)
+        searcher = PKWiseSearcher.from_prebuilt(
+            params,
+            order,
+            scheme,
+            index,
+            rank_docs,
+            build_seconds=time.perf_counter() - started,
+        )
+        searcher.build_worker_reports = self._reports_by_pid(raw)
+        return searcher
+
+    # ------------------------------------------------------------------
+    # (c) Parallel self-join
+    # ------------------------------------------------------------------
+    def self_join(
+        self,
+        data: DocumentCollection,
+        params: SearchParams,
+        scheme: PartitionScheme | None = None,
+        order: GlobalOrder | None = None,
+        exclude_same_document_within: int | None = None,
+        searcher: PKWiseSearcher | None = None,
+    ) -> list:
+        """All-pairs self-join sharded by document-pair blocks.
+
+        Each block is one slice of probe documents joined against the
+        whole collection; the canonical-orientation filter already
+        deduplicates across blocks, and the final sort makes the output
+        identical to the serial join.  Pass a prebuilt ``searcher`` to
+        skip (re)building the index.
+        """
+        from ..core.selfjoin import document_join_pairs
+
+        if searcher is None:
+            searcher = self.build_searcher(data, params, scheme=scheme, order=order)
+        documents = list(data)
+        if self.jobs == 1 or len(documents) <= 1:
+            results = []
+            for document in documents:
+                results.extend(
+                    document_join_pairs(
+                        searcher, document, exclude_same_document_within
+                    )
+                )
+            results.sort()
+            return results
+        chunks = self._chunk(documents)
+        tasks = [
+            (chunk_index, chunk, exclude_same_document_within)
+            for chunk_index, chunk in enumerate(chunks)
+        ]
+        processes = min(self.jobs, len(tasks))
+        with self._pool(searcher, processes, persist=True) as pool:
+            raw = pool.map(worker.selfjoin_chunk, tasks)
+        results = []
+        for _chunk_index, _pid, _elapsed, pairs in raw:
+            results.extend(pairs)
+        results.sort()
+        return results

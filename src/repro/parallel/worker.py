@@ -1,0 +1,133 @@
+"""Pool-worker entry points for :class:`~repro.parallel.ParallelExecutor`.
+
+Everything here runs inside worker processes.  The shared read-only
+state (a searcher, or the pieces of an index build) lives in the module
+global ``_STATE``: under the ``fork`` start method the parent sets it
+before creating the pool and children inherit it for free; under
+``spawn`` a pool initializer repopulates it in each child — from a
+:mod:`repro.persistence` file for searchers, from a pickled payload
+otherwise.
+
+Task functions take one picklable tuple and return
+``(chunk_index, pid, elapsed_seconds, ...)`` so the parent can reorder
+chunks deterministically and attribute busy time to workers.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from ..core.base import SearchStats
+from ..core.selfjoin import document_join_pairs
+from ..index.interval_index import IntervalIndex
+from ..ordering.global_order import window_frequencies_of_documents
+
+#: Read-only shared state for the current pool generation.
+_STATE = None
+
+
+def set_forked_state(state) -> None:
+    """Parent-side: expose ``state`` to children of the next ``fork``."""
+    global _STATE
+    _STATE = state
+
+
+def clear_forked_state() -> None:
+    """Parent-side: drop the shared reference once the pool is gone."""
+    global _STATE
+    _STATE = None
+
+
+def init_state(payload) -> None:
+    """Pool initializer (spawn fallback): install a pickled payload."""
+    global _STATE
+    _STATE = payload
+
+
+def init_searcher_file(path: str) -> None:
+    """Pool initializer (spawn fallback): load a persisted searcher."""
+    from ..persistence import load_searcher
+
+    global _STATE
+    _STATE = load_searcher(path)
+
+
+# ----------------------------------------------------------------------
+# Task functions
+# ----------------------------------------------------------------------
+def search_chunk(task):
+    """Run one chunk of queries against the shared searcher.
+
+    ``task`` is ``(chunk_index, [(position, query), ...])`` where
+    ``position`` is the query's index in the original workload; results
+    come back per query so the parent can restore workload order.
+    """
+    chunk_index, numbered_queries = task
+    searcher = _STATE
+    stats = SearchStats()
+    rows = []
+    started = time.perf_counter()
+    for position, query in numbered_queries:
+        result = searcher.search(query)
+        stats.merge(result.stats)
+        rows.append((position, query.doc_id, result.pairs))
+    elapsed = time.perf_counter() - started
+    return chunk_index, os.getpid(), elapsed, stats, rows
+
+
+def frequency_chunk(task):
+    """Window-frequency vector over one contiguous document block.
+
+    Shared state: ``(data, w)``.  The vectors of all blocks sum
+    elementwise to ``window_frequencies(data, w)``.
+    """
+    chunk_index, lo, hi = task
+    data, w = _STATE
+    started = time.perf_counter()
+    freq = window_frequencies_of_documents(
+        (data[doc_id] for doc_id in range(lo, hi)), len(data.vocabulary), w
+    )
+    elapsed = time.perf_counter() - started
+    return chunk_index, os.getpid(), elapsed, freq
+
+
+def index_chunk(task):
+    """Partial interval index over one contiguous document block.
+
+    Shared state: ``(data, params, scheme, order, hashed)``.  Merging
+    the partial indexes in block order reproduces the serial build
+    exactly (see :meth:`~repro.index.interval_index.IntervalIndex.merge`).
+    """
+    chunk_index, lo, hi = task
+    data, params, scheme, order, hashed = _STATE
+    started = time.perf_counter()
+    index = IntervalIndex(params.w, params.tau, scheme, hashed=hashed)
+    rank_docs = []
+    for doc_id in range(lo, hi):
+        ranks = order.rank_document(data[doc_id])
+        rank_docs.append(ranks)
+        index.add_document(doc_id, ranks)
+    elapsed = time.perf_counter() - started
+    return chunk_index, os.getpid(), elapsed, index, rank_docs
+
+
+def selfjoin_chunk(task):
+    """Self-join pairs for one block of probe documents.
+
+    ``task`` is ``(chunk_index, documents, exclude_same_document_within)``;
+    the shared state is the searcher over the full collection.  Each
+    block covers the document-pair rectangle (block x whole collection);
+    the canonical-orientation filter inside ``document_join_pairs``
+    keeps exactly one copy of every unordered pair across blocks.
+    """
+    chunk_index, documents, exclude_same_document_within = task
+    searcher = _STATE
+    pairs = []
+    started = time.perf_counter()
+    for document in documents:
+        pairs.extend(
+            document_join_pairs(searcher, document, exclude_same_document_within)
+        )
+    elapsed = time.perf_counter() - started
+    return chunk_index, os.getpid(), elapsed, pairs

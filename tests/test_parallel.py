@@ -1,0 +1,270 @@
+"""Parity suite for the multi-core execution engine.
+
+Every parallel code path — sharded query workloads, partitioned index
+construction, blocked self-join — must return exactly what its serial
+counterpart returns.  The suite asserts exact equality (not just set
+equality: per-query lists are canonically ordered on both sides) under
+the fork start method, covers the spawn/pickle fallback, and pins the
+degenerate cases: ``jobs=1`` pass-through, an empty workload, and a
+workload smaller than the worker count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+
+import pytest
+
+from repro import (
+    DocumentCollection,
+    ParallelExecutor,
+    PKWiseSearcher,
+    SearchParams,
+    local_similarity_self_join,
+)
+from repro.errors import ConfigurationError
+from repro.eval import run_searcher
+from repro.eval.harness import canonical_pair_order, serial_run
+from repro.parallel import split_blocks
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_FORK, reason="parity suite drives the fork fast path"
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """A corpus with genuine cross-document reuse plus query documents."""
+    rng = random.Random(4242)
+    vocab = [f"w{i}" for i in range(80)]
+    data = DocumentCollection()
+    docs = []
+    for _ in range(9):
+        docs.append([vocab[rng.randrange(len(vocab))] for _ in range(110)])
+    segment = docs[0][15:45]
+    segment[7] = "w7777"
+    docs[4][30:60] = segment
+    docs[7][0:30] = docs[0][15:45]
+    for tokens in docs:
+        data.add_tokens(tokens)
+    queries = [
+        data[0],
+        data[4],
+        data.encode_query_tokens(
+            docs[2][20:70] + ["novel1", "novel2"] + docs[5][10:40]
+        ),
+        data.encode_query_tokens(["unseen"] * 30),
+    ]
+    return data, queries
+
+
+@pytest.fixture(scope="module")
+def params():
+    return SearchParams(w=12, tau=3, k_max=2)
+
+
+class TestWorkloadParity:
+    def test_results_identical_to_serial(self, corpus, params):
+        data, queries = corpus
+        searcher = PKWiseSearcher(data, params)
+        serial = run_searcher(searcher, queries)
+        parallel = run_searcher(searcher, queries, jobs=3)
+        assert parallel.results_by_query == serial.results_by_query
+        assert list(parallel.results_by_query) == list(serial.results_by_query)
+        assert parallel.num_queries == serial.num_queries
+        assert parallel.stats.num_results == serial.stats.num_results
+        assert parallel.stats.candidate_windows == serial.stats.candidate_windows
+
+    def test_matchpair_set_equality_per_query(self, corpus, params):
+        data, queries = corpus
+        searcher = PKWiseSearcher(data, params)
+        serial = run_searcher(searcher, queries)
+        parallel = run_searcher(searcher, queries, jobs=2, chunk_size=1)
+        for query_id, pairs in serial.results_by_query.items():
+            assert set(parallel.results_by_query[query_id]) == set(pairs)
+
+    def test_jobs_one_is_serial_passthrough(self, corpus, params):
+        data, queries = corpus
+        searcher = PKWiseSearcher(data, params)
+        run = run_searcher(searcher, queries, jobs=1)
+        assert run.jobs == 1
+        assert run.worker_reports == []
+        assert run.worker_skew == 1.0
+
+    def test_empty_workload(self, corpus, params):
+        data, _queries = corpus
+        searcher = PKWiseSearcher(data, params)
+        run = run_searcher(searcher, [], jobs=4)
+        assert run.num_queries == 0
+        assert run.results_by_query == {}
+        assert run.avg_query_seconds == 0.0
+
+    def test_workload_smaller_than_worker_count(self, corpus, params):
+        data, queries = corpus
+        searcher = PKWiseSearcher(data, params)
+        serial = run_searcher(searcher, queries[:2])
+        parallel = run_searcher(searcher, queries[:2], jobs=8)
+        assert parallel.results_by_query == serial.results_by_query
+        # Never more pool workers than dispatched chunks.
+        assert parallel.jobs <= 2
+
+    def test_worker_reports_cover_all_queries(self, corpus, params):
+        data, queries = corpus
+        searcher = PKWiseSearcher(data, params)
+        run = run_searcher(searcher, queries, jobs=2)
+        assert sum(report.num_queries for report in run.worker_reports) == len(
+            queries
+        )
+        assert run.worker_skew >= 1.0
+        merged_results = sum(
+            report.stats.num_results for report in run.worker_reports
+        )
+        assert merged_results == run.stats.num_results
+
+    def test_to_dict_round_trips_through_json(self, corpus, params):
+        import json
+
+        data, queries = corpus
+        searcher = PKWiseSearcher(data, params)
+        run = run_searcher(searcher, queries, jobs=2)
+        payload = json.loads(json.dumps(run.to_dict(include_results=True)))
+        assert payload["num_queries"] == len(queries)
+        assert payload["stats"]["num_results"] == run.num_results
+        assert len(payload["workers"]) == len(run.worker_reports)
+        assert payload["worker_skew"] == run.worker_skew
+
+
+class TestSerialOrderingContract:
+    def test_serial_results_canonically_sorted(self, corpus, params):
+        data, queries = corpus
+        searcher = PKWiseSearcher(data, params)
+        run = serial_run(searcher, queries)
+        for pairs in run.results_by_query.values():
+            assert pairs == canonical_pair_order(pairs)
+            assert pairs == sorted(
+                pairs, key=lambda p: (p.doc_id, p.data_start, p.query_start)
+            )
+
+
+class TestBuildParity:
+    def test_parallel_build_matches_serial_index(self, corpus, params):
+        data, _queries = corpus
+        serial = PKWiseSearcher(data, params)
+        parallel = ParallelExecutor(jobs=3).build_searcher(data, params)
+        assert parallel.index._postings == serial.index._postings
+        assert parallel.rank_docs == serial.rank_docs
+        assert parallel.index.num_windows == serial.index.num_windows
+        assert parallel.index.build_stats == serial.index.build_stats
+        assert parallel.scheme == serial.scheme
+        assert parallel.build_worker_reports  # skew is observable
+
+    def test_parallel_build_searches_identically(self, corpus, params):
+        data, queries = corpus
+        serial = PKWiseSearcher(data, params)
+        parallel = ParallelExecutor(jobs=2).build_searcher(data, params)
+        for query in queries:
+            assert (
+                parallel.search(query).sorted_pairs()
+                == serial.search(query).sorted_pairs()
+            )
+
+    def test_hashed_index_build(self, corpus, params):
+        data, _queries = corpus
+        serial = PKWiseSearcher(data, params, hashed=True)
+        parallel = ParallelExecutor(jobs=2).build_searcher(
+            data, params, hashed=True
+        )
+        assert parallel.index._postings == serial.index._postings
+
+    def test_single_document_collection_falls_back_to_serial(self, params):
+        data = DocumentCollection()
+        data.add_tokens([f"t{i % 9}" for i in range(40)])
+        searcher = ParallelExecutor(jobs=4).build_searcher(data, params)
+        assert searcher.index.num_documents == 1
+
+
+class TestSelfJoinParity:
+    def test_matches_serial(self, corpus, params):
+        data, _queries = corpus
+        serial = local_similarity_self_join(
+            data, params, exclude_same_document_within=params.w
+        )
+        parallel = local_similarity_self_join(
+            data, params, exclude_same_document_within=params.w, jobs=3
+        )
+        assert parallel == serial
+        assert serial  # the corpus really contains replicated windows
+
+    def test_no_exclusion_window(self, corpus, params):
+        data, _queries = corpus
+        serial = local_similarity_self_join(data, params)
+        parallel = local_similarity_self_join(data, params, jobs=2)
+        assert parallel == serial
+
+    def test_prebuilt_searcher_reuse(self, corpus, params):
+        data, _queries = corpus
+        executor = ParallelExecutor(jobs=2)
+        searcher = executor.build_searcher(data, params)
+        serial = local_similarity_self_join(
+            data, params, exclude_same_document_within=params.w
+        )
+        parallel = executor.self_join(
+            data,
+            params,
+            exclude_same_document_within=params.w,
+            searcher=searcher,
+        )
+        assert parallel == serial
+
+
+class TestSpawnFallback:
+    """The portable path: state travels via persistence/pickle."""
+
+    def test_search_and_join_parity_under_spawn(self, corpus, params):
+        data, queries = corpus
+        searcher = PKWiseSearcher(data, params)
+        serial = run_searcher(searcher, queries)
+        parallel = run_searcher(
+            searcher, queries, jobs=2, start_method="spawn"
+        )
+        assert parallel.results_by_query == serial.results_by_query
+
+    def test_build_parity_under_spawn(self, corpus, params):
+        data, _queries = corpus
+        serial = PKWiseSearcher(data, params)
+        parallel = ParallelExecutor(jobs=2, start_method="spawn").build_searcher(
+            data, params
+        )
+        assert parallel.index._postings == serial.index._postings
+
+
+class TestExecutorConfig:
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelExecutor(jobs=0)
+        with pytest.raises(ConfigurationError):
+            ParallelExecutor(jobs=-2)
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelExecutor(jobs=2, chunk_size=0)
+
+    def test_unknown_start_method_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelExecutor(jobs=2, start_method="teleport")
+
+    def test_jobs_none_means_cpu_count(self):
+        import os
+
+        assert ParallelExecutor(jobs=None).jobs == (os.cpu_count() or 1)
+
+    def test_split_blocks_partitions_exactly(self):
+        for total in (0, 1, 5, 17):
+            for parts in (1, 2, 4, 9):
+                blocks = split_blocks(total, parts)
+                covered = [i for lo, hi in blocks for i in range(lo, hi)]
+                assert covered == list(range(total))
+                assert len(blocks) <= max(1, min(parts, total))
