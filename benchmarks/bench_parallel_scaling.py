@@ -66,6 +66,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         help="smoke-test scale (CI): tiny corpus, 1 round")
     parser.add_argument("--out", default=str(ROOT / "BENCH_parallel.json"),
                         help="output JSON path (default: repo root)")
+    parser.add_argument("--metrics-out", default=None,
+                        help="also write a standalone repro.obs metrics "
+                             "snapshot to this path (the format "
+                             "benchmarks/check_regression.py diffs)")
     return parser
 
 
@@ -164,6 +168,7 @@ def main(argv: list[str] | None = None) -> int:
                 if join_seconds > 0 else 0.0,
                 "selfjoin_parity": join_parity,
                 "run": best_run.to_dict(),
+                "metrics": best_run.metrics_snapshot(),
             }
         )
         print(
@@ -203,6 +208,7 @@ def main(argv: list[str] | None = None) -> int:
             "selfjoin_seconds": serial_join_seconds,
             "num_results": serial_run.num_results,
             "run": serial_run.to_dict(),
+            "metrics": serial_run.metrics_snapshot(),
         },
         "parallel": rows,
         "max_search_speedup": max(
@@ -214,6 +220,24 @@ def main(argv: list[str] | None = None) -> int:
     out_path = Path(args.out)
     out_path.write_text(json.dumps(record, indent=2) + "\n")
     print(f"wrote {out_path}", file=sys.stderr)
+    if args.metrics_out:
+        # The standalone snapshot record: exactly the sections
+        # check_regression.py compares (config for comparability,
+        # counters for correctness drift, timers within tolerance).
+        snapshot_record = {
+            "bench": record["bench"],
+            "generated_at": record["generated_at"],
+            "config": record["config"],
+            "serial": record["serial"]["metrics"],
+            "parallel": [
+                {"jobs": row["jobs"], "metrics": row["metrics"]} for row in rows
+            ],
+        }
+        metrics_path = Path(args.metrics_out)
+        metrics_path.write_text(
+            json.dumps(snapshot_record, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote metrics snapshot {metrics_path}", file=sys.stderr)
     if not parity_ok:
         print("PARITY MISMATCH between serial and parallel runs", file=sys.stderr)
         return 1

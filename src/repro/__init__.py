@@ -55,6 +55,14 @@ from .errors import (
     ReproError,
     TokenizationError,
 )
+from .obs import (
+    MetricsRegistry,
+    ObservabilityError,
+    Tracer,
+    configure_tracing,
+    disable_tracing,
+    get_tracer,
+)
 from .ordering import GlobalOrder
 from .parallel import ParallelExecutor
 from .params import SearchParams, suggested_subpartitions
@@ -92,6 +100,13 @@ __all__ = [
     "local_similarity_self_join",
     # Parallel execution
     "ParallelExecutor",
+    # Observability
+    "MetricsRegistry",
+    "Tracer",
+    "get_tracer",
+    "configure_tracing",
+    "disable_tracing",
+    "ObservabilityError",
     # Post-processing
     "Passage",
     "merge_passages",

@@ -10,6 +10,7 @@ from abc import ABC, abstractmethod
 
 from ..corpus import Document, DocumentCollection
 from ..core.base import SearchResult, SearchStats
+from ..obs import get_tracer
 from ..ordering import GlobalOrder
 from ..params import SearchParams
 
@@ -41,8 +42,12 @@ class BaselineSearcher(ABC):
         """Search every query; returns per-query results and summed stats."""
         total = SearchStats()
         results = []
-        for query in queries:
-            result = self.search(query)
-            total.merge(result.stats)
-            results.append(result)
+        with get_tracer().span(
+            "baseline.search_many", algorithm=self.name, queries=len(queries)
+        ) as many_span:
+            for query in queries:
+                result = self.search(query)
+                total.merge(result.stats)
+                results.append(result)
+            many_span.annotate(results=total.num_results, **total.phase_seconds())
         return results, total

@@ -17,12 +17,16 @@ Examples::
 
 All subcommands accept ``--jobs N`` to spread the work over ``N``
 worker processes (``--jobs 0`` = one per CPU); results are identical
-to single-process runs.
+to single-process runs.  Observability flags (also on every
+subcommand): ``--trace FILE`` appends JSON-lines span events from
+:mod:`repro.obs`, ``--metrics-out FILE`` writes a structured metrics
+snapshot whose counters are identical across ``--jobs`` settings.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -30,6 +34,7 @@ from pathlib import Path
 from .core.selfjoin import local_similarity_self_join
 from .corpus import collection_from_directory
 from .errors import ReproError
+from .obs import MetricsRegistry, configure_tracing, disable_tracing
 from .params import SearchParams, suggested_subpartitions
 from .partition import GreedyPartitioner
 from .persistence import load_bundle, save_searcher
@@ -50,6 +55,19 @@ def _add_search_params(parser: argparse.ArgumentParser) -> None:
 def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("-j", "--jobs", type=int, default=1,
                         help="worker processes (0 = one per CPU; default 1)")
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="append JSON-lines span trace events to FILE")
+    parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="write a structured metrics snapshot (JSON) to FILE")
+
+
+def _write_metrics(path: str, payload: dict) -> None:
+    """Write one metrics snapshot as indented JSON."""
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote metrics snapshot to {path}", file=sys.stderr)
 
 
 def _jobs_from_args(args: argparse.Namespace) -> int | None:
@@ -107,6 +125,18 @@ def _cmd_index(args: argparse.Namespace) -> int:
     )
     save_searcher(searcher, args.out, data=data)
     print(f"wrote {args.out}", file=sys.stderr)
+    if args.metrics_out:
+        registry = MetricsRegistry()
+        registry.timer("index.build_seconds").add(searcher.index_build_seconds)
+        registry.counter("index.num_documents").inc(len(data))
+        registry.counter("index.num_windows").inc(searcher.index.num_windows)
+        registry.counter("index.num_postings").inc(searcher.index.num_postings)
+        registry.gauge("run.jobs").set(jobs if jobs is not None else 0)
+        _write_metrics(
+            args.metrics_out,
+            {"name": "index", "schema_version": 1,
+             "metrics": registry.snapshot()},
+        )
     return 0
 
 
@@ -127,6 +157,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
         for path in args.query
     ]
     run = run_searcher(searcher, queries, jobs=_jobs_from_args(args))
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, run.metrics_snapshot())
     found_any = False
     for position, query in enumerate(queries):
         # encode_query yields doc_id -1, so the run keys by position.
@@ -161,12 +193,23 @@ def _cmd_selfjoin(args: argparse.Namespace) -> int:
     params = _params_from_args(args)
     data = collection_from_directory(args.data, min_tokens=args.min_tokens)
     print(f"loaded {data}", file=sys.stderr)
+    join_started = time.perf_counter()
     pairs = local_similarity_self_join(
         data,
         params,
         exclude_same_document_within=params.w,
         jobs=_jobs_from_args(args),
     )
+    if args.metrics_out:
+        registry = MetricsRegistry()
+        registry.timer("selfjoin.seconds").add(time.perf_counter() - join_started)
+        registry.counter("selfjoin.num_documents").inc(len(data))
+        registry.counter("selfjoin.num_pairs").inc(len(pairs))
+        _write_metrics(
+            args.metrics_out,
+            {"name": "selfjoin", "schema_version": 1,
+             "metrics": registry.snapshot()},
+        )
     if not pairs:
         print("no replicated windows found")
         return 1
@@ -206,6 +249,7 @@ def build_parser() -> argparse.ArgumentParser:
                               help="surrogate workload sample ratio")
     _add_search_params(index_parser)
     _add_jobs_flag(index_parser)
+    _add_obs_flags(index_parser)
     index_parser.set_defaults(func=_cmd_index)
 
     search_parser = subparsers.add_parser(
@@ -219,6 +263,7 @@ def build_parser() -> argparse.ArgumentParser:
     search_parser.add_argument("--show-text", action="store_true",
                                help="print the reused query text")
     _add_jobs_flag(search_parser)
+    _add_obs_flags(search_parser)
     search_parser.set_defaults(func=_cmd_search)
 
     selfjoin_parser = subparsers.add_parser(
@@ -229,6 +274,7 @@ def build_parser() -> argparse.ArgumentParser:
     selfjoin_parser.add_argument("--min-tokens", type=int, default=0)
     _add_search_params(selfjoin_parser)
     _add_jobs_flag(selfjoin_parser)
+    _add_obs_flags(selfjoin_parser)
     selfjoin_parser.set_defaults(func=_cmd_selfjoin)
 
     return parser
@@ -238,11 +284,17 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    tracing = getattr(args, "trace", None) is not None
+    if tracing:
+        configure_tracing(args.trace)
     try:
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if tracing:
+            disable_tracing()
 
 
 if __name__ == "__main__":

@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 from typing import NamedTuple
 
+from ..obs.registry import MetricsRegistry
+
 
 class MatchPair(NamedTuple):
     """One result of local similarity search: ``<W(d, x), W(q, y)>``.
@@ -22,6 +24,29 @@ class MatchPair(NamedTuple):
     data_start: int
     query_start: int
     overlap: int
+
+
+#: The typed metric schema behind :class:`SearchStats`: timers carry
+#: wall-clock seconds per phase, counters carry the abstract operation
+#: counts.  This tuple pair is the single source of truth for merging
+#: and for the :class:`~repro.obs.MetricsRegistry` mapping — adding a
+#: field to the dataclass without classifying it here fails loudly in
+#: ``to_registry``/tests rather than silently dropping it from reports.
+STAT_TIMER_FIELDS: tuple[str, ...] = (
+    "signature_time",
+    "candidate_time",
+    "verify_time",
+)
+STAT_COUNTER_FIELDS: tuple[str, ...] = (
+    "signature_tokens",
+    "signatures_generated",
+    "postings_entries",
+    "hash_ops",
+    "candidate_windows",
+    "num_results",
+    "shared_windows",
+    "changed_windows",
+)
 
 
 @dataclass
@@ -41,6 +66,12 @@ class SearchStats:
         Hash-table operations during verification (Equation 4's unit).
     ``candidate_windows``
         Number of data windows whose similarity was actually checked.
+
+    The class is a flat-attribute view over the typed metric schema
+    (``STAT_TIMER_FIELDS`` / ``STAT_COUNTER_FIELDS``): hot loops add to
+    attributes, and :meth:`to_registry` / :meth:`from_registry` convert
+    losslessly to :class:`~repro.obs.MetricsRegistry` at reporting and
+    worker-serialization boundaries.
     """
 
     signature_time: float = 0.0
@@ -60,6 +91,14 @@ class SearchStats:
         """Sum of the three phase times."""
         return self.signature_time + self.candidate_time + self.verify_time
 
+    def phase_seconds(self) -> dict[str, float]:
+        """Per-phase wall-clock breakdown keyed by short phase name."""
+        return {
+            "signature": self.signature_time,
+            "candidate": self.candidate_time,
+            "verify": self.verify_time,
+        }
+
     def abstract_cost(
         self, c_comb: float = 10.0, c_int: float = 2.0, c_hash: float = 1.0
     ) -> float:
@@ -72,18 +111,55 @@ class SearchStats:
 
     def merge(self, other: "SearchStats") -> None:
         """Accumulate another query's stats into this one (in place)."""
-        for spec in fields(self):
-            setattr(
-                self,
-                spec.name,
-                getattr(self, spec.name) + getattr(other, spec.name),
-            )
+        for name in STAT_TIMER_FIELDS + STAT_COUNTER_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    # ------------------------------------------------------------------
+    # Registry boundary (repro.obs)
+    # ------------------------------------------------------------------
+    def to_registry(self, registry: MetricsRegistry | None = None) -> MetricsRegistry:
+        """Pour these stats into a typed registry (created if omitted)."""
+        if registry is None:
+            registry = MetricsRegistry()
+        for name in STAT_TIMER_FIELDS:
+            registry.timer(name).add(getattr(self, name))
+        for name in STAT_COUNTER_FIELDS:
+            registry.counter(name).inc(getattr(self, name))
+        return registry
+
+    @classmethod
+    def from_registry(cls, registry: MetricsRegistry) -> "SearchStats":
+        """Rebuild stats from a registry (missing metrics read as zero)."""
+        stats = cls()
+        for name in STAT_TIMER_FIELDS:
+            stats.__setattr__(name, registry.timer(name).seconds)
+        for name in STAT_COUNTER_FIELDS:
+            stats.__setattr__(name, registry.counter(name).value)
+        return stats
+
+    def snapshot(self) -> dict:
+        """Canonical registry snapshot (what parallel workers ship back)."""
+        return self.to_registry().snapshot()
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "SearchStats":
+        """Inverse of :meth:`snapshot`."""
+        return cls.from_registry(MetricsRegistry.from_snapshot(snapshot))
 
     def to_dict(self) -> dict:
         """All fields (plus ``total_time``) as a JSON-ready dict."""
-        row = {spec.name: getattr(self, spec.name) for spec in fields(self)}
+        row = {name: getattr(self, name)
+               for name in STAT_TIMER_FIELDS + STAT_COUNTER_FIELDS}
         row["total_time"] = self.total_time
         return row
+
+
+# Every dataclass field must be classified as a timer or a counter;
+# checked once at import so schema drift fails the first test that
+# touches the module instead of silently dropping a field from merges.
+assert {spec.name for spec in fields(SearchStats)} == set(
+    STAT_TIMER_FIELDS + STAT_COUNTER_FIELDS
+), "SearchStats fields out of sync with STAT_TIMER_FIELDS/STAT_COUNTER_FIELDS"
 
 
 @dataclass

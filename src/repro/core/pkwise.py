@@ -18,6 +18,7 @@ from collections import Counter
 from ..corpus import Document, DocumentCollection
 from ..errors import ConfigurationError
 from ..index.interval_index import IntervalIndex
+from ..obs import get_tracer
 from ..index.intervals import WindowInterval, merge_intervals
 from ..ordering import GlobalOrder
 from ..params import SearchParams
@@ -120,9 +121,15 @@ class PKWiseSearcher:
         ]
         self._removed: set[int] = set()
         build_start = time.perf_counter()
-        self.index = IntervalIndex(params.w, params.tau, scheme, hashed=hashed)
-        for doc_id, ranks in enumerate(self.rank_docs):
-            self.index.add_document(doc_id, ranks)
+        with get_tracer().span(
+            "pkwise.index_build", documents=len(self.rank_docs)
+        ) as build_span:
+            self.index = IntervalIndex(params.w, params.tau, scheme, hashed=hashed)
+            for doc_id, ranks in enumerate(self.rank_docs):
+                self.index.add_document(doc_id, ranks)
+            build_span.annotate(
+                windows=self.index.num_windows, postings=self.index.num_postings
+            )
         self.index_build_seconds = time.perf_counter() - build_start
         #: Per-worker build reports when constructed by
         #: :meth:`repro.parallel.ParallelExecutor.build_searcher`.
@@ -203,6 +210,20 @@ class PKWiseSearcher:
     # ------------------------------------------------------------------
     def search(self, query: Document) -> SearchResult:
         """All matching window pairs between ``query`` and the data."""
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._search(query)
+        with tracer.span("pkwise.search", query=query.name) as search_span:
+            result = self._search(query)
+            search_span.annotate(
+                results=len(result.pairs),
+                candidate_windows=result.stats.candidate_windows,
+                **result.stats.phase_seconds(),
+            )
+        return result
+
+    def _search(self, query: Document) -> SearchResult:
+        """The untraced search kernel behind :meth:`search`."""
         stats = SearchStats()
         params = self.params
         w, tau = params.w, params.tau

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import NamedTuple
 
 from ..corpus import DocumentCollection
+from ..obs import get_tracer
 from ..ordering import GlobalOrder
 from ..params import SearchParams
 from ..partition.scheme import PartitionScheme
@@ -101,11 +102,13 @@ def local_similarity_self_join(
             order=order,
             exclude_same_document_within=exclude_same_document_within,
         )
-    searcher = PKWiseSearcher(data, params, scheme=scheme, order=order)
-    results: list[SelfJoinPair] = []
-    for document in data:
-        results.extend(
-            document_join_pairs(searcher, document, exclude_same_document_within)
-        )
-    results.sort()
+    with get_tracer().span("selfjoin", documents=len(data)) as join_span:
+        searcher = PKWiseSearcher(data, params, scheme=scheme, order=order)
+        results: list[SelfJoinPair] = []
+        for document in data:
+            results.extend(
+                document_join_pairs(searcher, document, exclude_same_document_within)
+            )
+        results.sort()
+        join_span.annotate(pairs=len(results))
     return results

@@ -15,6 +15,7 @@ from __future__ import annotations
 from collections import Counter
 from collections.abc import Sequence
 
+from ..errors import ReproError
 from .base import MatchPair
 
 
@@ -45,10 +46,24 @@ class IntervalVerifier:
 
     # ------------------------------------------------------------------
     def advance_to(self, query_start: int) -> None:
-        """Slide the query-side table forward to ``query_start``."""
+        """Slide the query-side table forward to ``query_start``.
+
+        ``query_start`` must be a valid window start: at most
+        ``len(query_ranks) - w`` (the last full window).  Advancing past
+        that would read beyond the query; it raises
+        :class:`~repro.errors.ReproError` naming the offending positions
+        instead of an opaque ``IndexError`` from deep in the slide loop.
+        """
         if query_start < self.query_start:
             raise ValueError(
                 f"cannot slide query backwards ({self.query_start} -> {query_start})"
+            )
+        last_start = len(self.query_ranks) - self.w
+        if query_start > last_start:
+            raise ReproError(
+                f"cannot advance verifier to query window {query_start}: "
+                f"last valid window start is {last_start} "
+                f"(query length {len(self.query_ranks)}, w={self.w})"
             )
         counts = self._query_counts
         ranks = self.query_ranks

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 from ..core.base import MatchPair, SearchStats
 from ..corpus import Document
+from ..obs import get_tracer
 
 
 def canonical_pair_order(pairs: list[MatchPair]) -> list[MatchPair]:
@@ -43,12 +44,20 @@ class WorkerReport:
     stats: SearchStats = field(default_factory=SearchStats)
 
     def to_dict(self) -> dict:
-        """JSON-ready summary of this worker's share."""
+        """JSON-ready summary of this worker's share.
+
+        ``phases`` decomposes the worker's busy time into the paper's
+        three phases (plus everything else under ``other``), so skew can
+        be attributed to a phase, not just observed in total seconds.
+        """
+        phases = self.stats.phase_seconds()
+        phases["other"] = max(0.0, self.seconds - sum(phases.values()))
         return {
             "worker_id": self.worker_id,
             "chunks": self.chunks,
             "num_queries": self.num_queries,
             "seconds": self.seconds,
+            "phases": phases,
             "stats": self.stats.to_dict(),
         }
 
@@ -124,6 +133,7 @@ class AggregateRun:
             "num_results": self.num_results,
             "jobs": self.jobs,
             "worker_skew": self.worker_skew,
+            "phases": self.stats.phase_seconds(),
             "stats": self.stats.to_dict(),
             "workers": [report.to_dict() for report in self.worker_reports],
         }
@@ -133,6 +143,29 @@ class AggregateRun:
                 for query_id, pairs in self.results_by_query.items()
             }
         return row
+
+    def metrics_snapshot(self) -> dict:
+        """The run as a structured :mod:`repro.obs` metrics snapshot.
+
+        This is the canonical machine-readable record behind the CLI's
+        ``--metrics-out`` flag and the benchmark JSON files: the search
+        counters/timers from the registry plus run-level metrics under
+        the ``run.`` prefix.  The counter section is execution-path
+        independent — serial and ``--jobs N`` runs of one workload
+        produce identical counters — which is what
+        ``benchmarks/check_regression.py`` diffs across records.
+        """
+        registry = self.stats.to_registry()
+        registry.counter("run.num_queries").inc(self.num_queries)
+        registry.timer("run.total_seconds").add(self.total_seconds)
+        registry.gauge("run.jobs").set(self.jobs)
+        registry.gauge("run.worker_skew").set(self.worker_skew)
+        return {
+            "name": self.name,
+            "schema_version": 1,
+            "phases": self.stats.phase_seconds(),
+            "metrics": registry.snapshot(),
+        }
 
 
 def run_searcher(
@@ -173,11 +206,15 @@ def serial_run(
     total_stats = SearchStats()
     results_by_query: dict[int, list[MatchPair]] = {}
     start = time.perf_counter()
-    for index, query in enumerate(queries):
-        result = searcher.search(query)
-        total_stats.merge(result.stats)
-        query_id = query.doc_id if query.doc_id >= 0 else index
-        results_by_query[query_id] = canonical_pair_order(result.pairs)
+    with get_tracer().span(
+        "workload.serial", queries=len(queries)
+    ) as workload_span:
+        for index, query in enumerate(queries):
+            result = searcher.search(query)
+            total_stats.merge(result.stats)
+            query_id = query.doc_id if query.doc_id >= 0 else index
+            results_by_query[query_id] = canonical_pair_order(result.pairs)
+        workload_span.annotate(results=total_stats.num_results)
     total_seconds = time.perf_counter() - start
     return AggregateRun(
         name=name if name is not None else getattr(searcher, "name", "searcher"),

@@ -36,6 +36,7 @@ from ..eval.harness import (
     serial_run,
 )
 from ..index.interval_index import IntervalIndex
+from ..obs import MetricsRegistry, get_tracer
 from ..ordering import GlobalOrder
 from ..params import SearchParams
 from ..partition.scheme import PartitionScheme
@@ -193,24 +194,34 @@ class ParallelExecutor:
         tasks = list(enumerate(chunks))
         processes = min(self.jobs, len(tasks))
         started = time.perf_counter()
-        with self._pool(searcher, processes, persist=True) as pool:
-            raw = pool.map(worker.search_chunk, tasks)
+        with get_tracer().span(
+            "parallel.run_workload", queries=len(queries), jobs=processes,
+            chunks=len(tasks),
+        ):
+            with self._pool(searcher, processes, persist=True) as pool:
+                raw = pool.map(worker.search_chunk, tasks)
         total_seconds = time.perf_counter() - started
 
+        # Chunks ship registry snapshots (the repro.obs wire format);
+        # merging them in sorted chunk order is deterministic, so the
+        # merged counters match the serial run field for field.
         raw.sort(key=lambda row: row[0])
-        total_stats = SearchStats()
+        total_registry = MetricsRegistry()
         rows = []
-        by_pid: dict[int, tuple[list, SearchStats]] = {}
-        for _chunk_index, pid, _elapsed, chunk_stats, chunk_rows in raw:
-            total_stats.merge(chunk_stats)
+        by_pid: dict[int, tuple[list, MetricsRegistry]] = {}
+        for _chunk_index, pid, _elapsed, chunk_snapshot, chunk_rows in raw:
+            total_registry.merge_snapshot(chunk_snapshot)
             rows.extend(chunk_rows)
-            counter, pid_stats = by_pid.setdefault(pid, ([0], SearchStats()))
+            counter, pid_registry = by_pid.setdefault(
+                pid, ([0], MetricsRegistry())
+            )
             counter[0] += len(chunk_rows)
-            pid_stats.merge(chunk_stats)
+            pid_registry.merge_snapshot(chunk_snapshot)
+        total_stats = SearchStats.from_registry(total_registry)
         reports = self._reports_by_pid(raw)
         for worker_id, pid in enumerate(sorted(by_pid)):
             reports[worker_id].num_queries = by_pid[pid][0][0]
-            reports[worker_id].stats = by_pid[pid][1]
+            reports[worker_id].stats = SearchStats.from_registry(by_pid[pid][1])
 
         rows.sort(key=lambda row: row[0])
         results_by_query: dict[int, list] = {}
@@ -252,11 +263,15 @@ class ParallelExecutor:
             return PKWiseSearcher(
                 data, params, scheme=scheme, order=order, hashed=hashed
             )
+        tracer = get_tracer()
         if order is None:
             blocks = split_blocks(len(data), self.jobs * CHUNKS_PER_WORKER)
             tasks = [(i, lo, hi) for i, (lo, hi) in enumerate(blocks)]
-            with self._pool((data, params.w), min(self.jobs, len(tasks))) as pool:
-                raw = pool.map(worker.frequency_chunk, tasks)
+            with tracer.span("parallel.frequency_pass", chunks=len(tasks)):
+                with self._pool(
+                    (data, params.w), min(self.jobs, len(tasks))
+                ) as pool:
+                    raw = pool.map(worker.frequency_chunk, tasks)
             frequencies = [0] * len(data.vocabulary)
             for _chunk_index, _pid, _elapsed, partial in raw:
                 for token_id, count in enumerate(partial):
@@ -270,14 +285,23 @@ class ParallelExecutor:
         blocks = split_blocks(len(data), self.jobs * CHUNKS_PER_WORKER)
         tasks = [(i, lo, hi) for i, (lo, hi) in enumerate(blocks)]
         state = (data, params, scheme, order, hashed)
-        with self._pool(state, min(self.jobs, len(tasks))) as pool:
-            raw = pool.map(worker.index_chunk, tasks)
-        raw.sort(key=lambda row: row[0])
-        index = IntervalIndex(params.w, params.tau, scheme, hashed=hashed)
-        rank_docs: list[list[int]] = []
-        for _chunk_index, _pid, _elapsed, partial_index, partial_ranks in raw:
-            index.merge(partial_index)
-            rank_docs.extend(partial_ranks)
+        with tracer.span(
+            "parallel.build_searcher",
+            documents=len(data),
+            jobs=min(self.jobs, len(tasks)),
+            chunks=len(tasks),
+        ) as build_span:
+            with self._pool(state, min(self.jobs, len(tasks))) as pool:
+                raw = pool.map(worker.index_chunk, tasks)
+            raw.sort(key=lambda row: row[0])
+            index = IntervalIndex(params.w, params.tau, scheme, hashed=hashed)
+            rank_docs: list[list[int]] = []
+            for _chunk_index, _pid, _elapsed, partial_index, partial_ranks in raw:
+                index.merge(partial_index)
+                rank_docs.extend(partial_ranks)
+            build_span.annotate(
+                windows=index.num_windows, postings=index.num_postings
+            )
         searcher = PKWiseSearcher.from_prebuilt(
             params,
             order,
@@ -330,10 +354,15 @@ class ParallelExecutor:
             for chunk_index, chunk in enumerate(chunks)
         ]
         processes = min(self.jobs, len(tasks))
-        with self._pool(searcher, processes, persist=True) as pool:
-            raw = pool.map(worker.selfjoin_chunk, tasks)
-        results = []
-        for _chunk_index, _pid, _elapsed, pairs in raw:
-            results.extend(pairs)
-        results.sort()
+        with get_tracer().span(
+            "parallel.self_join", documents=len(documents), jobs=processes,
+            chunks=len(tasks),
+        ) as join_span:
+            with self._pool(searcher, processes, persist=True) as pool:
+                raw = pool.map(worker.selfjoin_chunk, tasks)
+            results = []
+            for _chunk_index, _pid, _elapsed, pairs in raw:
+                results.extend(pairs)
+            results.sort()
+            join_span.annotate(pairs=len(results))
         return results

@@ -62,6 +62,12 @@ def search_chunk(task):
     ``task`` is ``(chunk_index, [(position, query), ...])`` where
     ``position`` is the query's index in the original workload; results
     come back per query so the parent can restore workload order.
+
+    Stats travel as a :meth:`~repro.core.SearchStats.snapshot` registry
+    dict, not a live object: the snapshot is the cross-process wire
+    format of :mod:`repro.obs`, and the parent merges the chunks'
+    registries deterministically (sorted keys, pure sums for counters),
+    so the merged counters equal the serial run's field for field.
     """
     chunk_index, numbered_queries = task
     searcher = _STATE
@@ -73,7 +79,7 @@ def search_chunk(task):
         stats.merge(result.stats)
         rows.append((position, query.doc_id, result.pairs))
     elapsed = time.perf_counter() - started
-    return chunk_index, os.getpid(), elapsed, stats, rows
+    return chunk_index, os.getpid(), elapsed, stats.snapshot(), rows
 
 
 def frequency_chunk(task):

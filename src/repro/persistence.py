@@ -15,7 +15,9 @@ untrusted sources (the standard pickle caveat, restated in
 
 from __future__ import annotations
 
+import os
 import pickle
+import tempfile
 from pathlib import Path
 
 from .core.pkwise import PKWiseSearcher
@@ -38,6 +40,11 @@ def save_searcher(
     Pass the :class:`~repro.DocumentCollection` as ``data`` to bundle
     the original documents (needed to decode matches back to text, e.g.
     by the CLI); omit it for a leaner, ids-only index file.
+
+    The write goes through a uniquely named temp file in the target
+    directory (so concurrent writers to the same ``path`` never clobber
+    each other's half-written bytes), is fsynced, and is renamed over
+    ``path`` only on success; a failed dump leaves no temp file behind.
     """
     path = Path(path)
     envelope = {
@@ -52,10 +59,18 @@ def save_searcher(
         "searcher": searcher,
         "data": data,
     }
-    temp_path = path.with_suffix(path.suffix + ".tmp")
-    with open(temp_path, "wb") as handle:
-        pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
-    temp_path.replace(path)
+    fd, temp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    temp_path = Path(temp_name)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.flush()
+            os.fsync(handle.fileno())
+        temp_path.replace(path)
+    finally:
+        temp_path.unlink(missing_ok=True)
 
 
 def _load_envelope(path: Path) -> dict:

@@ -220,6 +220,85 @@ class TestSelfJoinParity:
         assert parallel == serial
 
 
+class TestDegenerateWorkloads:
+    """Empty/degenerate inputs return empty results with sane stats."""
+
+    @pytest.mark.parametrize("jobs", [2, 4, 8])
+    def test_zero_queries(self, corpus, params, jobs):
+        data, _queries = corpus
+        searcher = PKWiseSearcher(data, params)
+        executor = ParallelExecutor(jobs=jobs)
+        run = executor.run_workload(searcher, [])
+        assert run.num_queries == 0
+        assert run.results_by_query == {}
+        assert run.num_results == 0
+        assert run.worker_skew == 1.0
+        assert run.avg_query_seconds == 0.0
+        # The dict form is well-formed (no division-by-zero artifacts).
+        row = run.to_dict()
+        assert row["worker_skew"] == 1.0
+        assert row["phases"] == {"signature": 0.0, "candidate": 0.0,
+                                 "verify": 0.0}
+
+    @pytest.mark.parametrize("jobs,num_queries", [(8, 2), (16, 3), (64, 2)])
+    def test_jobs_larger_than_chunks(self, corpus, params, jobs, num_queries):
+        data, queries = corpus
+        searcher = PKWiseSearcher(data, params)
+        serial = run_searcher(searcher, queries[:num_queries])
+        parallel = run_searcher(searcher, queries[:num_queries], jobs=jobs)
+        assert parallel.results_by_query == serial.results_by_query
+        assert parallel.jobs <= num_queries  # never more workers than chunks
+        assert parallel.worker_skew >= 1.0
+        assert sum(r.num_queries for r in parallel.worker_reports) == num_queries
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_chunk_size_larger_than_workload(self, corpus, params, jobs):
+        data, queries = corpus
+        searcher = PKWiseSearcher(data, params)
+        run = ParallelExecutor(jobs=jobs, chunk_size=1000).run_workload(
+            searcher, queries
+        )
+        serial = serial_run(searcher, queries)
+        assert run.results_by_query == serial.results_by_query
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_documents_shorter_than_window(self, params, jobs):
+        # Every document (and query) is shorter than w: zero windows
+        # anywhere, so every operation returns empty with clean stats.
+        data = DocumentCollection()
+        for text in ("a b c", "d e f", "a b d", "c a"):
+            data.add_tokens(text.split())
+        executor = ParallelExecutor(jobs=jobs)
+        searcher = executor.build_searcher(data, params)
+        assert searcher.index.num_windows == 0
+        queries = [data[0], data.encode_query_tokens(["a", "b"])]
+        run = executor.run_workload(searcher, queries)
+        assert run.num_results == 0
+        assert all(pairs == [] for pairs in run.results_by_query.values())
+        assert run.worker_skew >= 1.0
+        join = executor.self_join(
+            data, params, exclude_same_document_within=params.w,
+            searcher=searcher,
+        )
+        assert join == []
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_short_query_against_real_corpus(self, corpus, params, jobs):
+        data, _queries = corpus
+        searcher = PKWiseSearcher(data, params)
+        short_query = data.encode_query_tokens(["w1", "w2"])  # len < w
+        run = run_searcher(searcher, [data[0], short_query], jobs=jobs)
+        assert run.results_by_query[1] == []  # the short query: no windows
+        assert run.num_queries == 2
+        serial = run_searcher(searcher, [data[0], short_query])
+        assert run.results_by_query == serial.results_by_query
+
+    def test_empty_collection_self_join(self, params):
+        assert local_similarity_self_join(
+            DocumentCollection(), params, jobs=2
+        ) == []
+
+
 class TestSpawnFallback:
     """The portable path: state travels via persistence/pickle."""
 

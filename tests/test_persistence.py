@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import pickle
+from pathlib import Path
 
 import pytest
 
@@ -64,6 +65,51 @@ class TestRoundtrip:
         path = tmp_path / "index.pkl"
         save_searcher(searcher, path)
         assert not list(tmp_path.glob("*.tmp"))
+
+    def test_failing_dump_cleans_temp_and_keeps_old_file(self, built, tmp_path):
+        # Regression: a raising pickle.dump used to leak ``path + .tmp``.
+        _data, searcher = built
+        path = tmp_path / "index.pkl"
+        save_searcher(searcher, path)
+        good_bytes = path.read_bytes()
+
+        class Unpicklable:
+            def __reduce__(self):
+                raise RuntimeError("simulated dump failure")
+
+        with pytest.raises(RuntimeError, match="simulated dump failure"):
+            save_searcher(searcher, path, data=Unpicklable())
+        assert not list(tmp_path.glob("*.tmp"))
+        # The previous index file survives a failed overwrite untouched.
+        assert path.read_bytes() == good_bytes
+        assert load_searcher(path).params == searcher.params
+
+    def test_concurrent_writers_use_distinct_temp_names(
+        self, built, tmp_path, monkeypatch
+    ):
+        # Regression: the fixed ``path + .tmp`` name raced concurrent
+        # writers; mkstemp must produce a fresh name per call even with
+        # a writer's temp file already sitting in the directory.
+        import repro.persistence as persistence
+
+        _data, searcher = built
+        path = tmp_path / "index.pkl"
+        seen = []
+        original = persistence.tempfile.mkstemp
+
+        def recording_mkstemp(*args, **kwargs):
+            fd, name = original(*args, **kwargs)
+            seen.append(name)
+            return fd, name
+
+        monkeypatch.setattr(persistence.tempfile, "mkstemp", recording_mkstemp)
+        save_searcher(searcher, path)
+        save_searcher(searcher, path)
+        assert len(seen) == 2
+        assert seen[0] != seen[1]
+        for name in seen:
+            assert name.endswith(".tmp")
+            assert Path(name).parent == tmp_path
 
 
 class TestErrors:

@@ -76,6 +76,35 @@ class TestVerifyInterval:
         with pytest.raises(ValueError):
             verifier.advance_to(1)
 
+    def test_advance_to_last_window_succeeds(self):
+        # len=10, w=4: window starts 0..6; advancing exactly to the
+        # last one must work.
+        verifier = IntervalVerifier(list(range(10)), w=4, tau=0)
+        verifier.advance_to(6)
+        assert verifier.query_start == 6
+
+    def test_advance_past_last_window_raises_repro_error(self):
+        # Regression: this used to surface as a bare IndexError from
+        # ``ranks[start + w]`` deep inside the slide loop.
+        from repro.errors import ReproError
+
+        verifier = IntervalVerifier(list(range(10)), w=4, tau=0)
+        with pytest.raises(ReproError) as excinfo:
+            verifier.advance_to(7)
+        message = str(excinfo.value)
+        assert "7" in message  # the offending target window
+        assert "6" in message  # the last valid window start
+        # The verifier state is untouched by the rejected advance.
+        assert verifier.query_start == 0
+        verifier.advance_to(6)
+
+    def test_advance_far_past_end_raises_not_index_error(self):
+        from repro.errors import ReproError
+
+        verifier = IntervalVerifier(list(range(8)), w=3, tau=1)
+        with pytest.raises(ReproError):
+            verifier.advance_to(100)
+
     def test_hash_ops_grow_with_work(self):
         verifier = IntervalVerifier([1, 2, 3, 4, 5], w=3, tau=2)
         before = verifier.hash_ops
