@@ -1,0 +1,206 @@
+#!/usr/bin/env python
+"""Serving latency: the result cache on a repeated-query workload.
+
+Serving workloads are dominated by repeats — a plagiarism screen
+re-checks the same suspicious passages against a slowly-changing corpus
+— and the exact searcher is deterministic, so a repeated query's answer
+can come from the :class:`~repro.service.ResultCache` instead of the
+slide loop.  This bench measures exactly that effect: the fig8 query
+workload is served ``--repeats`` times through a
+:class:`~repro.SearchService` twice, once with the cache disabled
+(``cache_size=0``) and once enabled, and per-request latencies are
+compared (p50/p95).  Every cached response is parity-checked
+pair-for-pair against its uncached counterpart — the cache must never
+change an answer, only its latency.
+
+Emits ``BENCH_serving.json`` at the repo root: the latency table, the
+cache hit/miss counters, and a ``serial`` metrics section in the layout
+``benchmarks/check_regression.py`` diffs (counters exact, timers within
+tolerance).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py
+    PYTHONPATH=src python benchmarks/bench_serving.py --tiny  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _ensure_importable() -> None:
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(ROOT / "src"))
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--profile", default="REUTERS",
+                        help="synthetic dataset profile (default REUTERS)")
+    parser.add_argument("-w", "--window", type=int, default=50)
+    parser.add_argument("--tau", type=int, default=5)
+    parser.add_argument("--k-max", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="times each query is served (default 5)")
+    parser.add_argument("--tiny", action="store_true",
+                        help="4 queries x 3 repeats for CI smoke")
+    parser.add_argument("--out", type=Path, default=ROOT / "BENCH_serving.json",
+                        help="output JSON path (default repo root)")
+    parser.add_argument("--metrics-out", type=Path, default=None,
+                        help="also write the bare metrics snapshot here")
+    return parser
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``samples`` (0 < fraction <= 1)."""
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def serve_workload(service, requests):
+    """Serve ``requests`` serially; returns (latencies, responses)."""
+    latencies: list[float] = []
+    responses = []
+    for query in requests:
+        start = time.perf_counter()
+        response = service.search(query)
+        latencies.append(time.perf_counter() - start)
+        responses.append(response)
+    return latencies, responses
+
+
+def main(argv: list[str] | None = None) -> int:
+    _ensure_importable()
+    from common import workload  # noqa: E402  (benchmarks dir import)
+
+    from repro import PKWiseSearcher, SearchParams, SearchService
+
+    args = build_arg_parser().parse_args(argv)
+    params = SearchParams(w=args.window, tau=args.tau, k_max=args.k_max)
+    data, queries, _truth = workload(args.profile)
+    if args.tiny:
+        queries = queries[:4]
+        args.repeats = min(args.repeats, 3)
+    searcher = PKWiseSearcher(data, params)
+
+    # Repeated-query serving sequence: full passes over the workload, so
+    # pass 1 is all-fresh and every later pass is all-repeat.
+    requests = [query for _pass in range(args.repeats) for query in queries]
+
+    uncached_service = SearchService(
+        searcher, data, max_workers=1, cache_size=0, name="serving-uncached"
+    )
+    uncached_latencies, uncached_responses = serve_workload(
+        uncached_service, requests
+    )
+    uncached_service.close()
+
+    cached_service = SearchService(
+        searcher, data, max_workers=1, cache_size=256, name="serving-cached"
+    )
+    cached_latencies, cached_responses = serve_workload(cached_service, requests)
+
+    # Parity: the cache must never change an answer.
+    mismatches = sum(
+        1
+        for uncached, cached in zip(uncached_responses, cached_responses)
+        if uncached.pairs != cached.pairs
+    )
+    if mismatches:
+        print(f"PARITY FAILURE: {mismatches} responses diverged", file=sys.stderr)
+        return 1
+
+    hits = cached_service.cache.hits
+    misses = cached_service.cache.misses
+    uncached_p50 = percentile(uncached_latencies, 0.50)
+    uncached_p95 = percentile(uncached_latencies, 0.95)
+    cached_p50 = percentile(cached_latencies, 0.50)
+    cached_p95 = percentile(cached_latencies, 0.95)
+    p50_speedup = uncached_p50 / cached_p50 if cached_p50 > 0 else float("inf")
+
+    print(f"serving workload: {len(queries)} queries x {args.repeats} passes "
+          f"= {len(requests)} requests")
+    print(f"{'':>10} {'p50':>12} {'p95':>12} {'mean':>12}")
+    for label, lat in (("uncached", uncached_latencies),
+                       ("cached", cached_latencies)):
+        print(f"{label:>10} {percentile(lat, 0.5) * 1e3:>10.3f}ms "
+              f"{percentile(lat, 0.95) * 1e3:>10.3f}ms "
+              f"{statistics.mean(lat) * 1e3:>10.3f}ms")
+    print(f"p50 speedup: {p50_speedup:.1f}x   cache: {hits} hits / "
+          f"{misses} misses")
+
+    snapshot = cached_service.metrics_snapshot()
+    cached_service.close()
+    record = {
+        "bench": "serving",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "host": {
+            "cpus": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "config": {
+            "profile": args.profile,
+            "num_documents": len(data),
+            "num_queries": len(queries),
+            "w": params.w,
+            "tau": params.tau,
+            "k_max": params.k_max,
+            "repeats": args.repeats,
+            "tiny": args.tiny,
+        },
+        "latency": {
+            "num_requests": len(requests),
+            "uncached_p50_seconds": uncached_p50,
+            "uncached_p95_seconds": uncached_p95,
+            "cached_p50_seconds": cached_p50,
+            "cached_p95_seconds": cached_p95,
+            "p50_speedup": p50_speedup,
+        },
+        "cache": {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / max(1, hits + misses),
+        },
+        # The layout check_regression.py diffs: counters exact, timers
+        # within tolerance.
+        "serial": {"metrics": snapshot},
+    }
+    args.out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    if args.metrics_out:
+        args.metrics_out.write_text(
+            json.dumps(
+                {"config": record["config"], "serial": {"metrics": snapshot}},
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        print(f"wrote {args.metrics_out}")
+
+    # The acceptance bar: repeats make the cached p50 a cache hit, which
+    # must beat a fresh search by a wide margin.
+    if args.repeats > 1 and p50_speedup < 5.0:
+        print(f"REGRESSION: cached p50 speedup {p50_speedup:.1f}x < 5x",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""CI smoke for the serving stack: real process, real HTTP, real index.
+
+Exercises the full ``repro serve`` path end to end:
+
+1. generates a small deterministic corpus (fixed seed) in a temp dir,
+2. builds an index with ``repro index``,
+3. starts ``repro serve --port 0`` as a subprocess and parses the
+   ``SERVING http://...`` line for the ephemeral port,
+4. hits ``/healthz``, runs the same query twice through ``/search``
+   (one cache miss, one hit) and asserts pair-for-pair parity,
+5. snapshots ``/metrics`` into a ``check_regression.py``-compatible
+   record (``{"config": ..., "serial": {"metrics": ...}}``).
+
+Run it twice and diff the two snapshots with ``check_regression.py``:
+the counters (request counts, cache hits/misses, search phase counters)
+are deterministic for the fixed corpus, so any drift between two runs
+of the same commit — or between a PR and its base — is a real behaviour
+change, not noise.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_serving.py --out smoke1.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _ensure_importable() -> None:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(ROOT / "src"))
+
+
+SEED = 20160626  # deterministic corpus => deterministic counters
+NUM_DOCS = 6
+DOC_TOKENS = 300
+VOCAB = 150
+W, TAU = 20, 4
+
+
+def write_corpus(directory: Path) -> str:
+    """Write a deterministic corpus with real repeats; returns a query."""
+    rng = random.Random(SEED)
+    vocab = [f"word{i}" for i in range(VOCAB)]
+    base = [rng.choice(vocab) for _ in range(DOC_TOKENS)]
+    for i in range(NUM_DOCS):
+        tokens = list(base)
+        for j in range(0, len(tokens), 13):  # light per-doc perturbation
+            tokens[j] = rng.choice(vocab)
+        (directory / f"doc{i}.txt").write_text(" ".join(tokens))
+    return " ".join(base[50:150])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--out", type=Path, required=True,
+                        help="where to write the metrics record")
+    parser.add_argument("--startup-timeout", type=float, default=30.0)
+    args = parser.parse_args(argv)
+
+    _ensure_importable()
+    from repro.service.client import remote_healthz, remote_metrics, remote_search
+
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
+        tmp_path = Path(tmp)
+        corpus_dir = tmp_path / "corpus"
+        corpus_dir.mkdir()
+        query_text = write_corpus(corpus_dir)
+        index_path = tmp_path / "corpus.idx"
+
+        subprocess.run(
+            [sys.executable, "-m", "repro.cli", "index",
+             "--data", str(corpus_dir), "--out", str(index_path),
+             "-w", str(W), "--tau", str(TAU)],
+            check=True,
+        )
+
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--index", str(index_path), "--port", "0"],
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + args.startup_timeout
+            url = None
+            while time.monotonic() < deadline:
+                line = server.stdout.readline()
+                if line.startswith("SERVING "):
+                    url = line.split(maxsplit=1)[1].strip()
+                    break
+                if server.poll() is not None:
+                    print("error: server exited before SERVING line",
+                          file=sys.stderr)
+                    return 1
+            if url is None:
+                print("error: no SERVING line within timeout", file=sys.stderr)
+                return 1
+
+            health = remote_healthz(url)
+            assert health["status"] == "ok", health
+            assert health["documents"] == NUM_DOCS, health
+
+            first = remote_search(url, query_text)
+            second = remote_search(url, query_text)
+            assert first["num_pairs"] > 0, "smoke query found no matches"
+            assert not first["cached"] and second["cached"], (first, second)
+            assert first["pairs"] == second["pairs"], "cache changed the answer"
+
+            snapshot = remote_metrics(url)
+            counters = snapshot["metrics"]["counters"]
+            assert counters["service.cache_hits"] == 1, counters
+            assert counters["service.completed"] == 2, counters
+        finally:
+            server.terminate()
+            server.wait(timeout=10)
+
+    record = {
+        "config": {
+            "profile": "serving-smoke",
+            "num_documents": NUM_DOCS,
+            "num_queries": 2,
+            "w": W,
+            "tau": TAU,
+            "k_max": 4,
+        },
+        "serial": {"metrics": snapshot},
+    }
+    args.out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"smoke ok: {first['num_pairs']} pairs, cache hit verified; "
+          f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,7 +18,7 @@ from repro import (
     DocumentCollection,
     PKWiseSearcher,
     SearchParams,
-    load_bundle,
+    api,
     save_searcher,
 )
 from repro.corpus.synthetic import DatasetProfile, SyntheticCorpusGenerator
@@ -52,7 +52,7 @@ def main() -> None:
         print(f"saved {index_path.stat().st_size / 1024:.0f} KiB to disk")
 
         # --- day 1: reload and serve ----------------------------------
-        searcher, data = load_bundle(index_path)
+        searcher, data = api.open_index(index_path)
         print(f"reloaded: {searcher.index}")
 
         # A new document arrives: it quotes document 7.

@@ -7,25 +7,35 @@ library finds every pair of sliding windows (one from each side) of size
 ``w`` that differ by at most ``tau`` tokens — the paper's **pkwise**
 algorithm plus all of its evaluated baselines.
 
-Quickstart::
+Quickstart — the :mod:`repro.api` facade is the documented entry point::
 
-    from repro import (
-        DocumentCollection, PKWiseSearcher, SearchParams
+    from repro import api
+
+    index = api.build_index(
+        ["the lord of the rings is a famous novel ..."], w=8, tau=2, k_max=2
     )
-
-    data = DocumentCollection()
-    data.add_text("the lord of the rings is a famous novel ...")
-    query = data.encode_query("the lord and the kings ...")
-
-    params = SearchParams(w=8, tau=2, k_max=2)
-    searcher = PKWiseSearcher(data, params)
-    for match in searcher.search(query):
+    for match in index.search_text("the lord and the kings ..."):
         print(match.doc_id, match.data_start, match.query_start, match.overlap)
 
-See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
-reproduction of every table and figure of the paper.
+    # Persist and reopen:
+    api.save_index(index, "corpus.idx")
+    bundle = api.open_index("corpus.idx")
+
+    # Serve concurrently (see repro.service / `repro serve`):
+    with bundle.serve(max_workers=4) as service:
+        response = service.search_text("the lord and the kings ...")
+
+The individual layers (:class:`DocumentCollection`,
+:class:`PKWiseSearcher`, :class:`SearchParams`, ...) remain importable
+directly for fine-grained control.  See DESIGN.md for the full system
+inventory and EXPERIMENTS.md for the reproduction of every table and
+figure of the paper.
 """
 
+import warnings as _warnings
+
+from . import api
+from .api import Searcher, build_index, open_index, save_index
 from .core import (
     MatchPair,
     PKWiseNonIntervalSearcher,
@@ -35,6 +45,7 @@ from .core import (
     SelfJoinPair,
     WeightedMatchPair,
     WeightedPKWiseSearcher,
+    WeightedSearchResult,
     local_similarity_self_join,
 )
 from .corpus import (
@@ -50,9 +61,14 @@ from .corpus import (
 from .errors import (
     ConfigurationError,
     CorpusError,
+    DeadlineExceededError,
     IndexStateError,
     PartitioningError,
     ReproError,
+    SearchCancelled,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadError,
     TokenizationError,
 )
 from .obs import (
@@ -66,8 +82,9 @@ from .obs import (
 from .ordering import GlobalOrder
 from .parallel import ParallelExecutor
 from .params import SearchParams, suggested_subpartitions
-from .persistence import PersistenceError, load_bundle, load_searcher, save_searcher
+from .persistence import PersistenceError, SearcherBundle, save_searcher
 from .postprocess import Passage, filter_passages, merge_passages
+from .service import SearchService, ServiceResponse
 from .similarity import (
     jaccard_to_overlap,
     jaccard_to_tau,
@@ -82,16 +99,51 @@ from .partition import (
     workload_cost,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Legacy top-level loaders, kept importable behind a DeprecationWarning.
+_DEPRECATED_ALIASES = {
+    "load_searcher": "repro.api.open_index(path).searcher",
+    "load_bundle": "repro.api.open_index",
+}
+
+
+def __getattr__(name: str):
+    """Deprecated aliases: ``repro.load_searcher`` / ``repro.load_bundle``.
+
+    Both now live behind :func:`repro.api.open_index`; the old names
+    keep working (they forward to :mod:`repro.persistence`) but warn.
+    """
+    if name in _DEPRECATED_ALIASES:
+        _warnings.warn(
+            f"repro.{name} is deprecated; use {_DEPRECATED_ALIASES[name]}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from . import persistence
+
+        return getattr(persistence, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
 
 __all__ = [
     "__version__",
+    # Facade (the documented entry point)
+    "api",
+    "build_index",
+    "open_index",
+    "save_index",
+    "Searcher",
+    # Serving
+    "SearchService",
+    "ServiceResponse",
     # Core search
     "PKWiseSearcher",
     "PKWiseNonIntervalSearcher",
     "WeightedPKWiseSearcher",
     "MatchPair",
     "WeightedMatchPair",
+    "WeightedSearchResult",
     "SearchResult",
     "SearchStats",
     "SearchParams",
@@ -120,6 +172,7 @@ __all__ = [
     "save_searcher",
     "load_searcher",
     "load_bundle",
+    "SearcherBundle",
     "PersistenceError",
     # Corpus
     "Document",
@@ -144,4 +197,9 @@ __all__ = [
     "CorpusError",
     "PartitioningError",
     "IndexStateError",
+    "SearchCancelled",
+    "ServiceError",
+    "ServiceOverloadError",
+    "DeadlineExceededError",
+    "ServiceClosedError",
 ]

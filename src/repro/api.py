@@ -1,0 +1,191 @@
+"""Public facade: one documented way to build, open, and query indexes.
+
+The library grew bottom-up — corpus, ordering, partitioning, core
+searchers, persistence, parallel execution, serving — and each layer is
+importable on its own.  This module is the top: three entry points that
+cover the common lifecycle without knowing the layers underneath.
+
+* :func:`build_index` — corpus in (a
+  :class:`~repro.DocumentCollection`, a directory path, or raw texts),
+  built :class:`~repro.PKWiseSearcher` out; optional greedy
+  partitioning and multi-process builds.
+* :func:`open_index` — load a saved index file into a
+  :class:`~repro.persistence.SearcherBundle` (searcher + its document
+  collection), ready to query or wrap in a
+  :class:`~repro.service.SearchService`.
+* :class:`Searcher` — the :class:`~typing.Protocol` every query engine
+  in the library satisfies (pkwise, the weighted extension, and all
+  baselines), so harnesses and the service can be typed against the
+  interface instead of a concrete class.
+
+Quickstart::
+
+    from repro import api
+
+    index = api.build_index(["some corpus text ..."], w=10, tau=3)
+    result = index.search_text("query text")
+
+    # or, round-tripped through a file:
+    api.save_index(index, "corpus.idx")
+    with api.open_index("corpus.idx") as bundle:
+        result = bundle.search_text("query text")
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from pathlib import Path
+from typing import Protocol, runtime_checkable
+
+from .corpus import (
+    DocumentCollection,
+    collection_from_directory,
+    collection_from_texts,
+)
+from .errors import ConfigurationError
+from .params import DEFAULT_K_MAX, SearchParams, suggested_subpartitions
+from .persistence import SearcherBundle, load_bundle, save_searcher
+
+
+@runtime_checkable
+class Searcher(Protocol):
+    """What every query engine in the library provides.
+
+    Satisfied by :class:`~repro.PKWiseSearcher`,
+    :class:`~repro.PKWiseNonIntervalSearcher`,
+    :class:`~repro.WeightedPKWiseSearcher`, and every baseline in
+    :mod:`repro.baselines`.  ``search`` returns an object with ``pairs``
+    and ``stats``; ``search_many`` returns an
+    :class:`~repro.eval.harness.AggregateRun`; ``close`` releases any
+    resources (a no-op for the in-memory engines, but part of the
+    contract so callers can treat engines uniformly).
+    """
+
+    def search(self, query): ...
+
+    def search_many(self, queries, *, jobs: int = 1): ...
+
+    def close(self) -> None: ...
+
+
+def _as_collection(data) -> DocumentCollection:
+    """Coerce the facade's corpus argument into a DocumentCollection."""
+    if isinstance(data, DocumentCollection):
+        return data
+    if isinstance(data, (str, Path)):
+        return collection_from_directory(data)
+    if isinstance(data, Iterable):
+        return collection_from_texts(list(data))
+    raise ConfigurationError(
+        f"cannot build a corpus from {type(data).__name__}; pass a "
+        f"DocumentCollection, a directory path, or an iterable of texts"
+    )
+
+
+def build_index(
+    data,
+    params: SearchParams | None = None,
+    *,
+    w: int | None = None,
+    tau: int | None = None,
+    k_max: int = DEFAULT_K_MAX,
+    m: int | None = None,
+    greedy_partition: bool = False,
+    sample_ratio: float = 0.01,
+    jobs: int = 1,
+) -> SearcherBundle:
+    """Build a ready-to-query pkwise index over ``data``.
+
+    ``data`` may be a :class:`~repro.DocumentCollection`, a directory of
+    ``.txt`` files, or an iterable of raw text strings.  Pass either a
+    full :class:`~repro.SearchParams` or the individual ``w``/``tau``
+    (and optionally ``k_max``/``m``) values; when ``m`` is omitted the
+    paper's Section 7.5 rule picks it from ``tau``.
+
+    ``greedy_partition=True`` runs the cost-based greedy partitioner
+    (Section 5) before indexing — slower to build, faster to query on
+    skewed corpora.  ``jobs > 1`` (or ``0`` for one per CPU) builds the
+    index across worker processes.
+
+    Returns a :class:`~repro.persistence.SearcherBundle` pairing the
+    built :class:`~repro.PKWiseSearcher` with the resolved collection —
+    query it directly (``search_text``), persist it
+    (:func:`save_index`), or serve it (``bundle.serve()``).
+    """
+    collection = _as_collection(data)
+    if params is None:
+        if w is None or tau is None:
+            raise ConfigurationError(
+                "build_index needs either params=SearchParams(...) or "
+                "both w= and tau="
+            )
+        params = SearchParams(
+            w=w,
+            tau=tau,
+            k_max=k_max,
+            m=m if m is not None else suggested_subpartitions(tau),
+        )
+    elif w is not None or tau is not None or m is not None:
+        raise ConfigurationError(
+            "pass either params= or the individual w=/tau=/m= values, not both"
+        )
+
+    order = None
+    scheme = None
+    if greedy_partition:
+        from .ordering import GlobalOrder
+        from .partition import GreedyPartitioner
+
+        order = GlobalOrder(collection, params.w)
+        partitioner = GreedyPartitioner(
+            collection,
+            params,
+            order=order,
+            b1_fraction=0.25,
+            b2_fraction=0.1,
+            sample_ratio=sample_ratio,
+        )
+        scheme, _report = partitioner.partition()
+
+    if jobs != 1:
+        from .parallel import ParallelExecutor
+
+        searcher = ParallelExecutor(jobs=None if jobs == 0 else jobs).build_searcher(
+            collection, params, scheme=scheme, order=order
+        )
+    else:
+        from .core.pkwise import PKWiseSearcher
+
+        searcher = PKWiseSearcher(collection, params, scheme=scheme, order=order)
+    return SearcherBundle(searcher, collection)
+
+
+def save_index(index, path: str | Path, data=None) -> None:
+    """Persist an index to ``path`` (atomic write).
+
+    ``index`` may be a :class:`~repro.persistence.SearcherBundle` (its
+    collection is bundled automatically, so ``search_text`` works after
+    :func:`open_index`) or a bare searcher (pass ``data`` explicitly to
+    bundle the collection, or omit it for a leaner ids-only file).
+    """
+    if isinstance(index, SearcherBundle):
+        searcher = index.searcher
+        if data is None:
+            data = index.data
+    else:
+        searcher = index
+    save_searcher(searcher, path, data=data)
+
+
+def open_index(path: str | Path) -> SearcherBundle:
+    """Load an index saved by :func:`save_index` (or ``repro index``).
+
+    Returns a :class:`~repro.persistence.SearcherBundle` — use
+    ``bundle.searcher`` / ``bundle.data`` directly, query through
+    ``bundle.search_text``, or hand it to
+    :class:`~repro.service.SearchService` for concurrent serving.
+
+    SECURITY: index files are pickles; only open files you (or your
+    pipeline) wrote.
+    """
+    return load_bundle(path)

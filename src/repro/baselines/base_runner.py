@@ -9,7 +9,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 
 from ..corpus import Document, DocumentCollection
-from ..core.base import SearchResult, SearchStats
+from ..core.base import SearchResult
 from ..obs import get_tracer
 from ..ordering import GlobalOrder
 from ..params import SearchParams
@@ -36,18 +36,22 @@ class BaselineSearcher(ABC):
     def search(self, query: Document) -> SearchResult:
         """All matching window pairs between ``query`` and the data."""
 
-    def search_many(
-        self, queries: list[Document]
-    ) -> tuple[list[SearchResult], SearchStats]:
-        """Search every query; returns per-query results and summed stats."""
-        total = SearchStats()
-        results = []
+    def search_many(self, queries: list[Document], *, jobs: int = 1):
+        """Search every query; returns an :class:`~repro.eval.AggregateRun`.
+
+        One shape for serial and sharded runs — see
+        :meth:`repro.PKWiseSearcher.search_many`.
+        """
+        from ..eval.harness import run_searcher
+
         with get_tracer().span(
             "baseline.search_many", algorithm=self.name, queries=len(queries)
         ) as many_span:
-            for query in queries:
-                result = self.search(query)
-                total.merge(result.stats)
-                results.append(result)
-            many_span.annotate(results=total.num_results, **total.phase_seconds())
-        return results, total
+            run = run_searcher(self, queries, jobs=jobs)
+            many_span.annotate(
+                results=run.stats.num_results, **run.stats.phase_seconds()
+            )
+        return run
+
+    def close(self) -> None:
+        """Release resources (no-op; in-memory structures). Idempotent."""

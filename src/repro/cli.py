@@ -1,6 +1,6 @@
 """Command-line interface: index a corpus, search for local reuse.
 
-Three subcommands:
+Five subcommands:
 
 * ``repro index``  — tokenize a directory of ``.txt`` files, build the
   pkwise interval index (optionally with greedy partitioning), and save
@@ -8,12 +8,18 @@ Three subcommands:
 * ``repro search`` — load an index and report reused passages between a
   query file and the corpus.
 * ``repro selfjoin`` — find replication *within* a directory of files.
+* ``repro serve``  — load an index and serve concurrent queries over
+  HTTP (``/search``, ``/healthz``, ``/metrics``) through
+  :class:`~repro.service.SearchService`.
+* ``repro query``  — send one query to a running ``repro serve``.
 
 Examples::
 
     repro index  --data corpus/ --out corpus.idx -w 25 --tau 5
     repro search --index corpus.idx --query suspicious.txt
     repro selfjoin --data corpus/ -w 25 --tau 5
+    repro serve  --index corpus.idx --port 8080
+    repro query  --server http://127.0.0.1:8080 --text "some passage"
 
 All subcommands accept ``--jobs N`` to spread the work over ``N``
 worker processes (``--jobs 0`` = one per CPU); results are identical
@@ -227,6 +233,71 @@ def _cmd_selfjoin(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .api import open_index
+    from .service import SearchService, serve_http
+
+    bundle = open_index(args.index)
+    print(
+        f"loaded {bundle} in {bundle.load_seconds:.2f}s "
+        f"(w={bundle.params.w}, tau={bundle.params.tau})",
+        file=sys.stderr,
+    )
+    service = SearchService(
+        bundle.searcher,
+        bundle.data,
+        max_workers=args.workers,
+        max_queue=args.max_queue,
+        cache_size=args.cache_size,
+        default_timeout=args.request_timeout,
+    )
+    server = serve_http(
+        service, host=args.host, port=args.port, verbose=args.verbose
+    )
+    host, port = server.server_address[:2]
+    # Machine-readable line on stdout: smoke scripts parse the URL from
+    # it (mandatory with --port 0, where the OS picks the port).
+    print(f"SERVING http://{host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down ...", file=sys.stderr)
+    finally:
+        server.server_close()
+        service.close()
+        if args.metrics_out:
+            _write_metrics(args.metrics_out, service.metrics_snapshot())
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .service.client import remote_healthz, remote_search
+
+    if args.healthz:
+        health = remote_healthz(args.server)
+        print(json.dumps(health, indent=2, sort_keys=True))
+        return 0 if health.get("status") == "ok" else 1
+    if (args.text is None) == (args.query is None):
+        print("error: pass exactly one of --text or --query", file=sys.stderr)
+        return 2
+    text = (
+        args.text
+        if args.text is not None
+        else Path(args.query).read_text(encoding="utf-8")
+    )
+    reply = remote_search(args.server, text, timeout=args.request_timeout)
+    print(
+        f"{reply['num_pairs']} window pairs "
+        f"({'cached' if reply['cached'] else 'fresh'}, "
+        f"{reply['seconds'] * 1e3:.1f}ms, index epoch {reply['index_epoch']})"
+    )
+    if args.show_pairs:
+        for doc_id, data_start, query_start, overlap in reply["pairs"]:
+            print(f"  doc {doc_id} [{data_start}] ~ query [{query_start}] "
+                  f"overlap {overlap}")
+    return 0 if reply["num_pairs"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``repro`` argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -276,6 +347,42 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_flag(selfjoin_parser)
     _add_obs_flags(selfjoin_parser)
     selfjoin_parser.set_defaults(func=_cmd_selfjoin)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="serve a saved index over HTTP (search/healthz/metrics)"
+    )
+    serve_parser.add_argument("--index", required=True, help="saved index file")
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=8080,
+                              help="bind port (0 = OS-assigned; default 8080)")
+    serve_parser.add_argument("--workers", type=int, default=4,
+                              help="service worker threads (default 4)")
+    serve_parser.add_argument("--max-queue", type=int, default=64,
+                              help="admission queue bound (default 64)")
+    serve_parser.add_argument("--cache-size", type=int, default=256,
+                              help="result cache entries, 0 disables (default 256)")
+    serve_parser.add_argument("--request-timeout", type=float, default=None,
+                              help="default per-request deadline in seconds")
+    serve_parser.add_argument("--verbose", action="store_true",
+                              help="log every HTTP request to stderr")
+    _add_obs_flags(serve_parser)
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    query_parser = subparsers.add_parser(
+        "query", help="send one query to a running 'repro serve'"
+    )
+    query_parser.add_argument("--server", required=True,
+                              help="base URL, e.g. http://127.0.0.1:8080")
+    query_parser.add_argument("--text", default=None, help="query text inline")
+    query_parser.add_argument("--query", default=None, help="query .txt file")
+    query_parser.add_argument("--request-timeout", type=float, default=None,
+                              help="service-side deadline in seconds")
+    query_parser.add_argument("--show-pairs", action="store_true",
+                              help="print every matching window pair")
+    query_parser.add_argument("--healthz", action="store_true",
+                              help="print the server's health report instead")
+    query_parser.set_defaults(func=_cmd_query)
 
     return parser
 

@@ -16,7 +16,7 @@ from .pkwise import PKWiseSearcher
 from .pkwise_nonint import PKWiseNonIntervalSearcher
 from .selfjoin import SelfJoinPair, document_join_pairs, local_similarity_self_join
 from .verify import IntervalVerifier
-from .weighted import WeightedMatchPair, WeightedPKWiseSearcher
+from .weighted import WeightedMatchPair, WeightedPKWiseSearcher, WeightedSearchResult
 
 __all__ = [
     "MatchPair",
@@ -26,6 +26,7 @@ __all__ = [
     "PKWiseNonIntervalSearcher",
     "WeightedPKWiseSearcher",
     "WeightedMatchPair",
+    "WeightedSearchResult",
     "IntervalVerifier",
     "SelfJoinPair",
     "document_join_pairs",

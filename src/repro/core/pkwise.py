@@ -14,9 +14,10 @@ from __future__ import annotations
 
 import time
 from collections import Counter
+from collections.abc import Callable
 
 from ..corpus import Document, DocumentCollection
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, SearchCancelled
 from ..index.interval_index import IntervalIndex
 from ..obs import get_tracer
 from ..index.intervals import WindowInterval, merge_intervals
@@ -134,6 +135,11 @@ class PKWiseSearcher:
         #: Per-worker build reports when constructed by
         #: :meth:`repro.parallel.ParallelExecutor.build_searcher`.
         self.build_worker_reports: list = []
+        #: Monotone counter bumped by every index mutation
+        #: (:meth:`add_document` / :meth:`remove_document`).  Result
+        #: caches key on it so cached and fresh results stay
+        #: pair-for-pair identical across mutations.
+        self.index_epoch = 0
 
     @classmethod
     def from_prebuilt(
@@ -170,6 +176,7 @@ class PKWiseSearcher:
         self.index = index
         self.index_build_seconds = build_seconds
         self.build_worker_reports = []
+        self.index_epoch = 0
         return self
 
     # ------------------------------------------------------------------
@@ -189,6 +196,7 @@ class PKWiseSearcher:
         ranks = self.order.rank_document(document)
         self.rank_docs.append(ranks)
         self.index.add_document(doc_id, ranks)
+        self.index_epoch += 1
         return doc_id
 
     def remove_document(self, doc_id: int) -> None:
@@ -201,6 +209,7 @@ class PKWiseSearcher:
         if not 0 <= doc_id < len(self.rank_docs):
             raise IndexError(f"no document with id {doc_id}")
         self._removed.add(doc_id)
+        self.index_epoch += 1
 
     @property
     def removed_documents(self) -> frozenset[int]:
@@ -208,13 +217,26 @@ class PKWiseSearcher:
         return frozenset(self._removed)
 
     # ------------------------------------------------------------------
-    def search(self, query: Document) -> SearchResult:
-        """All matching window pairs between ``query`` and the data."""
+    def search(
+        self,
+        query: Document,
+        *,
+        cancel: Callable[[], bool] | None = None,
+    ) -> SearchResult:
+        """All matching window pairs between ``query`` and the data.
+
+        ``cancel`` is an optional cooperative-cancellation hook: it is
+        invoked between query windows in the slide loop, and when it
+        returns True the search aborts with
+        :class:`~repro.errors.SearchCancelled`.  The serving layer uses
+        this for per-request deadlines; a hook that always returns
+        False costs one call per window.
+        """
         tracer = get_tracer()
         if not tracer.enabled:
-            return self._search(query)
+            return self._search(query, cancel)
         with tracer.span("pkwise.search", query=query.name) as search_span:
-            result = self._search(query)
+            result = self._search(query, cancel)
             search_span.annotate(
                 results=len(result.pairs),
                 candidate_windows=result.stats.candidate_windows,
@@ -222,7 +244,9 @@ class PKWiseSearcher:
             )
         return result
 
-    def _search(self, query: Document) -> SearchResult:
+    def _search(
+        self, query: Document, cancel: Callable[[], bool] | None = None
+    ) -> SearchResult:
         """The untraced search kernel behind :meth:`search`."""
         stats = SearchStats()
         params = self.params
@@ -248,6 +272,12 @@ class PKWiseSearcher:
             stats.signature_time += time.perf_counter() - t_sig
             if event is None or event.final:
                 break
+            if cancel is not None and cancel():
+                raise SearchCancelled(
+                    f"search of {query.name!r} cancelled at window "
+                    f"{event.start}",
+                    windows_processed=event.start,
+                )
             t0 = time.perf_counter()
             changed = not event.unchanged
             if changed:
@@ -323,15 +353,22 @@ class PKWiseSearcher:
             ),
         )
 
-    def search_many(self, queries: list[Document]) -> tuple[list[SearchResult], SearchStats]:
-        """Search every query; returns per-query results and summed stats."""
-        total = SearchStats()
-        results = []
-        for query in queries:
-            result = self.search(query)
-            total.merge(result.stats)
-            results.append(result)
-        return results, total
+    def search_many(self, queries: list[Document], *, jobs: int = 1):
+        """Search every query; returns an :class:`~repro.eval.AggregateRun`.
+
+        The same shape the parallel executor produces, so serial and
+        ``jobs=N`` callers consume one type: per-query pair lists in
+        canonical order under ``results_by_query``, summed stats under
+        ``stats``.  (Releases before 1.1 returned a
+        ``(results, stats)`` tuple; ``AggregateRun`` still unpacks that
+        way with a :class:`DeprecationWarning`.)
+        """
+        from ..eval.harness import run_searcher
+
+        return run_searcher(self, queries, jobs=jobs)
+
+    def close(self) -> None:
+        """Release resources (no-op; in-memory index). Idempotent."""
 
     def __repr__(self) -> str:
         return (

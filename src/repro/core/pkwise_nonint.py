@@ -99,17 +99,14 @@ class PKWiseNonIntervalSearcher:
         stats.num_results = len(pairs)
         return SearchResult(pairs=pairs, stats=stats)
 
-    def search_many(
-        self, queries: list[Document]
-    ) -> tuple[list[SearchResult], SearchStats]:
-        """Search every query; returns per-query results and summed stats."""
-        total = SearchStats()
-        results = []
-        for query in queries:
-            result = self.search(query)
-            total.merge(result.stats)
-            results.append(result)
-        return results, total
+    def search_many(self, queries: list[Document], *, jobs: int = 1):
+        """Search every query; returns an :class:`~repro.eval.AggregateRun`."""
+        from ..eval.harness import run_searcher
+
+        return run_searcher(self, queries, jobs=jobs)
+
+    def close(self) -> None:
+        """Release resources (no-op; in-memory index). Idempotent."""
 
     def __repr__(self) -> str:
         return (

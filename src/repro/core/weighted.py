@@ -39,6 +39,21 @@ class WeightedMatchPair(NamedTuple):
     intersection_weight: float
 
 
+class WeightedSearchResult(NamedTuple):
+    """Weighted matches plus the stats of producing them.
+
+    A named tuple so existing ``pairs, stats = searcher.search(query)``
+    unpacking keeps working while the attribute access
+    (``result.pairs`` / ``result.stats``) matches
+    :class:`~repro.core.SearchResult`, letting the weighted searcher
+    satisfy the :class:`repro.api.Searcher` protocol and run through
+    the shared workload harness.
+    """
+
+    pairs: list[WeightedMatchPair]
+    stats: SearchStats
+
+
 #: Sentinel signature for windows whose full weighted coverage cannot
 #: exceed their error budget (possible when k_max > 1: the combination
 #: "waste" of heavy tokens may exceed theta).  Such windows cannot be
@@ -196,13 +211,13 @@ class WeightedPKWiseSearcher:
                 self._postings.setdefault(signature, []).append((doc_id, start))
 
     # ------------------------------------------------------------------
-    def search(self, query: Document) -> tuple[list[WeightedMatchPair], SearchStats]:
+    def search(self, query: Document) -> WeightedSearchResult:
         """All weighted matches of ``query`` against the data."""
         stats = SearchStats()
         w = self.w
         query_ranks = self.order.rank_document(query)
         if len(query_ranks) < w:
-            return [], stats
+            return WeightedSearchResult([], stats)
 
         pairs: list[WeightedMatchPair] = []
         weight_of = self.weight_of_rank
@@ -247,4 +262,13 @@ class WeightedPKWiseSearcher:
             stats.verify_time += time.perf_counter() - t2
 
         stats.num_results = len(pairs)
-        return pairs, stats
+        return WeightedSearchResult(pairs, stats)
+
+    def search_many(self, queries: list[Document], *, jobs: int = 1):
+        """Search every query; returns an :class:`~repro.eval.AggregateRun`."""
+        from ..eval.harness import run_searcher
+
+        return run_searcher(self, queries, jobs=jobs)
+
+    def close(self) -> None:
+        """Release resources (no-op; in-memory postings). Idempotent."""

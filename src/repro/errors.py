@@ -33,6 +33,45 @@ class PartitioningError(ReproError):
     """A partition scheme is inconsistent with the token universe."""
 
 
+class SearchCancelled(ReproError):
+    """A search was cancelled cooperatively through its cancel callback.
+
+    Raised from inside the slide loop when the caller-supplied cancel
+    callback returns True between query windows; carries how far the
+    search had progressed so callers can report partial work.
+    """
+
+    def __init__(self, message: str, windows_processed: int = 0) -> None:
+        super().__init__(message)
+        self.windows_processed = windows_processed
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by :mod:`repro.service`."""
+
+
+class ServiceOverloadError(ServiceError):
+    """The service's admission queue is full; retry after a backoff.
+
+    ``retry_after`` is the service's estimate (in seconds) of when
+    capacity will free up, derived from current queue depth and the
+    observed average request latency.  The HTTP front-end maps this to
+    a ``429`` response with a ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's deadline passed before its search completed."""
+
+
+class ServiceClosedError(ServiceError):
+    """The service has been shut down and accepts no new requests."""
+
+
 class IndexError_(ReproError):
     """The inverted/interval index is in an inconsistent state.
 

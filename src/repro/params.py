@@ -52,9 +52,13 @@ def max_prefix_length(tau: int, k_max: int, m: int = 1) -> int:
     return tau + 1 + m * (k_max * (k_max - 1)) // 2
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class SearchParams:
     """Immutable, validated parameters for one search configuration.
+
+    All fields are keyword-only — ``SearchParams(w=25, tau=5)``, never
+    positionally — so a reordering of parameters can never silently
+    swap ``w`` and ``tau``.
 
     Parameters
     ----------

@@ -59,7 +59,7 @@ def workload_cost(
     from ..core.pkwise import PKWiseSearcher
 
     searcher = PKWiseSearcher(data, params, scheme=scheme, order=order)
-    _results, totals = searcher.search_many(queries)
+    totals = searcher.search_many(queries).stats
     return totals.abstract_cost(weights.c_comb, weights.c_int, weights.c_hash)
 
 
@@ -86,7 +86,7 @@ def calibrated_weights(
     if scheme is None:
         scheme = default_scheme(params, order)
     searcher = PKWiseSearcher(data, params, scheme=scheme, order=order)
-    _results, totals = searcher.search_many(queries)
+    totals = searcher.search_many(queries).stats
     c_comb = totals.signature_time / max(1, totals.signature_tokens)
     c_int = totals.candidate_time / max(1, totals.postings_entries)
     c_hash = totals.verify_time / max(1, totals.hash_ops)

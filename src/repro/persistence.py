@@ -18,6 +18,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 
 from .core.pkwise import PKWiseSearcher
@@ -94,6 +95,96 @@ def _load_envelope(path: Path) -> dict:
     return envelope
 
 
+class SearcherBundle:
+    """A loaded (or freshly built) searcher plus its document collection.
+
+    The unit the serving and facade layers pass around: the query
+    engine, the collection needed to encode text queries against it,
+    and provenance (source path, load time).  Unpacks as the historical
+    ``(searcher, data)`` tuple, so pre-1.1 callers of
+    :func:`load_bundle` keep working unchanged.
+    """
+
+    __slots__ = ("searcher", "data", "path", "load_seconds")
+
+    def __init__(
+        self,
+        searcher,
+        data=None,
+        path: Path | None = None,
+        load_seconds: float = 0.0,
+    ) -> None:
+        #: The query engine (a :class:`~repro.PKWiseSearcher` for files
+        #: written by :func:`save_searcher`).
+        self.searcher = searcher
+        #: The bundled :class:`~repro.DocumentCollection`, or None for
+        #: ids-only index files.
+        self.data = data
+        #: Source file, or None when built in memory.
+        self.path = path
+        #: Wall-clock seconds spent deserializing (0.0 in memory).
+        self.load_seconds = load_seconds
+
+    # Legacy tuple shape: ``searcher, data = load_bundle(path)``.
+    def __iter__(self):
+        yield self.searcher
+        yield self.data
+
+    @property
+    def params(self):
+        """The searcher's :class:`~repro.SearchParams`."""
+        return self.searcher.params
+
+    def encode_query(self, text: str, name: str | None = None):
+        """Tokenize ``text`` against the bundled collection's vocabulary."""
+        if self.data is None:
+            raise PersistenceError(
+                "bundle has no document collection (saved ids-only); "
+                "rebuild the index with its data to encode text queries"
+            )
+        return self.data.encode_query(text, name=name)
+
+    def search(self, query):
+        """Delegate to the searcher (single query)."""
+        return self.searcher.search(query)
+
+    def search_text(self, text: str):
+        """Encode ``text`` and search it in one step."""
+        return self.searcher.search(self.encode_query(text))
+
+    def search_many(self, queries, *, jobs: int = 1):
+        """Delegate to the searcher (workload run)."""
+        return self.searcher.search_many(queries, jobs=jobs)
+
+    def serve(self, **kwargs):
+        """Wrap this bundle in a :class:`~repro.service.SearchService`.
+
+        Keyword arguments are forwarded (``max_workers``, ``max_queue``,
+        ``cache_size``, ``default_timeout`` ...).
+        """
+        from .service import SearchService
+
+        return SearchService(self.searcher, self.data, **kwargs)
+
+    def close(self) -> None:
+        """Release the searcher's resources."""
+        self.searcher.close()
+
+    def __enter__(self) -> "SearcherBundle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        source = str(self.path) if self.path is not None else "<memory>"
+        return (
+            f"SearcherBundle({type(self.searcher).__name__}, "
+            f"data={'yes' if self.data is not None else 'no'}, "
+            f"source={source})"
+        )
+
+
 def load_searcher(path: str | Path) -> PKWiseSearcher:
     """Load a searcher saved by :func:`save_searcher`.
 
@@ -103,7 +194,19 @@ def load_searcher(path: str | Path) -> PKWiseSearcher:
     return _load_envelope(Path(path))["searcher"]
 
 
-def load_bundle(path: str | Path):
-    """Load ``(searcher, data)``; ``data`` is None for ids-only files."""
-    envelope = _load_envelope(Path(path))
-    return envelope["searcher"], envelope.get("data")
+def load_bundle(path: str | Path) -> SearcherBundle:
+    """Load a :class:`SearcherBundle` from ``path``.
+
+    Still unpacks as the pre-1.1 ``(searcher, data)`` tuple; ``data``
+    is None for ids-only files.  Same pickle caveat as
+    :func:`load_searcher`.
+    """
+    path = Path(path)
+    start = time.perf_counter()
+    envelope = _load_envelope(path)
+    return SearcherBundle(
+        envelope["searcher"],
+        envelope.get("data"),
+        path=path,
+        load_seconds=time.perf_counter() - start,
+    )

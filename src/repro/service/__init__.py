@@ -1,0 +1,38 @@
+"""Concurrent query serving: :class:`SearchService` plus an HTTP front-end.
+
+The serving layer turns a loaded searcher bundle into a long-running,
+thread-safe query service:
+
+* :class:`SearchService` — bounded worker pool with admission control
+  (typed :class:`~repro.errors.ServiceOverloadError` carrying a
+  retry-after estimate), per-request deadlines with cooperative
+  cancellation inside the slide loop, and an epoch-invalidated LRU
+  result cache (:class:`ResultCache`) that keeps cached and fresh
+  results pair-for-pair identical across index mutations.
+* :func:`serve_http` / :class:`ServiceHTTPServer` — a stdlib
+  ``ThreadingHTTPServer`` exposing ``/search``, ``/healthz`` and
+  ``/metrics``.
+* :func:`remote_search` / :func:`remote_healthz` / :func:`remote_metrics`
+  — a tiny ``urllib`` client for scripts and the ``repro query
+  --server`` CLI path.
+"""
+
+from .cache import CacheKey, ResultCache, query_token_hash
+from .client import remote_healthz, remote_metrics, remote_search
+from .http import ServiceHTTPServer, ServiceRequestHandler, serve_http
+from .service import SearchService, ServiceFuture, ServiceResponse
+
+__all__ = [
+    "SearchService",
+    "ServiceFuture",
+    "ServiceResponse",
+    "ResultCache",
+    "CacheKey",
+    "query_token_hash",
+    "ServiceHTTPServer",
+    "ServiceRequestHandler",
+    "serve_http",
+    "remote_search",
+    "remote_healthz",
+    "remote_metrics",
+]

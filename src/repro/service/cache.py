@@ -1,0 +1,114 @@
+"""Epoch-invalidated LRU result cache for the search service.
+
+Repeated and near-duplicate queries dominate serving workloads
+(plagiarism screening re-checks the same suspicious passages over and
+over), and an exact searcher is deterministic: the same query tokens
+against the same index state always produce the same match pairs.  The
+cache exploits exactly that and nothing more:
+
+* Keys are ``(canonical query-token hash, params fingerprint, index
+  epoch)``.  The token hash is content-based (BLAKE2b over the packed
+  token-id sequence), so two :class:`~repro.corpus.Document` objects
+  with the same tokens share an entry regardless of name or identity.
+* The index epoch is the searcher's mutation counter
+  (:attr:`~repro.PKWiseSearcher.index_epoch`); any ``add_document`` /
+  ``remove_document`` bumps it, which makes every prior entry
+  unreachable — cached and fresh results are pair-for-pair identical
+  by construction.  Stale-epoch entries are also actively purged on
+  insert so a mutation burst cannot pin dead entries in the LRU.
+* Values are canonically ordered pair lists, stored as immutable
+  tuples so a caller mutating its response list cannot corrupt the
+  cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import threading
+from collections import OrderedDict
+from collections.abc import Sequence
+
+#: Cache keys: (query token hash, params fingerprint, index epoch).
+CacheKey = tuple[str, str, int]
+
+
+def query_token_hash(tokens: Sequence[int]) -> str:
+    """Canonical content hash of a query's token-id sequence.
+
+    Token ids are packed as little-endian signed 64-bit integers
+    (query-only tokens have negative ranks upstream, and ids are dense
+    ints), so the hash is stable across processes and runs — unlike
+    builtin ``hash``, which is salted per process.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(struct.pack(f"<{len(tokens)}q", *tokens))
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """A thread-safe LRU mapping cache keys to match-pair tuples.
+
+    ``capacity <= 0`` disables the cache entirely (every ``get`` misses,
+    ``put`` is a no-op) — the configuration the serving benchmark uses
+    as its uncached baseline.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._entries: OrderedDict[CacheKey, tuple] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def get(self, key: CacheKey) -> tuple | None:
+        """The cached pair tuple for ``key``, or None; refreshes LRU order."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: CacheKey, pairs: Sequence) -> None:
+        """Insert ``pairs`` under ``key``, evicting LRU entries beyond capacity.
+
+        Entries whose epoch component predates ``key``'s are purged:
+        they can never be read again (epochs only grow), so keeping
+        them would waste capacity on dead results.
+        """
+        if self.capacity <= 0:
+            return
+        epoch = key[2]
+        with self._lock:
+            stale = [
+                entry_key
+                for entry_key in self._entries
+                if entry_key[2] < epoch
+            ]
+            for entry_key in stale:
+                del self._entries[entry_key]
+                self.invalidations += 1
+            self._entries[key] = tuple(pairs)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache(size={len(self._entries)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,85 @@
+"""Tiny stdlib client for a running :mod:`repro.service` HTTP server.
+
+Deliberately minimal — ``urllib`` only, blocking, one function per
+endpoint — so scripts, the CI smoke job, and ``repro query --server``
+need no HTTP dependency.  Server-side errors surface as the same typed
+exceptions the in-process service raises (429 →
+:class:`~repro.errors.ServiceOverloadError`, 504 →
+:class:`~repro.errors.DeadlineExceededError`), so callers can share
+retry logic between local and remote use.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from collections.abc import Sequence
+
+from ..errors import (
+    DeadlineExceededError,
+    ReproError,
+    ServiceClosedError,
+    ServiceOverloadError,
+)
+
+
+def _request(url: str, payload: dict | None = None, timeout: float = 30.0) -> dict:
+    data = None
+    headers = {}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    request = urllib.request.Request(url, data=data, headers=headers)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        try:
+            body = json.loads(exc.read())
+        except (json.JSONDecodeError, ValueError):
+            body = {}
+        message = body.get("error", f"HTTP {exc.code}")
+        if exc.code == 429:
+            raise ServiceOverloadError(
+                message, retry_after=float(body.get("retry_after", 1.0))
+            ) from exc
+        if exc.code == 504:
+            raise DeadlineExceededError(message) from exc
+        if exc.code == 503:
+            raise ServiceClosedError(message) from exc
+        raise ReproError(message) from exc
+
+
+def remote_search(
+    base_url: str,
+    text: str | None = None,
+    *,
+    token_ids: Sequence[int] | None = None,
+    timeout: float | None = None,
+    http_timeout: float = 30.0,
+) -> dict:
+    """POST one query to ``{base_url}/search`` and return the reply dict.
+
+    Exactly one of ``text`` / ``token_ids`` must be given.  ``timeout``
+    is the *service-side* deadline forwarded in the request body;
+    ``http_timeout`` bounds the socket.
+    """
+    if (text is None) == (token_ids is None):
+        raise ValueError("pass exactly one of text= or token_ids=")
+    payload: dict = {"timeout": timeout}
+    if text is not None:
+        payload["text"] = text
+    else:
+        payload["token_ids"] = list(token_ids)
+    return _request(f"{base_url.rstrip('/')}/search", payload, timeout=http_timeout)
+
+
+def remote_healthz(base_url: str, http_timeout: float = 10.0) -> dict:
+    """GET ``{base_url}/healthz``."""
+    return _request(f"{base_url.rstrip('/')}/healthz", timeout=http_timeout)
+
+
+def remote_metrics(base_url: str, http_timeout: float = 10.0) -> dict:
+    """GET ``{base_url}/metrics`` (a MetricsRegistry snapshot envelope)."""
+    return _request(f"{base_url.rstrip('/')}/metrics", timeout=http_timeout)

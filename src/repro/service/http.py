@@ -1,0 +1,212 @@
+"""Stdlib HTTP front-end for :class:`~repro.service.SearchService`.
+
+A :class:`http.server.ThreadingHTTPServer` (one thread per connection,
+all feeding the service's bounded admission queue) with three
+endpoints:
+
+``POST /search``
+    JSON body ``{"text": "..."}`` or ``{"token_ids": [...]}`` plus an
+    optional ``"timeout"`` (seconds).  ``GET /search?q=...`` accepts
+    the same query as a URL parameter for curl-friendliness.  Replies
+    ``{"pairs": [[doc_id, data_start, query_start, overlap], ...],
+    "num_pairs": N, "cached": bool, "seconds": s, "index_epoch": e}``.
+    Overload maps to ``429`` with a ``Retry-After`` header; a missed
+    deadline maps to ``504``.
+``GET /healthz``
+    Liveness and index state (documents, epoch, queue depth, uptime).
+``GET /metrics``
+    The service's :class:`~repro.obs.MetricsRegistry` snapshot —
+    request-latency timers, queue-depth gauges, cache hit/miss
+    counters, and the searcher's accumulated phase stats — in the same
+    envelope the CLI's ``--metrics-out`` writes, so
+    ``benchmarks/check_regression.py`` can diff two serving runs.
+
+The server binds but does not accept until :py:meth:`serve_forever`
+runs; use :func:`serve_http` for the common blocking case or drive the
+returned server from your own thread (as the tests do).
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from ..errors import (
+    DeadlineExceededError,
+    ReproError,
+    ServiceClosedError,
+    ServiceOverloadError,
+)
+from .service import SearchService
+
+#: Largest accepted /search request body, in bytes (64 MiB): a query
+#: document is token text, not a corpus; anything bigger is a mistake.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Maps HTTP verbs/paths onto one :class:`SearchService`."""
+
+    server: "ServiceHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _reply(self, status: int, payload: dict, headers: dict | None = None) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_error(self, status: int, message: str, **extra) -> None:
+        headers = extra.pop("headers", None)
+        self._reply(status, {"error": message, **extra}, headers=headers)
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib API)
+        url = urlparse(self.path)
+        if url.path == "/healthz":
+            health = self.server.service.healthz()
+            status = 200 if health["status"] == "ok" else 503
+            self._reply(status, health)
+        elif url.path == "/metrics":
+            self._reply(200, self.server.service.metrics_snapshot())
+        elif url.path == "/search":
+            query = parse_qs(url.query)
+            text = query.get("q", [None])[0]
+            if text is None:
+                self._reply_error(400, "missing query parameter 'q'")
+                return
+            timeout = query.get("timeout", [None])[0]
+            self._search(
+                {"text": text, "timeout": float(timeout) if timeout else None}
+            )
+        else:
+            self._reply_error(404, f"unknown path {url.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib API)
+        url = urlparse(self.path)
+        if url.path != "/search":
+            self._reply_error(404, f"unknown path {url.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._reply_error(400, "bad Content-Length")
+            return
+        if length > MAX_BODY_BYTES:
+            self._reply_error(413, f"request body over {MAX_BODY_BYTES} bytes")
+            return
+        try:
+            payload = json.loads(self.rfile.read(length) or b"{}")
+        except json.JSONDecodeError as exc:
+            self._reply_error(400, f"invalid JSON body: {exc}")
+            return
+        if not isinstance(payload, dict):
+            self._reply_error(400, "JSON body must be an object")
+            return
+        self._search(payload)
+
+    # ------------------------------------------------------------------
+    def _search(self, payload: dict) -> None:
+        service = self.server.service
+        timeout = payload.get("timeout")
+        if timeout is not None and not isinstance(timeout, (int, float)):
+            self._reply_error(400, "'timeout' must be a number of seconds")
+            return
+        try:
+            if payload.get("text") is not None:
+                response = service.search_text(
+                    str(payload["text"]), timeout=timeout
+                )
+            elif payload.get("token_ids") is not None:
+                from ..corpus import Document
+
+                token_ids = payload["token_ids"]
+                if not isinstance(token_ids, list) or not all(
+                    isinstance(token, int) for token in token_ids
+                ):
+                    self._reply_error(400, "'token_ids' must be a list of ints")
+                    return
+                response = service.search(
+                    Document(-1, token_ids, name="http-query"), timeout=timeout
+                )
+            else:
+                self._reply_error(400, "body needs 'text' or 'token_ids'")
+                return
+        except ServiceOverloadError as exc:
+            self._reply_error(
+                429,
+                str(exc),
+                retry_after=exc.retry_after,
+                headers={"Retry-After": f"{max(1, round(exc.retry_after))}"},
+            )
+            return
+        except DeadlineExceededError as exc:
+            self._reply_error(504, str(exc))
+            return
+        except ServiceClosedError as exc:
+            self._reply_error(503, str(exc))
+            return
+        except ReproError as exc:
+            self._reply_error(400, str(exc))
+            return
+        self._reply(
+            200,
+            {
+                "pairs": [list(pair) for pair in response.pairs],
+                "num_pairs": len(response.pairs),
+                "cached": response.cached,
+                "seconds": response.seconds,
+                "index_epoch": response.index_epoch,
+            },
+        )
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer bound to one :class:`SearchService`.
+
+    ``port=0`` binds an OS-assigned ephemeral port; read the final
+    address from :attr:`server_address`.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        service: SearchService,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        verbose: bool = False,
+    ) -> None:
+        self.service = service
+        self.verbose = verbose
+        super().__init__((host, port), ServiceRequestHandler)
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound address (http://host:port)."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def serve_http(
+    service: SearchService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    verbose: bool = False,
+) -> ServiceHTTPServer:
+    """Bind a :class:`ServiceHTTPServer`; caller runs ``serve_forever``.
+
+    Returned unstarted so callers control the serving thread (the CLI
+    blocks on it; tests run it in a daemon thread).
+    """
+    return ServiceHTTPServer(service, host=host, port=port, verbose=verbose)

@@ -1,0 +1,587 @@
+"""A thread-safe, long-running search service over a loaded searcher.
+
+Every prior entry point of the library is batch-shaped: load, run,
+exit.  :class:`SearchService` is the resident layer for serving a
+*stream* of queries:
+
+* **Bounded worker pool.**  ``max_workers`` daemon threads drain a
+  bounded admission queue.  Searches are pure Python, so threads do not
+  add CPU parallelism under the GIL — what they add is *concurrency*:
+  requests overlap with I/O-bound callers (the HTTP front-end), slow
+  searches don't block admission, and deadlines fire on time.  For CPU
+  scaling, front several service processes with any HTTP balancer, or
+  use :class:`~repro.parallel.ParallelExecutor` for batch workloads.
+* **Admission control.**  When the queue is full, ``submit`` fails
+  *immediately* with :class:`~repro.errors.ServiceOverloadError`
+  carrying a retry-after estimate, instead of queueing unboundedly.
+  Rejecting early keeps memory bounded and tail latency honest.
+* **Deadlines and cooperative cancellation.**  A per-request timeout
+  becomes a monotonic deadline; the worker checks it before starting
+  and the searcher checks it *between query windows in the slide loop*
+  (the ``cancel`` hook of :meth:`~repro.PKWiseSearcher.search`), so a
+  doomed request stops consuming CPU mid-query instead of running to
+  completion.
+* **Result caching.**  An epoch-invalidated LRU
+  (:class:`~repro.service.cache.ResultCache`) keyed by canonical query
+  token hash + params fingerprint + index epoch.  Mutations
+  (:meth:`add_document` / :meth:`remove_document`) bump the searcher's
+  epoch, so cached and fresh results are always pair-for-pair
+  identical.
+* **Observability.**  All of it reports through a
+  :class:`~repro.obs.MetricsRegistry`: request/latency timers,
+  queue-depth gauges, cache hit/miss counters, plus the searchers' own
+  phase stats — served verbatim by the HTTP front-end's ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import inspect
+import threading
+import time
+from collections import deque
+from collections.abc import Sequence
+
+from ..corpus import Document, DocumentCollection
+from ..errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    ReproError,
+    SearchCancelled,
+    ServiceClosedError,
+    ServiceOverloadError,
+)
+from ..eval.harness import canonical_pair_order
+from ..obs import MetricsRegistry
+from .cache import CacheKey, ResultCache, query_token_hash
+
+#: Floor for retry-after estimates so clients never busy-spin.
+MIN_RETRY_AFTER = 0.05
+
+#: Fallback per-request latency estimate before any request completed.
+DEFAULT_LATENCY_ESTIMATE = 0.1
+
+
+class _ReadWriteLock:
+    """Writer-preferring readers-writer lock.
+
+    Searches share the index (readers); ``add_document`` /
+    ``remove_document`` mutate postings dicts that a concurrent probe
+    may be iterating (writers).  Writer preference keeps mutations from
+    starving under a steady query stream.
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._condition:
+            while self._writer or self._writers_waiting:
+                self._condition.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._condition:
+            self._readers -= 1
+            if self._readers == 0:
+                self._condition.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._condition:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._condition.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._condition:
+            self._writer = False
+            self._condition.notify_all()
+
+
+class ServiceResponse:
+    """One served request: canonical pairs plus serving metadata."""
+
+    __slots__ = ("pairs", "cached", "seconds", "index_epoch")
+
+    def __init__(
+        self, pairs: tuple, cached: bool, seconds: float, index_epoch: int
+    ) -> None:
+        #: Match pairs in canonical (doc_id, data_start, query_start)
+        #: order, as an immutable tuple (shared with the cache).
+        self.pairs = pairs
+        #: True when served from the result cache.
+        self.cached = cached
+        #: End-to-end seconds inside the service (admission to reply).
+        self.seconds = seconds
+        #: The index epoch the result reflects.
+        self.index_epoch = index_epoch
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self):
+        return iter(self.pairs)
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceResponse({len(self.pairs)} pairs, cached={self.cached}, "
+            f"{self.seconds * 1e3:.2f}ms)"
+        )
+
+
+class ServiceFuture:
+    """Handle for an admitted request; resolves to a ServiceResponse."""
+
+    __slots__ = ("_event", "_response", "_error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._response: ServiceResponse | None = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        """True once a response or error is set."""
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> ServiceResponse:
+        """Block until resolved; raises the request's error if it failed."""
+        if not self._event.wait(timeout):
+            raise DeadlineExceededError(
+                f"no response within {timeout}s (request still queued or running)"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._response is not None
+        return self._response
+
+    # Internal: called by the service worker exactly once.
+    def _resolve(self, response: ServiceResponse) -> None:
+        self._response = response
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+class _Request:
+    """Internal queue entry."""
+
+    __slots__ = ("query", "deadline", "future", "enqueued_at", "cache_key")
+
+    def __init__(
+        self,
+        query: Document,
+        deadline: float | None,
+        future: ServiceFuture,
+        cache_key: CacheKey | None,
+    ) -> None:
+        self.query = query
+        self.deadline = deadline
+        self.future = future
+        self.enqueued_at = time.monotonic()
+        self.cache_key = cache_key
+
+
+#: Sentinel that tells a worker thread to exit.
+_SHUTDOWN = object()
+
+
+class SearchService:
+    """Serve concurrent queries from a bounded worker pool.
+
+    Parameters
+    ----------
+    searcher:
+        Any object satisfying the :class:`repro.api.Searcher` protocol
+        whose ``search(query)`` returns an object with ``pairs``; the
+        deadline hook additionally requires ``search`` to accept a
+        ``cancel`` keyword (as :class:`~repro.PKWiseSearcher` does —
+        for searchers without it the service still enforces deadlines
+        at dequeue and reply time, just not mid-query).
+    data:
+        Optional :class:`~repro.DocumentCollection` bundled with the
+        searcher; required only by :meth:`search_text` (and hence the
+        HTTP front-end's ``text`` queries).
+    max_workers:
+        Worker threads draining the admission queue.
+    max_queue:
+        Bound of the admission queue.  ``submit`` beyond it raises
+        :class:`~repro.errors.ServiceOverloadError`.
+    cache_size:
+        LRU result-cache capacity in entries; ``0`` disables caching.
+    default_timeout:
+        Per-request timeout (seconds) applied when ``submit`` is not
+        given one; ``None`` means no deadline.
+    """
+
+    def __init__(
+        self,
+        searcher,
+        data: DocumentCollection | None = None,
+        *,
+        max_workers: int = 4,
+        max_queue: int = 64,
+        cache_size: int = 256,
+        default_timeout: float | None = None,
+        name: str = "search-service",
+    ) -> None:
+        if max_workers < 1:
+            raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
+        if max_queue < 1:
+            raise ConfigurationError(f"max_queue must be >= 1, got {max_queue}")
+        if cache_size < 0:
+            raise ConfigurationError(f"cache_size must be >= 0, got {cache_size}")
+        self.searcher = searcher
+        self.data = data
+        self.name = name
+        self.default_timeout = default_timeout
+        self.cache = ResultCache(cache_size)
+        self.started_at = time.time()
+        self._params_key = repr(getattr(searcher, "params", None))
+        self._index_lock = _ReadWriteLock()
+        self._metrics_lock = threading.Lock()
+        self._registry = MetricsRegistry()
+        self._registry.gauge("service.workers").set(max_workers)
+        self._registry.gauge("service.queue_capacity").set(max_queue)
+        self._completed_seconds = 0.0
+        self._completed_count = 0
+        self._closed = False
+        self._abort = False
+        try:
+            signature = inspect.signature(searcher.search)
+            self._supports_cancel = "cancel" in signature.parameters
+        except (TypeError, ValueError):  # builtins without signatures
+            self._supports_cancel = False
+        self._queue: deque[_Request] = deque()
+        self._queue_capacity = max_queue
+        self._queue_lock = threading.Lock()
+        self._queue_ready = threading.Condition(self._queue_lock)
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"{name}-worker-{i}", daemon=True
+            )
+            for i in range(max_workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def index_epoch(self) -> int:
+        """The wrapped searcher's mutation epoch (0 when unsupported)."""
+        return getattr(self.searcher, "index_epoch", 0)
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting for a worker."""
+        return len(self._queue)
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has begun."""
+        return self._closed
+
+    def healthz(self) -> dict:
+        """Liveness summary served by the HTTP front-end's ``/healthz``."""
+        return {
+            "status": "closed" if self._closed else "ok",
+            "service": self.name,
+            "documents": len(getattr(self.searcher, "rank_docs", ())),
+            "index_epoch": self.index_epoch,
+            "queue_depth": self.queue_depth,
+            "queue_capacity": self._queue_capacity,
+            "workers": len(self._workers),
+            "cache_entries": len(self.cache),
+            "uptime_seconds": time.time() - self.started_at,
+        }
+
+    def metrics_snapshot(self) -> dict:
+        """Canonical metrics record (service + cache + search counters).
+
+        Same envelope as the CLI's ``--metrics-out`` records, so
+        ``benchmarks/check_regression.py`` can diff two serving runs.
+        """
+        with self._metrics_lock:
+            registry = MetricsRegistry.from_snapshot(self._registry.snapshot())
+        registry.counter("service.cache_hits").inc(self.cache.hits)
+        registry.counter("service.cache_misses").inc(self.cache.misses)
+        registry.counter("service.cache_evictions").inc(self.cache.evictions)
+        registry.counter("service.cache_invalidations").inc(self.cache.invalidations)
+        registry.gauge("service.cache_entries").set(len(self.cache))
+        registry.gauge("service.queue_depth_now").set(self.queue_depth)
+        registry.gauge("service.index_epoch").set(self.index_epoch)
+        return {
+            "name": self.name,
+            "schema_version": 1,
+            "metrics": registry.snapshot(),
+        }
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def _retry_after(self) -> float:
+        """Estimated seconds until the queue has room again."""
+        if self._completed_count:
+            latency = self._completed_seconds / self._completed_count
+        else:
+            latency = DEFAULT_LATENCY_ESTIMATE
+        backlog = self.queue_depth + len(self._workers)
+        return max(MIN_RETRY_AFTER, backlog * latency / len(self._workers))
+
+    def _cache_key(self, query: Document) -> CacheKey:
+        return (query_token_hash(query.tokens), self._params_key, self.index_epoch)
+
+    def submit(
+        self, query: Document, *, timeout: float | None = None
+    ) -> ServiceFuture:
+        """Admit one query; returns a future resolving to its response.
+
+        Fast path: a cache hit resolves the future immediately without
+        touching the queue.  Otherwise the request joins the admission
+        queue — or is rejected with
+        :class:`~repro.errors.ServiceOverloadError` when the queue is
+        at capacity.
+        """
+        if self._closed:
+            raise ServiceClosedError(f"{self.name} is closed")
+        if timeout is None:
+            timeout = self.default_timeout
+        with self._metrics_lock:
+            self._registry.counter("service.requests").inc()
+        future = ServiceFuture()
+        key = self._cache_key(query)
+        cached = self.cache.get(key)
+        if cached is not None:
+            with self._metrics_lock:
+                self._registry.counter("service.completed").inc()
+                self._registry.timer("service.request_seconds").add(0.0)
+            future._resolve(
+                ServiceResponse(cached, cached=True, seconds=0.0, index_epoch=key[2])
+            )
+            return future
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        request = _Request(query, deadline, future, key)
+        with self._queue_lock:
+            if self._closed:
+                raise ServiceClosedError(f"{self.name} is closed")
+            if len(self._queue) >= self._queue_capacity:
+                retry_after = self._retry_after()
+                with self._metrics_lock:
+                    self._registry.counter("service.rejected").inc()
+                raise ServiceOverloadError(
+                    f"{self.name} admission queue full "
+                    f"({self._queue_capacity} waiting); retry in "
+                    f"{retry_after:.2f}s",
+                    retry_after=retry_after,
+                )
+            self._queue.append(request)
+            depth = len(self._queue)
+            self._queue_ready.notify()
+        with self._metrics_lock:
+            gauge = self._registry.gauge("service.queue_depth")
+            gauge.set(max(gauge.value, depth))
+        return future
+
+    def search(
+        self, query: Document, *, timeout: float | None = None
+    ) -> ServiceResponse:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(query, timeout=timeout).result()
+
+    def search_text(self, text: str, *, timeout: float | None = None) -> ServiceResponse:
+        """Encode ``text`` against the bundled collection and search it."""
+        if self.data is None:
+            raise ReproError(
+                "service has no document collection; reload the index with "
+                "its data bundle (repro index saves it by default) or "
+                "submit pre-encoded Document queries"
+            )
+        return self.search(self.data.encode_query(text), timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Index mutation (write side)
+    # ------------------------------------------------------------------
+    def add_document(self, document: Document) -> int:
+        """Index one more document; invalidates cached results via epoch."""
+        self._index_lock.acquire_write()
+        try:
+            doc_id = self.searcher.add_document(document)
+        finally:
+            self._index_lock.release_write()
+        with self._metrics_lock:
+            self._registry.counter("service.mutations").inc()
+        return doc_id
+
+    def add_text(self, text: str, name: str | None = None) -> int:
+        """Tokenize ``text`` into the bundled collection and index it."""
+        if self.data is None:
+            raise ReproError("service has no document collection to tokenize into")
+        return self.add_document(self.data.add_text(text, name=name))
+
+    def remove_document(self, doc_id: int) -> None:
+        """Tombstone ``doc_id``; invalidates cached results via epoch."""
+        self._index_lock.acquire_write()
+        try:
+            self.searcher.remove_document(doc_id)
+        finally:
+            self._index_lock.release_write()
+        with self._metrics_lock:
+            self._registry.counter("service.mutations").inc()
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            with self._queue_lock:
+                while not self._queue and not self._closed:
+                    self._queue_ready.wait()
+                if self._queue:
+                    request = self._queue.popleft()
+                elif self._closed:
+                    return
+                else:  # pragma: no cover - spurious wakeup
+                    continue
+            self._process(request)
+
+    def _process(self, request: _Request) -> None:
+        now = time.monotonic()
+        waited = now - request.enqueued_at
+        deadline = request.deadline
+        if deadline is not None and now > deadline:
+            with self._metrics_lock:
+                self._registry.counter("service.deadline_exceeded").inc()
+                self._registry.timer("service.queue_wait_seconds").add(waited)
+            request.future._fail(
+                DeadlineExceededError(
+                    f"deadline passed after {waited * 1e3:.1f}ms in queue, "
+                    f"before the search started"
+                )
+            )
+            return
+
+        def cancelled() -> bool:
+            return self._abort or (
+                deadline is not None and time.monotonic() > deadline
+            )
+
+        self._index_lock.acquire_read()
+        try:
+            # Key under the read lock: mutations cannot interleave here,
+            # so the epoch is exactly the one the search observes.
+            key = (
+                request.cache_key[0],
+                request.cache_key[1],
+                self.index_epoch,
+            )
+            cached = self.cache.get(key)
+            if cached is not None:
+                pairs: tuple | None = cached
+                was_cached = True
+            else:
+                was_cached = False
+                if self._supports_cancel:
+                    result = self.searcher.search(request.query, cancel=cancelled)
+                else:
+                    # Searcher without a cancel hook: deadlines are still
+                    # enforced at dequeue time, just not mid-query.
+                    result = self.searcher.search(request.query)
+                pairs = tuple(canonical_pair_order(list(result.pairs)))
+                self.cache.put(key, pairs)
+        except SearchCancelled as exc:
+            self._finish_cancelled(request, waited, exc)
+            return
+        except BaseException as exc:  # searcher bugs surface to the caller
+            with self._metrics_lock:
+                self._registry.counter("service.errors").inc()
+            request.future._fail(exc)
+            return
+        finally:
+            self._index_lock.release_read()
+
+        elapsed = time.monotonic() - request.enqueued_at
+        stats = None if was_cached else getattr(result, "stats", None)
+        with self._metrics_lock:
+            self._registry.counter("service.completed").inc()
+            self._registry.timer("service.request_seconds").add(elapsed)
+            self._registry.timer("service.queue_wait_seconds").add(waited)
+            if stats is not None:
+                stats.to_registry(self._registry)
+            self._completed_seconds += elapsed
+            self._completed_count += 1
+        request.future._resolve(
+            ServiceResponse(
+                pairs, cached=was_cached, seconds=elapsed, index_epoch=key[2]
+            )
+        )
+
+    def _finish_cancelled(
+        self, request: _Request, waited: float, exc: SearchCancelled
+    ) -> None:
+        with self._metrics_lock:
+            self._registry.timer("service.queue_wait_seconds").add(waited)
+        if self._abort and (
+            request.deadline is None or time.monotonic() <= request.deadline
+        ):
+            with self._metrics_lock:
+                self._registry.counter("service.cancelled").inc()
+            request.future._fail(
+                ServiceClosedError(f"{self.name} closed mid-search ({exc})")
+            )
+        else:
+            with self._metrics_lock:
+                self._registry.counter("service.deadline_exceeded").inc()
+            request.future._fail(
+                DeadlineExceededError(
+                    f"deadline passed after {exc.windows_processed} query "
+                    f"windows; partial work discarded"
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, *, drain: bool = True) -> None:
+        """Stop the service.
+
+        ``drain=True`` (default) lets queued requests finish; with
+        ``drain=False`` queued requests fail with
+        :class:`~repro.errors.ServiceClosedError` and running searches
+        are cancelled at their next slide-loop check.  Idempotent.
+        """
+        with self._queue_lock:
+            if self._closed:
+                return
+            self._closed = True
+            abandoned: list[_Request] = []
+            if not drain:
+                self._abort = True
+                abandoned = list(self._queue)
+                self._queue.clear()
+            self._queue_ready.notify_all()
+        for request in abandoned:
+            request.future._fail(ServiceClosedError(f"{self.name} is closed"))
+        for thread in self._workers:
+            thread.join()
+
+    def __enter__(self) -> "SearchService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"SearchService({self.name!r}, workers={len(self._workers)}, "
+            f"queue={self.queue_depth}/{self._queue_capacity}, "
+            f"cache={self.cache!r}, closed={self._closed})"
+        )

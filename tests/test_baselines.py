@@ -186,6 +186,8 @@ class TestSearchMany:
     def test_aggregates(self, small_corpus):
         params = SearchParams(w=10, tau=1, k_max=1)
         searcher = StandardPrefixSearcher(small_corpus, params)
-        results, totals = searcher.search_many([small_corpus[0], small_corpus[1]])
-        assert len(results) == 2
-        assert totals.num_results == sum(len(r.pairs) for r in results)
+        run = searcher.search_many([small_corpus[0], small_corpus[1]])
+        assert run.num_queries == 2
+        assert run.stats.num_results == sum(
+            len(pairs) for pairs in run.results_by_query.values()
+        )

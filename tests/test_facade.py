@@ -1,0 +1,234 @@
+"""Tests for the repro.api facade and the 1.1 compatibility surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import ConfigurationError, DocumentCollection, SearchParams, api
+from repro.api import Searcher, build_index, open_index, save_index
+from repro.baselines import (
+    AdaptSearcher,
+    BruteForceSearcher,
+    FaerieSearcher,
+    FBWSearcher,
+    KPrefixSearcher,
+    MinHashLSHSearcher,
+)
+from repro.core import (
+    PKWiseNonIntervalSearcher,
+    PKWiseSearcher,
+    WeightedPKWiseSearcher,
+)
+from repro.persistence import SearcherBundle
+
+from .conftest import pairs_as_set
+
+TEXTS = [
+    "alpha beta gamma delta epsilon zeta eta theta iota kappa lamda mu "
+    "nu xi omicron pi rho sigma tau upsilon phi chi psi omega",
+    "alpha beta gamma delta epsilon zeta eta theta iota kappa lamda mu "
+    "other words entirely different from the first document here now",
+]
+
+
+class TestBuildIndex:
+    def test_from_texts(self):
+        index = build_index(TEXTS, w=10, tau=2, k_max=3)
+        assert isinstance(index, SearcherBundle)
+        assert len(index.data) == 2
+        result = index.search_text(TEXTS[0])
+        assert len(result.pairs) > 0
+
+    def test_from_collection(self, small_corpus):
+        params = SearchParams(w=10, tau=2, k_max=3)
+        index = build_index(small_corpus, params)
+        assert index.data is small_corpus
+        assert index.params is params
+
+    def test_from_directory(self, tmp_path):
+        for i, text in enumerate(TEXTS):
+            (tmp_path / f"doc{i}.txt").write_text(text)
+        index = build_index(tmp_path, w=10, tau=2, k_max=3)
+        assert len(index.data) == 2
+
+    def test_m_defaults_to_paper_rule(self):
+        index = build_index(TEXTS, w=10, tau=2, k_max=3)
+        assert index.params.m == 1
+
+    def test_needs_params_or_w_tau(self):
+        with pytest.raises(ConfigurationError, match="w= and tau="):
+            build_index(TEXTS)
+        with pytest.raises(ConfigurationError, match="not both"):
+            build_index(TEXTS, SearchParams(w=10, tau=2, k_max=3), w=10)
+
+    def test_rejects_nonsense_corpus(self):
+        with pytest.raises(ConfigurationError, match="cannot build"):
+            build_index(12345, w=10, tau=2)
+
+    def test_parity_with_direct_construction(self, small_corpus):
+        params = SearchParams(w=10, tau=2, k_max=3)
+        direct = PKWiseSearcher(small_corpus, params)
+        facade = build_index(small_corpus, params)
+        query = small_corpus.encode_query_tokens(
+            [
+                small_corpus.vocabulary.decode([t])[0]
+                for t in small_corpus[0].tokens[10:40]
+            ]
+        )
+        assert pairs_as_set(facade.search(query)) == pairs_as_set(
+            direct.search(query)
+        )
+
+
+class TestRoundtrip:
+    def test_save_open_search_text(self, tmp_path):
+        index = build_index(TEXTS, w=10, tau=2, k_max=3)
+        path = tmp_path / "corpus.idx"
+        save_index(index, path)
+        with open_index(path) as bundle:
+            assert bundle.path == path
+            assert bundle.load_seconds > 0
+            assert (
+                bundle.search_text(TEXTS[0]).sorted_pairs()
+                == index.search_text(TEXTS[0]).sorted_pairs()
+            )
+
+    def test_bare_searcher_without_data(self, tmp_path):
+        index = build_index(TEXTS, w=10, tau=2, k_max=3)
+        path = tmp_path / "lean.idx"
+        save_index(index.searcher, path)  # no data bundled
+        bundle = open_index(path)
+        assert bundle.data is None
+        with pytest.raises(Exception, match="ids-only"):
+            bundle.search_text("anything")
+
+    def test_legacy_tuple_unpack(self, tmp_path):
+        index = build_index(TEXTS, w=10, tau=2, k_max=3)
+        path = tmp_path / "corpus.idx"
+        save_index(index, path)
+        searcher, data = open_index(path)
+        assert isinstance(searcher, PKWiseSearcher)
+        assert len(data) == 2
+
+    def test_bundle_serve(self):
+        index = build_index(TEXTS, w=10, tau=2, k_max=3)
+        with index.serve(max_workers=1, cache_size=4) as service:
+            first = service.search_text(TEXTS[0])
+            second = service.search_text(TEXTS[0])
+            assert first.pairs == second.pairs
+            assert second.cached
+
+
+class TestSearcherProtocol:
+    @pytest.mark.parametrize(
+        "engine_class",
+        [
+            PKWiseSearcher,
+            PKWiseNonIntervalSearcher,
+            AdaptSearcher,
+            BruteForceSearcher,
+            FaerieSearcher,
+            FBWSearcher,
+            KPrefixSearcher,
+            MinHashLSHSearcher,
+        ],
+    )
+    def test_engines_satisfy_protocol(self, small_corpus, engine_class):
+        params = SearchParams(w=10, tau=2, k_max=3)
+        engine = engine_class(small_corpus, params)
+        assert isinstance(engine, Searcher)
+        engine.close()
+
+    def test_weighted_satisfies_protocol(self, small_corpus):
+        weighted = WeightedPKWiseSearcher(
+            small_corpus, w=10, theta_weight=8.0, weight_of_token=lambda _t: 1.0
+        )
+        assert isinstance(weighted, Searcher)
+
+    def test_bundle_satisfies_protocol(self):
+        assert isinstance(build_index(TEXTS, w=10, tau=2, k_max=3), Searcher)
+
+
+class TestDeprecatedAliases:
+    def test_load_bundle_warns_but_works(self, tmp_path):
+        index = build_index(TEXTS, w=10, tau=2, k_max=3)
+        path = tmp_path / "corpus.idx"
+        save_index(index, path)
+        with pytest.warns(DeprecationWarning, match="open_index"):
+            loader = repro.load_bundle
+        searcher, data = loader(path)
+        assert isinstance(searcher, PKWiseSearcher)
+
+    def test_load_searcher_warns_but_works(self, tmp_path):
+        index = build_index(TEXTS, w=10, tau=2, k_max=3)
+        path = tmp_path / "corpus.idx"
+        save_index(index, path)
+        with pytest.warns(DeprecationWarning, match="open_index"):
+            loader = repro.load_searcher
+        assert isinstance(loader(path), PKWiseSearcher)
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+
+class TestSearchManyUnification:
+    def test_facade_search_many_returns_run(self, small_corpus):
+        index = build_index(small_corpus, SearchParams(w=10, tau=2, k_max=3))
+        queries = [
+            small_corpus.encode_query_tokens(
+                [
+                    small_corpus.vocabulary.decode([t])[0]
+                    for t in small_corpus[d].tokens[:30]
+                ]
+            )
+            for d in (0, 3)
+        ]
+        run = index.search_many(queries)
+        assert run.num_queries == 2
+        assert set(run.results_by_query) == {0, 1}
+
+    def test_weighted_and_baseline_agree_on_shape(self, small_corpus):
+        params = SearchParams(w=10, tau=2, k_max=3)
+        queries = [
+            small_corpus.encode_query_tokens(
+                [
+                    small_corpus.vocabulary.decode([t])[0]
+                    for t in small_corpus[0].tokens[:30]
+                ]
+            )
+        ]
+        weighted = WeightedPKWiseSearcher(
+            small_corpus, w=10, theta_weight=8.0, weight_of_token=lambda _t: 1.0
+        )
+        for engine in (weighted, BruteForceSearcher(small_corpus, params)):
+            run = engine.search_many(queries)
+            assert run.num_queries == 1
+            assert hasattr(run, "stats") and hasattr(run, "results_by_query")
+
+
+class TestKeywordOnlyParams:
+    def test_positional_construction_rejected(self):
+        with pytest.raises(TypeError):
+            SearchParams(10, 2)
+
+    def test_keyword_construction_works(self):
+        params = SearchParams(w=10, tau=2, k_max=3)
+        assert (params.w, params.tau, params.theta) == (10, 2, 8)
+
+    def test_validation_names_offending_value(self):
+        with pytest.raises(ConfigurationError, match="tau=9, w=5"):
+            SearchParams(w=5, tau=9)
+        with pytest.raises(ConfigurationError, match="k_max must be >= 1"):
+            SearchParams(w=10, tau=2, k_max=0)
+
+
+class TestModuleSurface:
+    def test_api_module_exported(self):
+        assert repro.api is api
+        assert repro.build_index is build_index
+        assert repro.open_index is open_index
+
+    def test_version_bumped(self):
+        assert repro.__version__ == "1.1.0"

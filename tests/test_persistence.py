@@ -11,10 +11,9 @@ from repro import (
     PersistenceError,
     PKWiseSearcher,
     SearchParams,
-    load_bundle,
-    load_searcher,
     save_searcher,
 )
+from repro.persistence import load_bundle, load_searcher
 
 from .conftest import pairs_as_set
 

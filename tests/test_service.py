@@ -1,0 +1,439 @@
+"""Tests for repro.service: SearchService, ResultCache, HTTP front-end."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import (
+    DeadlineExceededError,
+    DocumentCollection,
+    PKWiseSearcher,
+    SearchCancelled,
+    SearchParams,
+    SearchService,
+    ServiceClosedError,
+    ServiceOverloadError,
+    ConfigurationError,
+)
+from repro.core.base import SearchResult
+from repro.eval.harness import canonical_pair_order
+from repro.service import (
+    ResultCache,
+    query_token_hash,
+    remote_healthz,
+    remote_metrics,
+    remote_search,
+    serve_http,
+)
+
+from .conftest import pairs_as_set
+
+
+PARAMS = SearchParams(w=10, tau=2, k_max=3)
+
+
+@pytest.fixture
+def searcher(small_corpus):
+    return PKWiseSearcher(small_corpus, PARAMS)
+
+
+@pytest.fixture
+def queries(small_corpus):
+    """Queries cut from the corpus itself, so matches are guaranteed."""
+    out = []
+    for doc_id, start in [(0, 5), (0, 10), (3, 20), (1, 0), (2, 30), (4, 12)]:
+        tokens = small_corpus[doc_id].tokens[start : start + 25]
+        out.append(
+            small_corpus.encode_query_tokens(
+                [small_corpus.vocabulary.decode([t])[0] for t in tokens],
+                name=f"q{doc_id}-{start}",
+            )
+        )
+    return out
+
+
+class BlockingSearcher:
+    """Stub whose search blocks until released (no cancel hook)."""
+
+    name = "blocking"
+    params = None
+
+    def __init__(self) -> None:
+        self.release = threading.Event()
+        self.started = threading.Event()
+
+    def search(self, query) -> SearchResult:
+        self.started.set()
+        self.release.wait(10)
+        return SearchResult(pairs=[])
+
+    def close(self) -> None:
+        pass
+
+
+class CancellableSearcher:
+    """Stub that honours the cancel hook, like the real slide loop."""
+
+    name = "cancellable"
+    params = None
+
+    def search(self, query, *, cancel=None) -> SearchResult:
+        for window in range(500):
+            if cancel is not None and cancel():
+                raise SearchCancelled("stub cancelled", windows_processed=window)
+            time.sleep(0.002)
+        return SearchResult(pairs=[])
+
+    def close(self) -> None:
+        pass
+
+
+class TestResultCache:
+    def test_hit_miss_counters(self):
+        cache = ResultCache(4)
+        key = ("h", "p", 0)
+        assert cache.get(key) is None
+        cache.put(key, [1, 2])
+        assert cache.get(key) == (1, 2)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction(self):
+        cache = ResultCache(2)
+        cache.put(("a", "p", 0), [1])
+        cache.put(("b", "p", 0), [2])
+        cache.get(("a", "p", 0))  # refresh a; b becomes LRU
+        cache.put(("c", "p", 0), [3])
+        assert cache.get(("b", "p", 0)) is None
+        assert cache.get(("a", "p", 0)) == (1,)
+        assert cache.evictions == 1
+
+    def test_epoch_purge(self):
+        cache = ResultCache(8)
+        cache.put(("a", "p", 0), [1])
+        cache.put(("b", "p", 1), [2])  # epoch advanced: purges epoch-0 entry
+        assert len(cache) == 1
+        assert cache.invalidations == 1
+        assert cache.get(("a", "p", 0)) is None
+
+    def test_capacity_zero_disables(self):
+        cache = ResultCache(0)
+        cache.put(("a", "p", 0), [1])
+        assert len(cache) == 0
+        assert cache.get(("a", "p", 0)) is None
+
+    def test_token_hash_content_based(self):
+        assert query_token_hash([1, 2, 3]) == query_token_hash([1, 2, 3])
+        assert query_token_hash([1, 2, 3]) != query_token_hash([3, 2, 1])
+
+
+class TestServiceBasics:
+    def test_serial_parity_and_cache_hit(self, searcher, queries):
+        reference = {
+            q.name: tuple(canonical_pair_order(searcher.search(q).pairs))
+            for q in queries
+        }
+        assert any(reference.values()), "corpus queries must produce matches"
+        with SearchService(searcher, max_workers=2) as service:
+            for q in queries:
+                fresh = service.search(q)
+                again = service.search(q)
+                assert not fresh.cached
+                assert again.cached
+                assert fresh.pairs == reference[q.name]
+                assert again.pairs == reference[q.name]
+            assert service.cache.hits >= len(queries)
+
+    def test_epoch_invalidation_refreshes_results(self, small_corpus, searcher):
+        query = small_corpus.encode_query_tokens(
+            [
+                small_corpus.vocabulary.decode([t])[0]
+                for t in small_corpus[0].tokens[10:40]
+            ]
+        )
+        with SearchService(searcher, small_corpus) as service:
+            before = service.search(query)
+            assert service.search(query).cached
+            epoch = service.index_epoch
+            # A new document that is an exact copy of the query text.
+            new_doc = small_corpus.add_tokens(
+                [
+                    small_corpus.vocabulary.decode([t])[0]
+                    for t in query.tokens
+                ]
+            )
+            new_id = service.add_document(new_doc)
+            assert service.index_epoch == epoch + 1
+            after = service.search(query)
+            assert not after.cached
+            assert len(after.pairs) > len(before.pairs)
+            assert any(pair.doc_id == new_id for pair in after.pairs)
+            # Removing it restores the original pair set (fresh epoch).
+            service.remove_document(new_id)
+            restored = service.search(query)
+            assert not restored.cached
+            assert pairs_as_set(list(restored.pairs)) == pairs_as_set(
+                list(before.pairs)
+            )
+
+    def test_validation(self, searcher):
+        with pytest.raises(ConfigurationError):
+            SearchService(searcher, max_workers=0)
+        with pytest.raises(ConfigurationError):
+            SearchService(searcher, max_queue=0)
+        with pytest.raises(ConfigurationError):
+            SearchService(searcher, cache_size=-1)
+
+    def test_metrics_and_healthz(self, searcher, queries):
+        with SearchService(searcher, name="t") as service:
+            service.search(queries[0])
+            service.search(queries[0])
+            snapshot = service.metrics_snapshot()
+            counters = snapshot["metrics"]["counters"]
+            assert counters["service.requests"] == 2
+            assert counters["service.completed"] == 2
+            assert counters["service.cache_hits"] == 1
+            assert counters["service.cache_misses"] >= 1
+            assert "service.request_seconds" in snapshot["metrics"]["timers"]
+            health = service.healthz()
+            assert health["status"] == "ok"
+            assert health["documents"] == 6
+        assert service.healthz()["status"] == "closed"
+
+    def test_search_text_needs_data(self, searcher):
+        with SearchService(searcher) as service:
+            with pytest.raises(Exception, match="collection"):
+                service.search_text("anything at all")
+
+
+class TestConcurrency:
+    def test_stress_parity(self, searcher, queries):
+        """N threads, mixed fresh/repeated workload, pair-for-pair parity."""
+        reference = {
+            q.name: tuple(canonical_pair_order(searcher.search(q).pairs))
+            for q in queries
+        }
+        failures: list[str] = []
+        with SearchService(
+            searcher, max_workers=4, max_queue=256, cache_size=64
+        ) as service:
+            def worker(thread_id: int) -> None:
+                # Each thread replays the workload in its own order, so
+                # every query is requested both fresh and repeated.
+                for round_number in range(4):
+                    for q in queries[thread_id % 2 :: 1]:
+                        response = service.search(q)
+                        if response.pairs != reference[q.name]:
+                            failures.append(
+                                f"thread {thread_id} round {round_number}: "
+                                f"{q.name} diverged"
+                            )
+
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not failures
+            assert service.cache.hits > 0
+            counters = service.metrics_snapshot()["metrics"]["counters"]
+            assert counters["service.completed"] == counters["service.requests"]
+
+    def test_overload_rejection(self):
+        stub = BlockingSearcher()
+        service = SearchService(stub, max_workers=1, max_queue=1, cache_size=0)
+        try:
+            doc = DocumentCollection().add_text("a b c")
+            running = service.submit(doc)
+            assert stub.started.wait(5), "worker never picked up the request"
+            queued = service.submit(doc)
+            with pytest.raises(ServiceOverloadError) as excinfo:
+                service.submit(doc)
+            assert excinfo.value.retry_after > 0
+            counters = service.metrics_snapshot()["metrics"]["counters"]
+            assert counters["service.rejected"] == 1
+            stub.release.set()
+            assert len(running.result(5).pairs) == 0
+            assert len(queued.result(5).pairs) == 0
+        finally:
+            stub.release.set()
+            service.close()
+
+    def test_deadline_in_queue(self):
+        stub = BlockingSearcher()
+        service = SearchService(stub, max_workers=1, max_queue=8, cache_size=0)
+        try:
+            doc = DocumentCollection().add_text("a b c")
+            blocker = service.submit(doc)
+            assert stub.started.wait(5)
+            doomed = service.submit(doc, timeout=0.01)
+            time.sleep(0.05)
+            stub.release.set()
+            blocker.result(5)
+            with pytest.raises(DeadlineExceededError):
+                doomed.result(5)
+            counters = service.metrics_snapshot()["metrics"]["counters"]
+            assert counters["service.deadline_exceeded"] == 1
+        finally:
+            stub.release.set()
+            service.close()
+
+    def test_deadline_cancels_mid_search(self):
+        service = SearchService(
+            CancellableSearcher(), max_workers=1, cache_size=0
+        )
+        try:
+            doc = DocumentCollection().add_text("a b c")
+            start = time.monotonic()
+            with pytest.raises(DeadlineExceededError, match="windows"):
+                service.search(doc, timeout=0.05)
+            # The stub alone would run for ~1s; cancellation must stop it
+            # well before that.
+            assert time.monotonic() - start < 0.75
+        finally:
+            service.close()
+
+    def test_searcher_cancel_hook_direct(self, searcher, queries):
+        with pytest.raises(SearchCancelled):
+            searcher.search(queries[0], cancel=lambda: True)
+        # A cancel hook that never fires leaves results untouched.
+        result = searcher.search(queries[0], cancel=lambda: False)
+        assert result.pairs == searcher.search(queries[0]).pairs
+
+
+class TestLifecycle:
+    def test_close_drain_completes_queued(self, searcher, queries):
+        service = SearchService(searcher, max_workers=1, cache_size=0)
+        futures = [service.submit(q) for q in queries]
+        service.close(drain=True)
+        for future in futures:
+            future.result(5)  # must not raise
+
+    def test_close_abort_fails_queued(self):
+        stub = BlockingSearcher()
+        service = SearchService(stub, max_workers=1, max_queue=8, cache_size=0)
+        doc = DocumentCollection().add_text("a b c")
+        service.submit(doc)
+        assert stub.started.wait(5)
+        queued = service.submit(doc)
+        stub.release.set()
+        service.close(drain=False)
+        with pytest.raises(ServiceClosedError):
+            queued.result(5)
+
+    def test_submit_after_close(self, searcher, queries):
+        service = SearchService(searcher)
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.submit(queries[0])
+
+
+class TestHTTP:
+    @pytest.fixture
+    def server(self, small_corpus, searcher):
+        with SearchService(searcher, small_corpus, max_workers=2) as service:
+            httpd = serve_http(service, port=0)
+            thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+            thread.start()
+            try:
+                yield httpd
+            finally:
+                httpd.shutdown()
+                httpd.server_close()
+
+    def test_healthz(self, server):
+        health = remote_healthz(server.url)
+        assert health["status"] == "ok"
+        assert health["documents"] == 6
+
+    def test_search_roundtrip_and_cache(self, server, small_corpus):
+        text = " ".join(
+            small_corpus.vocabulary.decode(small_corpus[0].tokens[10:40])
+        )
+        first = remote_search(server.url, text)
+        second = remote_search(server.url, text)
+        assert first["num_pairs"] > 0
+        assert first["pairs"] == second["pairs"]
+        assert not first["cached"] and second["cached"]
+
+    def test_search_by_token_ids(self, server, small_corpus):
+        tokens = list(small_corpus[0].tokens[10:40])
+        reply = remote_search(server.url, token_ids=tokens)
+        assert reply["num_pairs"] > 0
+
+    def test_metrics_endpoint(self, server, small_corpus):
+        text = " ".join(
+            small_corpus.vocabulary.decode(small_corpus[0].tokens[5:35])
+        )
+        remote_search(server.url, text)
+        remote_search(server.url, text)
+        metrics = remote_metrics(server.url)["metrics"]
+        assert metrics["counters"]["service.cache_hits"] >= 1
+        assert metrics["counters"]["service.cache_misses"] >= 1
+        assert "service.request_seconds" in metrics["timers"]
+        assert metrics["gauges"]["service.queue_capacity"] == 64
+
+    def test_bad_requests(self, server):
+        import json
+        import urllib.error
+        import urllib.request
+
+        with pytest.raises(Exception, match="text"):
+            remote_search(server.url, text=None, token_ids=None)
+        for path, expected in [("/nope", 404), ("/search", 400)]:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"{server.url}{path}")
+            assert excinfo.value.code == expected
+        request = urllib.request.Request(
+            f"{server.url}/search",
+            data=b"not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+        body = json.loads(excinfo.value.read())
+        assert "invalid JSON" in body["error"]
+
+    def test_http_overload_maps_to_429(self):
+        stub = BlockingSearcher()
+        data = DocumentCollection()
+        data.add_text("a b c d e")
+        service = SearchService(stub, data, max_workers=1, max_queue=1,
+                                cache_size=0)
+        httpd = serve_http(service, port=0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            results: list = []
+
+            def fire() -> None:
+                try:
+                    results.append(remote_search(httpd.url, "a b c"))
+                except Exception as exc:  # noqa: BLE001 - collected below
+                    results.append(exc)
+
+            threads = [threading.Thread(target=fire) for _ in range(4)]
+            for t in threads:
+                t.start()
+            assert stub.started.wait(5)
+            time.sleep(0.2)  # let the rest hit the full queue
+            stub.release.set()
+            for t in threads:
+                t.join()
+            overloads = [
+                r for r in results if isinstance(r, ServiceOverloadError)
+            ]
+            completions = [r for r in results if isinstance(r, dict)]
+            assert overloads, "expected at least one 429 rejection"
+            assert completions, "expected at least one success"
+            assert all(o.retry_after > 0 for o in overloads)
+        finally:
+            stub.release.set()
+            httpd.shutdown()
+            httpd.server_close()
+            service.close()
