@@ -59,9 +59,11 @@ from .corpus import (
     make_profile_collection,
 )
 from .errors import (
+    CircuitOpenError,
     ConfigurationError,
     CorpusError,
     DeadlineExceededError,
+    FaultInjectionError,
     IndexStateError,
     PartitioningError,
     ReproError,
@@ -70,7 +72,9 @@ from .errors import (
     ServiceError,
     ServiceOverloadError,
     TokenizationError,
+    WorkerCrashError,
 )
+from .faults import FaultPlan, FaultSpec
 from .obs import (
     MetricsRegistry,
     ObservabilityError,
@@ -84,7 +88,7 @@ from .parallel import ParallelExecutor
 from .params import SearchParams, suggested_subpartitions
 from .persistence import PersistenceError, SearcherBundle, save_searcher
 from .postprocess import Passage, filter_passages, merge_passages
-from .service import SearchService, ServiceResponse
+from .service import ResilientClient, SearchService, ServiceResponse
 from .similarity import (
     jaccard_to_overlap,
     jaccard_to_tau,
@@ -137,6 +141,10 @@ __all__ = [
     # Serving
     "SearchService",
     "ServiceResponse",
+    "ResilientClient",
+    # Fault injection (robustness testing)
+    "FaultPlan",
+    "FaultSpec",
     # Core search
     "PKWiseSearcher",
     "PKWiseNonIntervalSearcher",
@@ -202,4 +210,7 @@ __all__ = [
     "ServiceOverloadError",
     "DeadlineExceededError",
     "ServiceClosedError",
+    "CircuitOpenError",
+    "FaultInjectionError",
+    "WorkerCrashError",
 ]

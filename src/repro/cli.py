@@ -26,7 +26,15 @@ worker processes (``--jobs 0`` = one per CPU); results are identical
 to single-process runs.  Observability flags (also on every
 subcommand): ``--trace FILE`` appends JSON-lines span events from
 :mod:`repro.obs`, ``--metrics-out FILE`` writes a structured metrics
-snapshot whose counters are identical across ``--jobs`` settings.
+snapshot whose counters are identical across ``--jobs`` settings, and
+``--faults FILE`` installs a deterministic fault-injection plan
+(:mod:`repro.faults`, testing only).
+
+Robustness surfaces: ``repro search``/``repro selfjoin`` take
+``--checkpoint FILE`` (+ ``--resume``) to survive interruption,
+``repro index --rotate N`` keeps rotated snapshot generations, and
+``repro query --retries/--timeout`` drives the retrying
+:class:`~repro.service.ResilientClient`.
 """
 
 from __future__ import annotations
@@ -68,6 +76,9 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
                         help="append JSON-lines span trace events to FILE")
     parser.add_argument("--metrics-out", metavar="FILE", default=None,
                         help="write a structured metrics snapshot (JSON) to FILE")
+    parser.add_argument("--faults", metavar="FILE", default=None,
+                        help="install a deterministic fault-injection plan "
+                             "from a JSON file (testing only)")
 
 
 def _write_metrics(path: str, payload: dict) -> None:
@@ -129,7 +140,7 @@ def _cmd_index(args: argparse.Namespace) -> int:
         f"{time.perf_counter() - start:.2f}s",
         file=sys.stderr,
     )
-    save_searcher(searcher, args.out, data=data)
+    save_searcher(searcher, args.out, data=data, rotate=args.rotate)
     print(f"wrote {args.out}", file=sys.stderr)
     if args.metrics_out:
         registry = MetricsRegistry()
@@ -162,9 +173,22 @@ def _cmd_search(args: argparse.Namespace) -> int:
         )
         for path in args.query
     ]
-    run = run_searcher(searcher, queries, jobs=_jobs_from_args(args))
+    run = run_searcher(
+        searcher,
+        queries,
+        jobs=_jobs_from_args(args),
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+    )
     if args.metrics_out:
         _write_metrics(args.metrics_out, run.metrics_snapshot())
+    for failure in run.failures:
+        print(
+            f"warning: query {failure.query_name or failure.position} "
+            f"quarantined after {failure.attempts} attempts: "
+            f"{failure.error_type}: {failure.error_message}",
+            file=sys.stderr,
+        )
     found_any = False
     for position, query in enumerate(queries):
         # encode_query yields doc_id -1, so the run keys by position.
@@ -205,6 +229,8 @@ def _cmd_selfjoin(args: argparse.Namespace) -> int:
         params,
         exclude_same_document_within=params.w,
         jobs=_jobs_from_args(args),
+        checkpoint=args.checkpoint,
+        resume=args.resume,
     )
     if args.metrics_out:
         registry = MetricsRegistry()
@@ -271,10 +297,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    from .service.client import remote_healthz, remote_search
+    from .service.client import ResilientClient
 
+    client = ResilientClient(
+        args.server, retries=args.retries, deadline=args.timeout
+    )
     if args.healthz:
-        health = remote_healthz(args.server)
+        health = client.healthz()
         print(json.dumps(health, indent=2, sort_keys=True))
         return 0 if health.get("status") == "ok" else 1
     if (args.text is None) == (args.query is None):
@@ -285,7 +314,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         if args.text is not None
         else Path(args.query).read_text(encoding="utf-8")
     )
-    reply = remote_search(args.server, text, timeout=args.request_timeout)
+    reply = client.search(text, timeout=args.request_timeout)
     print(
         f"{reply['num_pairs']} window pairs "
         f"({'cached' if reply['cached'] else 'fresh'}, "
@@ -318,6 +347,9 @@ def build_parser() -> argparse.ArgumentParser:
                               help="run the cost-based greedy partitioner")
     index_parser.add_argument("--sample-ratio", type=float, default=0.01,
                               help="surrogate workload sample ratio")
+    index_parser.add_argument("--rotate", type=int, default=0,
+                              help="keep N previous snapshot generations "
+                                   "(.1 newest .. .N oldest; default 0)")
     _add_search_params(index_parser)
     _add_jobs_flag(index_parser)
     _add_obs_flags(index_parser)
@@ -333,6 +365,11 @@ def build_parser() -> argparse.ArgumentParser:
                                help="min window pairs per reported passage")
     search_parser.add_argument("--show-text", action="store_true",
                                help="print the reused query text")
+    search_parser.add_argument("--checkpoint", metavar="FILE", default=None,
+                               help="accumulate completed chunks in FILE so "
+                                    "an interrupted run can --resume")
+    search_parser.add_argument("--resume", action="store_true",
+                               help="continue from an existing --checkpoint")
     _add_jobs_flag(search_parser)
     _add_obs_flags(search_parser)
     search_parser.set_defaults(func=_cmd_search)
@@ -343,6 +380,11 @@ def build_parser() -> argparse.ArgumentParser:
     selfjoin_parser.add_argument("--data", required=True,
                                  help="directory of .txt files")
     selfjoin_parser.add_argument("--min-tokens", type=int, default=0)
+    selfjoin_parser.add_argument("--checkpoint", metavar="FILE", default=None,
+                                 help="accumulate completed blocks in FILE so "
+                                      "an interrupted join can --resume")
+    selfjoin_parser.add_argument("--resume", action="store_true",
+                                 help="continue from an existing --checkpoint")
     _add_search_params(selfjoin_parser)
     _add_jobs_flag(selfjoin_parser)
     _add_obs_flags(selfjoin_parser)
@@ -378,6 +420,13 @@ def build_parser() -> argparse.ArgumentParser:
     query_parser.add_argument("--query", default=None, help="query .txt file")
     query_parser.add_argument("--request-timeout", type=float, default=None,
                               help="service-side deadline in seconds")
+    query_parser.add_argument("--retries", type=int, default=0,
+                              help="retry attempts after the first try "
+                                   "(backoff + jitter, honoring retry-after; "
+                                   "default 0)")
+    query_parser.add_argument("--timeout", type=float, default=None,
+                              help="total client deadline budget in seconds "
+                                   "across all attempts (default unbounded)")
     query_parser.add_argument("--show-pairs", action="store_true",
                               help="print every matching window pair")
     query_parser.add_argument("--healthz", action="store_true",
@@ -394,6 +443,11 @@ def main(argv: list[str] | None = None) -> int:
     tracing = getattr(args, "trace", None) is not None
     if tracing:
         configure_tracing(args.trace)
+    fault_file = getattr(args, "faults", None)
+    if fault_file is not None:
+        from . import faults
+
+        faults.install_plan(faults.FaultPlan.from_json_file(fault_file))
     try:
         return args.func(args)
     except ReproError as exc:
@@ -402,6 +456,10 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         if tracing:
             disable_tracing()
+        if fault_file is not None:
+            from . import faults
+
+            faults.clear_plan()
 
 
 if __name__ == "__main__":

@@ -75,6 +75,8 @@ def local_similarity_self_join(
     exclude_same_document_within: int | None = None,
     jobs: int = 1,
     start_method: str | None = None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> list[SelfJoinPair]:
     """All window pairs of ``data`` with ``w - O(x, y) <= tau``.
 
@@ -89,9 +91,13 @@ def local_similarity_self_join(
 
     ``jobs`` distributes both the index build and the join itself over
     that many worker processes (``None`` = one per CPU); the output is
-    identical to the serial join.
+    identical to the serial join.  ``checkpoint`` names a file that
+    accumulates completed document blocks so a long join interrupted by
+    a crash or Ctrl-C can be re-invoked with ``resume=True`` and finish
+    from where it stopped (a checkpoint routes the join through the
+    supervised executor even at ``jobs=1``).
     """
-    if jobs is None or jobs != 1:
+    if jobs is None or jobs != 1 or checkpoint is not None:
         from ..parallel import ParallelExecutor
 
         executor = ParallelExecutor(jobs=jobs, start_method=start_method)
@@ -101,6 +107,8 @@ def local_similarity_self_join(
             scheme=scheme,
             order=order,
             exclude_same_document_within=exclude_same_document_within,
+            checkpoint=checkpoint,
+            resume=resume,
         )
     with get_tracer().span("selfjoin", documents=len(data)) as join_span:
         searcher = PKWiseSearcher(data, params, scheme=scheme, order=order)

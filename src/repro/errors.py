@@ -46,6 +46,33 @@ class SearchCancelled(ReproError):
         self.windows_processed = windows_processed
 
 
+class FaultInjectionError(ReproError):
+    """A deliberately injected fault (see :mod:`repro.faults`).
+
+    Never raised in production paths — only when a fault plan is
+    installed and one of its ``raise`` rules fires.  Carries the
+    injection-point name so recovery tests can assert provenance.
+    """
+
+    def __init__(self, message: str, point: str = "") -> None:
+        super().__init__(message)
+        self.point = point
+
+
+class WorkerCrashError(ReproError):
+    """The parallel worker pool crashed more times than allowed.
+
+    Raised by :class:`~repro.parallel.ParallelExecutor` when worker
+    processes keep dying (``max_pool_restarts`` exceeded).  Work that
+    completed before the crash is preserved in the run's checkpoint
+    when one was configured — rerun with ``resume=True``.
+    """
+
+    def __init__(self, message: str, restarts: int = 0) -> None:
+        super().__init__(message)
+        self.restarts = restarts
+
+
 class ServiceError(ReproError):
     """Base class for errors raised by :mod:`repro.service`."""
 
@@ -66,6 +93,20 @@ class ServiceOverloadError(ServiceError):
 
 class DeadlineExceededError(ServiceError):
     """A request's deadline passed before its search completed."""
+
+
+class CircuitOpenError(ServiceError):
+    """The client's circuit breaker is open; the request was not sent.
+
+    Raised by :class:`~repro.service.client.ResilientClient` after
+    ``failure_threshold`` consecutive connect/5xx failures; requests
+    fail fast until the ``reset_after`` cooldown admits a half-open
+    probe.  ``retry_after`` estimates seconds until that probe.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class ServiceClosedError(ServiceError):

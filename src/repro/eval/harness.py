@@ -35,6 +35,63 @@ def canonical_pair_order(pairs: list[MatchPair]) -> list[MatchPair]:
 
 
 @dataclass
+class QueryFailure:
+    """One quarantined query of a parallel run (typed error report).
+
+    After chunk retries and bisection isolate a repeatedly failing
+    query, the executor quarantines it instead of aborting the batch:
+    the query's exception is recorded here, every other query's result
+    stays exact, and the run completes.  ``position`` is the query's
+    index in the original workload.
+    """
+
+    position: int
+    query_id: int
+    query_name: str | None
+    error_type: str
+    error_message: str
+    attempts: int
+
+    def to_dict(self) -> dict:
+        return {
+            "position": self.position,
+            "query_id": self.query_id,
+            "query_name": self.query_name,
+            "error_type": self.error_type,
+            "error_message": self.error_message,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QueryFailure":
+        return cls(**payload)
+
+
+@dataclass
+class RecoveryReport:
+    """What the executor's fault-tolerance machinery did during a run."""
+
+    chunk_retries: int = 0
+    chunk_bisections: int = 0
+    pool_restarts: int = 0
+    checkpoint_saves: int = 0
+    resumed_items: int = 0
+
+    def any(self) -> bool:
+        """True when any recovery action occurred."""
+        return any(self.to_dict().values())
+
+    def to_dict(self) -> dict:
+        return {
+            "chunk_retries": self.chunk_retries,
+            "chunk_bisections": self.chunk_bisections,
+            "pool_restarts": self.pool_restarts,
+            "checkpoint_saves": self.checkpoint_saves,
+            "resumed_items": self.resumed_items,
+        }
+
+
+@dataclass
 class WorkerReport:
     """One pool worker's share of a parallel run."""
 
@@ -74,6 +131,11 @@ class AggregateRun:
     results_by_query: dict[int, list[MatchPair]] = field(default_factory=dict)
     jobs: int = 1
     worker_reports: list[WorkerReport] = field(default_factory=list)
+    #: Queries quarantined by the executor's crash recovery (empty on
+    #: clean runs); the surviving results stay exact and deterministic.
+    failures: list[QueryFailure] = field(default_factory=list)
+    #: Recovery actions taken (None on the serial path).
+    recovery: RecoveryReport | None = None
 
     def per_query_results(self) -> list[SearchResult]:
         """Per-query :class:`SearchResult` views, in workload order.
@@ -166,7 +228,10 @@ class AggregateRun:
             "phases": self.stats.phase_seconds(),
             "stats": self.stats.to_dict(),
             "workers": [report.to_dict() for report in self.worker_reports],
+            "failures": [failure.to_dict() for failure in self.failures],
         }
+        if self.recovery is not None:
+            row["recovery"] = self.recovery.to_dict()
         if include_results:
             row["results_by_query"] = {
                 str(query_id): [list(pair) for pair in pairs]
@@ -190,6 +255,14 @@ class AggregateRun:
         registry.timer("run.total_seconds").add(self.total_seconds)
         registry.gauge("run.jobs").set(self.jobs)
         registry.gauge("run.worker_skew").set(self.worker_skew)
+        # Fault/recovery counters appear only when something happened,
+        # so clean runs keep byte-identical snapshots across PRs.
+        if self.failures:
+            registry.counter("run.quarantined_queries").inc(len(self.failures))
+        if self.recovery is not None:
+            for metric, value in self.recovery.to_dict().items():
+                if value:
+                    registry.counter(f"run.recovery.{metric}").inc(value)
         return {
             "name": self.name,
             "schema_version": 1,
@@ -206,6 +279,8 @@ def run_searcher(
     jobs: int = 1,
     start_method: str | None = None,
     chunk_size: int | None = None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> AggregateRun:
     """Run ``searcher.search`` over every query, collecting aggregates.
 
@@ -218,14 +293,21 @@ def run_searcher(
     (``None`` = one per CPU); results are merged back deterministically,
     identical to the serial run.  ``start_method`` and ``chunk_size``
     are forwarded to :class:`~repro.parallel.ParallelExecutor`.
+
+    ``checkpoint`` names a file that accumulates completed chunks
+    (atomic, checksummed) so an interrupted run can be re-invoked with
+    ``resume=True`` and finish from where it stopped; setting it routes
+    the run through the executor even at ``jobs=1``.
     """
-    if jobs is None or jobs != 1:
+    if jobs is None or jobs != 1 or checkpoint is not None:
         from ..parallel import ParallelExecutor
 
         executor = ParallelExecutor(
             jobs=jobs, start_method=start_method, chunk_size=chunk_size
         )
-        return executor.run_workload(searcher, queries, name=name)
+        return executor.run_workload(
+            searcher, queries, name=name, checkpoint=checkpoint, resume=resume
+        )
     return serial_run(searcher, queries, name=name)
 
 

@@ -15,8 +15,27 @@ copy-on-write memory — zero serialization cost.  Where ``fork`` is
 unavailable (Windows, macOS default) the executor falls back to
 ``spawn``: a :class:`~repro.PKWiseSearcher` travels through a temporary
 :mod:`repro.persistence` index file, any other payload through pickle.
+
+Fault tolerance
+---------------
+Workloads and self-joins run under supervised dispatch: failed chunks
+retry with capped exponential backoff, repeat offenders are bisected
+down to the poison item, dead worker processes trigger bounded pool
+restarts, and optional chunk-granularity checkpoints
+(:class:`RunCheckpoint`) make interrupted runs resumable.
 """
 
+from .checkpoint import (
+    RunCheckpoint,
+    selfjoin_fingerprint,
+    workload_fingerprint,
+)
 from .executor import ParallelExecutor, split_blocks
 
-__all__ = ["ParallelExecutor", "split_blocks"]
+__all__ = [
+    "ParallelExecutor",
+    "RunCheckpoint",
+    "selfjoin_fingerprint",
+    "split_blocks",
+    "workload_fingerprint",
+]

@@ -2,35 +2,56 @@
 
 :class:`ParallelExecutor` runs the three batch-shaped operations of the
 library — a query workload, index construction, and the all-pairs
-self-join — across a process pool, with three invariants:
+self-join — across a process pool, with four invariants:
 
 * **Determinism.**  Every operation returns exactly what its serial
   counterpart returns: per-query pair lists in canonical order, an
   interval index with byte-identical postings lists, self-join pairs in
-  sorted order.  Chunks are reassembled by index, never by arrival.
+  sorted order.  Chunks are reassembled by item identity (query
+  position, document id), never by arrival.
 * **Chunked dispatch.**  Work is cut into ~``CHUNKS_PER_WORKER`` pieces
   per worker so one slow shard cannot idle the rest of the pool; the
   resulting skew is measured and reported per worker.
 * **Graceful degradation.**  ``jobs=1`` (or trivially small inputs)
   bypasses the pool entirely and runs the serial code in-process.
+* **Crash recovery.**  Workloads and self-joins run under *supervised*
+  dispatch (:mod:`concurrent.futures`): a chunk that raises is retried
+  with capped exponential backoff, a chunk that keeps failing is
+  bisected until the poison item is isolated, and a worker process that
+  dies outright (segfault, OOM kill, injected ``os._exit``) triggers a
+  bounded pool restart with every lost chunk re-dispatched.  Surviving
+  results stay exact — a failed chunk contributes nothing until a
+  retry completes it whole.  Poison queries are quarantined into typed
+  :class:`~repro.eval.harness.QueryFailure` records on the run; a
+  poison self-join document re-raises (a join is exact-or-error).
+  Optional chunk-granularity checkpoints make both operations
+  resumable after a crash or Ctrl-C (see
+  :mod:`repro.parallel.checkpoint`).
 """
 
 from __future__ import annotations
 
+import itertools
 import math
 import multiprocessing
 import os
 import tempfile
 import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from pathlib import Path
 
+from .. import faults
 from ..core.base import SearchStats
 from ..core.pkwise import PKWiseSearcher, default_scheme
 from ..corpus import Document, DocumentCollection
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, WorkerCrashError
 from ..eval.harness import (
     AggregateRun,
+    QueryFailure,
+    RecoveryReport,
     WorkerReport,
     canonical_pair_order,
     serial_run,
@@ -41,6 +62,13 @@ from ..ordering import GlobalOrder
 from ..params import SearchParams
 from ..partition.scheme import PartitionScheme
 from . import worker
+from .checkpoint import (
+    SELFJOIN_KIND,
+    WORKLOAD_KIND,
+    RunCheckpoint,
+    selfjoin_fingerprint,
+    workload_fingerprint,
+)
 
 #: Target number of chunks dispatched per pool worker.  More chunks
 #: smooth out skew between uneven shards; fewer chunks amortize task
@@ -66,6 +94,16 @@ def split_blocks(total: int, parts: int) -> list[tuple[int, int]]:
     return blocks
 
 
+class _Unit:
+    """One retryable unit of dispatched work (a chunk of items)."""
+
+    __slots__ = ("items", "attempts")
+
+    def __init__(self, items: list, attempts: int = 0) -> None:
+        self.items = items
+        self.attempts = attempts
+
+
 class ParallelExecutor:
     """Process-pool execution of workloads, builds, and self-joins.
 
@@ -81,6 +119,20 @@ class ParallelExecutor:
     chunk_size:
         Items per dispatched chunk; ``None`` derives it from the
         workload size and ``CHUNKS_PER_WORKER``.
+    chunk_retries:
+        Failed-attempt budget per unit before it is bisected (multi-item
+        units) or quarantined (single items).  ``2`` means a unit runs
+        at most three times.
+    max_pool_restarts:
+        Worker-death budget for one operation; exceeding it raises
+        :class:`~repro.errors.WorkerCrashError` (completed chunks are
+        preserved in the checkpoint when one is configured).
+    retry_backoff / retry_backoff_cap:
+        Base and cap (seconds) of the capped exponential delay before a
+        failed unit is re-dispatched: ``min(cap, base * 2**(attempt-1))``.
+    checkpoint_every:
+        Flush the run checkpoint after this many newly completed chunks
+        (``1`` = after every chunk; only meaningful with ``checkpoint=``).
     """
 
     def __init__(
@@ -88,6 +140,12 @@ class ParallelExecutor:
         jobs: int | None = None,
         start_method: str | None = None,
         chunk_size: int | None = None,
+        *,
+        chunk_retries: int = 2,
+        max_pool_restarts: int = 3,
+        retry_backoff: float = 0.05,
+        retry_backoff_cap: float = 1.0,
+        checkpoint_every: int = 1,
     ) -> None:
         if jobs is None:
             jobs = os.cpu_count() or 1
@@ -103,52 +161,90 @@ class ParallelExecutor:
             )
         if chunk_size is not None and chunk_size < 1:
             raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        if chunk_retries < 0:
+            raise ConfigurationError(
+                f"chunk_retries must be >= 0, got {chunk_retries}"
+            )
+        if max_pool_restarts < 0:
+            raise ConfigurationError(
+                f"max_pool_restarts must be >= 0, got {max_pool_restarts}"
+            )
+        if retry_backoff < 0 or retry_backoff_cap < 0:
+            raise ConfigurationError("retry backoff values must be >= 0")
+        if checkpoint_every < 1:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
         self.jobs = jobs
         self.start_method = start_method
         self.chunk_size = chunk_size
+        self.chunk_retries = chunk_retries
+        self.max_pool_restarts = max_pool_restarts
+        self.retry_backoff = retry_backoff
+        self.retry_backoff_cap = retry_backoff_cap
+        self.checkpoint_every = checkpoint_every
 
     # ------------------------------------------------------------------
     # Pool plumbing
     # ------------------------------------------------------------------
     @contextmanager
-    def _pool(self, state, processes: int, persist: bool = False):
-        """A pool whose workers all see ``state`` as ``worker._STATE``.
+    def _worker_state(self, state, persist: bool = False):
+        """Yield ``(mp_context, initializer, initargs)`` carrying ``state``.
 
-        ``persist`` routes a :class:`PKWiseSearcher` state through a
-        temporary :mod:`repro.persistence` file under ``spawn`` (the
-        searcher is by far the largest payload, and the versioned file
-        format already knows how to carry it); other payloads are
-        pickled straight into the pool initializer.
+        The supervised dispatcher creates (and after a crash, recreates)
+        its own pools, so state transport is factored out of pool
+        construction: under ``fork`` the state sits in ``worker._STATE``
+        for the whole run and every pool generation inherits it; under
+        ``spawn`` each generation replays the initializer — a persisted
+        index file for searchers, a pickled payload otherwise.  The
+        active fault plan travels in the initargs so injection points
+        fire identically under every start method.
         """
         context = multiprocessing.get_context(self.start_method)
-        temp_dir: tempfile.TemporaryDirectory | None = None
+        plan = faults.get_plan()
         if self.start_method == "fork":
             worker.set_forked_state(state)
-            pool = context.Pool(processes)
+            try:
+                yield context, None, ()
+            finally:
+                worker.clear_forked_state()
         elif persist and isinstance(state, PKWiseSearcher):
             from ..persistence import save_searcher
 
             temp_dir = tempfile.TemporaryDirectory(prefix="repro-parallel-")
-            index_path = Path(temp_dir.name) / "searcher.idx"
-            save_searcher(state, index_path)
-            pool = context.Pool(
-                processes,
-                initializer=worker.init_searcher_file,
-                initargs=(str(index_path),),
-            )
-        else:
-            pool = context.Pool(
-                processes, initializer=worker.init_state, initargs=(state,)
-            )
-        try:
-            yield pool
-        finally:
-            pool.close()
-            pool.join()
-            if self.start_method == "fork":
-                worker.clear_forked_state()
-            if temp_dir is not None:
+            try:
+                index_path = Path(temp_dir.name) / "searcher.idx"
+                save_searcher(state, index_path)
+                yield context, worker.init_searcher_file, (str(index_path), plan)
+            finally:
                 temp_dir.cleanup()
+        else:
+            yield context, worker.init_state, (state, plan)
+
+    @contextmanager
+    def _pool(self, state, processes: int, persist: bool = False):
+        """A classic :mod:`multiprocessing` pool over ``state``.
+
+        Used by the barrier-style build phases (every chunk must succeed
+        or the build is wrong anyway).  A ``KeyboardInterrupt`` — or any
+        other abort — terminates the pool promptly instead of closing
+        it and hanging on ``join`` behind unfinished tasks.
+        """
+        with self._worker_state(state, persist=persist) as (
+            context,
+            initializer,
+            initargs,
+        ):
+            pool = context.Pool(processes, initializer=initializer, initargs=initargs)
+            try:
+                yield pool
+            except BaseException:
+                pool.terminate()
+                pool.join()
+                raise
+            else:
+                pool.close()
+                pool.join()
 
     def _chunk(self, items: list) -> list[list]:
         """Cut ``items`` into dispatch chunks (order-preserving)."""
@@ -175,10 +271,168 @@ class ParallelExecutor:
         return reports
 
     # ------------------------------------------------------------------
+    # Supervised dispatch (crash recovery core)
+    # ------------------------------------------------------------------
+    def _supervise(
+        self,
+        *,
+        units: list[_Unit],
+        task_fn,
+        make_task,
+        mp_context,
+        initializer,
+        initargs,
+        processes: int,
+        recovery: RecoveryReport,
+        on_result,
+        on_poison,
+        checkpoint: RunCheckpoint | None = None,
+    ) -> None:
+        """Drive ``units`` through a restartable supervised pool.
+
+        Per completed unit ``on_result(unit, result)`` fires exactly
+        once.  A unit whose task raises an :class:`Exception` is retried
+        up to ``chunk_retries`` times with capped exponential backoff,
+        then bisected (multi-item) or handed to ``on_poison(item, exc,
+        attempts)`` (single item).  A dead worker process breaks the
+        whole pool (:class:`BrokenProcessPool`); in-flight units are
+        settled — results that finished before the crash are kept, the
+        rest requeue *without* being charged an attempt (an innocent
+        chunk sharing a pool with a crasher must not drift toward
+        quarantine) — and the pool is rebuilt, at most
+        ``max_pool_restarts`` times.
+
+        Any abort (``KeyboardInterrupt``, ``WorkerCrashError``, an
+        ``on_poison`` re-raise) terminates worker processes immediately
+        and flushes the checkpoint before propagating, so Ctrl-C never
+        hangs on pool join and never loses completed chunks.
+        """
+        pending: deque[_Unit] = deque(units)
+        in_flight: dict = {}
+        task_ids = itertools.count()
+        restarts = 0
+        pool: ProcessPoolExecutor | None = None
+
+        def new_pool() -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=processes,
+                mp_context=mp_context,
+                initializer=initializer,
+                initargs=initargs,
+            )
+
+        def handle_failure(unit: _Unit, exc: Exception) -> None:
+            unit.attempts += 1
+            if unit.attempts <= self.chunk_retries:
+                recovery.chunk_retries += 1
+                delay = min(
+                    self.retry_backoff_cap,
+                    self.retry_backoff * (2 ** (unit.attempts - 1)),
+                )
+                if delay > 0:
+                    time.sleep(delay)
+                pending.append(unit)
+            elif len(unit.items) > 1:
+                # The chunk keeps failing: split it so the poison item
+                # isolates in O(log chunk) re-dispatches.
+                recovery.chunk_bisections += 1
+                mid = len(unit.items) // 2
+                pending.append(_Unit(unit.items[:mid]))
+                pending.append(_Unit(unit.items[mid:]))
+            else:
+                on_poison(unit.items[0], exc, unit.attempts)
+
+        def harvest(futures) -> bool:
+            """Settle ``futures``; True when the pool broke underneath."""
+            broken = False
+            for future in futures:
+                unit = in_flight.pop(future)
+                exc = future.exception()
+                if exc is None:
+                    on_result(unit, future.result())
+                elif isinstance(exc, BrokenProcessPool):
+                    broken = True
+                    pending.append(unit)
+                elif isinstance(exc, Exception):
+                    handle_failure(unit, exc)
+                else:
+                    # A worker-raised KeyboardInterrupt (or other
+                    # BaseException) is an abort, never a retry.
+                    raise exc
+            return broken
+
+        def handle_broken_pool() -> None:
+            nonlocal pool, restarts
+            # Every in-flight future settles once the pool is broken;
+            # results that arrived before the crash are kept.
+            wait(list(in_flight))
+            harvest(list(in_flight))
+            pool.shutdown(wait=True)
+            pool = None
+            restarts += 1
+            if restarts > self.max_pool_restarts:
+                raise WorkerCrashError(
+                    f"worker pool crashed {restarts} times "
+                    f"(max_pool_restarts={self.max_pool_restarts})"
+                    + (
+                        f"; completed chunks are preserved in checkpoint "
+                        f"{checkpoint.path} — rerun with resume=True"
+                        if checkpoint is not None
+                        else "; no checkpoint was configured"
+                    ),
+                    restarts=restarts,
+                )
+            recovery.pool_restarts += 1
+
+        try:
+            while pending or in_flight:
+                if pool is None:
+                    pool = new_pool()
+                submitted_ok = True
+                while pending:
+                    unit = pending.popleft()
+                    try:
+                        future = pool.submit(
+                            task_fn, make_task(next(task_ids), unit)
+                        )
+                    except BrokenProcessPool:
+                        pending.appendleft(unit)
+                        submitted_ok = False
+                        break
+                    in_flight[future] = unit
+                if not in_flight:
+                    if not submitted_ok:
+                        handle_broken_pool()
+                    continue
+                done, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
+                if harvest(done) or not submitted_ok:
+                    handle_broken_pool()
+            if pool is not None:
+                pool.shutdown(wait=True)
+        except BaseException:
+            if pool is not None:
+                for process in list(
+                    (getattr(pool, "_processes", None) or {}).values()
+                ):
+                    process.terminate()
+                pool.shutdown(wait=False, cancel_futures=True)
+            if checkpoint is not None:
+                # force=True: the file named by WorkerCrashError must
+                # exist even when the crash beat the first chunk.
+                checkpoint.flush(force=True)
+            raise
+
+    # ------------------------------------------------------------------
     # (a) Query-workload sharding
     # ------------------------------------------------------------------
     def run_workload(
-        self, searcher, queries: list[Document], name: str | None = None
+        self,
+        searcher,
+        queries: list[Document],
+        name: str | None = None,
+        *,
+        checkpoint: str | Path | None = None,
+        resume: bool = False,
     ) -> AggregateRun:
         """Shard ``queries`` over the pool; merge into an AggregateRun.
 
@@ -187,47 +441,142 @@ class ParallelExecutor:
         ``results_by_query`` keyed and inserted in workload order —
         plus per-worker skew reports.  Timing fields reflect the
         parallel wall clock, never the serial one.
+
+        Failed chunks are retried, bisected, and — when a single query
+        keeps failing — quarantined into ``run.failures`` while every
+        surviving query's results remain exact (byte-identical to a
+        serial run over the surviving subset).  ``checkpoint=`` names a
+        file that accumulates completed chunks so an interrupted run
+        (worker crashes beyond ``max_pool_restarts``, Ctrl-C, power
+        loss after a flush) can continue with ``resume=True``; the file
+        is removed when the run completes.  A checkpoint forces the
+        supervised path even at ``jobs=1``.
         """
-        if self.jobs == 1 or len(queries) <= 1:
+        if checkpoint is None and (self.jobs == 1 or len(queries) <= 1):
             return serial_run(searcher, queries, name=name)
-        chunks = self._chunk(list(enumerate(queries)))
-        tasks = list(enumerate(chunks))
-        processes = min(self.jobs, len(tasks))
+
+        recovery = RecoveryReport()
+        failures: list[QueryFailure] = []
+        raw_units: list[tuple] = []  # (pid, elapsed, snapshot, rows)
+
+        run_checkpoint: RunCheckpoint | None = None
+        items = list(enumerate(queries))
+        if checkpoint is not None:
+            fingerprint = workload_fingerprint(searcher, queries)
+            run_checkpoint = RunCheckpoint.open(
+                checkpoint, WORKLOAD_KIND, fingerprint, resume=resume
+            )
+            skip = run_checkpoint.done_keys()
+            for record in run_checkpoint.failure_records():
+                failure = QueryFailure.from_dict(record["failure"])
+                failures.append(failure)
+                skip.add(failure.position)
+            for record in run_checkpoint.unit_records():
+                raw_units.append(
+                    (
+                        record["pid"],
+                        record["elapsed"],
+                        record["snapshot"],
+                        record["rows"],
+                    )
+                )
+            recovery.resumed_items = len(skip)
+            items = [(pos, query) for pos, query in items if pos not in skip]
+
+        units = [_Unit(chunk) for chunk in self._chunk(items)]
+        processes = min(self.jobs, max(1, len(units)))
         started = time.perf_counter()
+
+        def on_result(unit: _Unit, result) -> None:
+            _chunk_index, pid, elapsed, snapshot, rows = result
+            raw_units.append((pid, elapsed, snapshot, rows))
+            if run_checkpoint is not None:
+                run_checkpoint.record(
+                    [position for position, _doc_id, _pairs in rows],
+                    pid=pid,
+                    elapsed=elapsed,
+                    snapshot=snapshot,
+                    rows=rows,
+                )
+                if run_checkpoint.dirty >= self.checkpoint_every:
+                    run_checkpoint.flush()
+
+        def on_poison(item, exc: Exception, attempts: int) -> None:
+            position, query = item
+            failure = QueryFailure(
+                position=position,
+                query_id=query.doc_id if query.doc_id >= 0 else position,
+                query_name=query.name,
+                error_type=type(exc).__name__,
+                error_message=str(exc),
+                attempts=attempts,
+            )
+            failures.append(failure)
+            if run_checkpoint is not None:
+                run_checkpoint.record_failure(failure.to_dict())
+                if run_checkpoint.dirty >= self.checkpoint_every:
+                    run_checkpoint.flush()
+
         with get_tracer().span(
             "parallel.run_workload", queries=len(queries), jobs=processes,
-            chunks=len(tasks),
+            chunks=len(units),
         ):
-            with self._pool(searcher, processes, persist=True) as pool:
-                raw = pool.map(worker.search_chunk, tasks)
+            if units:
+                with self._worker_state(searcher, persist=True) as (
+                    context,
+                    initializer,
+                    initargs,
+                ):
+                    self._supervise(
+                        units=units,
+                        task_fn=worker.search_chunk,
+                        make_task=lambda task_id, unit: (task_id, unit.items),
+                        mp_context=context,
+                        initializer=initializer,
+                        initargs=initargs,
+                        processes=processes,
+                        recovery=recovery,
+                        on_result=on_result,
+                        on_poison=on_poison,
+                        checkpoint=run_checkpoint,
+                    )
         total_seconds = time.perf_counter() - started
+        if run_checkpoint is not None:
+            run_checkpoint.flush()
+            recovery.checkpoint_saves = run_checkpoint.saves
+            run_checkpoint.remove()
 
         # Chunks ship registry snapshots (the repro.obs wire format);
-        # merging them in sorted chunk order is deterministic, so the
-        # merged counters match the serial run field for field.
-        raw.sort(key=lambda row: row[0])
+        # counter/timer merging is commutative sums (gauges max), so
+        # the merged totals equal the serial run's field for field no
+        # matter what order retried chunks completed in.
         total_registry = MetricsRegistry()
-        rows = []
-        by_pid: dict[int, tuple[list, MetricsRegistry]] = {}
-        for _chunk_index, pid, _elapsed, chunk_snapshot, chunk_rows in raw:
-            total_registry.merge_snapshot(chunk_snapshot)
+        rows: list = []
+        by_pid: dict[int, tuple[WorkerReport, MetricsRegistry]] = {}
+        for pid, elapsed, snapshot, chunk_rows in raw_units:
+            total_registry.merge_snapshot(snapshot)
             rows.extend(chunk_rows)
-            counter, pid_registry = by_pid.setdefault(
-                pid, ([0], MetricsRegistry())
+            report, pid_registry = by_pid.setdefault(
+                pid, (WorkerReport(worker_id=0), MetricsRegistry())
             )
-            counter[0] += len(chunk_rows)
-            pid_registry.merge_snapshot(chunk_snapshot)
+            report.chunks += 1
+            report.seconds += elapsed
+            report.num_queries += len(chunk_rows)
+            pid_registry.merge_snapshot(snapshot)
         total_stats = SearchStats.from_registry(total_registry)
-        reports = self._reports_by_pid(raw)
+        reports = []
         for worker_id, pid in enumerate(sorted(by_pid)):
-            reports[worker_id].num_queries = by_pid[pid][0][0]
-            reports[worker_id].stats = SearchStats.from_registry(by_pid[pid][1])
+            report, pid_registry = by_pid[pid]
+            report.worker_id = worker_id
+            report.stats = SearchStats.from_registry(pid_registry)
+            reports.append(report)
 
         rows.sort(key=lambda row: row[0])
         results_by_query: dict[int, list] = {}
         for position, doc_id, pairs in rows:
             query_id = doc_id if doc_id >= 0 else position
             results_by_query[query_id] = canonical_pair_order(pairs)
+        failures.sort(key=lambda failure: failure.position)
 
         return AggregateRun(
             name=name if name is not None else getattr(searcher, "name", "searcher"),
@@ -237,6 +586,8 @@ class ParallelExecutor:
             results_by_query=results_by_query,
             jobs=processes,
             worker_reports=reports,
+            failures=failures,
+            recovery=recovery,
         )
 
     # ------------------------------------------------------------------
@@ -324,6 +675,9 @@ class ParallelExecutor:
         order: GlobalOrder | None = None,
         exclude_same_document_within: int | None = None,
         searcher: PKWiseSearcher | None = None,
+        *,
+        checkpoint: str | Path | None = None,
+        resume: bool = False,
     ) -> list:
         """All-pairs self-join sharded by document-pair blocks.
 
@@ -332,13 +686,20 @@ class ParallelExecutor:
         deduplicates across blocks, and the final sort makes the output
         identical to the serial join.  Pass a prebuilt ``searcher`` to
         skip (re)building the index.
+
+        Supervised like :meth:`run_workload` (chunk retries, pool
+        restarts, ``checkpoint=``/``resume=``), with one difference: a
+        self-join is *exact-or-error*, so a document that keeps failing
+        re-raises its exception (after flushing the checkpoint) instead
+        of being quarantined — there is no per-item report that could
+        make a partial join safe to consume.
         """
         from ..core.selfjoin import document_join_pairs
 
         if searcher is None:
             searcher = self.build_searcher(data, params, scheme=scheme, order=order)
         documents = list(data)
-        if self.jobs == 1 or len(documents) <= 1:
+        if checkpoint is None and (self.jobs == 1 or len(documents) <= 1):
             results = []
             for document in documents:
                 results.extend(
@@ -348,21 +709,69 @@ class ParallelExecutor:
                 )
             results.sort()
             return results
-        chunks = self._chunk(documents)
-        tasks = [
-            (chunk_index, chunk, exclude_same_document_within)
-            for chunk_index, chunk in enumerate(chunks)
-        ]
-        processes = min(self.jobs, len(tasks))
+
+        recovery = RecoveryReport()
+        results: list = []
+        run_checkpoint: RunCheckpoint | None = None
+        if checkpoint is not None:
+            fingerprint = selfjoin_fingerprint(
+                data, params, exclude_same_document_within
+            )
+            run_checkpoint = RunCheckpoint.open(
+                checkpoint, SELFJOIN_KIND, fingerprint, resume=resume
+            )
+            done = run_checkpoint.done_keys()
+            for record in run_checkpoint.unit_records():
+                results.extend(record["pairs"])
+            recovery.resumed_items = len(done)
+            documents = [
+                document for document in documents if document.doc_id not in done
+            ]
+
+        units = [_Unit(chunk) for chunk in self._chunk(documents)]
+        processes = min(self.jobs, max(1, len(units)))
+
+        def on_result(unit: _Unit, result) -> None:
+            _chunk_index, pid, elapsed, doc_ids, pairs = result
+            results.extend(pairs)
+            if run_checkpoint is not None:
+                run_checkpoint.record(doc_ids, pid=pid, elapsed=elapsed, pairs=pairs)
+                if run_checkpoint.dirty >= self.checkpoint_every:
+                    run_checkpoint.flush()
+
+        def on_poison(document, exc: Exception, attempts: int) -> None:
+            raise exc
+
         with get_tracer().span(
             "parallel.self_join", documents=len(documents), jobs=processes,
-            chunks=len(tasks),
+            chunks=len(units),
         ) as join_span:
-            with self._pool(searcher, processes, persist=True) as pool:
-                raw = pool.map(worker.selfjoin_chunk, tasks)
-            results = []
-            for _chunk_index, _pid, _elapsed, pairs in raw:
-                results.extend(pairs)
+            if units:
+                with self._worker_state(searcher, persist=True) as (
+                    context,
+                    initializer,
+                    initargs,
+                ):
+                    self._supervise(
+                        units=units,
+                        task_fn=worker.selfjoin_chunk,
+                        make_task=lambda task_id, unit: (
+                            task_id,
+                            unit.items,
+                            exclude_same_document_within,
+                        ),
+                        mp_context=context,
+                        initializer=initializer,
+                        initargs=initargs,
+                        processes=processes,
+                        recovery=recovery,
+                        on_result=on_result,
+                        on_poison=on_poison,
+                        checkpoint=run_checkpoint,
+                    )
             results.sort()
             join_span.annotate(pairs=len(results))
+        if run_checkpoint is not None:
+            run_checkpoint.flush()
+            run_checkpoint.remove()
         return results

@@ -6,11 +6,17 @@ global ``_STATE``: under the ``fork`` start method the parent sets it
 before creating the pool and children inherit it for free; under
 ``spawn`` a pool initializer repopulates it in each child — from a
 :mod:`repro.persistence` file for searchers, from a pickled payload
-otherwise.
+otherwise.  The initializers also re-install the parent's active
+:class:`~repro.faults.FaultPlan`, so injected faults fire identically
+under every start method.
 
 Task functions take one picklable tuple and return
 ``(chunk_index, pid, elapsed_seconds, ...)`` so the parent can reorder
-chunks deterministically and attribute busy time to workers.
+chunks deterministically and attribute busy time to workers.  Each task
+function passes through the :mod:`repro.faults` injection points
+``parallel.worker.chunk`` (once per chunk), ``parallel.worker.query``
+(once per workload query) and ``parallel.worker.document`` (once per
+self-join probe document) — all no-ops unless a fault plan is active.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from __future__ import annotations
 import os
 import time
 
+from .. import faults
 from ..core.base import SearchStats
 from ..core.selfjoin import document_join_pairs
 from ..index.interval_index import IntervalIndex
@@ -39,18 +46,27 @@ def clear_forked_state() -> None:
     _STATE = None
 
 
-def init_state(payload) -> None:
+def init_state(payload, fault_plan=None) -> None:
     """Pool initializer (spawn fallback): install a pickled payload."""
     global _STATE
     _STATE = payload
+    if fault_plan is not None:
+        faults.install_plan(fault_plan)
 
 
-def init_searcher_file(path: str) -> None:
-    """Pool initializer (spawn fallback): load a persisted searcher."""
+def init_searcher_file(path: str, fault_plan=None) -> None:
+    """Pool initializer (spawn fallback): load a persisted searcher.
+
+    The fault plan (when given) is installed *after* the searcher loads,
+    so persistence faults target real save/load paths, not this
+    transport detail.
+    """
     from ..persistence import load_searcher
 
     global _STATE
     _STATE = load_searcher(path)
+    if fault_plan is not None:
+        faults.install_plan(fault_plan)
 
 
 # ----------------------------------------------------------------------
@@ -70,11 +86,17 @@ def search_chunk(task):
     so the merged counters equal the serial run's field for field.
     """
     chunk_index, numbered_queries = task
+    faults.inject(
+        "parallel.worker.chunk", chunk_index=chunk_index, kind="search"
+    )
     searcher = _STATE
     stats = SearchStats()
     rows = []
     started = time.perf_counter()
     for position, query in numbered_queries:
+        faults.inject(
+            "parallel.worker.query", position=position, doc_id=query.doc_id
+        )
         result = searcher.search(query)
         stats.merge(result.stats)
         rows.append((position, query.doc_id, result.pairs))
@@ -126,14 +148,24 @@ def selfjoin_chunk(task):
     block covers the document-pair rectangle (block x whole collection);
     the canonical-orientation filter inside ``document_join_pairs``
     keeps exactly one copy of every unordered pair across blocks.
+
+    Returns the probed ``doc_ids`` alongside the pairs: a probe document
+    may legitimately contribute zero pairs, and the executor's
+    checkpoint needs to know it was *covered*, not merely unproductive.
     """
     chunk_index, documents, exclude_same_document_within = task
+    faults.inject(
+        "parallel.worker.chunk", chunk_index=chunk_index, kind="selfjoin"
+    )
     searcher = _STATE
     pairs = []
+    doc_ids = []
     started = time.perf_counter()
     for document in documents:
+        faults.inject("parallel.worker.document", doc_id=document.doc_id)
+        doc_ids.append(document.doc_id)
         pairs.extend(
             document_join_pairs(searcher, document, exclude_same_document_within)
         )
     elapsed = time.perf_counter() - started
-    return chunk_index, os.getpid(), elapsed, pairs
+    return chunk_index, os.getpid(), elapsed, doc_ids, pairs

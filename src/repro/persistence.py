@@ -6,67 +6,70 @@ once and serve many queries.  This module persists a fully built
 :class:`~repro.PKWiseSearcher` — interval index, partition scheme,
 global order and rank-converted documents — to a single file.
 
-Format: Python pickle wrapped in a small versioned envelope.  Pickle is
-appropriate here because an index file is a local artifact produced by
-the same trust domain that loads it; never load index files from
+Format: Python pickle sections wrapped in a small versioned envelope
+whose every section carries a BLAKE2b payload digest, so a flipped bit
+on disk surfaces as a typed :class:`PersistenceError` naming the
+corrupt section — never a pickle error or silently wrong data.  Pickle
+is appropriate here because an index file is a local artifact produced
+by the same trust domain that loads it; never load index files from
 untrusted sources (the standard pickle caveat, restated in
 :func:`load_searcher`).
+
+:func:`save_searcher` can additionally keep rotated snapshot
+generations (``index.idx.1``, ``index.idx.2``, ...); the loaders fall
+back to the newest intact generation when the primary is corrupt, so a
+crash mid-deploy never leaves serving without an index.
+
+The checksummed envelope is generic (:func:`write_envelope` /
+:func:`read_envelope`) and is shared by the parallel executor's run
+checkpoints (:mod:`repro.parallel.checkpoint`).
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 import tempfile
 import time
+import warnings
 from pathlib import Path
 
+from . import faults
 from .core.pkwise import PKWiseSearcher
 from .errors import ReproError
 
 #: Bumped whenever the on-disk layout changes incompatibly.
-FORMAT_VERSION = 1
-_MAGIC = "repro-pkwise-index"
+#: Version 2 added per-section BLAKE2b digests and the ``kind`` field.
+FORMAT_VERSION = 2
+_MAGIC = "repro-envelope"
+_MAGIC_V1 = "repro-pkwise-index"
+_INDEX_KIND = "pkwise-index"
+_DIGEST_SIZE = 16
 
 
 class PersistenceError(ReproError):
-    """The index file is missing, corrupt, or from another version."""
+    """The file is missing, corrupt, or from another format version."""
 
 
-def save_searcher(
-    searcher: PKWiseSearcher, path: str | Path, data=None
-) -> None:
-    """Serialize a built searcher to ``path`` (atomic via temp file).
+def _digest(payload: bytes) -> str:
+    return hashlib.blake2b(payload, digest_size=_DIGEST_SIZE).hexdigest()
 
-    Pass the :class:`~repro.DocumentCollection` as ``data`` to bundle
-    the original documents (needed to decode matches back to text, e.g.
-    by the CLI); omit it for a leaner, ids-only index file.
 
-    The write goes through a uniquely named temp file in the target
-    directory (so concurrent writers to the same ``path`` never clobber
-    each other's half-written bytes), is fsynced, and is renamed over
-    ``path`` only on success; a failed dump leaves no temp file behind.
+def _atomic_write(path: Path, serialize) -> None:
+    """Write through a unique temp file, fsync, rename over ``path``.
+
+    ``serialize(handle)`` does the actual dump; concurrent writers to
+    the same ``path`` never clobber each other's half-written bytes and
+    a failed dump leaves no temp file behind.
     """
-    path = Path(path)
-    envelope = {
-        "magic": _MAGIC,
-        "version": FORMAT_VERSION,
-        "params": {
-            "w": searcher.params.w,
-            "tau": searcher.params.tau,
-            "k_max": searcher.params.k_max,
-            "m": searcher.params.m,
-        },
-        "searcher": searcher,
-        "data": data,
-    }
     fd, temp_name = tempfile.mkstemp(
         dir=path.parent, prefix=path.name + ".", suffix=".tmp"
     )
     temp_path = Path(temp_name)
     try:
         with os.fdopen(fd, "wb") as handle:
-            pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            serialize(handle)
             handle.flush()
             os.fsync(handle.fileno())
         temp_path.replace(path)
@@ -74,25 +77,202 @@ def save_searcher(
         temp_path.unlink(missing_ok=True)
 
 
-def _load_envelope(path: Path) -> dict:
+def write_envelope(
+    path: str | Path, kind: str, sections: dict, header: dict | None = None
+) -> None:
+    """Atomically write a checksummed envelope of pickled ``sections``.
+
+    Each section value is pickled independently and stored next to the
+    BLAKE2b digest of its bytes; ``header`` is a small plain-data dict
+    readable without touching any section payload.  ``kind`` names the
+    envelope's schema (index file, workload checkpoint, ...) and is
+    verified on read.
+    """
+    path = Path(path)
+    packed: dict[str, bytes] = {}
+    digests: dict[str, str] = {}
+    for name, obj in sections.items():
+        blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = faults.inject_bytes("persistence.write", blob, section=name, kind=kind)
+        packed[name] = blob
+        digests[name] = _digest(blob)
+    envelope = {
+        "magic": _MAGIC,
+        "version": FORMAT_VERSION,
+        "kind": kind,
+        "header": dict(header or {}),
+        "sections": packed,
+        "digests": digests,
+    }
+    _atomic_write(
+        path,
+        lambda handle: pickle.dump(
+            envelope, handle, protocol=pickle.HIGHEST_PROTOCOL
+        ),
+    )
+
+
+def read_envelope(path: str | Path, kind: str) -> tuple[dict, dict]:
+    """Load ``(header, sections)`` from a checksummed envelope.
+
+    Every failure mode is a typed :class:`PersistenceError`: missing
+    file, unreadable outer frame, wrong magic/kind, old format version,
+    and — checked before any section is unpickled — a section whose
+    bytes no longer match their recorded digest (the error names the
+    corrupt section).
+    """
+    path = Path(path)
     if not path.exists():
-        raise PersistenceError(f"index file {path} does not exist")
+        raise PersistenceError(f"{kind} file {path} does not exist")
     try:
         with open(path, "rb") as handle:
             envelope = pickle.load(handle)
-    except (pickle.UnpicklingError, EOFError, AttributeError) as exc:
-        raise PersistenceError(f"cannot read index file {path}: {exc}") from exc
-    if not isinstance(envelope, dict) or envelope.get("magic") != _MAGIC:
-        raise PersistenceError(f"{path} is not a repro index file")
+    except (pickle.UnpicklingError, EOFError, AttributeError, ValueError,
+            IndexError, MemoryError) as exc:
+        raise PersistenceError(f"cannot read {kind} file {path}: {exc}") from exc
+    if not isinstance(envelope, dict):
+        raise PersistenceError(f"{path} is not a repro {kind} file")
+    magic = envelope.get("magic")
+    if magic == _MAGIC_V1:
+        raise PersistenceError(
+            f"{path} has format version 1; this build reads version "
+            f"{FORMAT_VERSION} — rebuild the file"
+        )
+    if magic != _MAGIC:
+        raise PersistenceError(f"{path} is not a repro {kind} file")
     version = envelope.get("version")
     if version != FORMAT_VERSION:
         raise PersistenceError(
-            f"index file {path} has format version {version}; this build "
-            f"reads version {FORMAT_VERSION} — rebuild the index"
+            f"{kind} file {path} has format version {version}; this build "
+            f"reads version {FORMAT_VERSION} — rebuild the file"
         )
-    if not isinstance(envelope.get("searcher"), PKWiseSearcher):
+    if envelope.get("kind") != kind:
+        raise PersistenceError(
+            f"{path} is a {envelope.get('kind')!r} envelope, not {kind!r}"
+        )
+    packed = envelope.get("sections")
+    digests = envelope.get("digests")
+    if not isinstance(packed, dict) or not isinstance(digests, dict):
+        raise PersistenceError(f"{kind} file {path} has a malformed envelope")
+    sections: dict = {}
+    for name, blob in packed.items():
+        blob = faults.inject_bytes("persistence.read", blob, section=name, kind=kind)
+        if _digest(blob) != digests.get(name):
+            raise PersistenceError(
+                f"{kind} file {path}: section {name!r} is corrupt "
+                f"(payload checksum mismatch) — restore from a snapshot "
+                f"or rebuild"
+            )
+        try:
+            sections[name] = pickle.loads(blob)
+        except Exception as exc:  # digest matched but payload won't load
+            raise PersistenceError(
+                f"{kind} file {path}: section {name!r} cannot be "
+                f"deserialized: {exc}"
+            ) from exc
+    return envelope.get("header", {}), sections
+
+
+def rotated_paths(path: str | Path, generations: int) -> list[Path]:
+    """``[path.1, path.2, ...]`` up to ``generations`` entries."""
+    path = Path(path)
+    return [
+        path.with_name(f"{path.name}.{generation}")
+        for generation in range(1, generations + 1)
+    ]
+
+
+def _rotate_snapshots(path: Path, keep: int) -> None:
+    """Shift ``path`` → ``path.1`` → ... → ``path.keep`` (drop oldest)."""
+    if keep < 1 or not path.exists():
+        return
+    generations = rotated_paths(path, keep)
+    if generations[-1].exists():
+        generations[-1].unlink()
+    for older, newer in zip(reversed(generations[1:]), reversed(generations[:-1])):
+        if newer.exists():
+            newer.replace(older)
+    path.replace(generations[0])
+
+
+def save_searcher(
+    searcher: PKWiseSearcher, path: str | Path, data=None, *, rotate: int = 0
+) -> None:
+    """Serialize a built searcher to ``path`` (atomic via temp file).
+
+    Pass the :class:`~repro.DocumentCollection` as ``data`` to bundle
+    the original documents (needed to decode matches back to text, e.g.
+    by the CLI); omit it for a leaner, ids-only index file.
+
+    ``rotate=N`` keeps the previous N snapshot generations as
+    ``path.1`` (newest) through ``path.N`` (oldest) before writing the
+    new file; the loaders automatically fall back to the newest intact
+    generation when the primary fails its checksum.
+    """
+    path = Path(path)
+    if rotate:
+        _rotate_snapshots(path, rotate)
+    write_envelope(
+        path,
+        _INDEX_KIND,
+        {"searcher": searcher, "data": data},
+        header={
+            "params": {
+                "w": searcher.params.w,
+                "tau": searcher.params.tau,
+                "k_max": searcher.params.k_max,
+                "m": searcher.params.m,
+            },
+        },
+    )
+
+
+def _load_envelope(path: Path) -> dict:
+    header, sections = read_envelope(path, _INDEX_KIND)
+    searcher = sections.get("searcher")
+    if not isinstance(searcher, PKWiseSearcher):
         raise PersistenceError(f"{path} does not contain a PKWiseSearcher")
-    return envelope
+    return {
+        "params": header.get("params", {}),
+        "searcher": searcher,
+        "data": sections.get("data"),
+    }
+
+
+def _load_with_fallback(path: Path) -> tuple[dict, Path]:
+    """Load ``path`` or, on failure, the newest intact rotated snapshot.
+
+    Candidates are the primary plus every existing ``path.N`` sibling in
+    generation order (newest first).  The primary's error is re-raised
+    when no candidate loads; a successful fallback emits a
+    :class:`RuntimeWarning` naming both files.
+    """
+    candidates = [path]
+    generation = 1
+    while True:
+        sibling = path.with_name(f"{path.name}.{generation}")
+        if not sibling.exists():
+            break
+        candidates.append(sibling)
+        generation += 1
+    primary_error: PersistenceError | None = None
+    for candidate in candidates:
+        try:
+            envelope = _load_envelope(candidate)
+        except PersistenceError as exc:
+            if primary_error is None:
+                primary_error = exc
+            continue
+        if candidate is not path:
+            warnings.warn(
+                f"index file {path} is unreadable ({primary_error}); "
+                f"fell back to rotated snapshot {candidate}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return envelope, candidate
+    assert primary_error is not None
+    raise primary_error
 
 
 class SearcherBundle:
@@ -185,28 +365,40 @@ class SearcherBundle:
         )
 
 
-def load_searcher(path: str | Path) -> PKWiseSearcher:
+def load_searcher(path: str | Path, *, fallback: bool = True) -> PKWiseSearcher:
     """Load a searcher saved by :func:`save_searcher`.
+
+    With ``fallback=True`` (default) a corrupt or missing primary file
+    falls back to the newest intact rotated snapshot (``path.1``,
+    ``path.2``, ...) when one exists, warning about the substitution.
 
     SECURITY: this unpickles the file — only load files you (or your
     pipeline) wrote.
     """
-    return _load_envelope(Path(path))["searcher"]
+    if not fallback:
+        return _load_envelope(Path(path))["searcher"]
+    envelope, _source = _load_with_fallback(Path(path))
+    return envelope["searcher"]
 
 
-def load_bundle(path: str | Path) -> SearcherBundle:
+def load_bundle(path: str | Path, *, fallback: bool = True) -> SearcherBundle:
     """Load a :class:`SearcherBundle` from ``path``.
 
     Still unpacks as the pre-1.1 ``(searcher, data)`` tuple; ``data``
-    is None for ids-only files.  Same pickle caveat as
-    :func:`load_searcher`.
+    is None for ids-only files.  ``fallback`` as in
+    :func:`load_searcher`; the bundle's ``path`` records the file that
+    actually loaded (the rotated sibling after a fallback).  Same
+    pickle caveat as :func:`load_searcher`.
     """
     path = Path(path)
     start = time.perf_counter()
-    envelope = _load_envelope(path)
+    if fallback:
+        envelope, source = _load_with_fallback(path)
+    else:
+        envelope, source = _load_envelope(path), path
     return SearcherBundle(
         envelope["searcher"],
         envelope.get("data"),
-        path=path,
+        path=source,
         load_seconds=time.perf_counter() - start,
     )

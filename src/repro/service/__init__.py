@@ -14,11 +14,19 @@ thread-safe query service:
   ``/metrics``.
 * :func:`remote_search` / :func:`remote_healthz` / :func:`remote_metrics`
   — a tiny ``urllib`` client for scripts and the ``repro query
-  --server`` CLI path.
+  --server`` CLI path — plus :class:`ResilientClient`, the production
+  wrapper with jittered retries, a deadline budget, and a circuit
+  breaker (``repro query --retries/--timeout``).
 """
 
 from .cache import CacheKey, ResultCache, query_token_hash
-from .client import remote_healthz, remote_metrics, remote_search
+from .client import (
+    CircuitBreaker,
+    ResilientClient,
+    remote_healthz,
+    remote_metrics,
+    remote_search,
+)
 from .http import ServiceHTTPServer, ServiceRequestHandler, serve_http
 from .service import SearchService, ServiceFuture, ServiceResponse
 
@@ -35,4 +43,6 @@ __all__ = [
     "remote_search",
     "remote_healthz",
     "remote_metrics",
+    "ResilientClient",
+    "CircuitBreaker",
 ]

@@ -34,6 +34,7 @@ from urllib.parse import parse_qs, urlparse
 
 from ..errors import (
     DeadlineExceededError,
+    FaultInjectionError,
     ReproError,
     ServiceClosedError,
     ServiceOverloadError,
@@ -155,6 +156,12 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             return
         except ServiceClosedError as exc:
             self._reply_error(503, str(exc))
+            return
+        except FaultInjectionError as exc:
+            # An injected fault models a server-side crash mid-request:
+            # surface it as 500 so resilient clients treat it as
+            # retryable (unlike the caller-mistake 400s below).
+            self._reply_error(500, str(exc))
             return
         except ReproError as exc:
             self._reply_error(400, str(exc))

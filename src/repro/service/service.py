@@ -41,6 +41,7 @@ import time
 from collections import deque
 from collections.abc import Sequence
 
+from .. import faults
 from ..corpus import Document, DocumentCollection
 from ..errors import (
     ConfigurationError,
@@ -476,6 +477,13 @@ class SearchService:
 
         self._index_lock.acquire_read()
         try:
+            # Fault-injection site for the request path: an injected
+            # raise surfaces through the future like any searcher error
+            # (and through the HTTP front-end as a 500), which is what
+            # the client-resilience tests exercise.
+            faults.inject(
+                "service.request", query_name=request.query.name
+            )
             # Key under the read lock: mutations cannot interleave here,
             # so the epoch is exactly the one the search observes.
             key = (

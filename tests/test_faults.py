@@ -1,0 +1,523 @@
+"""Fault-injection framework + parallel crash recovery.
+
+Covers the :mod:`repro.faults` switchboard itself (spec validation,
+deterministic firing, cross-process trigger ledger, plan transport) and
+the :class:`~repro.parallel.ParallelExecutor` recovery machinery it
+exists to exercise: chunk retries, bisection down to poison queries,
+worker-kill pool restarts, and checkpoint/resume — always asserting the
+surviving results stay byte-identical to a clean serial run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+
+import pytest
+
+from repro import (
+    DocumentCollection,
+    FaultPlan,
+    FaultSpec,
+    ParallelExecutor,
+    PKWiseSearcher,
+    SearchParams,
+    WorkerCrashError,
+    faults,
+    local_similarity_self_join,
+)
+from repro.errors import ConfigurationError, FaultInjectionError
+from repro.eval.harness import serial_run
+from repro.parallel.checkpoint import RunCheckpoint, workload_fingerprint
+from repro.persistence import PersistenceError
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+needs_fork = pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method")
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    """No fault plan leaks into (or out of) any test."""
+    faults.clear_plan()
+    yield
+    faults.clear_plan()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """Searcher + queries with a matching clean serial baseline."""
+    rng = random.Random(4242)
+    vocab = [f"w{i}" for i in range(80)]
+    data = DocumentCollection()
+    for _ in range(9):
+        data.add_tokens([vocab[rng.randrange(len(vocab))] for _ in range(110)])
+    params = SearchParams(w=12, tau=3, k_max=2)
+    searcher = PKWiseSearcher(data, params)
+    queries = [data[i] for i in range(len(data))]
+    return data, params, searcher, queries
+
+
+def _executor(**kwargs) -> ParallelExecutor:
+    kwargs.setdefault("jobs", 2)
+    kwargs.setdefault("chunk_size", 2)
+    kwargs.setdefault("retry_backoff", 0.0)
+    return ParallelExecutor(**kwargs)
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault kind"):
+            FaultSpec(point="p", kind="explode")
+
+    def test_probability_out_of_range(self):
+        with pytest.raises(ConfigurationError, match="probability"):
+            FaultSpec(point="p", kind="raise", probability=1.5)
+
+    def test_max_triggers_validated(self):
+        with pytest.raises(ConfigurationError, match="max_triggers"):
+            FaultSpec(point="p", kind="raise", max_triggers=0)
+
+    def test_match_is_equality_on_context(self):
+        spec = FaultSpec(point="p", kind="raise", match={"chunk_index": 2})
+        assert spec.matches({"chunk_index": 2, "extra": "ignored"})
+        assert not spec.matches({"chunk_index": 3})
+        assert not spec.matches({})
+
+
+class TestFaultPlan:
+    def test_disabled_path_is_noop(self):
+        # No plan installed: inject is a no-op, inject_bytes is identity.
+        faults.inject("anything", key="value")
+        data = b"payload"
+        assert faults.inject_bytes("anything", data) is data
+
+    def test_raise_carries_point(self):
+        faults.install_plan(
+            FaultPlan([FaultSpec(point="p", kind="raise", message="boom")])
+        )
+        with pytest.raises(FaultInjectionError, match="boom") as info:
+            faults.inject("p")
+        assert info.value.point == "p"
+
+    def test_other_points_unaffected(self):
+        faults.install_plan(FaultPlan([FaultSpec(point="p", kind="raise")]))
+        faults.inject("q")  # no error
+
+    def test_max_triggers_local(self):
+        faults.install_plan(
+            FaultPlan([FaultSpec(point="p", kind="raise", max_triggers=2)])
+        )
+        for _ in range(2):
+            with pytest.raises(FaultInjectionError):
+                faults.inject("p")
+        faults.inject("p")  # exhausted
+
+    def test_ledger_bounds_across_plan_instances(self, tmp_path):
+        # Two plan objects sharing one ledger model two racing processes:
+        # a single max_triggers=1 firing is claimed by exactly one.
+        spec = FaultSpec(point="p", kind="raise", max_triggers=1)
+        ledger = tmp_path / "ledger"
+        first = FaultPlan([spec], ledger=ledger)
+        second = FaultPlan([spec], ledger=ledger)
+        with pytest.raises(FaultInjectionError):
+            first.fire("p", {})
+        second.fire("p", {})  # claim already taken — no error
+
+    def test_probability_deterministic(self):
+        plan_a = FaultPlan(
+            [FaultSpec(point="p", kind="raise", probability=0.5)], seed=11
+        )
+        plan_b = FaultPlan(
+            [FaultSpec(point="p", kind="raise", probability=0.5)], seed=11
+        )
+
+        def firing_pattern(plan):
+            pattern = []
+            for _ in range(20):
+                try:
+                    plan.fire("p", {})
+                    pattern.append(False)
+                except FaultInjectionError:
+                    pattern.append(True)
+            return pattern
+
+        pattern = firing_pattern(plan_a)
+        assert pattern == firing_pattern(plan_b)
+        assert any(pattern) and not all(pattern)
+
+    def test_corrupt_bytes_flips_exactly_one_byte(self):
+        data = bytes(range(64))
+        corrupted = faults.corrupt_bytes(data, seed=3, salt="x")
+        assert corrupted != data
+        assert len(corrupted) == len(data)
+        assert sum(a != b for a, b in zip(data, corrupted)) == 1
+        assert corrupted == faults.corrupt_bytes(data, seed=3, salt="x")
+
+    def test_json_roundtrip(self, tmp_path):
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    point="p",
+                    kind="delay",
+                    match={"chunk_index": 1},
+                    max_triggers=3,
+                    probability=0.25,
+                    delay_seconds=0.5,
+                )
+            ],
+            seed=9,
+            ledger=tmp_path / "ledger",
+        )
+        path = tmp_path / "plan.json"
+        plan.to_json_file(path)
+        loaded = FaultPlan.from_json_file(path)
+        assert loaded.to_dict() == plan.to_dict()
+
+    def test_env_var_activation(self, tmp_path, monkeypatch):
+        path = tmp_path / "plan.json"
+        FaultPlan([FaultSpec(point="p", kind="raise")]).to_json_file(path)
+        monkeypatch.setenv(faults.PLAN_ENV_VAR, str(path))
+        faults.clear_plan()  # re-arm the env check
+        with pytest.raises(FaultInjectionError):
+            faults.inject("p")
+
+    def test_pickled_plan_resets_runtime_counters(self):
+        import pickle
+
+        plan = FaultPlan(
+            [FaultSpec(point="p", kind="raise", max_triggers=1)]
+        )
+        with pytest.raises(FaultInjectionError):
+            plan.fire("p", {})
+        clone = pickle.loads(pickle.dumps(plan))
+        with pytest.raises(FaultInjectionError):
+            clone.fire("p", {})  # fresh process, fresh local claims
+
+
+@needs_fork
+class TestQuarantine:
+    def test_poison_query_quarantined_survivors_exact(self, workload):
+        _data, _params, searcher, queries = workload
+        clean = serial_run(searcher, queries)
+        faults.install_plan(
+            FaultPlan(
+                [
+                    FaultSpec(
+                        point="parallel.worker.query",
+                        kind="raise",
+                        match={"position": 6},
+                        message="poison",
+                    )
+                ]
+            )
+        )
+        run = _executor().run_workload(searcher, queries)
+        assert len(run.failures) == 1
+        failure = run.failures[0]
+        assert failure.position == 6
+        assert failure.error_type == "FaultInjectionError"
+        assert "poison" in failure.error_message
+        assert failure.attempts == 3  # 1 try + chunk_retries(2)
+        assert run.recovery is not None
+        assert run.recovery.chunk_bisections >= 1
+        surviving = {
+            key: value
+            for key, value in clean.results_by_query.items()
+            if key != 6
+        }
+        assert dict(run.results_by_query) == surviving
+        snapshot = run.metrics_snapshot()
+        assert snapshot["metrics"]["counters"]["run.quarantined_queries"] == 1
+
+    def test_transient_fault_recovers_fully(self, workload, tmp_path):
+        _data, _params, searcher, queries = workload
+        clean = serial_run(searcher, queries)
+        faults.install_plan(
+            FaultPlan(
+                [
+                    FaultSpec(
+                        point="parallel.worker.chunk",
+                        kind="raise",
+                        match={"kind": "search"},
+                        max_triggers=1,
+                    )
+                ],
+                ledger=tmp_path / "ledger",
+            )
+        )
+        run = _executor().run_workload(searcher, queries)
+        assert run.failures == []
+        assert run.recovery.chunk_retries >= 1
+        assert run.results_by_query == clean.results_by_query
+
+    def test_clean_run_reports_no_recovery(self, workload):
+        _data, _params, searcher, queries = workload
+        run = _executor().run_workload(searcher, queries)
+        assert run.failures == []
+        assert run.recovery is not None and not run.recovery.any()
+        counters = run.metrics_snapshot()["metrics"]["counters"]
+        assert not any(key.startswith("run.recovery") for key in counters)
+        assert "run.quarantined_queries" not in counters
+
+
+class _InterruptingSearcher:
+    """Raises KeyboardInterrupt on one query, as a Ctrl-C would."""
+
+    def __init__(self, searcher, interrupt_doc_id: int) -> None:
+        self._searcher = searcher
+        self._interrupt_doc_id = interrupt_doc_id
+        self.params = searcher.params
+
+    def search(self, query):
+        if query.doc_id == self._interrupt_doc_id:
+            raise KeyboardInterrupt
+        return self._searcher.search(query)
+
+
+@needs_fork
+class TestKeyboardInterrupt:
+    def test_worker_interrupt_aborts_never_retries(self, workload, tmp_path):
+        # Satellite: Ctrl-C must re-raise promptly (no retry cascade,
+        # no hang on pool join), flushing the checkpoint on the way out.
+        _data, _params, searcher, queries = workload
+        wrapped = _InterruptingSearcher(searcher, interrupt_doc_id=4)
+        checkpoint = tmp_path / "run.ckpt"
+        executor = _executor()
+        with pytest.raises(KeyboardInterrupt):
+            executor.run_workload(wrapped, queries, checkpoint=checkpoint)
+        assert checkpoint.exists()  # completed chunks were preserved
+
+
+@needs_fork
+class TestWorkerKill:
+    def test_kill_recovers_and_results_exact(self, workload, tmp_path):
+        _data, _params, searcher, queries = workload
+        clean = serial_run(searcher, queries)
+        faults.install_plan(
+            FaultPlan(
+                [
+                    FaultSpec(
+                        point="parallel.worker.query",
+                        kind="kill",
+                        match={"position": 3},
+                        max_triggers=1,
+                    )
+                ],
+                ledger=tmp_path / "ledger",
+            )
+        )
+        run = _executor().run_workload(searcher, queries)
+        assert run.failures == []
+        assert run.recovery.pool_restarts >= 1
+        assert run.results_by_query == clean.results_by_query
+        # Exactness extends to the merged counters, not just the pairs.
+        assert (
+            run.stats.to_registry().snapshot()["counters"]
+            == clean.stats.to_registry().snapshot()["counters"]
+        )
+
+    def test_kill_plus_poison_together(self, workload, tmp_path):
+        _data, _params, searcher, queries = workload
+        clean = serial_run(searcher, queries)
+        faults.install_plan(
+            FaultPlan(
+                [
+                    FaultSpec(
+                        point="parallel.worker.query",
+                        kind="kill",
+                        match={"position": 3},
+                        max_triggers=1,
+                    ),
+                    FaultSpec(
+                        point="parallel.worker.query",
+                        kind="raise",
+                        match={"position": 6},
+                    ),
+                ],
+                ledger=tmp_path / "ledger",
+            )
+        )
+        run = _executor().run_workload(searcher, queries)
+        assert [failure.position for failure in run.failures] == [6]
+        assert run.recovery.pool_restarts >= 1
+        surviving = {
+            key: value
+            for key, value in clean.results_by_query.items()
+            if key != 6
+        }
+        assert dict(run.results_by_query) == surviving
+
+    def test_persistent_killer_raises_worker_crash_error(
+        self, workload, tmp_path
+    ):
+        _data, _params, searcher, queries = workload
+        faults.install_plan(
+            FaultPlan(
+                [
+                    FaultSpec(
+                        point="parallel.worker.query",
+                        kind="kill",
+                        match={"position": 3},
+                        max_triggers=1,
+                    )
+                ],
+                ledger=tmp_path / "ledger",
+            )
+        )
+        executor = _executor(max_pool_restarts=0)
+        with pytest.raises(WorkerCrashError) as info:
+            executor.run_workload(searcher, queries)
+        assert info.value.restarts == 1
+
+
+@needs_fork
+class TestCheckpointResume:
+    def test_workload_resume_matches_uninterrupted(self, workload, tmp_path):
+        _data, _params, searcher, queries = workload
+        clean = serial_run(searcher, queries)
+        checkpoint = tmp_path / "run.ckpt"
+        faults.install_plan(
+            FaultPlan(
+                [
+                    FaultSpec(
+                        point="parallel.worker.query",
+                        kind="kill",
+                        match={"position": 5},
+                        max_triggers=1,
+                    )
+                ],
+                ledger=tmp_path / "ledger",
+            )
+        )
+        executor = _executor(max_pool_restarts=0)
+        with pytest.raises(WorkerCrashError, match="resume=True"):
+            executor.run_workload(searcher, queries, checkpoint=checkpoint)
+        assert checkpoint.exists()
+        faults.clear_plan()
+
+        resumed = executor.run_workload(
+            searcher, queries, checkpoint=checkpoint, resume=True
+        )
+        assert resumed.results_by_query == clean.results_by_query
+        assert resumed.recovery.resumed_items > 0
+        assert (
+            resumed.stats.to_registry().snapshot()["counters"]
+            == clean.stats.to_registry().snapshot()["counters"]
+        )
+        assert not checkpoint.exists()  # removed on success
+
+    def test_selfjoin_resume_matches_uninterrupted(self, workload, tmp_path):
+        data, params, _searcher, _queries = workload
+        expected = local_similarity_self_join(data, params)
+        checkpoint = tmp_path / "join.ckpt"
+        faults.install_plan(
+            FaultPlan(
+                [
+                    FaultSpec(
+                        point="parallel.worker.document",
+                        kind="kill",
+                        match={"doc_id": 4},
+                        max_triggers=1,
+                    )
+                ],
+                ledger=tmp_path / "ledger",
+            )
+        )
+        executor = _executor(max_pool_restarts=0)
+        with pytest.raises(WorkerCrashError):
+            executor.self_join(data, params, checkpoint=checkpoint)
+        assert checkpoint.exists()
+        faults.clear_plan()
+
+        resumed = executor.self_join(
+            data, params, checkpoint=checkpoint, resume=True
+        )
+        assert resumed == expected
+        assert not checkpoint.exists()
+
+    def test_checkpoint_works_at_jobs_1(self, workload, tmp_path):
+        _data, _params, searcher, queries = workload
+        clean = serial_run(searcher, queries)
+        run = ParallelExecutor(jobs=1, chunk_size=2).run_workload(
+            searcher, queries, checkpoint=tmp_path / "run.ckpt"
+        )
+        assert run.results_by_query == clean.results_by_query
+
+    def test_fingerprint_mismatch_rejected(self, workload, tmp_path):
+        _data, _params, searcher, queries = workload
+        checkpoint = RunCheckpoint(
+            tmp_path / "run.ckpt",
+            "workload-checkpoint",
+            workload_fingerprint(searcher, queries),
+        )
+        checkpoint.record([0], pid=1, elapsed=0.0, snapshot={}, rows=[])
+        checkpoint.flush()
+        with pytest.raises(PersistenceError, match="different run"):
+            _executor().run_workload(
+                searcher, queries[:-1], checkpoint=checkpoint.path, resume=True
+            )
+
+    def test_selfjoin_exact_or_error_on_poison(self, workload, tmp_path):
+        data, params, _searcher, _queries = workload
+        faults.install_plan(
+            FaultPlan(
+                [
+                    FaultSpec(
+                        point="parallel.worker.document",
+                        kind="raise",
+                        match={"doc_id": 4},
+                    )
+                ]
+            )
+        )
+        with pytest.raises(FaultInjectionError):
+            _executor().self_join(data, params)
+
+
+class TestSpawnFailureParity:
+    """Satellite: worker failure handling must match across start methods."""
+
+    @pytest.mark.parametrize(
+        "start_method",
+        [
+            pytest.param("fork", marks=needs_fork),
+            "spawn",
+        ],
+    )
+    def test_quarantine_report_identical(self, workload, start_method):
+        _data, _params, searcher, queries = workload
+        clean = serial_run(searcher, queries)
+        faults.install_plan(
+            FaultPlan(
+                [
+                    FaultSpec(
+                        point="parallel.worker.query",
+                        kind="raise",
+                        match={"position": 2},
+                        message="poison",
+                    )
+                ]
+            )
+        )
+        run = _executor(start_method=start_method).run_workload(
+            searcher, queries
+        )
+        report = [failure.to_dict() for failure in run.failures]
+        assert report == [
+            {
+                "position": 2,
+                "query_id": 2,
+                "query_name": "doc2",
+                "error_type": "FaultInjectionError",
+                "error_message": (
+                    "injected fault at 'parallel.worker.query' (poison)"
+                ),
+                "attempts": 3,
+            }
+        ]
+        surviving = {
+            key: value
+            for key, value in clean.results_by_query.items()
+            if key != 2
+        }
+        assert dict(run.results_by_query) == surviving

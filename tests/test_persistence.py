@@ -8,12 +8,21 @@ from pathlib import Path
 import pytest
 
 from repro import (
+    FaultPlan,
+    FaultSpec,
     PersistenceError,
     PKWiseSearcher,
     SearchParams,
+    faults,
     save_searcher,
 )
-from repro.persistence import load_bundle, load_searcher
+from repro.persistence import (
+    load_bundle,
+    load_searcher,
+    read_envelope,
+    rotated_paths,
+    write_envelope,
+)
 
 from .conftest import pairs_as_set
 
@@ -146,4 +155,163 @@ class TestErrors:
             )
         )
         with pytest.raises(PersistenceError):
+            load_searcher(path)
+
+    def test_v1_file_names_the_old_version(self, tmp_path):
+        path = tmp_path / "old.pkl"
+        path.write_bytes(
+            pickle.dumps(
+                {"magic": "repro-pkwise-index", "version": 1, "searcher": None}
+            )
+        )
+        with pytest.raises(PersistenceError, match="format version 1"):
+            load_searcher(path)
+
+    def test_wrong_kind_envelope(self, built, tmp_path):
+        path = tmp_path / "other.ckpt"
+        write_envelope(path, "workload-checkpoint", {"records": []})
+        with pytest.raises(PersistenceError, match="not 'pkwise-index'"):
+            load_searcher(path)
+
+
+class TestChecksums:
+    """A flipped payload byte is a typed error, never a pickle error."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_plan(self):
+        faults.clear_plan()
+        yield
+        faults.clear_plan()
+
+    def test_corrupt_section_named_in_error(self, built, tmp_path):
+        # Corrupt the searcher section's bytes after digest computation,
+        # exactly as a disk fault would, via the persistence.write hook.
+        _data, searcher = built
+        path = tmp_path / "index.pkl"
+        save_searcher(searcher, path)
+        faults.install_plan(
+            FaultPlan(
+                [
+                    FaultSpec(
+                        point="persistence.read",
+                        kind="corrupt",
+                        match={"section": "searcher"},
+                    )
+                ]
+            )
+        )
+        with pytest.raises(PersistenceError, match="section 'searcher'"):
+            load_searcher(path, fallback=False)
+
+    def test_corrupt_write_detected_on_clean_read(self, built, tmp_path):
+        _data, searcher = built
+        path = tmp_path / "index.pkl"
+        faults.install_plan(
+            FaultPlan(
+                [
+                    FaultSpec(
+                        point="persistence.write",
+                        kind="corrupt",
+                        match={"section": "searcher"},
+                    )
+                ]
+            )
+        )
+        save_searcher(searcher, path)
+        faults.clear_plan()
+        # The digest was computed over the corrupted bytes, so the read
+        # digest check passes but unpickling may still fail — either
+        # way the error is typed, never a raw pickle exception.
+        try:
+            load_searcher(path, fallback=False)
+        except PersistenceError:
+            pass
+
+    def test_flipped_byte_on_disk_is_typed_error(self, built, tmp_path):
+        # No fault plan at all: corrupt the file bytes directly.  The
+        # outer frame usually still unpickles (we flip a byte near the
+        # end, inside a section payload), and the digest check turns it
+        # into a typed error before any payload unpickle happens.
+        _data, searcher = built
+        path = tmp_path / "index.pkl"
+        save_searcher(searcher, path)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(PersistenceError):
+            load_searcher(path, fallback=False)
+
+    def test_envelope_header_roundtrip(self, tmp_path):
+        path = tmp_path / "env.bin"
+        write_envelope(
+            path, "test-kind", {"a": [1, 2, 3]}, header={"note": "hi"}
+        )
+        header, sections = read_envelope(path, "test-kind")
+        assert header == {"note": "hi"}
+        assert sections == {"a": [1, 2, 3]}
+
+
+class TestRotation:
+    def test_rotated_paths_helper(self, tmp_path):
+        path = tmp_path / "index.pkl"
+        assert rotated_paths(path, 2) == [
+            tmp_path / "index.pkl.1",
+            tmp_path / "index.pkl.2",
+        ]
+
+    def test_generations_shift_newest_first(self, built, tmp_path):
+        _data, searcher = built
+        path = tmp_path / "index.pkl"
+        save_searcher(searcher, path, rotate=2)  # nothing to rotate yet
+        first = path.read_bytes()
+        save_searcher(searcher, path, rotate=2)
+        second = path.read_bytes()
+        save_searcher(searcher, path, rotate=2)
+        # .1 is the previous primary, .2 the one before that.
+        assert (tmp_path / "index.pkl.1").read_bytes() == second
+        assert (tmp_path / "index.pkl.2").read_bytes() == first
+        save_searcher(searcher, path, rotate=2)
+        # The oldest generation fell off the end.
+        assert (tmp_path / "index.pkl.2").read_bytes() == second
+
+    def test_fallback_to_rotated_snapshot_warns(self, built, tmp_path):
+        data, searcher = built
+        path = tmp_path / "index.pkl"
+        save_searcher(searcher, path, rotate=1)
+        save_searcher(searcher, path, rotate=1)  # now index.pkl.1 exists
+        path.write_bytes(b"scribbled over by a crash")
+        with pytest.warns(RuntimeWarning, match="fell back to"):
+            loaded = load_searcher(path)
+        query = data[3]
+        assert pairs_as_set(loaded.search(query)) == pairs_as_set(
+            searcher.search(query)
+        )
+
+    def test_fallback_disabled_raises_primary_error(self, built, tmp_path):
+        _data, searcher = built
+        path = tmp_path / "index.pkl"
+        save_searcher(searcher, path, rotate=1)
+        save_searcher(searcher, path, rotate=1)
+        path.write_bytes(b"scribbled over by a crash")
+        with pytest.raises(PersistenceError):
+            load_searcher(path, fallback=False)
+
+    def test_bundle_records_fallback_source(self, built, tmp_path):
+        _data, searcher = built
+        path = tmp_path / "index.pkl"
+        save_searcher(searcher, path, rotate=1)
+        save_searcher(searcher, path, rotate=1)
+        path.write_bytes(b"scribbled over by a crash")
+        with pytest.warns(RuntimeWarning):
+            bundle = load_bundle(path)
+        assert bundle.path == tmp_path / "index.pkl.1"
+
+    def test_no_intact_generation_reraises_primary(self, built, tmp_path):
+        _data, searcher = built
+        path = tmp_path / "index.pkl"
+        save_searcher(searcher, path, rotate=1)
+        save_searcher(searcher, path, rotate=1)
+        path.write_bytes(b"bad primary")
+        (tmp_path / "index.pkl.1").write_bytes(b"bad snapshot too")
+        with pytest.raises(PersistenceError, match="index.pkl[^.]"):
             load_searcher(path)

@@ -1,0 +1,444 @@
+"""Client resilience: retry policy, circuit breaker, retry_after hygiene.
+
+The retry loop and the breaker are tested deterministically by driving
+:meth:`ResilientClient._call` with scripted ``send`` callables and fake
+``rng``/``clock``/``sleep`` hooks; a final integration class exercises
+the real HTTP stack against a scripted in-thread server (429 → 200,
+persistent 500s, connection refused) and fault injection inside a live
+:class:`SearchService`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    DocumentCollection,
+    FaultPlan,
+    FaultSpec,
+    PKWiseSearcher,
+    ReproError,
+    SearchParams,
+    SearchService,
+    ServiceError,
+    ServiceOverloadError,
+    faults,
+)
+from repro.service import CircuitBreaker, ResilientClient, serve_http
+from repro.service.client import MIN_RETRY_AFTER, _parse_retry_after
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    faults.clear_plan()
+    yield
+    faults.clear_plan()
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class ZeroRng:
+    """random.Random stand-in whose uniform draw is always the low end."""
+
+    def uniform(self, low: float, high: float) -> float:
+        return low
+
+
+class MaxRng:
+    """random.Random stand-in whose uniform draw is always the high end."""
+
+    def uniform(self, low: float, high: float) -> float:
+        return high
+
+
+def make_client(**kwargs) -> tuple[ResilientClient, FakeClock, list[float]]:
+    """A ResilientClient with fake time: sleeps advance the clock."""
+    clock = FakeClock()
+    sleeps: list[float] = []
+
+    def sleep(seconds: float) -> None:
+        sleeps.append(seconds)
+        clock.advance(seconds)
+
+    kwargs.setdefault("rng", ZeroRng())
+    kwargs.setdefault("backoff", 0.0)
+    client = ResilientClient(
+        "http://test.invalid", clock=clock, sleep=sleep, **kwargs
+    )
+    return client, clock, sleeps
+
+
+def http_error(status: int, message: str = "server error") -> ReproError:
+    error = ReproError(message)
+    error.status = status
+    return error
+
+
+class ScriptedSend:
+    """Yields the scripted outcomes in order; exceptions are raised."""
+
+    def __init__(self, outcomes) -> None:
+        self.outcomes = list(outcomes)
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        outcome = self.outcomes.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+
+class TestParseRetryAfter:
+    """Satellite fix: malformed retry_after must clamp, never raise."""
+
+    def test_normal_value_passes_through(self):
+        assert _parse_retry_after(1.5) == 1.5
+
+    def test_numeric_string_parses(self):
+        assert _parse_retry_after("2.5") == 2.5
+
+    @pytest.mark.parametrize("bad", [-1.0, -0.001, 0.0, "0", 1e-9])
+    def test_nonpositive_clamps_to_floor(self, bad):
+        assert _parse_retry_after(bad) == MIN_RETRY_AFTER
+
+    @pytest.mark.parametrize(
+        "junk", [None, "soon", "", [], {}, "nan?", object()]
+    )
+    def test_non_numeric_falls_back_to_default(self, junk):
+        assert _parse_retry_after(junk, default=1.25) == 1.25
+
+    @pytest.mark.parametrize("weird", ["nan", "inf", "-inf", float("nan")])
+    def test_non_finite_falls_back_to_default(self, weird):
+        assert _parse_retry_after(weird, default=0.75) == 0.75
+
+
+class TestCircuitBreaker:
+    def make(self, threshold: int = 3, reset_after: float = 10.0):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=threshold, reset_after=reset_after, clock=clock
+        )
+        return breaker, clock
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker, _clock = self.make(threshold=3)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError) as info:
+            breaker.allow()
+        assert info.value.retry_after == pytest.approx(10.0)
+
+    def test_success_resets_the_count(self):
+        breaker, _clock = self.make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_then_close(self):
+        breaker, clock = self.make(threshold=1, reset_after=10.0)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(10.0)
+        breaker.allow()  # the probe is admitted
+        assert breaker.state == "half-open"
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()  # concurrent request while probe in flight
+        breaker.record_success()
+        assert breaker.state == "closed"
+        breaker.allow()
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker, clock = self.make(threshold=1, reset_after=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        breaker.allow()
+        breaker.record_failure()  # probe failed
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()  # cooldown restarted
+        clock.advance(10.0)
+        breaker.allow()
+        assert breaker.state == "half-open"
+
+    def test_retry_after_counts_down(self):
+        breaker, clock = self.make(threshold=1, reset_after=10.0)
+        breaker.record_failure()
+        clock.advance(4.0)
+        with pytest.raises(CircuitOpenError) as info:
+            breaker.allow()
+        assert info.value.retry_after == pytest.approx(6.0)
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+
+
+class TestRetryPolicy:
+    def test_success_first_try(self):
+        client, _clock, sleeps = make_client(retries=3)
+        send = ScriptedSend([{"ok": True}])
+        assert client._call(send) == {"ok": True}
+        assert send.calls == 1
+        assert sleeps == []
+
+    def test_overload_then_success_honors_retry_after(self):
+        client, _clock, sleeps = make_client(retries=3)
+        send = ScriptedSend(
+            [
+                ServiceOverloadError("busy", retry_after=0.2),
+                {"ok": True},
+            ]
+        )
+        assert client._call(send) == {"ok": True}
+        assert send.calls == 2
+        assert sleeps == [pytest.approx(0.2)]
+        assert client.breaker.state == "closed"
+
+    def test_overload_is_breaker_neutral(self):
+        client, _clock, _sleeps = make_client(retries=5, failure_threshold=2)
+        send = ScriptedSend(
+            [ServiceOverloadError("busy", retry_after=0.05)] * 4 + [{"ok": 1}]
+        )
+        assert client._call(send) == {"ok": 1}
+        assert client.breaker.state == "closed"
+
+    def test_5xx_retries_and_counts_toward_breaker(self):
+        client, _clock, _sleeps = make_client(retries=2, failure_threshold=10)
+        send = ScriptedSend([http_error(500), http_error(502), {"ok": 1}])
+        assert client._call(send) == {"ok": 1}
+        assert send.calls == 3
+
+    def test_5xx_exhausted_raises_last_error(self):
+        client, _clock, _sleeps = make_client(retries=2, failure_threshold=10)
+        send = ScriptedSend([http_error(500, f"fail {i}") for i in range(3)])
+        with pytest.raises(ReproError, match="fail 2"):
+            client._call(send)
+        assert send.calls == 3
+
+    def test_4xx_raises_immediately_without_retry(self):
+        client, _clock, _sleeps = make_client(retries=5)
+        send = ScriptedSend([http_error(400, "bad request")])
+        with pytest.raises(ReproError, match="bad request"):
+            client._call(send)
+        assert send.calls == 1
+
+    def test_connect_error_wrapped_and_retried(self):
+        client, _clock, _sleeps = make_client(retries=1, failure_threshold=10)
+        send = ScriptedSend([urllib.error.URLError("refused"), {"ok": 1}])
+        assert client._call(send) == {"ok": 1}
+
+    def test_connect_errors_open_the_breaker(self):
+        client, _clock, _sleeps = make_client(retries=5, failure_threshold=3)
+        send = ScriptedSend([urllib.error.URLError("refused")] * 6)
+        with pytest.raises(CircuitOpenError):
+            client._call(send)
+        # Three real attempts happened before the breaker started
+        # failing fast.
+        assert send.calls == 3
+        assert client.breaker.state == "open"
+
+    def test_deadline_exhaustion_raises_typed_error(self):
+        client, _clock, _sleeps = make_client(
+            retries=50, deadline=1.0, failure_threshold=100
+        )
+        send = ScriptedSend(
+            [ServiceOverloadError("busy", retry_after=0.4)] * 51
+        )
+        with pytest.raises(DeadlineExceededError, match="deadline") as info:
+            client._call(send)
+        assert isinstance(info.value.__cause__, ServiceOverloadError)
+        # 1.0s budget at 0.4s per sleep: attempts at t=0, .4, .8 then stop.
+        assert send.calls == 3
+
+    def test_backoff_envelope_is_exponential_and_capped(self):
+        clock = FakeClock()
+        sleeps: list[float] = []
+
+        def sleep(seconds: float) -> None:
+            sleeps.append(seconds)
+            clock.advance(seconds)
+
+        client = ResilientClient(
+            "http://test.invalid",
+            retries=4,
+            backoff=0.1,
+            backoff_cap=0.35,
+            deadline=None,
+            failure_threshold=100,
+            rng=MaxRng(),
+            clock=clock,
+            sleep=sleep,
+        )
+        send = ScriptedSend([http_error(500)] * 4 + [{"ok": 1}])
+        assert client._call(send) == {"ok": 1}
+        assert sleeps == [
+            pytest.approx(0.1),
+            pytest.approx(0.2),
+            pytest.approx(0.35),
+            pytest.approx(0.35),
+        ]
+
+    def test_retries_zero_means_single_attempt(self):
+        client, _clock, _sleeps = make_client(retries=0)
+        send = ScriptedSend([http_error(500, "only try")])
+        with pytest.raises(ReproError, match="only try"):
+            client._call(send)
+        assert send.calls == 1
+
+    def test_client_request_fault_point(self):
+        faults.install_plan(
+            FaultPlan(
+                [FaultSpec(point="client.request", kind="raise")]
+            )
+        )
+        client, _clock, _sleeps = make_client(retries=0)
+        send = ScriptedSend([{"ok": 1}])
+        with pytest.raises(Exception, match="client.request"):
+            client._call(send)
+        assert send.calls == 0  # injected before the wire
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="retries"):
+            ResilientClient("http://x", retries=-1)
+        with pytest.raises(ValueError, match="backoff"):
+            ResilientClient("http://x", backoff=-0.1)
+
+
+class ScriptedHandler(BaseHTTPRequestHandler):
+    """Serves a scripted list of (status, body) responses in order."""
+
+    script: list[tuple[int, dict]] = []
+    lock = threading.Lock()
+
+    def _reply(self) -> None:
+        with self.lock:
+            status, body = (
+                self.script.pop(0) if self.script else (200, {"ok": True})
+            )
+        payload = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler API)
+        self._reply()
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib handler API)
+        if self.headers.get("Content-Length"):
+            self.rfile.read(int(self.headers["Content-Length"]))
+        self._reply()
+
+    def log_message(self, *args) -> None:
+        pass
+
+
+@pytest.fixture
+def scripted_server():
+    """An in-thread HTTP server replaying ScriptedHandler.script."""
+    server = ThreadingHTTPServer(("127.0.0.1", 0), ScriptedHandler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{server.server_address[1]}"
+    finally:
+        ScriptedHandler.script = []
+        server.shutdown()
+        server.server_close()
+        thread.join(5)
+
+
+class TestClientOverHTTP:
+    def test_429_then_200_within_deadline(self, scripted_server):
+        ScriptedHandler.script = [
+            (429, {"error": "overloaded", "retry_after": 0.05}),
+            (429, {"error": "overloaded", "retry_after": "garbage"}),
+            (200, {"status": "ok"}),
+        ]
+        client = ResilientClient(
+            scripted_server, retries=5, backoff=0.0, deadline=10.0
+        )
+        assert client.healthz() == {"status": "ok"}
+
+    def test_persistent_5xx_opens_breaker(self, scripted_server):
+        ScriptedHandler.script = [(503, {"error": "down"})] * 10
+        client = ResilientClient(
+            scripted_server,
+            retries=8,
+            backoff=0.0,
+            deadline=10.0,
+            failure_threshold=3,
+            breaker_reset=60.0,
+        )
+        with pytest.raises(CircuitOpenError):
+            client.healthz()
+        assert client.breaker.state == "open"
+        # Subsequent calls fail fast without touching the network.
+        with pytest.raises(CircuitOpenError):
+            client.healthz()
+
+    def test_unreachable_server_raises_service_error(self):
+        client = ResilientClient(
+            "http://127.0.0.1:9", retries=1, backoff=0.0, deadline=5.0
+        )
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.healthz()
+
+
+class TestServiceFaultPoint:
+    def test_injected_service_fault_surfaces_as_500_and_client_retries(self):
+        data = DocumentCollection()
+        data.add_tokens([f"w{i % 7}" for i in range(40)])
+        searcher = PKWiseSearcher(data, SearchParams(w=8, tau=2, k_max=2))
+        faults.install_plan(
+            FaultPlan(
+                [
+                    FaultSpec(
+                        point="service.request", kind="raise", max_triggers=1
+                    )
+                ]
+            )
+        )
+        with SearchService(searcher, data, max_workers=2) as service:
+            httpd = serve_http(service, port=0)
+            thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+            thread.start()
+            try:
+                client = ResilientClient(
+                    httpd.url,
+                    retries=3,
+                    backoff=0.0,
+                    deadline=10.0,
+                    failure_threshold=10,
+                )
+                # First attempt hits the injected fault (HTTP 500), the
+                # retry succeeds once the single trigger is spent.
+                reply = client.search(token_ids=list(data[0].tokens[:10]))
+                assert "pairs" in reply
+            finally:
+                httpd.shutdown()
+                httpd.server_close()
