@@ -16,9 +16,9 @@ from pathlib import Path
 
 from repro import (
     DocumentCollection,
+    Index,
     PKWiseSearcher,
     SearchParams,
-    api,
     save_searcher,
 )
 from repro.corpus.synthetic import DatasetProfile, SyntheticCorpusGenerator
@@ -52,7 +52,10 @@ def main() -> None:
         print(f"saved {index_path.stat().st_size / 1024:.0f} KiB to disk")
 
         # --- day 1: reload and serve ----------------------------------
-        searcher, data = api.open_index(index_path)
+        # (A mutable deployment reopens WITHOUT mmap/compact; a frozen
+        # compact snapshot would reject the add_document below.)
+        reopened = Index.open(index_path)
+        searcher, data = reopened.searcher(), reopened.data
         print(f"reloaded: {searcher.index}")
 
         # A new document arrives: it quotes document 7.

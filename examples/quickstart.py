@@ -41,10 +41,12 @@ def main() -> None:
     for match in result.sorted_pairs():
         document = data[match.doc_id]
         data_window = " ".join(
-            data.vocabulary.decode(document.window(match.data_start, params.w))
+            data.decode_window(document, match.data_start, params.w)
         )
+        # decode_window uses the query's stored source tokens, so words
+        # outside the data vocabulary ("and", "kings") print faithfully.
         query_window = " ".join(
-            data.vocabulary.decode(query.window(match.query_start, params.w))
+            data.decode_window(query, match.query_start, params.w)
         )
         print(
             f"  {document.name}[{match.data_start}] ~ "

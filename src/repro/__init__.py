@@ -7,22 +7,22 @@ library finds every pair of sliding windows (one from each side) of size
 ``w`` that differ by at most ``tau`` tokens — the paper's **pkwise**
 algorithm plus all of its evaluated baselines.
 
-Quickstart — the :mod:`repro.api` facade is the documented entry point::
+Quickstart — the :class:`Index` facade is the documented entry point::
 
-    from repro import api
+    from repro import Index
 
-    index = api.build_index(
+    index = Index.build(
         ["the lord of the rings is a famous novel ..."], w=8, tau=2, k_max=2
     )
     for match in index.search_text("the lord and the kings ..."):
         print(match.doc_id, match.data_start, match.query_start, match.overlap)
 
-    # Persist and reopen:
-    api.save_index(index, "corpus.idx")
-    bundle = api.open_index("corpus.idx")
+    # Persist (compact, mmap-able) and reopen without copying:
+    index.save("corpus.idx", compact=True)
+    index = Index.open("corpus.idx", mmap=True)
 
     # Serve concurrently (see repro.service / `repro serve`):
-    with bundle.serve(max_workers=4) as service:
+    with index.serve(max_workers=4) as service:
         response = service.search_text("the lord and the kings ...")
 
 The individual layers (:class:`DocumentCollection`,
@@ -35,7 +35,7 @@ figure of the paper.
 import warnings as _warnings
 
 from . import api
-from .api import Searcher, build_index, open_index, save_index
+from .api import Index, ProbeHit, Searcher, build_index, open_index, save_index
 from .core import (
     MatchPair,
     PKWiseNonIntervalSearcher,
@@ -72,8 +72,10 @@ from .errors import (
     ServiceError,
     ServiceOverloadError,
     TokenizationError,
+    UnknownTokenError,
     WorkerCrashError,
 )
+from .index import CompactIntervalIndex, IntervalIndex, PackedRankDocs
 from .faults import FaultPlan, FaultSpec
 from .obs import (
     MetricsRegistry,
@@ -103,20 +105,20 @@ from .partition import (
     workload_cost,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: Legacy top-level loaders, kept importable behind a DeprecationWarning.
 _DEPRECATED_ALIASES = {
-    "load_searcher": "repro.api.open_index(path).searcher",
-    "load_bundle": "repro.api.open_index",
+    "load_searcher": "repro.Index.open(path).searcher()",
+    "load_bundle": "repro.Index.open",
 }
 
 
 def __getattr__(name: str):
     """Deprecated aliases: ``repro.load_searcher`` / ``repro.load_bundle``.
 
-    Both now live behind :func:`repro.api.open_index`; the old names
-    keep working (they forward to :mod:`repro.persistence`) but warn.
+    Both now live behind :meth:`repro.Index.open`; the old names keep
+    working (they forward to :mod:`repro.persistence`) but warn.
     """
     if name in _DEPRECATED_ALIASES:
         _warnings.warn(
@@ -134,6 +136,7 @@ __all__ = [
     "__version__",
     # Facade (the documented entry point)
     "api",
+    "Index",
     "build_index",
     "open_index",
     "save_index",
@@ -149,6 +152,10 @@ __all__ = [
     "PKWiseSearcher",
     "PKWiseNonIntervalSearcher",
     "WeightedPKWiseSearcher",
+    "IntervalIndex",
+    "CompactIntervalIndex",
+    "PackedRankDocs",
+    "ProbeHit",
     "MatchPair",
     "WeightedMatchPair",
     "WeightedSearchResult",
@@ -206,6 +213,7 @@ __all__ = [
     "PartitioningError",
     "IndexStateError",
     "SearchCancelled",
+    "UnknownTokenError",
     "ServiceError",
     "ServiceOverloadError",
     "DeadlineExceededError",

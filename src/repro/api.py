@@ -2,49 +2,74 @@
 
 The library grew bottom-up — corpus, ordering, partitioning, core
 searchers, persistence, parallel execution, serving — and each layer is
-importable on its own.  This module is the top: three entry points that
-cover the common lifecycle without knowing the layers underneath.
+importable on its own.  This module is the top: an :class:`Index`
+object that covers the common lifecycle without knowing the layers
+underneath.
 
-* :func:`build_index` — corpus in (a
+* :meth:`Index.build` — corpus in (a
   :class:`~repro.DocumentCollection`, a directory path, or raw texts),
-  built :class:`~repro.PKWiseSearcher` out; optional greedy
-  partitioning and multi-process builds.
-* :func:`open_index` — load a saved index file into a
-  :class:`~repro.persistence.SearcherBundle` (searcher + its document
-  collection), ready to query or wrap in a
-  :class:`~repro.service.SearchService`.
+  queryable :class:`Index` out; optional greedy partitioning,
+  multi-process builds, and ``compact=True`` freezing.
+* :meth:`Index.open` / :meth:`Index.save` — round-trip through the
+  snapshot formats in :mod:`repro.persistence`; ``Index.open(path,
+  mmap=True)`` maps a compact (format-v3) snapshot's array columns
+  without copying.
+* :meth:`Index.searcher` — the underlying query engine, for callers
+  that want the algorithm object itself.
 * :class:`Searcher` — the :class:`~typing.Protocol` every query engine
   in the library satisfies (pkwise, the weighted extension, and all
   baselines), so harnesses and the service can be typed against the
   interface instead of a concrete class.
 
+Search results are typed and frozen end to end: ``search`` yields
+:class:`~repro.core.base.MatchPair` (named fields ``doc_id`` /
+``data_start`` / ``query_start`` / ``overlap``) and index probes yield
+:class:`~repro.index.ProbeHit` (``doc_id`` / ``u`` / ``v``); both are
+NamedTuples, so positional unpacking keeps working.
+
 Quickstart::
 
-    from repro import api
+    from repro import Index
 
-    index = api.build_index(["some corpus text ..."], w=10, tau=3)
+    index = Index.build(["some corpus text ..."], w=10, tau=3)
     result = index.search_text("query text")
 
-    # or, round-tripped through a file:
-    api.save_index(index, "corpus.idx")
-    with api.open_index("corpus.idx") as bundle:
-        result = bundle.search_text("query text")
+    # or, round-tripped through a compact mmap-able snapshot:
+    index.save("corpus.idx", compact=True)
+    with Index.open("corpus.idx", mmap=True) as index:
+        result = index.search_text("query text")
+
+The pre-1.2 functions :func:`build_index` / :func:`open_index` /
+:func:`save_index` remain as thin deprecated wrappers.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Iterable
 from pathlib import Path
 from typing import Protocol, runtime_checkable
 
+from .core.base import MatchPair
 from .corpus import (
     DocumentCollection,
     collection_from_directory,
     collection_from_texts,
 )
 from .errors import ConfigurationError
+from .index import ProbeHit
 from .params import DEFAULT_K_MAX, SearchParams, suggested_subpartitions
 from .persistence import SearcherBundle, load_bundle, save_searcher
+
+__all__ = [
+    "Index",
+    "Searcher",
+    "MatchPair",
+    "ProbeHit",
+    "build_index",
+    "open_index",
+    "save_index",
+]
 
 
 @runtime_checkable
@@ -82,42 +107,25 @@ def _as_collection(data) -> DocumentCollection:
     )
 
 
-def build_index(
+def _build_searcher(
     data,
-    params: SearchParams | None = None,
+    params: SearchParams | None,
     *,
-    w: int | None = None,
-    tau: int | None = None,
-    k_max: int = DEFAULT_K_MAX,
-    m: int | None = None,
-    greedy_partition: bool = False,
-    sample_ratio: float = 0.01,
-    jobs: int = 1,
-) -> SearcherBundle:
-    """Build a ready-to-query pkwise index over ``data``.
-
-    ``data`` may be a :class:`~repro.DocumentCollection`, a directory of
-    ``.txt`` files, or an iterable of raw text strings.  Pass either a
-    full :class:`~repro.SearchParams` or the individual ``w``/``tau``
-    (and optionally ``k_max``/``m``) values; when ``m`` is omitted the
-    paper's Section 7.5 rule picks it from ``tau``.
-
-    ``greedy_partition=True`` runs the cost-based greedy partitioner
-    (Section 5) before indexing — slower to build, faster to query on
-    skewed corpora.  ``jobs > 1`` (or ``0`` for one per CPU) builds the
-    index across worker processes.
-
-    Returns a :class:`~repro.persistence.SearcherBundle` pairing the
-    built :class:`~repro.PKWiseSearcher` with the resolved collection —
-    query it directly (``search_text``), persist it
-    (:func:`save_index`), or serve it (``bundle.serve()``).
-    """
+    w: int | None,
+    tau: int | None,
+    k_max: int,
+    m: int | None,
+    greedy_partition: bool,
+    sample_ratio: float,
+    jobs: int,
+):
+    """Shared build kernel behind :meth:`Index.build` / :func:`build_index`."""
     collection = _as_collection(data)
     if params is None:
         if w is None or tau is None:
             raise ConfigurationError(
-                "build_index needs either params=SearchParams(...) or "
-                "both w= and tau="
+                "building an index needs either params=SearchParams(...) "
+                "or both w= and tau="
             )
         params = SearchParams(
             w=w,
@@ -157,18 +165,263 @@ def build_index(
         from .core.pkwise import PKWiseSearcher
 
         searcher = PKWiseSearcher(collection, params, scheme=scheme, order=order)
+    return searcher, collection
+
+
+class Index:
+    """A built (or loaded) similarity index, ready to query.
+
+    The facade's first-class object: pairs the query engine with the
+    document collection needed to encode text queries, plus provenance
+    (source path, load time).  Construct with :meth:`build` or
+    :meth:`open`; use as a context manager to release resources.
+    """
+
+    __slots__ = ("_searcher", "data", "path", "load_seconds")
+
+    def __init__(
+        self,
+        searcher,
+        data: DocumentCollection | None = None,
+        *,
+        path: Path | None = None,
+        load_seconds: float = 0.0,
+    ) -> None:
+        #: The query engine; prefer the :meth:`searcher` accessor.
+        self._searcher = searcher
+        #: The paired :class:`~repro.DocumentCollection` (None for
+        #: ids-only snapshots — text queries then raise).
+        self.data = data
+        #: Source file, or None when built in memory.
+        self.path = path
+        #: Wall-clock seconds spent deserializing (0.0 in memory).
+        self.load_seconds = load_seconds
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        data,
+        params: SearchParams | None = None,
+        *,
+        w: int | None = None,
+        tau: int | None = None,
+        k_max: int = DEFAULT_K_MAX,
+        m: int | None = None,
+        greedy_partition: bool = False,
+        sample_ratio: float = 0.01,
+        jobs: int = 1,
+        compact: bool = False,
+    ) -> "Index":
+        """Build a ready-to-query pkwise index over ``data``.
+
+        ``data`` may be a :class:`~repro.DocumentCollection`, a
+        directory of ``.txt`` files, or an iterable of raw text
+        strings.  Pass either a full :class:`~repro.SearchParams` or
+        the individual ``w``/``tau`` (and optionally ``k_max``/``m``)
+        values; when ``m`` is omitted the paper's Section 7.5 rule
+        picks it from ``tau``.
+
+        ``greedy_partition=True`` runs the cost-based greedy
+        partitioner (Section 5) before indexing — slower to build,
+        faster to query on skewed corpora.  ``jobs > 1`` (or ``0`` for
+        one per CPU) builds the index across worker processes.
+        ``compact=True`` freezes the result into the array-backed
+        :class:`~repro.index.CompactIntervalIndex` (read-only, leaner,
+        what ``save(compact=True)`` snapshots).
+        """
+        searcher, collection = _build_searcher(
+            data,
+            params,
+            w=w,
+            tau=tau,
+            k_max=k_max,
+            m=m,
+            greedy_partition=greedy_partition,
+            sample_ratio=sample_ratio,
+            jobs=jobs,
+        )
+        if compact:
+            searcher = searcher.compacted()
+        return cls(searcher, collection)
+
+    @classmethod
+    def open(
+        cls, path: str | Path, *, mmap: bool = False, fallback: bool = True
+    ) -> "Index":
+        """Load an index saved by :meth:`save` (or ``repro index``).
+
+        ``mmap=True`` memory-maps a compact (format-v3) snapshot's
+        array columns instead of copying them — near-constant cold
+        open, and concurrent processes mapping the same file share one
+        page cache.  Asking for ``mmap`` on a v2 pickle is a typed
+        :class:`~repro.persistence.PersistenceError`.  ``fallback``
+        controls rotated-snapshot recovery as in
+        :func:`~repro.persistence.load_bundle`.
+
+        SECURITY: snapshots contain pickled sections; only open files
+        you (or your pipeline) wrote.
+        """
+        bundle = load_bundle(path, fallback=fallback, mmap=mmap)
+        return cls(
+            bundle.searcher,
+            bundle.data,
+            path=bundle.path,
+            load_seconds=bundle.load_seconds,
+        )
+
+    def save(
+        self,
+        path: str | Path,
+        *,
+        rotate: int | None = None,
+        compact: bool = False,
+    ) -> None:
+        """Persist this index to ``path`` (atomic write).
+
+        ``rotate=N`` keeps the previous N snapshot generations;
+        ``compact=True`` writes the mmap-able format-v3 layout (the
+        engine is frozen with
+        :meth:`~repro.PKWiseSearcher.compacted` first).
+        """
+        save_searcher(
+            self._searcher,
+            path,
+            data=self.data,
+            rotate=rotate or 0,
+            compact=compact,
+        )
+
+    def searcher(self) -> Searcher:
+        """The underlying query engine (algorithm object)."""
+        return self._searcher
+
+    @property
+    def params(self) -> SearchParams:
+        """The engine's :class:`~repro.SearchParams`."""
+        return self._searcher.params
+
+    @property
+    def frozen(self) -> bool:
+        """True when backed by a frozen compact index (read-only)."""
+        return bool(getattr(self._searcher, "frozen", False))
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    def encode_query(self, text: str, name: str | None = None):
+        """Tokenize ``text`` against the paired collection's vocabulary."""
+        if self.data is None:
+            raise ConfigurationError(
+                "index has no document collection (saved ids-only); "
+                "rebuild the snapshot with its data to encode text queries"
+            )
+        return self.data.encode_query(text, name=name)
+
+    def search(self, query):
+        """Search one encoded query; pairs are typed ``MatchPair``s."""
+        return self._searcher.search(query)
+
+    def search_text(self, text: str):
+        """Encode ``text`` and search it in one step."""
+        return self._searcher.search(self.encode_query(text))
+
+    def search_many(self, queries, *, jobs: int = 1):
+        """Run a query workload (serial or multi-process)."""
+        return self._searcher.search_many(queries, jobs=jobs)
+
+    def serve(self, **kwargs):
+        """Wrap this index in a :class:`~repro.service.SearchService`.
+
+        Keyword arguments are forwarded (``max_workers``, ``max_queue``,
+        ``cache_size``, ``default_timeout`` ...).
+        """
+        from .service import SearchService
+
+        return SearchService(self._searcher, self.data, **kwargs)
+
+    def compacted(self) -> "Index":
+        """This index frozen onto array-backed structures (see
+        :meth:`~repro.PKWiseSearcher.compacted`)."""
+        return type(self)(
+            self._searcher.compacted(),
+            self.data,
+            path=self.path,
+            load_seconds=self.load_seconds,
+        )
+
+    def close(self) -> None:
+        """Release the engine's resources.  Idempotent."""
+        self._searcher.close()
+
+    def __enter__(self) -> "Index":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        source = str(self.path) if self.path is not None else "<memory>"
+        return (
+            f"Index({type(self._searcher).__name__}, "
+            f"data={'yes' if self.data is not None else 'no'}, "
+            f"frozen={self.frozen}, source={source})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Deprecated pre-1.2 function facade (thin wrappers over Index).
+# ----------------------------------------------------------------------
+def _deprecated_facade(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated and will be removed in 2.0; use {new}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def build_index(
+    data,
+    params: SearchParams | None = None,
+    *,
+    w: int | None = None,
+    tau: int | None = None,
+    k_max: int = DEFAULT_K_MAX,
+    m: int | None = None,
+    greedy_partition: bool = False,
+    sample_ratio: float = 0.01,
+    jobs: int = 1,
+) -> SearcherBundle:
+    """Deprecated: use :meth:`Index.build`.
+
+    Returns the legacy :class:`~repro.persistence.SearcherBundle`
+    shape for compatibility.
+    """
+    _deprecated_facade("build_index", "Index.build")
+    searcher, collection = _build_searcher(
+        data,
+        params,
+        w=w,
+        tau=tau,
+        k_max=k_max,
+        m=m,
+        greedy_partition=greedy_partition,
+        sample_ratio=sample_ratio,
+        jobs=jobs,
+    )
     return SearcherBundle(searcher, collection)
 
 
 def save_index(index, path: str | Path, data=None) -> None:
-    """Persist an index to ``path`` (atomic write).
-
-    ``index`` may be a :class:`~repro.persistence.SearcherBundle` (its
-    collection is bundled automatically, so ``search_text`` works after
-    :func:`open_index`) or a bare searcher (pass ``data`` explicitly to
-    bundle the collection, or omit it for a leaner ids-only file).
-    """
-    if isinstance(index, SearcherBundle):
+    """Deprecated: use :meth:`Index.save`."""
+    _deprecated_facade("save_index", "Index.save")
+    if isinstance(index, Index):
+        searcher = index.searcher()
+        if data is None:
+            data = index.data
+    elif isinstance(index, SearcherBundle):
         searcher = index.searcher
         if data is None:
             data = index.data
@@ -177,15 +430,11 @@ def save_index(index, path: str | Path, data=None) -> None:
     save_searcher(searcher, path, data=data)
 
 
-def open_index(path: str | Path) -> SearcherBundle:
-    """Load an index saved by :func:`save_index` (or ``repro index``).
+def open_index(path: str | Path, *, mmap: bool = False) -> SearcherBundle:
+    """Deprecated: use :meth:`Index.open`.
 
-    Returns a :class:`~repro.persistence.SearcherBundle` — use
-    ``bundle.searcher`` / ``bundle.data`` directly, query through
-    ``bundle.search_text``, or hand it to
-    :class:`~repro.service.SearchService` for concurrent serving.
-
-    SECURITY: index files are pickles; only open files you (or your
-    pipeline) wrote.
+    Returns the legacy :class:`~repro.persistence.SearcherBundle`
+    shape for compatibility; ``mmap`` as in :meth:`Index.open`.
     """
-    return load_bundle(path)
+    _deprecated_facade("open_index", "Index.open")
+    return load_bundle(path, mmap=mmap)

@@ -35,6 +35,11 @@ Robustness surfaces: ``repro search``/``repro selfjoin`` take
 ``repro index --rotate N`` keeps rotated snapshot generations, and
 ``repro query --retries/--timeout`` drives the retrying
 :class:`~repro.service.ResilientClient`.
+
+Compact snapshots: ``repro index --compact`` writes the array-backed
+format-v3 layout, and ``repro search``/``repro serve`` accept
+``--mmap`` to map such a snapshot's columns zero-copy instead of
+deserializing them (fast cold start; results are identical).
 """
 
 from __future__ import annotations
@@ -140,8 +145,13 @@ def _cmd_index(args: argparse.Namespace) -> int:
         f"{time.perf_counter() - start:.2f}s",
         file=sys.stderr,
     )
-    save_searcher(searcher, args.out, data=data, rotate=args.rotate)
-    print(f"wrote {args.out}", file=sys.stderr)
+    save_searcher(
+        searcher, args.out, data=data, rotate=args.rotate, compact=args.compact
+    )
+    print(
+        f"wrote {args.out}" + (" (compact v3)" if args.compact else ""),
+        file=sys.stderr,
+    )
     if args.metrics_out:
         registry = MetricsRegistry()
         registry.timer("index.build_seconds").add(searcher.index_build_seconds)
@@ -160,7 +170,8 @@ def _cmd_index(args: argparse.Namespace) -> int:
 def _cmd_search(args: argparse.Namespace) -> int:
     from .eval.harness import run_searcher
 
-    searcher, data = load_bundle(args.index)
+    bundle = load_bundle(args.index, mmap=args.mmap)
+    searcher, data = bundle.searcher, bundle.data
     if data is None:
         raise ReproError(
             "index was saved without the document collection; rebuild with "
@@ -210,7 +221,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
             )
             if args.show_text:
                 snippet = " ".join(
-                    data.vocabulary.decode(query.tokens[q_lo : q_hi + 1])
+                    data.decode_window(query, q_lo, q_hi + 1 - q_lo)
                 )
                 print(f"    {snippet}")
     if not found_any:
@@ -260,18 +271,18 @@ def _cmd_selfjoin(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from .api import open_index
+    from .api import Index
     from .service import SearchService, serve_http
 
-    bundle = open_index(args.index)
+    index = Index.open(args.index, mmap=args.mmap)
     print(
-        f"loaded {bundle} in {bundle.load_seconds:.2f}s "
-        f"(w={bundle.params.w}, tau={bundle.params.tau})",
+        f"loaded {index} in {index.load_seconds:.2f}s "
+        f"(w={index.params.w}, tau={index.params.tau})",
         file=sys.stderr,
     )
     service = SearchService(
-        bundle.searcher,
-        bundle.data,
+        index.searcher(),
+        index.data,
         max_workers=args.workers,
         max_queue=args.max_queue,
         cache_size=args.cache_size,
@@ -350,6 +361,9 @@ def build_parser() -> argparse.ArgumentParser:
     index_parser.add_argument("--rotate", type=int, default=0,
                               help="keep N previous snapshot generations "
                                    "(.1 newest .. .N oldest; default 0)")
+    index_parser.add_argument("--compact", action="store_true",
+                              help="write the array-backed format-v3 snapshot "
+                                   "(frozen; loadable with --mmap)")
     _add_search_params(index_parser)
     _add_jobs_flag(index_parser)
     _add_obs_flags(index_parser)
@@ -370,6 +384,9 @@ def build_parser() -> argparse.ArgumentParser:
                                     "an interrupted run can --resume")
     search_parser.add_argument("--resume", action="store_true",
                                help="continue from an existing --checkpoint")
+    search_parser.add_argument("--mmap", action="store_true",
+                               help="memory-map a compact (v3) index instead "
+                                    "of deserializing it")
     _add_jobs_flag(search_parser)
     _add_obs_flags(search_parser)
     search_parser.set_defaults(func=_cmd_search)
@@ -408,6 +425,9 @@ def build_parser() -> argparse.ArgumentParser:
                               help="default per-request deadline in seconds")
     serve_parser.add_argument("--verbose", action="store_true",
                               help="log every HTTP request to stderr")
+    serve_parser.add_argument("--mmap", action="store_true",
+                              help="memory-map a compact (v3) index instead "
+                                   "of deserializing it")
     _add_obs_flags(serve_parser)
     serve_parser.set_defaults(func=_cmd_serve)
 

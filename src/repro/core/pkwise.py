@@ -17,7 +17,7 @@ from collections import Counter
 from collections.abc import Callable
 
 from ..corpus import Document, DocumentCollection
-from ..errors import ConfigurationError, SearchCancelled
+from ..errors import ConfigurationError, IndexStateError, SearchCancelled
 from ..index.interval_index import IntervalIndex
 from ..obs import get_tracer
 from ..index.intervals import WindowInterval, merge_intervals
@@ -147,16 +147,26 @@ class PKWiseSearcher:
         params: SearchParams,
         order: GlobalOrder,
         scheme: PartitionScheme,
-        index: IntervalIndex,
-        rank_docs: list[list[int]],
+        index,
+        rank_docs,
         build_seconds: float = 0.0,
+        *,
+        removed=(),
+        index_epoch: int = 0,
     ) -> "PKWiseSearcher":
         """Assemble a searcher around an already-built interval index.
 
         Used by :mod:`repro.parallel` after merging per-worker partial
-        indexes; the parts must be mutually consistent (``rank_docs[i]``
-        is document ``i``'s rank sequence under ``order``, and ``index``
-        covers exactly those documents with ``scheme``/``params``).
+        indexes, and by the v3 snapshot loader; the parts must be
+        mutually consistent (``rank_docs[i]`` is document ``i``'s rank
+        sequence under ``order``, and ``index`` covers exactly those
+        documents with ``scheme``/``params``).  ``index`` may be the
+        dict :class:`~repro.index.IntervalIndex` or a frozen
+        :class:`~repro.index.CompactIntervalIndex`; ``rank_docs``
+        likewise a list of lists or a
+        :class:`~repro.index.PackedRankDocs`.  ``removed`` /
+        ``index_epoch`` restore tombstones and the cache epoch of a
+        snapshotted searcher.
         """
         if scheme.m != params.m:
             raise ConfigurationError(
@@ -172,12 +182,45 @@ class PKWiseSearcher:
         self.order = order
         self.scheme = scheme
         self.rank_docs = rank_docs
-        self._removed = set()
+        self._removed = set(removed)
         self.index = index
         self.index_build_seconds = build_seconds
         self.build_worker_reports = []
-        self.index_epoch = 0
+        self.index_epoch = index_epoch
         return self
+
+    def compacted(self) -> "PKWiseSearcher":
+        """A frozen copy of this searcher over array-backed structures.
+
+        The interval index becomes a
+        :class:`~repro.index.CompactIntervalIndex` and the rank
+        sequences a :class:`~repro.index.PackedRankDocs`; search results
+        stay pair-identical (hash-merged postings only add candidates,
+        which verification removes).  The copy shares the order/scheme
+        and carries over tombstones and the index epoch, but refuses
+        :meth:`add_document` — freeze after the corpus settles.
+        Returns ``self`` when already compact.
+        """
+        from ..index.compact import CompactIntervalIndex, PackedRankDocs
+
+        if getattr(self.index, "frozen", False):
+            return self
+        clone = type(self).__new__(type(self))
+        clone.params = self.params
+        clone.order = self.order
+        clone.scheme = self.scheme
+        clone.rank_docs = PackedRankDocs.from_lists(self.rank_docs)
+        clone._removed = set(self._removed)
+        clone.index = CompactIntervalIndex.from_index(self.index)
+        clone.index_build_seconds = self.index_build_seconds
+        clone.build_worker_reports = []
+        clone.index_epoch = self.index_epoch
+        return clone
+
+    @property
+    def frozen(self) -> bool:
+        """True when backed by a frozen compact index (no additions)."""
+        return bool(getattr(self.index, "frozen", False))
 
     # ------------------------------------------------------------------
     # Incremental maintenance
@@ -192,6 +235,11 @@ class PKWiseSearcher:
         frequencies — a heuristic drift that affects performance only,
         never correctness (any fixed total order is valid, Theorem 1).
         """
+        if self.frozen:
+            raise IndexStateError(
+                "cannot add documents to a frozen compact searcher; "
+                "open the snapshot without compact/mmap (or rebuild) to mutate"
+            )
         doc_id = len(self.rank_docs)
         ranks = self.order.rank_document(document)
         self.rank_docs.append(ranks)

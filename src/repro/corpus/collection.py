@@ -67,23 +67,46 @@ class DocumentCollection:
     def encode_query(self, text: str, name: str | None = None) -> Document:
         """Tokenize a query document against this collection's vocabulary.
 
-        Query tokens absent from the data documents are still interned
-        (they get fresh ids); the global order assigns them window
-        frequency zero, which makes them maximally selective, exactly as
-        in the paper's Example 1 (tokens E and F).
+        Query tokens absent from the vocabulary map to the
+        :data:`~repro.tokenize.OOV_TOKEN_ID` sentinel instead of being
+        interned.  This never mutates the shared vocabulary (safe under
+        concurrent queries, and worker processes stay byte-identical to
+        the parent), and it is exact: an OOV token cannot occur in any
+        data window, so it contributes nothing to window overlap either
+        way.  The global order ranks the sentinel before every data
+        token — maximally selective, exactly like the paper's Example 1
+        query-only tokens E and F.
 
         The returned document is *not* added to the collection; its
         ``doc_id`` is -1 to make accidental use as a data document loud.
+        It carries :attr:`~repro.corpus.Document.source_tokens` so OOV
+        positions can still be displayed as the original words.
         """
-        token_ids = self.vocabulary.encode(self.tokenizer.tokenize(text))
-        return Document(-1, token_ids, name=name or "query")
+        tokens = self.tokenizer.tokenize(text)
+        token_ids = self.vocabulary.encode_query(tokens)
+        return Document(-1, token_ids, name=name or "query", source_tokens=tokens)
 
     def encode_query_tokens(
         self, tokens: Sequence[str], name: str | None = None
     ) -> Document:
         """Like :meth:`encode_query` but for pre-split token strings."""
-        token_ids = self.vocabulary.encode(tokens)
-        return Document(-1, token_ids, name=name or "query")
+        token_ids = self.vocabulary.encode_query(tokens)
+        return Document(-1, token_ids, name=name or "query", source_tokens=tokens)
+
+    def decode_window(self, document: Document, start: int, w: int) -> list[str]:
+        """Token strings of ``W(document, start)``, exact even for OOV.
+
+        Data documents decode through the vocabulary; query documents
+        built by :meth:`encode_query` prefer their stored
+        :attr:`~repro.corpus.Document.source_tokens`, so sentinel-mapped
+        out-of-vocabulary positions render as the original words rather
+        than the ``<oov>`` placeholder.
+        """
+        source = document.source_tokens
+        if source is not None and len(source) == len(document):
+            document.window(start, w)  # reuse bounds checking
+            return list(source[start : start + w])
+        return self.vocabulary.decode(document.window(start, w))
 
     # ------------------------------------------------------------------
     # Access

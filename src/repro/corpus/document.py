@@ -23,16 +23,34 @@ class Document:
         Token ids, in original document order.
     name:
         Optional human-readable identifier (file name, headline, ...).
+    source_tokens:
+        Optional original token strings.  Query encodings carry them so
+        out-of-vocabulary positions (sentinel id, see
+        :data:`~repro.tokenize.OOV_TOKEN_ID`) can still be displayed
+        faithfully; identity (equality/hash) ignores them.
     """
 
-    __slots__ = ("doc_id", "tokens", "name")
+    __slots__ = ("doc_id", "tokens", "name", "_source")
 
     def __init__(
-        self, doc_id: int, tokens: Sequence[int], name: str | None = None
+        self,
+        doc_id: int,
+        tokens: Sequence[int],
+        name: str | None = None,
+        source_tokens: Sequence[str] | None = None,
     ) -> None:
         self.doc_id = doc_id
         self.tokens: tuple[int, ...] = tuple(tokens)
         self.name = name if name is not None else f"doc{doc_id}"
+        self._source = tuple(source_tokens) if source_tokens is not None else None
+
+    @property
+    def source_tokens(self) -> tuple[str, ...] | None:
+        """Original token strings when encoded from text, else None."""
+        try:
+            return self._source
+        except AttributeError:  # documents unpickled from older snapshots
+            return None
 
     def __len__(self) -> int:
         return len(self.tokens)

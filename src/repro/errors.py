@@ -25,6 +25,22 @@ class TokenizationError(ReproError):
     """A document could not be tokenized (e.g. bad q-gram length)."""
 
 
+class UnknownTokenError(ReproError, KeyError):
+    """A frozen vocabulary lookup hit a token it has never interned.
+
+    Subclasses ``KeyError`` so pre-existing ``except KeyError`` callers
+    keep working, but carries the offending token so the message names
+    *what* was unknown instead of surfacing a bare mapping failure.
+    """
+
+    def __init__(self, token: str) -> None:
+        super().__init__(f"token {token!r} is not in the vocabulary")
+        self.token = token
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr() the args
+        return self.args[0]
+
+
 class CorpusError(ReproError):
     """A document collection is malformed or cannot be loaded."""
 

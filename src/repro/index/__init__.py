@@ -14,10 +14,14 @@ Two index flavours, matching Sections 3 and 4 of the paper:
 from .intervals import WindowInterval, merge_intervals
 from .interval_index import IntervalIndex
 from .inverted import WindowInvertedIndex
+from .compact import CompactIntervalIndex, PackedRankDocs, ProbeHit
 
 __all__ = [
     "WindowInterval",
+    "ProbeHit",
     "merge_intervals",
     "IntervalIndex",
+    "CompactIntervalIndex",
+    "PackedRankDocs",
     "WindowInvertedIndex",
 ]

@@ -22,6 +22,12 @@ from collections.abc import Iterable, Sequence
 from ..corpus import Document, DocumentCollection
 from ..errors import ConfigurationError
 
+#: Rank assigned to the query-side OOV sentinel (negative token ids).
+#: Far below any lazily admitted rank (those count down from -1 one at a
+#: time), so the sentinel can never collide with a token that actually
+#: occurs in indexed data.
+OOV_RANK = -(1 << 60)
+
 
 def window_frequencies(data: DocumentCollection, w: int) -> list[int]:
     """Number of data windows of size ``w`` containing each token.
@@ -125,8 +131,16 @@ class GlobalOrder:
         return self._built_size
 
     def rank(self, token_id: int) -> int:
-        """Rank of ``token_id``; lazily admits tokens unseen at build."""
-        if 0 <= token_id < self._built_size:
+        """Rank of ``token_id``; lazily admits tokens unseen at build.
+
+        Negative token ids (the query-side OOV sentinel) map to the
+        fixed :data:`OOV_RANK` without mutating the order — they sort
+        before everything, like any zero-frequency token, and can never
+        equal a rank that occurs in indexed data.
+        """
+        if token_id < 0:
+            return OOV_RANK
+        if token_id < self._built_size:
             return self._rank_of_token[token_id]
         rank = self._extra_ranks.get(token_id)
         if rank is None:

@@ -54,8 +54,13 @@ def init_state(payload, fault_plan=None) -> None:
         faults.install_plan(fault_plan)
 
 
-def init_searcher_file(path: str, fault_plan=None) -> None:
+def init_searcher_file(path: str, fault_plan=None, mmap: bool = False) -> None:
     """Pool initializer (spawn fallback): load a persisted searcher.
+
+    With ``mmap=True`` the file is a compact format-v3 snapshot and its
+    array columns are memory-mapped instead of copied — every worker of
+    the pool maps the same file, so the index pages are shared through
+    the OS page cache rather than duplicated per process.
 
     The fault plan (when given) is installed *after* the searcher loads,
     so persistence faults target real save/load paths, not this
@@ -64,7 +69,7 @@ def init_searcher_file(path: str, fault_plan=None) -> None:
     from ..persistence import load_searcher
 
     global _STATE
-    _STATE = load_searcher(path)
+    _STATE = load_searcher(path, mmap=mmap)
     if fault_plan is not None:
         faults.install_plan(fault_plan)
 

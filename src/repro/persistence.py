@@ -6,14 +6,25 @@ once and serve many queries.  This module persists a fully built
 :class:`~repro.PKWiseSearcher` — interval index, partition scheme,
 global order and rank-converted documents — to a single file.
 
-Format: Python pickle sections wrapped in a small versioned envelope
-whose every section carries a BLAKE2b payload digest, so a flipped bit
-on disk surfaces as a typed :class:`PersistenceError` naming the
-corrupt section — never a pickle error or silently wrong data.  Pickle
-is appropriate here because an index file is a local artifact produced
-by the same trust domain that loads it; never load index files from
-untrusted sources (the standard pickle caveat, restated in
-:func:`load_searcher`).
+Two on-disk layouts share one loader surface:
+
+* **Format v2** — Python pickle sections wrapped in a small versioned
+  envelope whose every section carries a BLAKE2b payload digest, so a
+  flipped bit on disk surfaces as a typed :class:`PersistenceError`
+  naming the corrupt section — never a pickle error or silently wrong
+  data.  Pickle is appropriate here because an index file is a local
+  artifact produced by the same trust domain that loads it; never load
+  index files from untrusted sources (the standard pickle caveat,
+  restated in :func:`load_searcher`).
+* **Format v3** (``save_searcher(..., compact=True)``) — the compact
+  array-backed searcher: a 16-byte magic, an 8-byte little-endian TOC
+  length, a pickled TOC, then each section's raw bytes at a 64-byte
+  aligned offset.  Small sections (params/order/scheme/data) are still
+  pickled; the index and rank columns are stored as raw typed arrays,
+  so ``load_bundle(path, mmap=True)`` maps them with ``mmap`` +
+  ``np.frombuffer`` without copying — workers sharing one snapshot
+  share one page cache.  Every section (pickled or raw) keeps the v2
+  per-section BLAKE2b digest contract.
 
 :func:`save_searcher` can additionally keep rotated snapshot
 generations (``index.idx.1``, ``index.idx.2``, ...); the loaders fall
@@ -42,8 +53,13 @@ from .errors import ReproError
 #: Bumped whenever the on-disk layout changes incompatibly.
 #: Version 2 added per-section BLAKE2b digests and the ``kind`` field.
 FORMAT_VERSION = 2
+#: The compact/mmap-able layout written by ``save_searcher(compact=True)``.
+FORMAT_VERSION_V3 = 3
 _MAGIC = "repro-envelope"
 _MAGIC_V1 = "repro-pkwise-index"
+_MAGIC_V3 = b"repro-envelope-3"  # exactly 16 bytes
+_V3_HEAD_SIZE = len(_MAGIC_V3) + 8  # magic + TOC length
+_V3_ALIGN = 64
 _INDEX_KIND = "pkwise-index"
 _DIGEST_SIZE = 16
 
@@ -173,6 +189,178 @@ def read_envelope(path: str | Path, kind: str) -> tuple[dict, dict]:
     return envelope.get("header", {}), sections
 
 
+def _align_v3(offset: int) -> int:
+    return (offset + _V3_ALIGN - 1) // _V3_ALIGN * _V3_ALIGN
+
+
+def write_envelope_v3(
+    path: str | Path,
+    kind: str,
+    sections: dict,
+    arrays: dict,
+    header: dict | None = None,
+) -> None:
+    """Atomically write a format-v3 envelope (pickled + raw sections).
+
+    ``sections`` values are pickled; ``arrays`` values are numpy arrays
+    stored as raw bytes at 64-byte-aligned offsets (dtype and shape
+    recorded in the TOC) so readers can map them zero-copy.  Every
+    payload — pickled or raw — carries a BLAKE2b digest in the TOC.
+    """
+    import numpy as np
+
+    path = Path(path)
+    toc: dict = {
+        "version": FORMAT_VERSION_V3,
+        "kind": kind,
+        "header": dict(header or {}),
+        "pickled": {},
+        "arrays": {},
+    }
+    entries: list[tuple[int, bytes]] = []
+    rel = 0
+    for name, obj in sections.items():
+        blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = faults.inject_bytes("persistence.write", blob, section=name, kind=kind)
+        rel = _align_v3(rel)
+        toc["pickled"][name] = {
+            "offset": rel,
+            "length": len(blob),
+            "digest": _digest(blob),
+        }
+        entries.append((rel, blob))
+        rel += len(blob)
+    for name, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        blob = array.tobytes()
+        blob = faults.inject_bytes("persistence.write", blob, section=name, kind=kind)
+        rel = _align_v3(rel)
+        toc["arrays"][name] = {
+            "offset": rel,
+            "length": len(blob),
+            "digest": _digest(blob),
+            "dtype": array.dtype.str,
+            "shape": tuple(array.shape),
+        }
+        entries.append((rel, blob))
+        rel += len(blob)
+    toc_bytes = pickle.dumps(toc, protocol=pickle.HIGHEST_PROTOCOL)
+    data_start = _align_v3(_V3_HEAD_SIZE + len(toc_bytes))
+
+    def serialize(handle) -> None:
+        handle.write(_MAGIC_V3)
+        handle.write(len(toc_bytes).to_bytes(8, "little"))
+        handle.write(toc_bytes)
+        position = _V3_HEAD_SIZE + len(toc_bytes)
+        for rel_offset, blob in entries:
+            target = data_start + rel_offset
+            if target > position:
+                handle.write(b"\x00" * (target - position))
+            handle.write(blob)
+            position = target + len(blob)
+
+    _atomic_write(path, serialize)
+
+
+def is_v3_file(path: str | Path) -> bool:
+    """True when ``path`` exists and starts with the format-v3 magic."""
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(_MAGIC_V3)) == _MAGIC_V3
+    except OSError:
+        return False
+
+
+def read_envelope_v3(
+    path: str | Path, kind: str, *, mmap: bool = False
+) -> tuple[dict, dict, dict]:
+    """Load ``(header, sections, arrays)`` from a format-v3 envelope.
+
+    With ``mmap=True`` the file is memory-mapped and every array in
+    ``arrays`` is a read-only view into the mapping (zero copy); the
+    mapping stays alive for as long as any returned array does (numpy
+    holds the buffer via ``.base``).  With ``mmap=False`` the file is
+    read once into memory and arrays view that buffer.  In both modes
+    every section's bytes are verified against their recorded BLAKE2b
+    digest before use, and all failure modes raise a typed
+    :class:`PersistenceError` naming the corrupt section.
+    """
+    import mmap as mmap_module
+
+    import numpy as np
+
+    path = Path(path)
+    if not path.exists():
+        raise PersistenceError(f"{kind} file {path} does not exist")
+    with open(path, "rb") as handle:
+        magic = handle.read(len(_MAGIC_V3))
+        if magic != _MAGIC_V3:
+            raise PersistenceError(f"{path} is not a format-v3 {kind} envelope")
+        try:
+            toc_length = int.from_bytes(handle.read(8), "little")
+            toc_bytes = handle.read(toc_length)
+            toc = pickle.loads(toc_bytes)
+        except Exception as exc:
+            raise PersistenceError(
+                f"cannot read {kind} file {path}: malformed v3 TOC: {exc}"
+            ) from exc
+        if not isinstance(toc, dict) or toc.get("version") != FORMAT_VERSION_V3:
+            raise PersistenceError(f"{kind} file {path} has a malformed v3 TOC")
+        if toc.get("kind") != kind:
+            raise PersistenceError(
+                f"{path} is a {toc.get('kind')!r} envelope, not {kind!r}"
+            )
+        data_start = _align_v3(_V3_HEAD_SIZE + toc_length)
+        if mmap:
+            mapping = mmap_module.mmap(
+                handle.fileno(), 0, access=mmap_module.ACCESS_READ
+            )
+            buffer: memoryview | bytes = memoryview(mapping)
+        else:
+            handle.seek(0)
+            buffer = handle.read()
+        if len(buffer) < data_start:
+            raise PersistenceError(f"{kind} file {path} is truncated")
+    sections: dict = {}
+    for name, entry in toc.get("pickled", {}).items():
+        start = data_start + entry["offset"]
+        blob = bytes(buffer[start : start + entry["length"]])
+        blob = faults.inject_bytes("persistence.read", blob, section=name, kind=kind)
+        if _digest(blob) != entry.get("digest"):
+            raise PersistenceError(
+                f"{kind} file {path}: section {name!r} is corrupt "
+                f"(payload checksum mismatch) — restore from a snapshot "
+                f"or rebuild"
+            )
+        try:
+            sections[name] = pickle.loads(blob)
+        except Exception as exc:
+            raise PersistenceError(
+                f"{kind} file {path}: section {name!r} cannot be "
+                f"deserialized: {exc}"
+            ) from exc
+    arrays: dict = {}
+    for name, entry in toc.get("arrays", {}).items():
+        start = data_start + entry["offset"]
+        end = start + entry["length"]
+        if end > len(buffer):
+            raise PersistenceError(
+                f"{kind} file {path}: section {name!r} is truncated"
+            )
+        if _digest(buffer[start:end]) != entry.get("digest"):
+            raise PersistenceError(
+                f"{kind} file {path}: section {name!r} is corrupt "
+                f"(payload checksum mismatch) — restore from a snapshot "
+                f"or rebuild"
+            )
+        dtype = np.dtype(entry["dtype"])
+        arrays[name] = np.frombuffer(
+            buffer, dtype=dtype, count=entry["length"] // dtype.itemsize,
+            offset=start,
+        ).reshape(entry["shape"])
+    return toc.get("header", {}), sections, arrays
+
+
 def rotated_paths(path: str | Path, generations: int) -> list[Path]:
     """``[path.1, path.2, ...]`` up to ``generations`` entries."""
     path = Path(path)
@@ -195,8 +383,24 @@ def _rotate_snapshots(path: Path, keep: int) -> None:
     path.replace(generations[0])
 
 
+def _params_header(searcher: PKWiseSearcher) -> dict:
+    return {
+        "params": {
+            "w": searcher.params.w,
+            "tau": searcher.params.tau,
+            "k_max": searcher.params.k_max,
+            "m": searcher.params.m,
+        },
+    }
+
+
 def save_searcher(
-    searcher: PKWiseSearcher, path: str | Path, data=None, *, rotate: int = 0
+    searcher: PKWiseSearcher,
+    path: str | Path,
+    data=None,
+    *,
+    rotate: int = 0,
+    compact: bool = False,
 ) -> None:
     """Serialize a built searcher to ``path`` (atomic via temp file).
 
@@ -208,26 +412,57 @@ def save_searcher(
     ``path.1`` (newest) through ``path.N`` (oldest) before writing the
     new file; the loaders automatically fall back to the newest intact
     generation when the primary fails its checksum.
+
+    ``compact=True`` writes the format-v3 compact snapshot instead of
+    the v2 pickle: the searcher is frozen
+    (:meth:`~repro.PKWiseSearcher.compacted`) and its index/rank
+    columns stored as raw typed arrays, which loads ~an order of
+    magnitude faster and supports ``load_bundle(path, mmap=True)``.
+    Only :class:`~repro.PKWiseSearcher` supports compaction.
     """
     path = Path(path)
     if rotate:
         _rotate_snapshots(path, rotate)
-    write_envelope(
+    if not compact:
+        write_envelope(
+            path,
+            _INDEX_KIND,
+            {"searcher": searcher, "data": data},
+            header=_params_header(searcher),
+        )
+        return
+    if not isinstance(searcher, PKWiseSearcher):
+        raise PersistenceError(
+            f"compact snapshots require a PKWiseSearcher, "
+            f"got {type(searcher).__name__}"
+        )
+    frozen = searcher.compacted()
+    index_meta, index_arrays = frozen.index.to_arrays()
+    rank_arrays = frozen.rank_docs.to_arrays()
+    meta = {
+        "params": frozen.params,
+        "index": index_meta,
+        "removed": sorted(frozen._removed),
+        "index_epoch": frozen.index_epoch,
+        "build_seconds": frozen.index_build_seconds,
+    }
+    arrays = {f"index.{name}": array for name, array in index_arrays.items()}
+    arrays.update({f"ranks.{name}": array for name, array in rank_arrays.items()})
+    write_envelope_v3(
         path,
         _INDEX_KIND,
-        {"searcher": searcher, "data": data},
-        header={
-            "params": {
-                "w": searcher.params.w,
-                "tau": searcher.params.tau,
-                "k_max": searcher.params.k_max,
-                "m": searcher.params.m,
-            },
+        {
+            "meta": meta,
+            "order": frozen.order,
+            "scheme": frozen.scheme,
+            "data": data,
         },
+        arrays,
+        header=_params_header(searcher),
     )
 
 
-def _load_envelope(path: Path) -> dict:
+def _load_envelope_v2(path: Path) -> dict:
     header, sections = read_envelope(path, _INDEX_KIND)
     searcher = sections.get("searcher")
     if not isinstance(searcher, PKWiseSearcher):
@@ -239,7 +474,69 @@ def _load_envelope(path: Path) -> dict:
     }
 
 
-def _load_with_fallback(path: Path) -> tuple[dict, Path]:
+def _load_envelope_v3(path: Path, *, mmap: bool = False) -> dict:
+    from .index.compact import CompactIntervalIndex, PackedRankDocs
+
+    header, sections, arrays = read_envelope_v3(path, _INDEX_KIND, mmap=mmap)
+    meta = sections.get("meta")
+    if not isinstance(meta, dict):
+        raise PersistenceError(f"{path} does not contain a compact searcher")
+    try:
+        index = CompactIntervalIndex.from_arrays(
+            meta["index"],
+            sections["scheme"],
+            {
+                name.partition(".")[2]: array
+                for name, array in arrays.items()
+                if name.startswith("index.")
+            },
+        )
+        rank_docs = PackedRankDocs.from_arrays(
+            {
+                name.partition(".")[2]: array
+                for name, array in arrays.items()
+                if name.startswith("ranks.")
+            }
+        )
+        searcher = PKWiseSearcher.from_prebuilt(
+            meta["params"],
+            sections["order"],
+            sections["scheme"],
+            index,
+            rank_docs,
+            build_seconds=meta.get("build_seconds", 0.0),
+            removed=meta.get("removed", ()),
+            index_epoch=meta.get("index_epoch", 0),
+        )
+    except KeyError as exc:
+        raise PersistenceError(
+            f"{path}: compact snapshot is missing section {exc}"
+        ) from exc
+    return {
+        "params": header.get("params", {}),
+        "searcher": searcher,
+        "data": sections.get("data"),
+    }
+
+
+def _load_envelope(path: Path, *, mmap: bool = False) -> dict:
+    """Load ``path`` whichever format version it carries.
+
+    ``mmap=True`` requires a format-v3 compact snapshot — a v2 pickle
+    cannot be mapped, so asking for it is a typed error rather than a
+    silent full deserialization.
+    """
+    if is_v3_file(path):
+        return _load_envelope_v3(path, mmap=mmap)
+    if mmap:
+        raise PersistenceError(
+            f"{path} is not a format-v3 compact snapshot; mmap loading "
+            f"requires one (save with compact=True / repro index --compact)"
+        )
+    return _load_envelope_v2(path)
+
+
+def _load_with_fallback(path: Path, *, mmap: bool = False) -> tuple[dict, Path]:
     """Load ``path`` or, on failure, the newest intact rotated snapshot.
 
     Candidates are the primary plus every existing ``path.N`` sibling in
@@ -258,7 +555,7 @@ def _load_with_fallback(path: Path) -> tuple[dict, Path]:
     primary_error: PersistenceError | None = None
     for candidate in candidates:
         try:
-            envelope = _load_envelope(candidate)
+            envelope = _load_envelope(candidate, mmap=mmap)
         except PersistenceError as exc:
             if primary_error is None:
                 primary_error = exc
@@ -280,9 +577,13 @@ class SearcherBundle:
 
     The unit the serving and facade layers pass around: the query
     engine, the collection needed to encode text queries against it,
-    and provenance (source path, load time).  Unpacks as the historical
-    ``(searcher, data)`` tuple, so pre-1.1 callers of
-    :func:`load_bundle` keep working unchanged.
+    and provenance (source path, load time).
+
+    .. deprecated:: 1.2
+        The historical ``(searcher, data)`` tuple unpack
+        (``searcher, data = bundle``) emits a ``DeprecationWarning``
+        and will be removed in 2.0 — read ``bundle.searcher`` /
+        ``bundle.data`` instead.
     """
 
     __slots__ = ("searcher", "data", "path", "load_seconds")
@@ -307,6 +608,13 @@ class SearcherBundle:
 
     # Legacy tuple shape: ``searcher, data = load_bundle(path)``.
     def __iter__(self):
+        warnings.warn(
+            "unpacking a SearcherBundle as a (searcher, data) tuple is "
+            "deprecated and will be removed in 2.0; use bundle.searcher "
+            "and bundle.data",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         yield self.searcher
         yield self.data
 
@@ -365,37 +673,42 @@ class SearcherBundle:
         )
 
 
-def load_searcher(path: str | Path, *, fallback: bool = True) -> PKWiseSearcher:
-    """Load a searcher saved by :func:`save_searcher`.
+def load_searcher(
+    path: str | Path, *, fallback: bool = True, mmap: bool = False
+) -> PKWiseSearcher:
+    """Load a searcher saved by :func:`save_searcher` (either format).
 
     With ``fallback=True`` (default) a corrupt or missing primary file
     falls back to the newest intact rotated snapshot (``path.1``,
     ``path.2``, ...) when one exists, warning about the substitution.
+    ``mmap=True`` memory-maps a format-v3 compact snapshot's array
+    columns instead of copying them (typed error on a v2 file).
 
-    SECURITY: this unpickles the file — only load files you (or your
-    pipeline) wrote.
+    SECURITY: this unpickles (parts of) the file — only load files you
+    (or your pipeline) wrote.
     """
     if not fallback:
-        return _load_envelope(Path(path))["searcher"]
-    envelope, _source = _load_with_fallback(Path(path))
+        return _load_envelope(Path(path), mmap=mmap)["searcher"]
+    envelope, _source = _load_with_fallback(Path(path), mmap=mmap)
     return envelope["searcher"]
 
 
-def load_bundle(path: str | Path, *, fallback: bool = True) -> SearcherBundle:
-    """Load a :class:`SearcherBundle` from ``path``.
+def load_bundle(
+    path: str | Path, *, fallback: bool = True, mmap: bool = False
+) -> SearcherBundle:
+    """Load a :class:`SearcherBundle` from ``path`` (either format).
 
-    Still unpacks as the pre-1.1 ``(searcher, data)`` tuple; ``data``
-    is None for ids-only files.  ``fallback`` as in
-    :func:`load_searcher`; the bundle's ``path`` records the file that
-    actually loaded (the rotated sibling after a fallback).  Same
+    ``data`` is None for ids-only files.  ``fallback`` and ``mmap`` as
+    in :func:`load_searcher`; the bundle's ``path`` records the file
+    that actually loaded (the rotated sibling after a fallback).  Same
     pickle caveat as :func:`load_searcher`.
     """
     path = Path(path)
     start = time.perf_counter()
     if fallback:
-        envelope, source = _load_with_fallback(path)
+        envelope, source = _load_with_fallback(path, mmap=mmap)
     else:
-        envelope, source = _load_envelope(path), path
+        envelope, source = _load_envelope(path, mmap=mmap), path
     return SearcherBundle(
         envelope["searcher"],
         envelope.get("data"),

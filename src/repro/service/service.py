@@ -412,7 +412,14 @@ class SearchService:
     # Index mutation (write side)
     # ------------------------------------------------------------------
     def add_document(self, document: Document) -> int:
-        """Index one more document; invalidates cached results via epoch."""
+        """Index one more document; invalidates cached results via epoch.
+
+        A service over a frozen compact searcher (opened with
+        ``compact``/``mmap``) is read-only for additions: this raises
+        :class:`~repro.errors.IndexStateError` without touching the
+        epoch or mutation counters.  ``remove_document`` still works
+        (tombstones don't rewrite the index).
+        """
         self._index_lock.acquire_write()
         try:
             doc_id = self.searcher.add_document(document)

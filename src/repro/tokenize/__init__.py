@@ -13,7 +13,7 @@ from .tokenizer import (
     WhitespaceTokenizer,
     WordTokenizer,
 )
-from .vocabulary import Vocabulary
+from .vocabulary import OOV_TOKEN, OOV_TOKEN_ID, Vocabulary
 
 __all__ = [
     "Tokenizer",
@@ -21,4 +21,6 @@ __all__ = [
     "WordTokenizer",
     "QGramTokenizer",
     "Vocabulary",
+    "OOV_TOKEN",
+    "OOV_TOKEN_ID",
 ]

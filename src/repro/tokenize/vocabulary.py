@@ -10,13 +10,27 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
 
+from ..errors import UnknownTokenError
+
+#: Sentinel id for out-of-vocabulary tokens in *query* encodings.
+#: Negative so it can never collide with an interned (dense, >= 0) id;
+#: an OOV token can never match any data token, so collapsing all OOV
+#: tokens onto one id is exact for similarity search.
+OOV_TOKEN_ID = -1
+
+#: Display string used when decoding the OOV sentinel.
+OOV_TOKEN = "<oov>"
+
 
 class Vocabulary:
     """Mutable string<->id mapping with dense ids.
 
     ``add`` interns a token and returns its id; ``encode`` interns a
     whole sequence.  Lookup of unknown tokens via ``id_of`` raises
-    ``KeyError``; use ``get`` for an optional lookup.
+    :class:`~repro.errors.UnknownTokenError` (a ``KeyError`` subclass
+    naming the token); use ``get`` for an optional lookup and
+    ``encode_query`` for a non-mutating encoding that maps unknown
+    tokens to :data:`OOV_TOKEN_ID`.
 
     The mapping is append-only: ids are stable for the lifetime of the
     vocabulary, which the rest of the library relies on (token ids are
@@ -46,25 +60,52 @@ class Vocabulary:
         return [add(token) for token in tokens]
 
     def encode_frozen(self, tokens: Iterable[str]) -> list[int]:
-        """Encode without interning; unknown tokens raise ``KeyError``."""
+        """Encode without interning; unknown tokens raise
+        :class:`~repro.errors.UnknownTokenError`."""
         id_of = self._id_of
-        return [id_of[token] for token in tokens]
+        out: list[int] = []
+        for token in tokens:
+            try:
+                out.append(id_of[token])
+            except KeyError:
+                raise UnknownTokenError(token) from None
+        return out
+
+    def encode_query(self, tokens: Iterable[str]) -> list[int]:
+        """Encode without interning; unknown tokens map to
+        :data:`OOV_TOKEN_ID`.
+
+        This is the query-side encoding: it never mutates the
+        vocabulary (safe under concurrent readers and consistent across
+        spawned worker processes), and it is exact — an OOV query token
+        cannot match any data token, so the sentinel preserves results.
+        """
+        get = self._id_of.get
+        return [get(token, OOV_TOKEN_ID) for token in tokens]
 
     def decode(self, ids: Iterable[int]) -> list[str]:
-        """Map token ids back to their strings."""
+        """Map token ids back to their strings (OOV sentinel included)."""
         token_of = self._token_of
-        return [token_of[token_id] for token_id in ids]
+        return [
+            token_of[token_id] if token_id >= 0 else OOV_TOKEN for token_id in ids
+        ]
 
     def id_of(self, token: str) -> int:
-        """Return the id of ``token``; raises ``KeyError`` if unknown."""
-        return self._id_of[token]
+        """Return the id of ``token``; raises
+        :class:`~repro.errors.UnknownTokenError` if unknown."""
+        try:
+            return self._id_of[token]
+        except KeyError:
+            raise UnknownTokenError(token) from None
 
     def get(self, token: str) -> int | None:
         """Return the id of ``token`` or ``None`` if unknown."""
         return self._id_of.get(token)
 
     def token_of(self, token_id: int) -> str:
-        """Return the string of ``token_id``."""
+        """Return the string of ``token_id`` (OOV sentinel included)."""
+        if token_id < 0:
+            return OOV_TOKEN
         return self._token_of[token_id]
 
     def __len__(self) -> int:

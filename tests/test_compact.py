@@ -1,0 +1,367 @@
+"""Tests for the compact array-backed index and the format-v3 snapshots.
+
+Covers the freeze (``PKWiseSearcher.compacted``) parity contract —
+serial, fork, spawn, and behind a :class:`~repro.SearchService` — the
+hash-collision path collisions can only *add* candidates, the frozen
+mutation guards, the mmap-able v3 envelope (roundtrip, digests,
+truncation, tombstones), and the :class:`~repro.index.PackedRankDocs`
+sequence semantics.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro import (
+    Index,
+    PersistenceError,
+    PKWiseSearcher,
+    SearchParams,
+    SearchService,
+    save_searcher,
+)
+from repro.errors import IndexStateError
+from repro.eval import run_searcher
+from repro.index import CompactIntervalIndex, IntervalIndex, PackedRankDocs, ProbeHit
+from repro.persistence import is_v3_file, load_bundle, load_searcher
+
+from .conftest import pairs_as_set
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+@pytest.fixture
+def built(small_corpus):
+    params = SearchParams(w=10, tau=2, k_max=3)
+    return small_corpus, PKWiseSearcher(small_corpus, params)
+
+
+@pytest.fixture
+def queries(small_corpus):
+    # Re-encode document slices as queries (includes the planted overlap).
+    return [
+        small_corpus.encode_query_tokens(
+            [
+                small_corpus.vocabulary.decode([t])[0]
+                for t in small_corpus[d].tokens[:40]
+            ]
+        )
+        for d in (0, 3, 5)
+    ]
+
+
+class TestCompactParity:
+    def test_serial_pairs_identical(self, built, queries):
+        data, searcher = built
+        frozen = searcher.compacted()
+        assert frozen.frozen and not searcher.frozen
+        assert isinstance(frozen.index, CompactIntervalIndex)
+        for query in queries:
+            assert pairs_as_set(frozen.search(query)) == pairs_as_set(
+                searcher.search(query)
+            )
+
+    def test_compacted_of_frozen_is_self(self, built):
+        _data, searcher = built
+        frozen = searcher.compacted()
+        assert frozen.compacted() is frozen
+
+    def test_probe_contract_matches(self, built):
+        _data, searcher = built
+        frozen = searcher.compacted()
+        assert frozen.index.num_postings == searcher.index.size_in_entries()
+        hits = 0
+        for key in searcher.index._postings:
+            dict_hits = searcher.index.probe(key)
+            compact_hits = frozen.index.probe(key)
+            assert sorted(compact_hits) == sorted(dict_hits)
+            hits += len(compact_hits)
+        assert hits > 0
+
+    @pytest.mark.skipif(not HAVE_FORK, reason="fork start method unavailable")
+    def test_parity_under_fork(self, built, queries):
+        _data, searcher = built
+        serial = run_searcher(searcher.compacted(), queries)
+        forked = run_searcher(
+            searcher.compacted(), queries, jobs=2, start_method="fork"
+        )
+        assert forked.results_by_query == serial.results_by_query
+
+    def test_parity_under_spawn(self, built, queries):
+        # The spawn transport writes a compact v3 snapshot and each
+        # worker memory-maps it; results must match the serial run.
+        _data, searcher = built
+        serial = run_searcher(searcher, queries)
+        spawned = run_searcher(
+            searcher.compacted(), queries, jobs=2, start_method="spawn"
+        )
+        assert spawned.results_by_query == serial.results_by_query
+
+    def test_parity_behind_service(self, built, queries):
+        data, searcher = built
+        expected = [pairs_as_set(searcher.search(query)) for query in queries]
+        with SearchService(searcher.compacted(), data, max_workers=2) as service:
+            got = [set(map(tuple, service.search(q).pairs)) for q in queries]
+        assert got == expected
+
+
+class TestHashedCollisions:
+    """Colliding keys merge postings runs: extra candidates, same pairs."""
+
+    def _collide_all_hashes(self, monkeypatch):
+        from repro.index import compact as compact_module
+        from repro.index import interval_index as interval_module
+
+        monkeypatch.setattr(interval_module, "signature_hash", lambda sig: 7)
+        monkeypatch.setattr(compact_module, "signature_hash", lambda sig: 7)
+
+    def test_dict_hashed_collision_pairs_survive(
+        self, built, queries, monkeypatch
+    ):
+        data, baseline = built
+        expected = [pairs_as_set(baseline.search(q)) for q in queries]
+        base_candidates = sum(
+            baseline.search(q).stats.candidate_windows for q in queries
+        )
+        self._collide_all_hashes(monkeypatch)
+        collided = PKWiseSearcher(data, baseline.params, hashed=True)
+        assert len(collided.index._postings) == 1  # every signature collided
+        got = [pairs_as_set(collided.search(q)) for q in queries]
+        assert got == expected
+        # Merged postings can only add candidates; verification removes
+        # the extras so the final pairs above are unchanged.
+        collided_candidates = sum(
+            collided.search(q).stats.candidate_windows for q in queries
+        )
+        assert collided_candidates >= base_candidates
+
+    def test_compact_collision_pairs_survive(self, built, queries, monkeypatch):
+        _data, baseline = built
+        expected = [pairs_as_set(baseline.search(q)) for q in queries]
+        self._collide_all_hashes(monkeypatch)
+        frozen = baseline.compacted()
+        assert frozen.index.num_signatures == 1
+        assert frozen.index.num_postings == baseline.index.size_in_entries()
+        got = [pairs_as_set(frozen.search(q)) for q in queries]
+        assert got == expected
+
+    def test_two_keys_share_a_bucket(self, monkeypatch):
+        # Minimal shape of the collision property: two distinct tuple
+        # keys, one bucket, both postings runs preserved.
+        from repro.index import compact as compact_module
+        from repro.partition import equi_width_scheme
+
+        monkeypatch.setattr(compact_module, "signature_hash", lambda sig: 42)
+        scheme = equi_width_scheme(8, 2)
+        index = IntervalIndex(4, 1, scheme)
+        index._postings[(1, 2)] = [ProbeHit(0, 0, 3)]
+        index._postings[(3, 4)] = [ProbeHit(1, 5, 9)]
+        frozen = CompactIntervalIndex.from_index(index)
+        assert frozen.num_signatures == 1
+        assert sorted(frozen.probe((1, 2))) == [ProbeHit(0, 0, 3), ProbeHit(1, 5, 9)]
+
+
+class TestFrozenGuards:
+    def test_index_mutation_raises(self, built):
+        _data, searcher = built
+        frozen = searcher.compacted()
+        with pytest.raises(IndexStateError, match="frozen"):
+            frozen.index.add_document(99, [1, 2, 3])
+        with pytest.raises(IndexStateError, match="frozen"):
+            frozen.index.merge(searcher.index)
+
+    def test_searcher_add_document_raises(self, built, small_corpus):
+        _data, searcher = built
+        frozen = searcher.compacted()
+        with pytest.raises(IndexStateError, match="frozen"):
+            frozen.add_document(small_corpus[0])
+
+    def test_remove_document_still_works(self, built, queries):
+        _data, searcher = built
+        frozen = searcher.compacted()
+        before = frozen.search(queries[1])
+        assert any(pair.doc_id == 0 for pair in before.pairs)
+        frozen.remove_document(0)
+        after = frozen.search(queries[1])
+        assert not any(pair.doc_id == 0 for pair in after.pairs)
+
+    def test_service_add_document_raises(self, built, small_corpus):
+        data, searcher = built
+        with SearchService(searcher.compacted(), data, max_workers=1) as service:
+            with pytest.raises(IndexStateError, match="frozen"):
+                service.add_document(small_corpus[0])
+
+    def test_column_shape_validation(self):
+        with pytest.raises(IndexStateError, match="offsets"):
+            CompactIntervalIndex(
+                4,
+                1,
+                None,
+                keys=np.zeros(2, dtype=np.uint64),
+                offsets=np.zeros(2, dtype=np.int64),
+                docs=np.zeros(0, dtype=np.int32),
+                us=np.zeros(0, dtype=np.int32),
+                vs=np.zeros(0, dtype=np.int32),
+            )
+
+
+class TestV3Snapshots:
+    def test_compact_save_is_v3_and_loads_identically(self, built, queries, tmp_path):
+        data, searcher = built
+        path = tmp_path / "index.idx"
+        save_searcher(searcher, path, data=data, compact=True)
+        assert is_v3_file(path)
+        for mmap in (False, True):
+            loaded = load_searcher(path, mmap=mmap)
+            assert loaded.frozen
+            for query in queries:
+                assert pairs_as_set(loaded.search(query)) == pairs_as_set(
+                    searcher.search(query)
+                )
+
+    def test_plain_save_stays_v2(self, built, tmp_path):
+        _data, searcher = built
+        path = tmp_path / "index.pkl"
+        save_searcher(searcher, path)
+        assert not is_v3_file(path)
+
+    def test_mmap_on_v2_is_typed_error(self, built, tmp_path):
+        _data, searcher = built
+        path = tmp_path / "index.pkl"
+        save_searcher(searcher, path)
+        with pytest.raises(PersistenceError, match="format-v3"):
+            load_searcher(path, mmap=True)
+
+    def test_bundle_data_roundtrips(self, built, tmp_path):
+        data, searcher = built
+        path = tmp_path / "index.idx"
+        save_searcher(searcher, path, data=data, compact=True)
+        bundle = load_bundle(path, mmap=True)
+        assert len(bundle.data) == len(data)
+        assert bundle.data[0].tokens == data[0].tokens
+
+    def test_tombstones_survive_roundtrip(self, built, queries, tmp_path):
+        _data, searcher = built
+        searcher.remove_document(0)
+        epoch_before = searcher.index_epoch
+        path = tmp_path / "index.idx"
+        save_searcher(searcher, path, compact=True)
+        loaded = load_searcher(path, mmap=True)
+        assert loaded.removed_documents == frozenset({0})
+        assert loaded.index_epoch == epoch_before
+        assert not any(
+            pair.doc_id == 0 for pair in loaded.search(queries[1]).pairs
+        )
+
+    def test_flipped_array_byte_is_typed_error(self, built, tmp_path):
+        _data, searcher = built
+        path = tmp_path / "index.idx"
+        save_searcher(searcher, path, compact=True)
+        raw = bytearray(path.read_bytes())
+        raw[-8] ^= 0xFF  # inside the last array section
+        path.write_bytes(bytes(raw))
+        with pytest.raises(PersistenceError):
+            load_searcher(path, fallback=False)
+
+    def test_truncated_file_is_typed_error(self, built, tmp_path):
+        _data, searcher = built
+        path = tmp_path / "index.idx"
+        save_searcher(searcher, path, compact=True)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(PersistenceError):
+            load_searcher(path, fallback=False)
+        for mode in (False, True):
+            path.write_bytes(raw[:20])  # not even a whole TOC length
+            with pytest.raises(PersistenceError):
+                load_searcher(path, fallback=False, mmap=mode)
+
+    def test_compact_requires_pkwise(self, small_corpus, tmp_path):
+        from repro.core import WeightedPKWiseSearcher
+
+        weighted = WeightedPKWiseSearcher(
+            small_corpus, w=10, theta_weight=8.0, weight_of_token=lambda _t: 1.0
+        )
+        with pytest.raises(PersistenceError, match="compact"):
+            save_searcher(weighted, tmp_path / "w.idx", compact=True)
+
+    def test_mmap_load_shares_file_pages(self, built, tmp_path):
+        _data, searcher = built
+        path = tmp_path / "index.idx"
+        save_searcher(searcher, path, compact=True)
+        loaded = load_searcher(path, mmap=True)
+        keys = loaded.index._keys
+        # The column is a view over the mapped buffer, not a copy.
+        assert not keys.flags["OWNDATA"]
+
+    def test_index_facade_open_mmap(self, built, queries, tmp_path):
+        data, searcher = built
+        path = tmp_path / "index.idx"
+        Index(searcher, data).save(path, compact=True)
+        with Index.open(path, mmap=True) as index:
+            assert index.frozen
+            assert pairs_as_set(index.search(queries[0])) == pairs_as_set(
+                searcher.search(queries[0])
+            )
+
+
+class TestPackedRankDocs:
+    def test_roundtrip_matches_lists(self, built):
+        _data, searcher = built
+        packed = PackedRankDocs.from_lists(searcher.rank_docs)
+        assert len(packed) == len(searcher.rank_docs)
+        for doc_id, ranks in enumerate(searcher.rank_docs):
+            assert packed[doc_id] == list(ranks)
+
+    def test_slice_and_negative_index(self):
+        packed = PackedRankDocs.from_lists([[1, 2], [3], [4, 5, 6]])
+        assert packed[-1] == [4, 5, 6]
+        assert packed[1:] == [[3], [4, 5, 6]]
+        with pytest.raises(IndexError):
+            packed[3]
+
+    def test_cache_eviction_keeps_answers_right(self):
+        lists = [[i, i + 1] for i in range(40)]  # > cache size
+        packed = PackedRankDocs.from_lists(lists)
+        for _round in range(2):
+            for i, expected in enumerate(lists):
+                assert packed[i] == expected
+
+    def test_arrays_roundtrip(self):
+        packed = PackedRankDocs.from_lists([[9, 8], [], [7]])
+        clone = PackedRankDocs.from_arrays(packed.to_arrays())
+        assert [clone[i] for i in range(3)] == [[9, 8], [], [7]]
+
+    def test_empty_offsets_rejected(self):
+        with pytest.raises(IndexStateError):
+            PackedRankDocs(np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
+
+    def test_wide_values_fall_back_to_int64(self):
+        packed = PackedRankDocs.from_lists([[2**40]])
+        assert packed[0] == [2**40]
+
+
+class TestTypedResults:
+    def test_probe_hits_have_named_fields(self, built):
+        _data, searcher = built
+        frozen = searcher.compacted()
+        key = next(iter(searcher.index._postings))
+        for index in (searcher.index, frozen.index):
+            hit = index.probe(key)[0]
+            assert isinstance(hit, ProbeHit)
+            assert hit.doc_id == hit[0] and hit.u == hit[1] and hit.v == hit[2]
+            doc_id, u, v = hit  # tuple unpack keeps working
+            assert (doc_id, u, v) == tuple(hit)
+
+    def test_match_pairs_have_named_fields(self, built, queries):
+        from repro import MatchPair
+
+        _data, searcher = built
+        for engine in (searcher, searcher.compacted()):
+            pair = engine.search(queries[1]).pairs[0]
+            assert isinstance(pair, MatchPair)
+            assert pair.doc_id == pair[0]
+            assert pair.overlap == pair[3]

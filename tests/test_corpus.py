@@ -61,13 +61,18 @@ class TestCollection:
         for index in range(3):
             assert data.add_text(f"doc {index}").doc_id == index
 
-    def test_encode_query_interning(self):
+    def test_encode_query_oov_sentinel(self):
+        from repro.tokenize import OOV_TOKEN_ID
+
         data = DocumentCollection()
         data.add_text("a b c")
         query = data.encode_query("c d")
         assert query.doc_id == -1
         assert query.tokens[0] == data.vocabulary.id_of("c")
-        assert data.vocabulary.id_of("d") == query.tokens[1]
+        # "d" is out of vocabulary: mapped to the sentinel, not interned.
+        assert query.tokens[1] == OOV_TOKEN_ID
+        assert "d" not in data.vocabulary
+        assert len(data.vocabulary) == 3
 
     def test_add_token_ids_validates_range(self):
         data = DocumentCollection()
@@ -142,7 +147,9 @@ class TestStats:
         assert stats.num_query_documents == 1
         assert stats.avg_data_length == 3.0
         assert stats.avg_query_length == 4.0
-        assert stats.universe_size == 6  # a b c d e f
+        # a b c d + the OOV sentinel: query-only tokens "e" and "f" are
+        # not interned, they collapse onto one sentinel id.
+        assert stats.universe_size == 5
 
     def test_empty(self):
         data = DocumentCollection()

@@ -1,11 +1,11 @@
-"""Tests for the repro.api facade and the 1.1 compatibility surface."""
+"""Tests for the repro.api facade: Index plus the deprecated 1.1 names."""
 
 from __future__ import annotations
 
 import pytest
 
 import repro
-from repro import ConfigurationError, DocumentCollection, SearchParams, api
+from repro import ConfigurationError, DocumentCollection, Index, SearchParams, api
 from repro.api import Searcher, build_index, open_index, save_index
 from repro.baselines import (
     AdaptSearcher,
@@ -32,44 +32,55 @@ TEXTS = [
 ]
 
 
-class TestBuildIndex:
+class TestIndexBuild:
     def test_from_texts(self):
-        index = build_index(TEXTS, w=10, tau=2, k_max=3)
-        assert isinstance(index, SearcherBundle)
+        index = Index.build(TEXTS, w=10, tau=2, k_max=3)
+        assert isinstance(index, Index)
         assert len(index.data) == 2
         result = index.search_text(TEXTS[0])
         assert len(result.pairs) > 0
 
     def test_from_collection(self, small_corpus):
         params = SearchParams(w=10, tau=2, k_max=3)
-        index = build_index(small_corpus, params)
+        index = Index.build(small_corpus, params)
         assert index.data is small_corpus
         assert index.params is params
+        assert index.path is None and index.load_seconds == 0.0
 
     def test_from_directory(self, tmp_path):
         for i, text in enumerate(TEXTS):
             (tmp_path / f"doc{i}.txt").write_text(text)
-        index = build_index(tmp_path, w=10, tau=2, k_max=3)
+        index = Index.build(tmp_path, w=10, tau=2, k_max=3)
         assert len(index.data) == 2
 
     def test_m_defaults_to_paper_rule(self):
-        index = build_index(TEXTS, w=10, tau=2, k_max=3)
+        index = Index.build(TEXTS, w=10, tau=2, k_max=3)
         assert index.params.m == 1
 
     def test_needs_params_or_w_tau(self):
         with pytest.raises(ConfigurationError, match="w= and tau="):
-            build_index(TEXTS)
+            Index.build(TEXTS)
         with pytest.raises(ConfigurationError, match="not both"):
-            build_index(TEXTS, SearchParams(w=10, tau=2, k_max=3), w=10)
+            Index.build(TEXTS, SearchParams(w=10, tau=2, k_max=3), w=10)
 
     def test_rejects_nonsense_corpus(self):
         with pytest.raises(ConfigurationError, match="cannot build"):
-            build_index(12345, w=10, tau=2)
+            Index.build(12345, w=10, tau=2)
+
+    def test_build_compact_is_frozen_with_same_pairs(self):
+        plain = Index.build(TEXTS, w=10, tau=2, k_max=3)
+        compact = Index.build(TEXTS, w=10, tau=2, k_max=3, compact=True)
+        assert not plain.frozen
+        assert compact.frozen
+        assert (
+            plain.search_text(TEXTS[0]).sorted_pairs()
+            == compact.search_text(TEXTS[0]).sorted_pairs()
+        )
 
     def test_parity_with_direct_construction(self, small_corpus):
         params = SearchParams(w=10, tau=2, k_max=3)
         direct = PKWiseSearcher(small_corpus, params)
-        facade = build_index(small_corpus, params)
+        facade = Index.build(small_corpus, params)
         query = small_corpus.encode_query_tokens(
             [
                 small_corpus.vocabulary.decode([t])[0]
@@ -81,43 +92,48 @@ class TestBuildIndex:
         )
 
 
-class TestRoundtrip:
+class TestIndexRoundtrip:
     def test_save_open_search_text(self, tmp_path):
-        index = build_index(TEXTS, w=10, tau=2, k_max=3)
+        index = Index.build(TEXTS, w=10, tau=2, k_max=3)
         path = tmp_path / "corpus.idx"
-        save_index(index, path)
-        with open_index(path) as bundle:
-            assert bundle.path == path
-            assert bundle.load_seconds > 0
+        index.save(path)
+        with Index.open(path) as loaded:
+            assert loaded.path == path
+            assert loaded.load_seconds > 0
             assert (
-                bundle.search_text(TEXTS[0]).sorted_pairs()
+                loaded.search_text(TEXTS[0]).sorted_pairs()
                 == index.search_text(TEXTS[0]).sorted_pairs()
             )
 
-    def test_bare_searcher_without_data(self, tmp_path):
-        index = build_index(TEXTS, w=10, tau=2, k_max=3)
-        path = tmp_path / "lean.idx"
-        save_index(index.searcher, path)  # no data bundled
-        bundle = open_index(path)
-        assert bundle.data is None
-        with pytest.raises(Exception, match="ids-only"):
-            bundle.search_text("anything")
-
-    def test_legacy_tuple_unpack(self, tmp_path):
-        index = build_index(TEXTS, w=10, tau=2, k_max=3)
+    def test_compact_save_mmap_open(self, tmp_path):
+        index = Index.build(TEXTS, w=10, tau=2, k_max=3)
         path = tmp_path / "corpus.idx"
-        save_index(index, path)
-        searcher, data = open_index(path)
-        assert isinstance(searcher, PKWiseSearcher)
-        assert len(data) == 2
+        index.save(path, compact=True)
+        with Index.open(path, mmap=True) as loaded:
+            assert loaded.frozen
+            assert (
+                loaded.search_text(TEXTS[0]).sorted_pairs()
+                == index.search_text(TEXTS[0]).sorted_pairs()
+            )
 
-    def test_bundle_serve(self):
-        index = build_index(TEXTS, w=10, tau=2, k_max=3)
+    def test_index_serve(self):
+        index = Index.build(TEXTS, w=10, tau=2, k_max=3)
         with index.serve(max_workers=1, cache_size=4) as service:
             first = service.search_text(TEXTS[0])
             second = service.search_text(TEXTS[0])
             assert first.pairs == second.pairs
             assert second.cached
+
+    def test_encode_query_without_data_raises(self, small_corpus, tmp_path):
+        params = SearchParams(w=10, tau=2, k_max=3)
+        index = Index(PKWiseSearcher(small_corpus, params))  # no data paired
+        with pytest.raises(ConfigurationError, match="ids-only"):
+            index.search_text("anything")
+
+    def test_repr_names_engine_and_source(self):
+        index = Index.build(TEXTS, w=10, tau=2, k_max=3)
+        assert "PKWiseSearcher" in repr(index)
+        assert "<memory>" in repr(index)
 
 
 class TestSearcherProtocol:
@@ -146,25 +162,56 @@ class TestSearcherProtocol:
         )
         assert isinstance(weighted, Searcher)
 
-    def test_bundle_satisfies_protocol(self):
-        assert isinstance(build_index(TEXTS, w=10, tau=2, k_max=3), Searcher)
+    def test_index_satisfies_protocol(self):
+        assert isinstance(Index.build(TEXTS, w=10, tau=2, k_max=3), Searcher)
 
 
-class TestDeprecatedAliases:
-    def test_load_bundle_warns_but_works(self, tmp_path):
-        index = build_index(TEXTS, w=10, tau=2, k_max=3)
+class TestDeprecatedFacadeNames:
+    def test_build_index_warns_and_returns_bundle(self):
+        with pytest.warns(DeprecationWarning, match="Index.build"):
+            bundle = build_index(TEXTS, w=10, tau=2, k_max=3)
+        assert isinstance(bundle, SearcherBundle)
+        assert len(bundle.search_text(TEXTS[0]).pairs) > 0
+
+    def test_save_open_index_warn_and_roundtrip(self, tmp_path):
+        index = Index.build(TEXTS, w=10, tau=2, k_max=3)
         path = tmp_path / "corpus.idx"
-        save_index(index, path)
-        with pytest.warns(DeprecationWarning, match="open_index"):
-            loader = repro.load_bundle
-        searcher, data = loader(path)
+        with pytest.warns(DeprecationWarning, match="Index.save"):
+            save_index(index, path)
+        with pytest.warns(DeprecationWarning, match="Index.open"):
+            bundle = open_index(path)
+        assert isinstance(bundle, SearcherBundle)
+        assert (
+            bundle.search_text(TEXTS[0]).sorted_pairs()
+            == index.search_text(TEXTS[0]).sorted_pairs()
+        )
+
+    def test_save_index_accepts_bare_searcher(self, tmp_path):
+        index = Index.build(TEXTS, w=10, tau=2, k_max=3)
+        path = tmp_path / "lean.idx"
+        with pytest.warns(DeprecationWarning, match="Index.save"):
+            save_index(index.searcher(), path)  # no data bundled
+        loaded = Index.open(path)
+        assert loaded.data is None
+        with pytest.raises(Exception, match="ids-only"):
+            loaded.search_text("anything")
+
+    def test_bundle_tuple_unpack_warns(self, tmp_path):
+        index = Index.build(TEXTS, w=10, tau=2, k_max=3)
+        path = tmp_path / "corpus.idx"
+        index.save(path)
+        with pytest.warns(DeprecationWarning, match="Index.open"):
+            bundle = repro.load_bundle(path)
+        with pytest.warns(DeprecationWarning, match="bundle.searcher"):
+            searcher, data = bundle
         assert isinstance(searcher, PKWiseSearcher)
+        assert len(data) == 2
 
     def test_load_searcher_warns_but_works(self, tmp_path):
-        index = build_index(TEXTS, w=10, tau=2, k_max=3)
+        index = Index.build(TEXTS, w=10, tau=2, k_max=3)
         path = tmp_path / "corpus.idx"
-        save_index(index, path)
-        with pytest.warns(DeprecationWarning, match="open_index"):
+        index.save(path)
+        with pytest.warns(DeprecationWarning, match="Index.open"):
             loader = repro.load_searcher
         assert isinstance(loader(path), PKWiseSearcher)
 
@@ -175,7 +222,7 @@ class TestDeprecatedAliases:
 
 class TestSearchManyUnification:
     def test_facade_search_many_returns_run(self, small_corpus):
-        index = build_index(small_corpus, SearchParams(w=10, tau=2, k_max=3))
+        index = Index.build(small_corpus, SearchParams(w=10, tau=2, k_max=3))
         queries = [
             small_corpus.encode_query_tokens(
                 [
@@ -227,8 +274,9 @@ class TestKeywordOnlyParams:
 class TestModuleSurface:
     def test_api_module_exported(self):
         assert repro.api is api
+        assert repro.Index is Index
         assert repro.build_index is build_index
         assert repro.open_index is open_index
 
     def test_version_bumped(self):
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "1.2.0"

@@ -121,7 +121,18 @@ class TestDocumentDecoding:
         data, query, params = paper_example
         searcher = PKWiseSearcher(data, params)
         match = searcher.search(query).pairs[0]
+        # decode_window prefers the query's source_tokens: OOV words
+        # ("and" here) render faithfully, not as the sentinel.
+        window = data.decode_window(query, match.query_start, params.w)
+        assert window == ["the", "lord", "and", "the"]
+
+    def test_query_window_vocab_decode_shows_sentinel(self, paper_example):
+        from repro.tokenize import OOV_TOKEN
+
+        data, query, params = paper_example
+        searcher = PKWiseSearcher(data, params)
+        match = searcher.search(query).pairs[0]
         window = data.vocabulary.decode(
             query.window(match.query_start, params.w)
         )
-        assert window == ["the", "lord", "and", "the"]
+        assert window == ["the", "lord", OOV_TOKEN, "the"]

@@ -48,7 +48,7 @@ class TestRoundtrip:
         data, searcher = built
         path = tmp_path / "index.pkl"
         save_searcher(searcher, path, data=data)
-        loaded, loaded_data = load_bundle(path)
+        loaded_data = load_bundle(path).data
         assert loaded_data is not None
         assert len(loaded_data) == len(data)
         assert loaded_data[0].tokens == data[0].tokens
@@ -57,8 +57,7 @@ class TestRoundtrip:
         _data, searcher = built
         path = tmp_path / "index.pkl"
         save_searcher(searcher, path)
-        _loaded, loaded_data = load_bundle(path)
-        assert loaded_data is None
+        assert load_bundle(path).data is None
 
     def test_params_preserved(self, built, tmp_path):
         _data, searcher = built
