@@ -86,6 +86,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         help="output JSON path (default repo root)")
     parser.add_argument("--metrics-out", type=Path, default=None,
                         help="also write the bare metrics snapshot here")
+    parser.add_argument("--min-probe-ratio", type=float, default=None,
+                        help="required compact/dict batched-probe ratio "
+                             "(default 1.0, or 0.7 with --smoke where the "
+                             "tiny workload makes the ratio noisy)")
     return parser
 
 
@@ -106,7 +110,7 @@ def cold_open(path: Path, *, mmap: bool, repeats: int) -> dict:
 
 
 def probe_throughput(index, keys, *, min_seconds: float = 0.2) -> float:
-    """Probes per second over a fixed key sample (>= min_seconds)."""
+    """Scalar probes per second over a fixed key sample (>= min_seconds)."""
     rounds = 0
     probed = 0
     start = time.perf_counter()
@@ -114,6 +118,29 @@ def probe_throughput(index, keys, *, min_seconds: float = 0.2) -> float:
         for key in keys:
             index.probe(key)
         probed += len(keys)
+        rounds += 1
+    return probed / (time.perf_counter() - start)
+
+
+def batched_probe_throughput(index, batches, *, min_seconds: float = 0.2) -> float:
+    """Signatures per second through ``probe_many`` (steady state).
+
+    ``batches`` is a list of signature lists shaped like the search
+    loop's prefetched event runs.  One warm-up pass runs first so the
+    compact index's slot memo is populated — the regime every probe
+    after a query's first chunk (and every repeat of a working set)
+    runs in, which is what the dict-vs-compact ratio gate compares.
+    """
+    for batch in batches:
+        index.probe_many(batch)
+    rounds = 0
+    probed = 0
+    total = sum(len(batch) for batch in batches)
+    start = time.perf_counter()
+    while time.perf_counter() - start < min_seconds or rounds == 0:
+        for batch in batches:
+            index.probe_many(batch)
+        probed += total
         rounds += 1
     return probed / (time.perf_counter() - start)
 
@@ -179,6 +206,21 @@ def main(argv: list[str] | None = None) -> int:
     dict_rate = probe_throughput(searcher.index, keys)
     compact_rate = probe_throughput(frozen.index, keys)
 
+    # Batched probing at the width the search loop actually issues:
+    # mean signatures per probe_many call, straight from the run's own
+    # probe_signatures / probe_batches counters.
+    run_stats = compact_run.stats
+    batch_width = max(1, round(
+        run_stats.probe_signatures / max(1, run_stats.probe_batches)
+    ))
+    batches = [
+        keys[i:i + batch_width]
+        for i in range(0, max(1, len(keys) - batch_width + 1), batch_width)
+    ]
+    dict_batched = batched_probe_throughput(searcher.index, batches)
+    compact_batched = batched_probe_throughput(frozen.index, batches)
+    probe_ratio = compact_batched / dict_batched if dict_batched > 0 else 0.0
+
     cold_open_speedup = (
         v2_open["load_seconds"] / v3_mmap_open["load_seconds"]
         if v3_mmap_open["load_seconds"] > 0 else float("inf")
@@ -203,8 +245,11 @@ def main(argv: list[str] | None = None) -> int:
           f"RSS saving {rss_saving_kb}kB")
     print(f"spawn 2-worker round trip: {spawn_seconds * 1e3:.1f}ms "
           f"(parity {'ok' if spawn_parity else 'FAILED'})")
-    print(f"probe throughput: dict {dict_rate:,.0f}/s, "
+    print(f"scalar probe throughput: dict {dict_rate:,.0f}/s, "
           f"compact {compact_rate:,.0f}/s")
+    print(f"batched probe throughput (width {batch_width}): "
+          f"dict {dict_batched:,.0f}/s, compact {compact_batched:,.0f}/s "
+          f"(ratio {probe_ratio:.2f})")
 
     record = {
         "bench": "compact",
@@ -249,6 +294,10 @@ def main(argv: list[str] | None = None) -> int:
             "sampled_keys": len(keys),
             "dict_probes_per_second": dict_rate,
             "compact_probes_per_second": compact_rate,
+            "batch_width": batch_width,
+            "dict_batched_probes_per_second": dict_batched,
+            "compact_batched_probes_per_second": compact_batched,
+            "compact_to_dict_probe_ratio": probe_ratio,
         },
         # The layout check_regression.py diffs: counters exact, timers
         # within tolerance.  Compact counters == dict counters is itself
@@ -262,6 +311,7 @@ def main(argv: list[str] | None = None) -> int:
             json.dumps(
                 {
                     "config": record["config"],
+                    "probe": record["probe"],
                     "serial": {"metrics": compact_run.metrics_snapshot()},
                 },
                 indent=2,
@@ -287,6 +337,17 @@ def main(argv: list[str] | None = None) -> int:
     if cold_open_speedup < floor:
         failures.append(
             f"cold-open speedup {cold_open_speedup:.2f}x < required {floor}x"
+        )
+    # Batched probing is the hot path the compact index must not lose
+    # on; on the full profile the compact gather has to at least match
+    # the dict index at the search loop's own batch width.
+    ratio_floor = args.min_probe_ratio
+    if ratio_floor is None:
+        ratio_floor = 0.7 if args.smoke else 1.0
+    if probe_ratio < ratio_floor:
+        failures.append(
+            f"compact/dict batched probe ratio {probe_ratio:.2f} < "
+            f"required {ratio_floor}"
         )
     for failure in failures:
         print(f"REGRESSION: {failure}", file=sys.stderr)

@@ -15,6 +15,12 @@ contracts on them:
   the guard fails only when a timer exceeds the previous record by more
   than ``--time-tolerance`` (a fraction: 0.5 = +50%).
 
+``--min-probe-ratio`` adds an absolute gate on the *current* record
+alone: ``probe.compact_to_dict_probe_ratio`` (written by
+``bench_compact.py``) must be at least the given floor — the compact
+index losing to the dict index on batched probes is a hot-path
+regression regardless of any baseline.
+
 Records with different configs (corpus size, w, tau, query count) are
 not comparable; the guard reports that and exits 0 unless ``--strict``
 is given, so a freshly re-scaled benchmark does not spuriously fail CI.
@@ -131,6 +137,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--strict", action="store_true",
                         help="fail (exit 1) on incomparable configs or a "
                              "missing baseline instead of passing")
+    parser.add_argument("--min-probe-ratio", type=float, default=None,
+                        help="fail when the current record's "
+                             "probe.compact_to_dict_probe_ratio is below "
+                             "this floor (records lacking the section fail "
+                             "only under --strict)")
     args = parser.parse_args(argv)
 
     current = load_record(args.current)
@@ -156,6 +167,22 @@ def main(argv: list[str] | None = None) -> int:
     current_sections = dict(iter_metric_sections(current))
     previous_sections = dict(iter_metric_sections(previous))
     problems: list[str] = []
+
+    # Absolute gate on the current record (no baseline involved): the
+    # compact index must not lose to the dict index on batched probes.
+    if args.min_probe_ratio is not None:
+        ratio = current.get("probe", {}).get("compact_to_dict_probe_ratio")
+        if ratio is None:
+            message = "current record has no probe.compact_to_dict_probe_ratio"
+            if args.strict:
+                problems.append(message)
+            else:
+                print(f"note: {message}; ratio gate skipped", file=sys.stderr)
+        elif float(ratio) < args.min_probe_ratio:
+            problems.append(
+                f"probe ratio compact/dict {float(ratio):.2f} below required "
+                f"{args.min_probe_ratio}"
+            )
 
     # Internal parity: within the current record, every parallel
     # section's counters must equal the serial section's — the merged

@@ -41,6 +41,8 @@ STAT_COUNTER_FIELDS: tuple[str, ...] = (
     "signature_tokens",
     "signatures_generated",
     "postings_entries",
+    "probe_batches",
+    "probe_signatures",
     "hash_ops",
     "candidate_windows",
     "num_results",
@@ -62,6 +64,13 @@ class SearchStats:
     ``postings_entries``
         Interval (or window) entries fetched from the index during
         candidate generation (Equation 3's unit).
+    ``probe_batches``
+        ``probe_many`` calls issued — one per prefetched run of changed
+        window events (pkwise) or per query window (non-interval).
+    ``probe_signatures``
+        Signatures resolved through those batches;
+        ``probe_signatures / probe_batches`` is the mean batch width,
+        the lever behind vectorized-probe throughput.
     ``hash_ops``
         Hash-table operations during verification (Equation 4's unit).
     ``candidate_windows``
@@ -80,6 +89,8 @@ class SearchStats:
     signature_tokens: int = 0
     signatures_generated: int = 0
     postings_entries: int = 0
+    probe_batches: int = 0
+    probe_signatures: int = 0
     hash_ops: int = 0
     candidate_windows: int = 0
     num_results: int = 0

@@ -69,21 +69,27 @@ class PKWiseNonIntervalSearcher:
         rank_docs = self.rank_docs
         pairs: list[MatchPair] = []
         slider = WindowSlider(query_ranks, w)
+        clock = time.perf_counter
+        last = clock()
         for start, _outgoing, _incoming in slider.slides():
-            t0 = time.perf_counter()
             signatures = generate_signatures(slider.multiset.raw, tau, self.scheme)
             stats.signatures_generated += len(signatures)
             stats.signature_tokens += sum(len(s) for s in signatures)
-            t1 = time.perf_counter()
-            stats.signature_time += t1 - t0
+            now = clock()
+            stats.signature_time += now - last
+            last = now
 
-            candidates: set[tuple[int, int]] = set()
-            for signature in set(signatures):
-                postings = index.probe(signature)
-                stats.postings_entries += len(postings)
-                candidates.update(postings)
-            t2 = time.perf_counter()
-            stats.candidate_time += t2 - t1
+            # One batched probe per query window over the deduplicated
+            # signature set; dedup order does not matter — candidates
+            # are a set and the entry counter is order-independent.
+            batch = index.probe_many(tuple(set(signatures)))
+            stats.probe_batches += 1
+            stats.probe_signatures += batch.probed
+            stats.postings_entries += batch.entries
+            candidates = set(zip(batch.docs.tolist(), batch.us.tolist()))
+            now = clock()
+            stats.candidate_time += now - last
+            last = now
 
             query_window = query_ranks[start : start + w]
             for doc_id, data_start in candidates:
@@ -94,7 +100,9 @@ class PKWiseNonIntervalSearcher:
                 )
                 if w - overlap <= tau:
                     pairs.append(MatchPair(doc_id, data_start, start, overlap))
-            stats.verify_time += time.perf_counter() - t2
+            now = clock()
+            stats.verify_time += now - last
+            last = now
 
         stats.num_results = len(pairs)
         return SearchResult(pairs=pairs, stats=stats)

@@ -15,6 +15,8 @@ from __future__ import annotations
 from collections import Counter
 from collections.abc import Sequence
 
+import numpy as np
+
 from ..errors import ReproError
 from .base import MatchPair
 
@@ -43,6 +45,15 @@ class IntervalVerifier:
         self._query_counts: Counter[int] = Counter(query_ranks[:w])
         self.hash_ops = min(w, len(query_ranks))  # initial fill operations
         self.candidate_windows = 0
+        # Slide positions where the query window's content actually
+        # changes (ranks[p] != ranks[p + w]), found with one vectorized
+        # comparison up front; advance_to then touches only these
+        # instead of testing every slide in Python.
+        if len(query_ranks) > w:
+            column = np.asarray(query_ranks, dtype=np.int64)
+            self._query_changes = np.flatnonzero(column[:-w] != column[w:])
+        else:
+            self._query_changes = np.empty(0, dtype=np.int64)
 
     # ------------------------------------------------------------------
     def advance_to(self, query_start: int) -> None:
@@ -68,25 +79,34 @@ class IntervalVerifier:
         counts = self._query_counts
         ranks = self.query_ranks
         w = self.w
-        while self.query_start < query_start:
-            start = self.query_start
-            outgoing = ranks[start]
-            incoming = ranks[start + w]
-            if outgoing != incoming:
-                old = counts[outgoing]
-                if old == 1:
-                    del counts[outgoing]
-                else:
-                    counts[outgoing] = old - 1
-                counts[incoming] += 1
-                self.hash_ops += 2
-            self.query_start = start + 1
+        changes = self._query_changes
+        lo, hi = np.searchsorted(changes, (self.query_start, query_start))
+        for position in changes[lo:hi].tolist():
+            outgoing = ranks[position]
+            incoming = ranks[position + w]
+            old = counts[outgoing]
+            if old == 1:
+                del counts[outgoing]
+            else:
+                counts[outgoing] = old - 1
+            counts[incoming] += 1
+            self.hash_ops += 2
+        self.query_start = query_start
 
     # ------------------------------------------------------------------
     def verify_interval(
         self, doc_id: int, doc_ranks: Sequence[int], u: int, v: int
     ) -> list[MatchPair]:
-        """All matches of the current query window in ``d[u, v]``."""
+        """All matches of the current query window in ``d[u, v]``.
+
+        The rolling overlap deltas are vectorized across the interval:
+        one numpy comparison finds every slide position in ``[u, v)``
+        whose outgoing and incoming tokens differ, and the roll then
+        visits only those — content-sharing text makes most slides
+        no-ops, which the scalar loop still paid a Python iteration
+        (and two list indexings) to discover.  Early-termination jumps
+        skip changed positions wholesale by advancing the cursor.
+        """
         w = self.w
         tau = self.tau
         query_counts = self._query_counts
@@ -99,6 +119,15 @@ class IntervalVerifier:
             other = query_counts.get(rank)
             if other:
                 overlap += min(count, other)
+
+        if v > u:
+            outgoing_run = np.asarray(doc_ranks[u:v], dtype=np.int64)
+            incoming_run = np.asarray(doc_ranks[u + w : v + w], dtype=np.int64)
+            changes = (np.flatnonzero(outgoing_run != incoming_run) + u).tolist()
+        else:
+            changes = []
+        num_changes = len(changes)
+        cursor = 0
 
         matches: list[MatchPair] = []
         query_start = self.query_start
@@ -115,12 +144,14 @@ class IntervalVerifier:
                 step = deficit
             if j + step > v:
                 break
-            # Roll `step` slides, 4 hash ops each.
-            for slide in range(step):
-                outgoing = doc_ranks[j + slide]
-                incoming = doc_ranks[j + slide + w]
-                if outgoing == incoming:
-                    continue
+            # Roll `step` slides; only content-changing positions touch
+            # the table, 4 hash ops each.
+            j += step
+            while cursor < num_changes and changes[cursor] < j:
+                position = changes[cursor]
+                cursor += 1
+                outgoing = doc_ranks[position]
+                incoming = doc_ranks[position + w]
                 self.hash_ops += 4
                 old = data_counts[outgoing]
                 if query_counts.get(outgoing, 0) >= old:
@@ -133,7 +164,6 @@ class IntervalVerifier:
                 data_counts[incoming] = new
                 if query_counts.get(incoming, 0) >= new:
                     overlap += 1
-            j += step
         return matches
 
     # ------------------------------------------------------------------

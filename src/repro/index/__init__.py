@@ -11,13 +11,14 @@ Two index flavours, matching Sections 3 and 4 of the paper:
   between adjacent query windows.
 """
 
-from .intervals import WindowInterval, merge_intervals
+from .intervals import ProbeBatch, WindowInterval, merge_intervals
 from .interval_index import IntervalIndex
 from .inverted import WindowInvertedIndex
 from .compact import CompactIntervalIndex, PackedRankDocs, ProbeHit
 
 __all__ = [
     "WindowInterval",
+    "ProbeBatch",
     "ProbeHit",
     "merge_intervals",
     "IntervalIndex",

@@ -17,7 +17,7 @@ from ..errors import IndexStateError
 from ..partition.scheme import PartitionScheme
 from ..signatures.generate import Signature, signature_hash
 from ..signatures.maintain import SignatureStream
-from .intervals import WindowInterval
+from .intervals import ProbeBatch, WindowInterval
 
 
 class IntervalIndex:
@@ -127,6 +127,43 @@ class IntervalIndex:
     def probe(self, signature: Signature) -> list[WindowInterval]:
         """Postings list of ``signature`` (empty list if absent)."""
         return self._postings.get(self._key(signature), [])
+
+    def probe_many(
+        self,
+        signatures: Sequence[Signature],
+        signs: Sequence[int] | None = None,
+    ) -> ProbeBatch:
+        """Resolve a whole batch of signatures into one :class:`ProbeBatch`.
+
+        ``signs`` carries one +1/-1 candidate delta per signature
+        (omitted = all +1); every hit of signature ``i`` lands in the
+        batch with ``signs[i]``.  Hits appear in signature order, and
+        within one signature in postings append order — the same order
+        the scalar ``probe`` loop visited them, so batched candidate
+        maintenance is a pure transliteration.
+        """
+        docs: list[int] = []
+        us: list[int] = []
+        vs: list[int] = []
+        hit_signs: list[int] = []
+        sig_counts: list[int] = []
+        postings_map = self._postings
+        key_of = self._key
+        for i, signature in enumerate(signatures):
+            postings = postings_map.get(key_of(signature))
+            if not postings:
+                sig_counts.append(0)
+                continue
+            sig_counts.append(len(postings))
+            sign = 1 if signs is None else signs[i]
+            for interval in postings:
+                docs.append(interval[0])
+                us.append(interval[1])
+                vs.append(interval[2])
+                hit_signs.append(sign)
+        if not docs:
+            return ProbeBatch.empty(probed=len(signatures))
+        return ProbeBatch.from_rows(docs, us, vs, hit_signs, sig_counts)
 
     def __contains__(self, signature: Signature) -> bool:
         return self._key(signature) in self._postings

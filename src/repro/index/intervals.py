@@ -14,6 +14,8 @@ from __future__ import annotations
 from collections.abc import Iterable
 from typing import NamedTuple
 
+import numpy as np
+
 
 class WindowInterval(NamedTuple):
     """Maximal run of windows of one document containing a signature."""
@@ -29,6 +31,145 @@ class WindowInterval(NamedTuple):
 
     def __str__(self) -> str:
         return f"d{self.doc_id}[{self.u},{self.v}]"
+
+
+class ProbeBatch:
+    """Flat-array result of one batched index probe (``probe_many``).
+
+    Candidate intervals for a whole batch of signatures come back as
+    four parallel numpy columns instead of per-hit Python objects:
+    ``docs``/``us``/``vs`` are the interval fields and ``signs`` carries
+    the per-hit candidate-counter delta (+1 for a signature that just
+    opened on the query side, -1 for one that closed).  ``sig_counts``
+    has one entry per *probed signature* — how many hits that signature
+    contributed (0 for a miss) — which is what lets a caller batch
+    several window events into one probe and slice the hit columns back
+    apart per event (``np.cumsum(sig_counts)`` gives the boundaries).
+    ``probed`` is the number of signatures the batch resolved — what
+    the ``probe_signatures`` counter accumulates; ``entries`` (the
+    column length) is what ``postings_entries`` accumulates, exactly as
+    the scalar probe loop did.
+
+    The layout is engine-agnostic: the dict :class:`IntervalIndex`
+    concatenates its postings lists into it, the compact index gathers
+    it straight out of its flat columns, and the window-level inverted
+    index reuses it with ``us == vs`` (every posting is a single
+    window).
+    """
+
+    __slots__ = ("docs", "us", "vs", "signs", "sig_counts", "probed")
+
+    def __init__(
+        self,
+        docs: np.ndarray,
+        us: np.ndarray,
+        vs: np.ndarray,
+        signs: np.ndarray,
+        sig_counts: np.ndarray,
+        probed: int,
+    ) -> None:
+        if not (len(docs) == len(us) == len(vs) == len(signs)):
+            raise ValueError("probe batch columns differ in length")
+        if len(sig_counts) != probed:
+            raise ValueError(
+                f"sig_counts has {len(sig_counts)} entries for "
+                f"{probed} probed signatures"
+            )
+        self.docs = docs
+        self.us = us
+        self.vs = vs
+        self.signs = signs
+        self.sig_counts = sig_counts
+        self.probed = probed
+
+    @classmethod
+    def empty(cls, probed: int = 0) -> "ProbeBatch":
+        """A batch with no candidate entries (all signatures missed)."""
+        column = np.empty(0, dtype=np.int64)
+        return cls(
+            column, column, column, np.empty(0, dtype=np.int8),
+            np.zeros(probed, dtype=np.int64), probed,
+        )
+
+    @classmethod
+    def from_rows(
+        cls,
+        docs: list[int],
+        us: list[int],
+        vs: list[int],
+        signs: list[int],
+        sig_counts: list[int],
+    ) -> "ProbeBatch":
+        """Build the columns from plain Python lists (dict-index path)."""
+        return cls(
+            np.asarray(docs, dtype=np.int64),
+            np.asarray(us, dtype=np.int64),
+            np.asarray(vs, dtype=np.int64),
+            np.asarray(signs, dtype=np.int8),
+            np.asarray(sig_counts, dtype=np.int64),
+            len(sig_counts),
+        )
+
+    @property
+    def entries(self) -> int:
+        """Number of candidate interval entries in the batch."""
+        return len(self.docs)
+
+    def __len__(self) -> int:
+        return len(self.docs)
+
+    def entry_bounds(self) -> np.ndarray:
+        """Per-signature hit boundaries: ``bounds[i]:bounds[i+1]``.
+
+        Length ``probed + 1``; slicing the hit columns with consecutive
+        bounds recovers each probed signature's postings run, and a
+        caller that probed several events' signatures in one batch can
+        slice per event by keeping its signature offsets.
+        """
+        bounds = np.zeros(self.probed + 1, dtype=np.int64)
+        np.cumsum(self.sig_counts, out=bounds[1:])
+        return bounds
+
+    def without_docs(self, removed) -> "ProbeBatch":
+        """The batch minus entries of tombstoned documents (vectorized).
+
+        ``removed`` is any iterable of doc ids; the filter applies to
+        opened and closed entries alike, so the candidate counter a
+        filtered batch feeds stays internally consistent, and
+        ``sig_counts`` is re-derived so per-signature slicing keeps
+        working.  Returns ``self`` unchanged when nothing matches.
+        """
+        if not len(self.docs):
+            return self
+        removed_column = np.fromiter(removed, dtype=np.int64)
+        if not len(removed_column):
+            return self
+        keep = ~np.isin(self.docs, removed_column)
+        if keep.all():
+            return self
+        owner = np.repeat(
+            np.arange(self.probed, dtype=np.int64), self.sig_counts
+        )
+        sig_counts = np.bincount(owner[keep], minlength=self.probed).astype(
+            np.int64
+        )
+        return ProbeBatch(
+            self.docs[keep], self.us[keep], self.vs[keep],
+            self.signs[keep], sig_counts, self.probed,
+        )
+
+    def signed_intervals(self) -> list[tuple[WindowInterval, int]]:
+        """Decode to ``(interval, sign)`` pairs (tests and debugging)."""
+        return [
+            (WindowInterval(doc, u, v), sign)
+            for doc, u, v, sign in zip(
+                self.docs.tolist(), self.us.tolist(),
+                self.vs.tolist(), self.signs.tolist(),
+            )
+        ]
+
+    def __repr__(self) -> str:
+        return f"ProbeBatch(probed={self.probed}, entries={self.entries})"
 
 
 def merge_intervals(

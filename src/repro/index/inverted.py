@@ -13,6 +13,7 @@ from collections.abc import Sequence
 from ..partition.scheme import PartitionScheme
 from ..signatures.generate import Signature, generate_signatures, signature_hash
 from ..windows.slider import WindowSlider
+from .intervals import ProbeBatch
 
 
 class WindowInvertedIndex:
@@ -56,6 +57,40 @@ class WindowInvertedIndex:
     def probe(self, signature: Signature) -> list[tuple[int, int]]:
         """Postings list of ``signature`` (empty list if absent)."""
         return self._postings.get(self._key(signature), [])
+
+    def probe_many(
+        self,
+        signatures: Sequence[Signature],
+        signs: Sequence[int] | None = None,
+    ) -> ProbeBatch:
+        """Batched probe in the shared :class:`ProbeBatch` layout.
+
+        Window-level postings are single windows, so each hit comes
+        back with ``us == vs == start`` — the batch protocol every
+        engine consumes, at the degenerate interval width of one.
+        """
+        docs: list[int] = []
+        starts: list[int] = []
+        hit_signs: list[int] = []
+        sig_counts: list[int] = []
+        postings_map = self._postings
+        key_of = self._key
+        for i, signature in enumerate(signatures):
+            postings = postings_map.get(key_of(signature))
+            if not postings:
+                sig_counts.append(0)
+                continue
+            sig_counts.append(len(postings))
+            sign = 1 if signs is None else signs[i]
+            for doc_id, start in postings:
+                docs.append(doc_id)
+                starts.append(start)
+                hit_signs.append(sign)
+        if not docs:
+            return ProbeBatch.empty(probed=len(signatures))
+        return ProbeBatch.from_rows(
+            docs, starts, list(starts), hit_signs, sig_counts
+        )
 
     @property
     def num_signatures(self) -> int:

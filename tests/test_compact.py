@@ -112,11 +112,20 @@ class TestHashedCollisions:
     """Colliding keys merge postings runs: extra candidates, same pairs."""
 
     def _collide_all_hashes(self, monkeypatch):
+        import numpy as np
+
         from repro.index import compact as compact_module
         from repro.index import interval_index as interval_module
 
+        # Both the scalar and the vectorized hasher must collide, or
+        # the batched probe path would "hash" differently from freezing.
         monkeypatch.setattr(interval_module, "signature_hash", lambda sig: 7)
         monkeypatch.setattr(compact_module, "signature_hash", lambda sig: 7)
+        monkeypatch.setattr(
+            compact_module,
+            "signature_hashes",
+            lambda sigs: np.full(len(sigs), 7, dtype=np.uint64),
+        )
 
     def test_dict_hashed_collision_pairs_survive(
         self, built, queries, monkeypatch
