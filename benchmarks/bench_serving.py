@@ -13,8 +13,19 @@ compared (p50/p95).  Every cached response is parity-checked
 pair-for-pair against its uncached counterpart — the cache must never
 change an answer, only its latency.
 
+A second profile measures **sharded aggregate throughput**: the same
+index is served uncached over HTTP by one ``repro serve`` process and
+then by ``repro serve --shards N`` (N worker processes behind the
+scatter router), with N concurrent client threads driving each.  The
+``>= 2x at 3 shards`` gate is only enforced when the host has enough
+cores for the workers to actually run in parallel (``cores > N``); on
+smaller hosts the measured numbers are still recorded, with the gate
+marked unenforced — a 1-core box physically cannot show the speedup
+and pretending otherwise would just train the suite to lie.
+
 Emits ``BENCH_serving.json`` at the repo root: the latency table, the
-cache hit/miss counters, and a ``serial`` metrics section in the layout
+cache hit/miss counters, the sharded throughput profile, and a
+``serial`` metrics section in the layout
 ``benchmarks/check_regression.py`` diffs (counters exact, timers within
 tolerance).
 
@@ -31,7 +42,10 @@ import json
 import os
 import platform
 import statistics
+import subprocess
 import sys
+import tempfile
+import threading
 import time
 from pathlib import Path
 
@@ -61,6 +75,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         help="output JSON path (default repo root)")
     parser.add_argument("--metrics-out", type=Path, default=None,
                         help="also write the bare metrics snapshot here")
+    parser.add_argument("--shards", type=int, default=3,
+                        help="shard count for the throughput profile "
+                             "(default 3; 0 skips the sharded phase)")
+    parser.add_argument("--qps-requests", type=int, default=None,
+                        help="HTTP requests per throughput arm (default: "
+                             "6x the query count, 2x under --tiny)")
     return parser
 
 
@@ -81,6 +101,127 @@ def serve_workload(service, requests):
         latencies.append(time.perf_counter() - start)
         responses.append(response)
     return latencies, responses
+
+
+def _available_cores() -> int | None:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count()
+
+
+def _measure_http_qps(index_path: Path, token_queries: list[list[int]],
+                      num_requests: int, client_threads: int,
+                      extra_cli: list[str]) -> float:
+    """Serve ``index_path`` uncached in a subprocess; drive it with
+    ``client_threads`` concurrent HTTP clients and return requests/s."""
+    from repro.service.client import remote_search
+
+    cmd = [sys.executable, "-m", "repro.cli", "serve",
+           "--index", str(index_path), "--port", "0",
+           "--cache-size", "0", *extra_cli]
+    server = subprocess.Popen(cmd, stdout=subprocess.PIPE, text=True)
+    try:
+        deadline = time.monotonic() + 120
+        url = None
+        while time.monotonic() < deadline:
+            line = server.stdout.readline()
+            if line.startswith("SERVING "):
+                url = line.split(maxsplit=1)[1].strip()
+                break
+            if not line.startswith("SHARD ") and server.poll() is not None:
+                raise RuntimeError(f"server died: {' '.join(cmd)}")
+        if url is None:
+            raise RuntimeError(f"no SERVING line from {' '.join(cmd)}")
+
+        remote_search(url, token_ids=token_queries[0])  # warm up
+
+        next_request = [0]
+        lock = threading.Lock()
+        errors: list[Exception] = []
+
+        def client() -> None:
+            while not errors:
+                with lock:
+                    i = next_request[0]
+                    if i >= num_requests:
+                        return
+                    next_request[0] += 1
+                try:
+                    remote_search(
+                        url, token_ids=token_queries[i % len(token_queries)]
+                    )
+                except Exception as exc:  # noqa: BLE001 - report and stop
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=client)
+                   for _ in range(client_threads)]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - start
+        if errors:
+            raise errors[0]
+        return num_requests / wall
+    finally:
+        server.terminate()
+        server.wait(timeout=30)
+
+
+def bench_sharded_throughput(args, data, params, queries) -> tuple[dict, bool]:
+    """Single-process vs ``--shards N`` aggregate uncached QPS.
+
+    Returns the record section and whether the gate (when enforced)
+    passed.
+    """
+    from repro import PKWiseSearcher
+    from repro.persistence import save_searcher
+
+    num_requests = args.qps_requests or len(queries) * (2 if args.tiny else 6)
+    token_queries = [list(query.tokens) for query in queries]
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serving-") as tmp:
+        index_path = Path(tmp) / "corpus.idx"
+        searcher = PKWiseSearcher(data, params)
+        save_searcher(searcher, index_path, data=data, compact=True)
+        searcher.close()
+        single_qps = _measure_http_qps(
+            index_path, token_queries, num_requests, args.shards, []
+        )
+        sharded_qps = _measure_http_qps(
+            index_path, token_queries, num_requests, args.shards,
+            ["--shards", str(args.shards)],
+        )
+
+    speedup = sharded_qps / single_qps if single_qps > 0 else float("inf")
+    cores = _available_cores()
+    # The router + N workers need > N cores before parallel speedup is
+    # physically possible; below that the gate records, not enforces.
+    enforced = cores is not None and cores > args.shards
+    required = 2.0
+    passed = (not enforced) or speedup >= required
+    print(f"sharded throughput ({num_requests} uncached requests, "
+          f"{args.shards} client threads): single {single_qps:.1f} qps, "
+          f"{args.shards} shards {sharded_qps:.1f} qps "
+          f"({speedup:.2f}x, gate {'enforced' if enforced else 'recorded only'}"
+          f" on {cores} core(s))")
+    section = {
+        "shards": args.shards,
+        "num_requests": num_requests,
+        "client_threads": args.shards,
+        "single_process_qps": single_qps,
+        "sharded_qps": sharded_qps,
+        "speedup": speedup,
+        "gate": {
+            "required_speedup": required,
+            "enforced": enforced,
+            "cores": cores,
+            "passed": passed,
+        },
+    }
+    return section, passed
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -145,6 +286,14 @@ def main(argv: list[str] | None = None) -> int:
 
     snapshot = cached_service.metrics_snapshot()
     cached_service.close()
+
+    sharded_section = None
+    sharded_ok = True
+    if args.shards > 1:
+        sharded_section, sharded_ok = bench_sharded_throughput(
+            args, data, params, queries
+        )
+
     record = {
         "bench": "serving",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -180,6 +329,8 @@ def main(argv: list[str] | None = None) -> int:
         # within tolerance.
         "serial": {"metrics": snapshot},
     }
+    if sharded_section is not None:
+        record["sharded"] = sharded_section
     args.out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.out}")
     if args.metrics_out:
@@ -198,6 +349,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.repeats > 1 and p50_speedup < 5.0:
         print(f"REGRESSION: cached p50 speedup {p50_speedup:.1f}x < 5x",
               file=sys.stderr)
+        return 1
+    if not sharded_ok:
+        print(f"REGRESSION: sharded speedup "
+              f"{sharded_section['speedup']:.2f}x < "
+              f"{sharded_section['gate']['required_speedup']}x at "
+              f"{sharded_section['shards']} shards", file=sys.stderr)
         return 1
     return 0
 

@@ -18,16 +18,25 @@ are deterministic for the fixed corpus, so any drift between two runs
 of the same commit — or between a PR and its base — is a real behaviour
 change, not noise.
 
+With ``--shards N`` the smoke instead exercises the sharded stack:
+``repro serve --shards N`` (N worker processes + scatter router),
+asserts pair-for-pair parity against the single-process server, writes
+the deterministic metrics record, then SIGKILLs one worker mid-run and
+asserts the router serves partial results naming the dead shard.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/smoke_serving.py --out smoke1.json
+    PYTHONPATH=src python benchmarks/smoke_serving.py --shards 3 --out s3.json
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import random
+import signal
 import subprocess
 import sys
 import tempfile
@@ -64,11 +73,150 @@ def write_corpus(directory: Path) -> str:
     return " ".join(base[50:150])
 
 
+def _spawn_server(cmd: list[str], startup_timeout: float):
+    """Start a serve subprocess; returns (process, url, shard_lines).
+
+    ``shard_lines`` collects the ``SHARD <id> <url> pid=<pid> ...``
+    lines a sharded server prints before ``SERVING`` (empty otherwise).
+    """
+    server = subprocess.Popen(cmd, stdout=subprocess.PIPE, text=True)
+    deadline = time.monotonic() + startup_timeout
+    url = None
+    shard_lines: list[str] = []
+    while time.monotonic() < deadline:
+        line = server.stdout.readline()
+        if line.startswith("SHARD "):
+            shard_lines.append(line.strip())
+            continue
+        if line.startswith("SERVING "):
+            url = line.split(maxsplit=1)[1].strip()
+            break
+        if server.poll() is not None:
+            break
+    if url is None:
+        server.terminate()
+        server.wait(timeout=10)
+        raise RuntimeError(f"no SERVING line from {' '.join(cmd)}")
+    return server, url, shard_lines
+
+
+def _healthz_any_status(url: str) -> dict:
+    """GET /healthz and return the body even on 503 (degraded/down)."""
+    import urllib.error
+    import urllib.request
+
+    try:
+        with urllib.request.urlopen(f"{url}/healthz", timeout=10) as resp:
+            return json.load(resp)
+    except urllib.error.HTTPError as exc:
+        return json.load(exc)
+
+
+def _parse_shard_line(line: str) -> dict:
+    """``SHARD 1 http://h:p pid=123 docs=[2,4)`` -> fields dict."""
+    parts = line.split()
+    lo, hi = parts[4][len("docs=["):-1].split(",")
+    return {
+        "shard_id": int(parts[1]),
+        "url": parts[2],
+        "pid": int(parts[3][len("pid="):]),
+        "doc_lo": int(lo),
+        "doc_hi": int(hi),
+    }
+
+
+def run_sharded(args: argparse.Namespace, index_path: Path,
+                query_text: str) -> dict:
+    """The --shards mode: parity, deterministic metrics, kill a worker."""
+    from repro.service.client import (
+        remote_healthz,
+        remote_metrics,
+        remote_search,
+    )
+
+    # Reference answer from the single-process server.
+    server, url, _ = _spawn_server(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--index", str(index_path), "--port", "0"],
+        args.startup_timeout,
+    )
+    try:
+        reference = remote_search(url, query_text)
+    finally:
+        server.terminate()
+        server.wait(timeout=10)
+    assert reference["num_pairs"] > 0, "smoke query found no matches"
+
+    server, url, shard_lines = _spawn_server(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--index", str(index_path), "--port", "0",
+         "--shards", str(args.shards)],
+        args.startup_timeout,
+    )
+    try:
+        shards = [_parse_shard_line(line) for line in shard_lines]
+        assert len(shards) == args.shards, shard_lines
+
+        health = remote_healthz(url)
+        assert health["status"] == "ok", health
+        assert health["num_shards"] == args.shards, health
+        assert health["documents"] == NUM_DOCS, health
+
+        first = remote_search(url, query_text)
+        second = remote_search(url, query_text)
+        assert first["pairs"] == reference["pairs"], (
+            "sharded results diverge from the single-process server"
+        )
+        assert not first["cached"] and second["cached"], (first, second)
+        assert first["pairs"] == second["pairs"], "cache changed the answer"
+
+        # Snapshot metrics BEFORE the kill phase: the counters up to
+        # here are deterministic, the recovery path below is not.
+        snapshot = remote_metrics(url)
+
+        victim = shards[1]
+        os.kill(victim["pid"], signal.SIGKILL)
+        time.sleep(0.5)  # let the OS reap the port
+
+        partial = remote_search(url, query_text)
+        assert partial.get("partial") is True, partial
+        failures = partial["failures"]
+        assert len(failures) == 1, failures
+        assert failures[0]["position"] == victim["shard_id"], failures
+        assert failures[0]["query_name"].endswith(
+            f"@shard-{victim['shard_id']:03d}"
+        ), failures
+        survivors = [
+            pair for pair in reference["pairs"]
+            if not victim["doc_lo"] <= pair[0] < victim["doc_hi"]
+        ]
+        assert partial["pairs"] == survivors, (
+            "partial results must cover exactly the surviving shards"
+        )
+        assert len(survivors) < reference["num_pairs"], (
+            "kill test needs matches inside the killed shard"
+        )
+
+        degraded = _healthz_any_status(url)
+        assert degraded["status"] == "degraded", degraded
+    finally:
+        server.terminate()
+        server.wait(timeout=30)
+
+    print(f"sharded smoke ok: {first['num_pairs']} pairs across "
+          f"{args.shards} shards, parity + cache verified; killed shard "
+          f"{victim['shard_id']} -> {len(survivors)} partial pairs")
+    return snapshot
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument("--out", type=Path, required=True,
                         help="where to write the metrics record")
     parser.add_argument("--startup-timeout", type=float, default=30.0)
+    parser.add_argument("--shards", type=int, default=0,
+                        help="exercise `repro serve --shards N` instead of "
+                             "the single-process server")
     args = parser.parse_args(argv)
 
     _ensure_importable()
@@ -87,6 +235,26 @@ def main(argv: list[str] | None = None) -> int:
              "-w", str(W), "--tau", str(TAU)],
             check=True,
         )
+
+        if args.shards > 1:
+            snapshot = run_sharded(args, index_path, query_text)
+            record = {
+                "config": {
+                    "profile": "serving-smoke-sharded",
+                    "num_documents": NUM_DOCS,
+                    "num_queries": 2,
+                    "shards": args.shards,
+                    "w": W,
+                    "tau": TAU,
+                    "k_max": 4,
+                },
+                "serial": {"metrics": snapshot},
+            }
+            args.out.write_text(
+                json.dumps(record, indent=2, sort_keys=True) + "\n"
+            )
+            print(f"wrote {args.out}")
+            return 0
 
         server = subprocess.Popen(
             [sys.executable, "-m", "repro.cli", "serve",

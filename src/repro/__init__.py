@@ -90,7 +90,14 @@ from .parallel import ParallelExecutor
 from .params import SearchParams, suggested_subpartitions
 from .persistence import PersistenceError, SearcherBundle, save_searcher
 from .postprocess import Passage, filter_passages, merge_passages
-from .service import ResilientClient, SearchService, ServiceResponse
+from .service import (
+    ResilientClient,
+    RouterResponse,
+    SearchService,
+    ServiceResponse,
+    ShardPlan,
+    ShardRouter,
+)
 from .similarity import (
     jaccard_to_overlap,
     jaccard_to_tau,
@@ -145,6 +152,9 @@ __all__ = [
     "SearchService",
     "ServiceResponse",
     "ResilientClient",
+    "ShardPlan",
+    "ShardRouter",
+    "RouterResponse",
     # Fault injection (robustness testing)
     "FaultPlan",
     "FaultSpec",

@@ -332,14 +332,39 @@ class Index:
         """Run a query workload (serial or multi-process)."""
         return self._searcher.search_many(queries, jobs=jobs)
 
-    def serve(self, **kwargs):
-        """Wrap this index in a :class:`~repro.service.SearchService`.
+    def serve(self, *, shards: int = 1, hedge_after: float | None = None, **kwargs):
+        """Wrap this index in a serving front-end.
 
-        Keyword arguments are forwarded (``max_workers``, ``max_queue``,
-        ``cache_size``, ``default_timeout`` ...).
+        ``shards=1`` (default) returns a
+        :class:`~repro.service.SearchService` over this index.
+        ``shards=N`` partitions the paired collection into N compact
+        in-process shards and returns a
+        :class:`~repro.service.ShardRouter` scatter-gathering over them
+        (pair-for-pair identical results; ``hedge_after`` enables
+        hedged sub-requests to slow shards).  Keyword arguments are
+        forwarded to each underlying service (``max_workers``,
+        ``max_queue``, ``cache_size``, ``default_timeout`` ...).
         """
         from .service import SearchService
 
+        if shards > 1:
+            if self.data is None:
+                raise ConfigurationError(
+                    "sharded serving partitions the document collection; "
+                    "this index was saved ids-only — rebuild with data"
+                )
+            from .service import ShardRouter
+
+            default_timeout = kwargs.pop("default_timeout", None)
+            return ShardRouter.local(
+                self.data,
+                self.params,
+                shards=shards,
+                compact=True,
+                default_timeout=default_timeout,
+                hedge_after=hedge_after,
+                **kwargs,
+            )
         return SearchService(self._searcher, self.data, **kwargs)
 
     def compacted(self) -> "Index":

@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 import time
 from pathlib import Path
@@ -270,10 +271,26 @@ def _cmd_selfjoin(args: argparse.Namespace) -> int:
     return 0
 
 
+def _graceful_sigterm() -> None:
+    """Make SIGTERM unwind like Ctrl-C so serve loops run their cleanup.
+
+    Without this a supervisor's ``terminate()`` skips the ``finally``
+    blocks — a sharded router would orphan its worker processes.
+    """
+
+    def _handler(signum, frame):  # noqa: ARG001 - signal API
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _handler)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .api import Index
     from .service import SearchService, serve_http
 
+    _graceful_sigterm()
+    if args.shards > 1:
+        return _serve_sharded(args)
     index = Index.open(args.index, mmap=args.mmap)
     print(
         f"loaded {index} in {index.load_seconds:.2f}s "
@@ -304,6 +321,83 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         service.close()
         if args.metrics_out:
             _write_metrics(args.metrics_out, service.metrics_snapshot())
+    return 0
+
+
+def _serve_sharded(args: argparse.Namespace) -> int:
+    """``repro serve --shards N``: worker processes + scatter router.
+
+    Builds (or reuses) a :class:`~repro.service.ShardPlan` of compact
+    snapshots next to the index, spawns one ``repro serve`` process
+    per shard mapping its own snapshot, and fronts them with a
+    :class:`~repro.service.ShardRouter` on the requested port.  One
+    ``SHARD <id> <url> pid=<pid> docs=[lo,hi)`` line per worker goes to
+    stdout before the ``SERVING`` line so smoke scripts can target (or
+    kill) individual workers.
+    """
+    from pathlib import Path
+
+    from .api import Index
+    from .service import (
+        ShardPlan,
+        ShardRouter,
+        backends_for_workers,
+        serve_http,
+        spawn_shard_workers,
+        stop_shard_workers,
+    )
+
+    index = Index.open(args.index, mmap=args.mmap)
+    if index.data is None:
+        print("error: sharded serving needs an index saved with its data",
+              file=sys.stderr)
+        return 1
+    shard_dir = Path(args.shard_dir or f"{args.index}.shards")
+    plan = ShardPlan.ensure(
+        index.data, index.params, shard_dir, num_shards=args.shards
+    )
+    print(
+        f"shard plan: {plan.num_shards} shards over "
+        f"{plan.num_documents} documents (generation {plan.generation}) "
+        f"in {shard_dir}",
+        file=sys.stderr,
+    )
+    workers = spawn_shard_workers(
+        shard_dir, plan, cache_size=args.cache_size, workers=args.workers
+    )
+    router = None
+    server = None
+    try:
+        for worker in workers:
+            spec = worker.spec
+            print(
+                f"SHARD {spec.shard_id} {worker.url} pid={worker.pid} "
+                f"docs=[{spec.doc_lo},{spec.doc_hi})",
+                flush=True,
+            )
+        router = ShardRouter(
+            backends_for_workers(workers),
+            index.data,
+            default_timeout=args.request_timeout,
+            hedge_after=args.hedge_after,
+        )
+        server = serve_http(
+            router, host=args.host, port=args.port, verbose=args.verbose
+        )
+        host, port = server.server_address[:2]
+        print(f"SERVING http://{host}:{port}", flush=True)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down ...", file=sys.stderr)
+    finally:
+        if server is not None:
+            server.server_close()
+        if args.metrics_out and router is not None:
+            _write_metrics(args.metrics_out, router.metrics_snapshot())
+        if router is not None:
+            router.close()
+        stop_shard_workers(workers)
     return 0
 
 
@@ -428,6 +522,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--mmap", action="store_true",
                               help="memory-map a compact (v3) index instead "
                                    "of deserializing it")
+    serve_parser.add_argument("--shards", type=int, default=1,
+                              help="partition the corpus into N compact "
+                                   "shards, each served by its own worker "
+                                   "process behind a scatter-gather router "
+                                   "(default 1 = single in-process service)")
+    serve_parser.add_argument("--shard-dir", default=None,
+                              help="directory for shard snapshots + manifest "
+                                   "(default <index>.shards); a compatible "
+                                   "existing manifest is reused")
+    serve_parser.add_argument("--hedge-after", type=float, default=None,
+                              help="seconds before hedging a slow shard "
+                                   "sub-request (sharded mode only)")
     _add_obs_flags(serve_parser)
     serve_parser.set_defaults(func=_cmd_serve)
 

@@ -46,7 +46,10 @@ Fault kinds:
 Injection-point catalog (see ``docs/robustness.md`` for semantics):
 ``parallel.worker.chunk``, ``parallel.worker.query``,
 ``parallel.worker.document``, ``persistence.write``,
-``persistence.read``, ``service.request``, ``client.request``.
+``persistence.read``, ``service.request``, ``client.request``,
+``shards.scatter`` (router → shard sub-request, context ``shard``),
+``shards.gather`` (merging one shard's reply, context ``shard``),
+``shards.swap`` (rolling snapshot swap of one shard, context ``shard``).
 """
 
 from __future__ import annotations

@@ -370,6 +370,20 @@ def rotated_paths(path: str | Path, generations: int) -> list[Path]:
     ]
 
 
+def generation_name(stem: str, generation: int, suffix: str = ".idx") -> str:
+    """Canonical file name for snapshot ``generation`` of ``stem``.
+
+    Sharded serving writes each shard generation to its own immutable
+    file (``shard-003.g000002.idx``) instead of rotating one path in
+    place: a rolling swap maps the new generation while the old one is
+    still being served, then drops the old mapping.  Zero-padding keeps
+    lexicographic and numeric order identical for directory listings.
+    """
+    if generation < 1:
+        raise ValueError(f"generation must be >= 1, got {generation}")
+    return f"{stem}.g{generation:06d}{suffix}"
+
+
 def _rotate_snapshots(path: Path, keep: int) -> None:
     """Shift ``path`` → ``path.1`` → ... → ``path.keep`` (drop oldest)."""
     if keep < 1 or not path.exists():

@@ -17,6 +17,13 @@ thread-safe query service:
   --server`` CLI path — plus :class:`ResilientClient`, the production
   wrapper with jittered retries, a deadline budget, and a circuit
   breaker (``repro query --retries/--timeout``).
+* :mod:`~repro.service.shards` — sharded scatter-gather serving:
+  :class:`ShardPlan` partitions a corpus into compact snapshot shards
+  with a persisted manifest; :class:`ShardRouter` fans every query out
+  to per-shard backends (in-process services or HTTP workers), merges
+  pairs in canonical order, hedges slow shards, reports dead shards as
+  partial results, and swaps in new snapshot generations without
+  stopping serving (``repro serve --shards N``).
 """
 
 from .cache import CacheKey, ResultCache, query_token_hash
@@ -29,6 +36,19 @@ from .client import (
 )
 from .http import ServiceHTTPServer, ServiceRequestHandler, serve_http
 from .service import SearchService, ServiceFuture, ServiceResponse
+from .shards import (
+    HTTPShardBackend,
+    LocalShardBackend,
+    RouterResponse,
+    ShardPlan,
+    ShardRouter,
+    ShardSpec,
+    ShardWorker,
+    backends_for_workers,
+    partition_ranges,
+    spawn_shard_workers,
+    stop_shard_workers,
+)
 
 __all__ = [
     "SearchService",
@@ -45,4 +65,15 @@ __all__ = [
     "remote_metrics",
     "ResilientClient",
     "CircuitBreaker",
+    "ShardPlan",
+    "ShardSpec",
+    "ShardRouter",
+    "RouterResponse",
+    "LocalShardBackend",
+    "HTTPShardBackend",
+    "ShardWorker",
+    "partition_ranges",
+    "spawn_shard_workers",
+    "stop_shard_workers",
+    "backends_for_workers",
 ]

@@ -58,6 +58,11 @@ class ResultCache:
         self.capacity = capacity
         self._entries: OrderedDict[CacheKey, tuple] = OrderedDict()
         self._lock = threading.Lock()
+        #: Highest epoch component seen by :meth:`put`.  Stale-entry
+        #: purges only run when an insert advances past it, so a burst
+        #: of same-epoch inserts costs one O(capacity) scan per epoch
+        #: instead of one per insert.
+        self._max_epoch: int | None = None
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -79,20 +84,24 @@ class ResultCache:
 
         Entries whose epoch component predates ``key``'s are purged:
         they can never be read again (epochs only grow), so keeping
-        them would waste capacity on dead results.
+        them would waste capacity on dead results.  The purge scan only
+        runs when ``key`` carries a higher epoch than any insert before
+        it — repeated inserts at a steady epoch never rescan.
         """
         if self.capacity <= 0:
             return
         epoch = key[2]
         with self._lock:
-            stale = [
-                entry_key
-                for entry_key in self._entries
-                if entry_key[2] < epoch
-            ]
-            for entry_key in stale:
-                del self._entries[entry_key]
-                self.invalidations += 1
+            if self._max_epoch is None or epoch > self._max_epoch:
+                stale = [
+                    entry_key
+                    for entry_key in self._entries
+                    if entry_key[2] < epoch
+                ]
+                for entry_key in stale:
+                    del self._entries[entry_key]
+                    self.invalidations += 1
+                self._max_epoch = epoch
             self._entries[key] = tuple(pairs)
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
@@ -105,10 +114,11 @@ class ResultCache:
             self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __repr__(self) -> str:
         return (
-            f"ResultCache(size={len(self._entries)}/{self.capacity}, "
+            f"ResultCache(size={len(self)}/{self.capacity}, "
             f"hits={self.hits}, misses={self.misses})"
         )

@@ -96,7 +96,7 @@ def _request(url: str, payload: dict | None = None, timeout: float = 30.0) -> di
     request = urllib.request.Request(url, data=data, headers=headers)
     try:
         with urllib.request.urlopen(request, timeout=timeout) as response:
-            return json.loads(response.read())
+            raw = response.read()
     except urllib.error.HTTPError as exc:
         try:
             body = json.loads(exc.read())
@@ -106,6 +106,24 @@ def _request(url: str, payload: dict | None = None, timeout: float = 30.0) -> di
             body = {}
         message = body.get("error", f"HTTP {exc.code}")
         raise _typed_http_error(exc.code, message, body) from exc
+    # A 200 whose body is not a JSON object is a transport-level fault
+    # (truncated proxy response, wrong endpoint, mid-restart garbage) —
+    # surface it typed with a 5xx status so retry policies treat it like
+    # any other server fault instead of leaking json.JSONDecodeError.
+    try:
+        parsed = json.loads(raw)
+    except (json.JSONDecodeError, ValueError) as exc:
+        error = ServiceError(f"malformed JSON body from {url}: {exc}")
+        error.status = 502
+        raise error from exc
+    if not isinstance(parsed, dict):
+        error = ServiceError(
+            f"expected a JSON object from {url}, "
+            f"got {type(parsed).__name__}"
+        )
+        error.status = 502
+        raise error
+    return parsed
 
 
 def remote_search(
@@ -233,9 +251,16 @@ class ResilientClient:
         Total wall-clock budget (seconds) per call across every attempt
         and backoff sleep; exceeding it raises
         :class:`~repro.errors.DeadlineExceededError` chaining the last
-        transport error.  ``None`` = unbounded.
+        transport error.  ``None`` = unbounded.  The budget is enforced
+        *per attempt*, not just between them: each attempt's socket
+        timeout is clamped to ``min(http_timeout, remaining budget)``,
+        so a single hung connection can overrun the deadline by at most
+        one socket-timeout resolution — never by ``http_timeout``
+        multiples — and an attempt whose budget is already spent raises
+        before sending rather than firing a doomed request.
     http_timeout:
-        Socket timeout per individual attempt.
+        Socket timeout per individual attempt (upper bound; see
+        ``deadline`` for the per-attempt clamp).
     failure_threshold / breaker_reset:
         Circuit-breaker tuning (see :class:`CircuitBreaker`).
     rng / clock / sleep:
@@ -293,7 +318,12 @@ class ResilientClient:
         return delay
 
     def _call(self, send):
-        """Run ``send()`` under the retry policy and circuit breaker."""
+        """Run ``send(http_timeout)`` under the retry policy and breaker.
+
+        ``send`` receives the per-attempt socket timeout: the configured
+        ``http_timeout`` clamped to whatever remains of the deadline
+        budget, so no single attempt can sleep past the deadline.
+        """
         deadline_at = (
             None if self.deadline is None else self._clock() + self.deadline
         )
@@ -301,10 +331,20 @@ class ResilientClient:
         last_error: Exception | None = None
         while True:
             self.breaker.allow()
+            http_timeout = self.http_timeout
+            if deadline_at is not None:
+                remaining = deadline_at - self._clock()
+                if remaining <= 0:
+                    raise DeadlineExceededError(
+                        f"client deadline ({self.deadline}s) exhausted "
+                        f"after {attempt} attempt(s): "
+                        f"{last_error or 'no attempt sent'}"
+                    ) from last_error
+                http_timeout = min(http_timeout, remaining)
             faults.inject("client.request", attempt=attempt)
             hint: float | None = None
             try:
-                result = send()
+                result = send(http_timeout)
             except ServiceOverloadError as exc:
                 # The server is alive, just busy: retry after its hint,
                 # without moving the breaker either way.
@@ -349,25 +389,29 @@ class ResilientClient:
     ) -> dict:
         """Resilient :func:`remote_search`."""
         return self._call(
-            lambda: remote_search(
+            lambda http_timeout: remote_search(
                 self.base_url,
                 text,
                 token_ids=token_ids,
                 timeout=timeout,
-                http_timeout=self.http_timeout,
+                http_timeout=http_timeout,
             )
         )
 
     def healthz(self) -> dict:
         """Resilient :func:`remote_healthz`."""
         return self._call(
-            lambda: remote_healthz(self.base_url, http_timeout=self.http_timeout)
+            lambda http_timeout: remote_healthz(
+                self.base_url, http_timeout=http_timeout
+            )
         )
 
     def metrics(self) -> dict:
         """Resilient :func:`remote_metrics`."""
         return self._call(
-            lambda: remote_metrics(self.base_url, http_timeout=self.http_timeout)
+            lambda http_timeout: remote_metrics(
+                self.base_url, http_timeout=http_timeout
+            )
         )
 
     def __repr__(self) -> str:

@@ -10,8 +10,11 @@ endpoints:
     the same query as a URL parameter for curl-friendliness.  Replies
     ``{"pairs": [[doc_id, data_start, query_start, overlap], ...],
     "num_pairs": N, "cached": bool, "seconds": s, "index_epoch": e}``.
-    Overload maps to ``429`` with a ``Retry-After`` header; a missed
-    deadline maps to ``504``.
+    When the service is a :class:`~repro.service.shards.ShardRouter`
+    and some shards failed, the reply additionally carries
+    ``"partial": true`` and ``"failures": [QueryFailure dicts]`` —
+    the pairs cover the shards that answered.  Overload maps to ``429``
+    with a ``Retry-After`` header; a missed deadline maps to ``504``.
 ``GET /healthz``
     Liveness and index state (documents, epoch, queue depth, uptime).
 ``GET /metrics``
@@ -37,6 +40,7 @@ from ..errors import (
     FaultInjectionError,
     ReproError,
     ServiceClosedError,
+    ServiceError,
     ServiceOverloadError,
 )
 from .service import SearchService
@@ -163,23 +167,39 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             # retryable (unlike the caller-mistake 400s below).
             self._reply_error(500, str(exc))
             return
+        except ServiceError as exc:
+            # e.g. a shard router with every shard down: the request
+            # was fine, the backend tier is not — retryable 503.
+            extra = {}
+            failures = getattr(exc, "failures", None)
+            if failures:
+                extra["failures"] = [failure.to_dict() for failure in failures]
+            self._reply_error(503, str(exc), **extra)
+            return
         except ReproError as exc:
             self._reply_error(400, str(exc))
             return
-        self._reply(
-            200,
-            {
-                "pairs": [list(pair) for pair in response.pairs],
-                "num_pairs": len(response.pairs),
-                "cached": response.cached,
-                "seconds": response.seconds,
-                "index_epoch": response.index_epoch,
-            },
-        )
+        reply = {
+            "pairs": [list(pair) for pair in response.pairs],
+            "num_pairs": len(response.pairs),
+            "cached": response.cached,
+            "seconds": response.seconds,
+            "index_epoch": response.index_epoch,
+        }
+        failures = getattr(response, "failures", None)
+        if failures:
+            reply["partial"] = True
+            reply["failures"] = [failure.to_dict() for failure in failures]
+        self._reply(200, reply)
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
     """ThreadingHTTPServer bound to one :class:`SearchService`.
+
+    Anything duck-typing the service surface (``search`` /
+    ``search_text`` / ``healthz`` / ``metrics_snapshot``) works too —
+    notably :class:`~repro.service.shards.ShardRouter`, which fronts N
+    shard workers behind the exact same three endpoints.
 
     ``port=0`` binds an OS-assigned ephemeral port; read the final
     address from :attr:`server_address`.

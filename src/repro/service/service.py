@@ -246,6 +246,12 @@ class SearchService:
         self.cache = ResultCache(cache_size)
         self.started_at = time.time()
         self._params_key = repr(getattr(searcher, "params", None))
+        #: Epoch offset accumulated across :meth:`swap_searcher` calls so
+        #: the service-level epoch stays monotonic even when a freshly
+        #: built replacement searcher restarts its own counter at 0.
+        self._epoch_base = 0
+        #: Snapshot generation currently serving (bumped per swap).
+        self.generation = 0
         self._index_lock = _ReadWriteLock()
         self._metrics_lock = threading.Lock()
         self._registry = MetricsRegistry()
@@ -278,8 +284,14 @@ class SearchService:
     # ------------------------------------------------------------------
     @property
     def index_epoch(self) -> int:
-        """The wrapped searcher's mutation epoch (0 when unsupported)."""
-        return getattr(self.searcher, "index_epoch", 0)
+        """The service-level index epoch.
+
+        The wrapped searcher's mutation counter plus the offset
+        accumulated across :meth:`swap_searcher` calls — monotone over
+        the service's lifetime, so cache keys from before a snapshot
+        swap can never collide with keys minted after it.
+        """
+        return self._epoch_base + getattr(self.searcher, "index_epoch", 0)
 
     @property
     def queue_depth(self) -> int:
@@ -444,6 +456,51 @@ class SearchService:
             self._index_lock.release_write()
         with self._metrics_lock:
             self._registry.counter("service.mutations").inc()
+
+    def swap_searcher(self, searcher, data: DocumentCollection | None = None) -> int:
+        """Atomically replace the serving searcher (rolling snapshot swap).
+
+        The replacement — typically a freshly built compact snapshot
+        mapped with ``mmap=True`` — is installed under the write side of
+        the index lock, which by construction waits for every in-flight
+        search (reader) to drain and admits no new one until the swap
+        completes.  Each request therefore runs entirely against exactly
+        one generation; a query stream across a swap can observe the old
+        result set or the new one, never a mix.  The service epoch jumps
+        strictly past everything the old searcher served, so every
+        cached result from the old generation becomes unreachable (and
+        is purged in one scan on the next insert).  Dropping the old
+        searcher releases its snapshot mapping.
+
+        Returns the new serving generation number.
+        """
+        if self._closed:
+            raise ServiceClosedError(f"{self.name} is closed")
+        new_contrib = getattr(searcher, "index_epoch", 0)
+        self._index_lock.acquire_write()
+        try:
+            old_searcher = self.searcher
+            old_epoch = self.index_epoch
+            self.searcher = searcher
+            if data is not None:
+                self.data = data
+            self._epoch_base = old_epoch + 1 - new_contrib
+            self._params_key = repr(getattr(searcher, "params", None))
+            try:
+                signature = inspect.signature(searcher.search)
+                self._supports_cancel = "cancel" in signature.parameters
+            except (TypeError, ValueError):
+                self._supports_cancel = False
+            self.generation += 1
+            generation = self.generation
+        finally:
+            self._index_lock.release_write()
+        with self._metrics_lock:
+            self._registry.counter("service.swaps").inc()
+        close = getattr(old_searcher, "close", None)
+        if close is not None and old_searcher is not searcher:
+            close()
+        return generation
 
     # ------------------------------------------------------------------
     # Worker side

@@ -1,0 +1,1176 @@
+"""Sharded scatter-gather serving with rolling snapshot swaps.
+
+One :class:`~repro.service.SearchService` caps corpus size at a single
+worker's RSS and throughput at a single GIL.  The pkwise algorithm is
+exact and embarrassingly partitionable by document: a query's match
+pairs against a corpus are exactly the union of its pairs against any
+disjoint document partition of that corpus (each pair involves one data
+document; per-shard global orders may differ but verification is
+order-independent).  This module exploits that:
+
+* :class:`ShardPlan` — partition a collection into N contiguous doc-id
+  ranges balanced by token count, build one compact v3 snapshot per
+  range, and persist a JSON manifest (``shards.json``) mapping ranges →
+  generation-named shard files
+  (:func:`~repro.persistence.generation_name`).
+* Shard backends — :class:`LocalShardBackend` wraps an in-process
+  :class:`SearchService` (tests, ``Index.serve(shards=N)``);
+  :class:`HTTPShardBackend` wraps a :class:`ResilientClient` to a
+  worker process serving one shard snapshot (``repro serve --shards``
+  spawns them via :func:`spawn_shard_workers`).
+* :class:`ShardRouter` — scatters every query to all shards, gathers
+  replies, maps shard-local doc ids back to global ids, and merges in
+  the existing canonical pair order (shards own disjoint ascending id
+  ranges and each reply is already canonically ordered, so the merge is
+  an order-preserving concatenation).  Per-query deadlines bound the
+  gather; one **hedged request** per slow shard fires after
+  ``hedge_after`` seconds; a failed or timed-out shard becomes a
+  :class:`~repro.eval.harness.QueryFailure` on the response instead of
+  failing the whole query — callers get partial results plus an
+  explicit account of what is missing.
+* Rolling swap — :meth:`ShardRouter.rolling_swap` walks a freshly
+  built generation through :meth:`SearchService.swap_searcher` one
+  shard at a time: the new snapshot is mapped, the write lock drains
+  in-flight readers, the epoch jumps past the old generation (so the
+  result cache can never serve stale pairs), and the old mapping is
+  dropped.  Serving never stops; each request observes exactly one
+  generation per shard.
+
+Fault-injection points: ``shards.scatter`` (per shard, before each
+sub-request), ``shards.gather`` (per responding shard, during merge),
+``shards.swap`` (per shard swap) — all carrying ``shard=<id>`` context.
+
+The router duck-types the service surface (``search`` /
+``search_text`` / ``healthz`` / ``metrics_snapshot`` / ``close``), so
+:func:`repro.service.http.serve_http` fronts a router exactly as it
+fronts a single service; ``/metrics`` merges the per-shard registries
+into one deterministic aggregate.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import threading
+import time
+from collections.abc import Sequence
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import NamedTuple
+
+from .. import faults
+from ..core.base import MatchPair, SearchStats
+from ..core.pkwise import PKWiseSearcher
+from ..corpus import Document, DocumentCollection
+from ..errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    ReproError,
+    ServiceClosedError,
+    ServiceError,
+)
+from ..eval.harness import AggregateRun, QueryFailure
+from ..obs import MetricsRegistry
+from ..params import SearchParams
+from ..persistence import generation_name, load_bundle, save_searcher
+from .client import ResilientClient
+from .service import SearchService, ServiceResponse
+
+#: Manifest file name inside a shard directory.
+MANIFEST_NAME = "shards.json"
+
+#: Manifest format marker (bump on incompatible layout changes).
+MANIFEST_FORMAT = "repro-shard-manifest"
+MANIFEST_VERSION = 1
+
+
+def partition_ranges(
+    sizes: Sequence[int], num_shards: int
+) -> list[tuple[int, int]]:
+    """Split ``len(sizes)`` documents into contiguous ``[lo, hi)`` ranges.
+
+    Greedy balance by token count: each shard takes documents while
+    adding the next one moves its total closer to the ideal share of
+    the remaining tokens, subject to every remaining shard getting at
+    least one document.  Deterministic for a given input.
+    """
+    num_docs = len(sizes)
+    if num_shards < 1:
+        raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
+    if num_shards > num_docs:
+        raise ConfigurationError(
+            f"cannot split {num_docs} document(s) into {num_shards} shards"
+        )
+    remaining_tokens = sum(sizes)
+    ranges: list[tuple[int, int]] = []
+    lo = 0
+    for shard_id in range(num_shards):
+        shards_left = num_shards - shard_id
+        # Leave at least one document for every shard after this one.
+        max_hi = num_docs - (shards_left - 1)
+        target = remaining_tokens / shards_left
+        hi = lo + 1  # every shard owns at least one document
+        taken = sizes[lo]
+        while hi < max_hi and abs(taken + sizes[hi] - target) <= abs(taken - target):
+            taken += sizes[hi]
+            hi += 1
+        ranges.append((lo, hi))
+        remaining_tokens -= taken
+        lo = hi
+    return ranges
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard of a plan: a doc-id range and its snapshot file."""
+
+    shard_id: int
+    #: Global doc-id range ``[doc_lo, doc_hi)`` this shard owns; shard-
+    #: local ids are ``global_id - doc_lo`` (subsets renumber from 0).
+    doc_lo: int
+    doc_hi: int
+    #: Snapshot file name, relative to the manifest directory.
+    path: str
+    generation: int
+    num_tokens: int = 0
+
+    @property
+    def num_documents(self) -> int:
+        return self.doc_hi - self.doc_lo
+
+    def to_dict(self) -> dict:
+        return {
+            "shard_id": self.shard_id,
+            "doc_lo": self.doc_lo,
+            "doc_hi": self.doc_hi,
+            "path": self.path,
+            "generation": self.generation,
+            "num_tokens": self.num_tokens,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ShardSpec":
+        return cls(
+            shard_id=int(payload["shard_id"]),
+            doc_lo=int(payload["doc_lo"]),
+            doc_hi=int(payload["doc_hi"]),
+            path=str(payload["path"]),
+            generation=int(payload["generation"]),
+            num_tokens=int(payload.get("num_tokens", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A persisted partition of one corpus into compact shard snapshots."""
+
+    shards: tuple[ShardSpec, ...]
+    num_documents: int
+    generation: int
+    params: dict
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def validate(self) -> None:
+        """Ranges must tile ``[0, num_documents)`` without gap or overlap."""
+        expected_lo = 0
+        for spec in self.shards:
+            if spec.doc_lo != expected_lo or spec.doc_hi <= spec.doc_lo:
+                raise ConfigurationError(
+                    f"shard {spec.shard_id} range [{spec.doc_lo}, "
+                    f"{spec.doc_hi}) does not tile the corpus (expected "
+                    f"lo={expected_lo})"
+                )
+            expected_lo = spec.doc_hi
+        if expected_lo != self.num_documents:
+            raise ConfigurationError(
+                f"shard ranges cover {expected_lo} documents, corpus has "
+                f"{self.num_documents}"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        data: DocumentCollection,
+        params: SearchParams,
+        directory: str | Path,
+        *,
+        num_shards: int,
+        generation: int = 1,
+    ) -> "ShardPlan":
+        """Build ``num_shards`` compact v3 snapshots + manifest under ``directory``.
+
+        Each shard is built from :meth:`DocumentCollection.subset` of a
+        contiguous doc-id range — subsets share the parent vocabulary,
+        so every shard file can encode any query identically — and
+        written via the v3 envelope so workers mmap it zero-copy.
+        Re-building a higher ``generation`` into the same directory
+        leaves the previous generation's files in place for the rolling
+        swap window.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        sizes = [len(doc) for doc in data]
+        ranges = partition_ranges(sizes, num_shards)
+        specs = []
+        for shard_id, (lo, hi) in enumerate(ranges):
+            subset = data.subset(range(lo, hi))
+            searcher = PKWiseSearcher(subset, params)
+            name = generation_name(f"shard-{shard_id:03d}", generation)
+            save_searcher(searcher, directory / name, data=subset, compact=True)
+            specs.append(
+                ShardSpec(
+                    shard_id=shard_id,
+                    doc_lo=lo,
+                    doc_hi=hi,
+                    path=name,
+                    generation=generation,
+                    num_tokens=sum(sizes[lo:hi]),
+                )
+            )
+        plan = cls(
+            shards=tuple(specs),
+            num_documents=len(data),
+            generation=generation,
+            params={
+                "w": params.w,
+                "tau": params.tau,
+                "k_max": params.k_max,
+                "m": params.m,
+            },
+        )
+        plan.save(directory)
+        return plan
+
+    def save(self, directory: str | Path) -> Path:
+        """Atomically write the manifest as ``directory/shards.json``."""
+        directory = Path(directory)
+        payload = {
+            "format": MANIFEST_FORMAT,
+            "version": MANIFEST_VERSION,
+            "num_documents": self.num_documents,
+            "num_shards": self.num_shards,
+            "generation": self.generation,
+            "params": self.params,
+            "shards": [spec.to_dict() for spec in self.shards],
+        }
+        target = directory / MANIFEST_NAME
+        scratch = target.with_name(target.name + ".tmp")
+        scratch.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        scratch.replace(target)
+        return target
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "ShardPlan":
+        """Read and validate ``directory/shards.json``."""
+        manifest = Path(directory) / MANIFEST_NAME
+        if not manifest.exists():
+            raise ConfigurationError(f"no shard manifest at {manifest}")
+        try:
+            payload = json.loads(manifest.read_text())
+        except (json.JSONDecodeError, ValueError) as exc:
+            raise ConfigurationError(f"corrupt shard manifest {manifest}: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("format") != MANIFEST_FORMAT:
+            raise ConfigurationError(f"{manifest} is not a shard manifest")
+        plan = cls(
+            shards=tuple(
+                ShardSpec.from_dict(entry) for entry in payload["shards"]
+            ),
+            num_documents=int(payload["num_documents"]),
+            generation=int(payload["generation"]),
+            params=dict(payload.get("params", {})),
+        )
+        plan.validate()
+        return plan
+
+    @classmethod
+    def ensure(
+        cls,
+        data: DocumentCollection,
+        params: SearchParams,
+        directory: str | Path,
+        *,
+        num_shards: int,
+    ) -> "ShardPlan":
+        """Reuse a compatible manifest in ``directory`` or build one."""
+        directory = Path(directory)
+        if (directory / MANIFEST_NAME).exists():
+            try:
+                plan = cls.load(directory)
+            except ConfigurationError:
+                plan = None
+            if (
+                plan is not None
+                and plan.num_shards == num_shards
+                and plan.num_documents == len(data)
+                and plan.params
+                == {
+                    "w": params.w,
+                    "tau": params.tau,
+                    "k_max": params.k_max,
+                    "m": params.m,
+                }
+                and all((directory / spec.path).exists() for spec in plan.shards)
+            ):
+                return plan
+        return cls.build(data, params, directory, num_shards=num_shards)
+
+
+# ----------------------------------------------------------------------
+# Shard backends
+# ----------------------------------------------------------------------
+class _ShardReply(NamedTuple):
+    """Normalized per-shard result: shard-local pairs + serving metadata."""
+
+    pairs: tuple
+    cached: bool
+    index_epoch: int
+
+
+class LocalShardBackend:
+    """One shard served by an in-process :class:`SearchService`."""
+
+    def __init__(
+        self,
+        service: SearchService,
+        *,
+        shard_id: int,
+        doc_lo: int,
+        doc_hi: int,
+    ) -> None:
+        self.service = service
+        self.shard_id = shard_id
+        self.doc_lo = doc_lo
+        self.doc_hi = doc_hi
+
+    def search(self, query: Document, *, timeout: float | None) -> _ShardReply:
+        response = self.service.search(query, timeout=timeout)
+        return _ShardReply(response.pairs, response.cached, response.index_epoch)
+
+    def healthz(self) -> dict:
+        return self.service.healthz()
+
+    def metrics_snapshot(self) -> dict:
+        return self.service.metrics_snapshot()
+
+    def swap(self, searcher, data: DocumentCollection | None = None) -> int:
+        """Install a new snapshot generation (see ``swap_searcher``)."""
+        return self.service.swap_searcher(searcher, data)
+
+    def remove_document(self, local_doc_id: int) -> None:
+        self.service.remove_document(local_doc_id)
+
+    def describe(self) -> dict:
+        return {"backend": "local", "service": self.service.name}
+
+    def close(self) -> None:
+        self.service.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"LocalShardBackend(shard={self.shard_id}, "
+            f"docs=[{self.doc_lo},{self.doc_hi}))"
+        )
+
+
+class HTTPShardBackend:
+    """One shard served by a worker process over the HTTP front-end.
+
+    Sub-requests go through a :class:`ResilientClient` (its retries
+    absorb transient transport faults; the router's hedging absorbs
+    tail latency).  The client's per-call deadline is left unbounded —
+    the router enforces the per-query deadline at the gather side and
+    abandons the shard past it.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        shard_id: int,
+        doc_lo: int,
+        doc_hi: int,
+        retries: int = 2,
+        http_timeout: float = 30.0,
+        pid: int | None = None,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.shard_id = shard_id
+        self.doc_lo = doc_lo
+        self.doc_hi = doc_hi
+        self.pid = pid
+        self._client = ResilientClient(
+            base_url,
+            retries=retries,
+            deadline=None,
+            http_timeout=http_timeout,
+        )
+
+    def search(self, query: Document, *, timeout: float | None) -> _ShardReply:
+        reply = self._client.search(
+            token_ids=list(query.tokens), timeout=timeout
+        )
+        pairs = tuple(MatchPair(*pair) for pair in reply.get("pairs", ()))
+        return _ShardReply(
+            pairs, bool(reply.get("cached")), int(reply.get("index_epoch", 0))
+        )
+
+    def healthz(self) -> dict:
+        return self._client.healthz()
+
+    def metrics_snapshot(self) -> dict:
+        return self._client.metrics()
+
+    def describe(self) -> dict:
+        info = {"backend": "http", "url": self.base_url}
+        if self.pid is not None:
+            info["pid"] = self.pid
+        return info
+
+    def close(self) -> None:
+        """The worker process belongs to its supervisor; nothing to do."""
+
+    def __repr__(self) -> str:
+        return (
+            f"HTTPShardBackend(shard={self.shard_id}, {self.base_url!r}, "
+            f"docs=[{self.doc_lo},{self.doc_hi}))"
+        )
+
+
+# ----------------------------------------------------------------------
+# Router
+# ----------------------------------------------------------------------
+class RouterResponse(ServiceResponse):
+    """A gathered scatter response: merged pairs + per-shard account.
+
+    ``pairs`` hold *global* doc ids in canonical order.  ``failures``
+    lists one :class:`~repro.eval.harness.QueryFailure` per shard that
+    failed or missed the deadline (``position`` is the shard id);
+    ``partial`` is True when any shard is missing.  ``index_epoch`` is
+    the sum of the responding shards' epochs — it changes whenever any
+    shard's state does.
+    """
+
+    __slots__ = ("failures", "shard_epochs")
+
+    def __init__(
+        self,
+        pairs: tuple,
+        cached: bool,
+        seconds: float,
+        index_epoch: int,
+        failures: Sequence[QueryFailure] = (),
+        shard_epochs: dict | None = None,
+    ) -> None:
+        super().__init__(pairs, cached, seconds, index_epoch)
+        self.failures = list(failures)
+        self.shard_epochs = dict(shard_epochs or {})
+
+    @property
+    def partial(self) -> bool:
+        return bool(self.failures)
+
+    def __repr__(self) -> str:
+        return (
+            f"RouterResponse({len(self.pairs)} pairs, cached={self.cached}, "
+            f"shards={len(self.shard_epochs)}, "
+            f"failures={len(self.failures)})"
+        )
+
+
+class ShardRouter:
+    """Scatter-gather front over N shard backends.
+
+    Duck-types the :class:`SearchService` surface so the HTTP front-end
+    (:func:`~repro.service.http.serve_http`) and existing clients work
+    unchanged.  See the module docstring for semantics.
+
+    Parameters
+    ----------
+    backends:
+        Shard backends owning disjoint contiguous doc-id ranges that
+        tile ``[0, num_documents)``.
+    data:
+        Collection used to encode ``search_text`` queries (any shard
+        subset works — subsets share the parent vocabulary).
+    default_timeout:
+        Per-query deadline (seconds) across scatter + gather when the
+        caller passes none.  ``None`` = wait for every shard.
+    hedge_after:
+        Seconds to wait for a shard before sending one hedged duplicate
+        sub-request; first reply wins.  ``None`` disables hedging.
+    pool_size:
+        Scatter thread-pool size (default ``4 * num_shards`` — enough
+        for hedges plus concurrent callers).
+    """
+
+    def __init__(
+        self,
+        backends: Sequence,
+        data: DocumentCollection | None = None,
+        *,
+        default_timeout: float | None = None,
+        hedge_after: float | None = None,
+        pool_size: int | None = None,
+        name: str = "shard-router",
+    ) -> None:
+        backends = sorted(backends, key=lambda backend: backend.doc_lo)
+        if not backends:
+            raise ConfigurationError("a ShardRouter needs at least one backend")
+        previous_hi = 0
+        for backend in backends:
+            if backend.doc_lo != previous_hi:
+                raise ConfigurationError(
+                    f"shard {backend.shard_id} starts at doc {backend.doc_lo}, "
+                    f"expected {previous_hi} (ranges must tile the corpus)"
+                )
+            previous_hi = backend.doc_hi
+        ids = [backend.shard_id for backend in backends]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError(f"duplicate shard ids: {sorted(ids)}")
+        self._backends = list(backends)
+        self._by_id = {backend.shard_id: backend for backend in backends}
+        self.data = data
+        self.name = name
+        self.default_timeout = default_timeout
+        self.hedge_after = hedge_after
+        self.started_at = time.time()
+        self._closed = False
+        self._pool = ThreadPoolExecutor(
+            max_workers=pool_size or 4 * len(backends),
+            thread_name_prefix=f"{name}-scatter",
+        )
+        self._metrics_lock = threading.Lock()
+        self._registry = MetricsRegistry()
+        self._registry.gauge("router.shards").set(len(backends))
+        self._last_epochs = {backend.shard_id: 0 for backend in backends}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def local(
+        cls,
+        data: DocumentCollection,
+        params: SearchParams,
+        *,
+        shards: int,
+        compact: bool = True,
+        default_timeout: float | None = None,
+        hedge_after: float | None = None,
+        name: str = "shard-router",
+        **service_kwargs,
+    ) -> "ShardRouter":
+        """Build an in-process router: one :class:`SearchService` per shard."""
+        sizes = [len(doc) for doc in data]
+        ranges = partition_ranges(sizes, shards)
+        backends = []
+        for shard_id, (lo, hi) in enumerate(ranges):
+            subset = data.subset(range(lo, hi))
+            searcher = PKWiseSearcher(subset, params)
+            if compact:
+                searcher = searcher.compacted()
+            service = SearchService(
+                searcher,
+                subset,
+                name=f"{name}-shard-{shard_id:03d}",
+                **service_kwargs,
+            )
+            backends.append(
+                LocalShardBackend(
+                    service, shard_id=shard_id, doc_lo=lo, doc_hi=hi
+                )
+            )
+        return cls(
+            backends,
+            data,
+            default_timeout=default_timeout,
+            hedge_after=hedge_after,
+            name=name,
+        )
+
+    @classmethod
+    def open(
+        cls,
+        directory: str | Path,
+        *,
+        mmap: bool = True,
+        default_timeout: float | None = None,
+        hedge_after: float | None = None,
+        name: str = "shard-router",
+        **service_kwargs,
+    ) -> "ShardRouter":
+        """Serve an existing :class:`ShardPlan` directory in process.
+
+        Every shard snapshot is loaded (``mmap=True`` maps the v3
+        sections zero-copy) behind its own :class:`SearchService`.
+        """
+        directory = Path(directory)
+        plan = ShardPlan.load(directory)
+        backends = []
+        encode_data = None
+        for spec in plan.shards:
+            bundle = load_bundle(directory / spec.path, mmap=mmap)
+            if bundle.data is None:
+                raise ConfigurationError(
+                    f"shard snapshot {spec.path} has no document bundle"
+                )
+            if encode_data is None:
+                encode_data = bundle.data
+            service = SearchService(
+                bundle.searcher,
+                bundle.data,
+                name=f"{name}-shard-{spec.shard_id:03d}",
+                **service_kwargs,
+            )
+            backends.append(
+                LocalShardBackend(
+                    service,
+                    shard_id=spec.shard_id,
+                    doc_lo=spec.doc_lo,
+                    doc_hi=spec.doc_hi,
+                )
+            )
+        return cls(
+            backends,
+            encode_data,
+            default_timeout=default_timeout,
+            hedge_after=hedge_after,
+            name=name,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def backends(self) -> tuple:
+        return tuple(self._backends)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._backends)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def index_epoch(self) -> int:
+        """Sum of the last-observed per-shard epochs (monotone)."""
+        return sum(self._last_epochs.values())
+
+    def healthz(self) -> dict:
+        """Router liveness: aggregate status plus one entry per shard.
+
+        ``status`` is ``ok`` only when every shard answers ok —
+        ``degraded`` (some shards down, partial results still served)
+        and ``down`` (no shard reachable) both surface as 503 through
+        the HTTP front-end so balancers can eject the router.
+        """
+        shards = []
+        reachable = 0
+        for backend in self._backends:
+            entry = {
+                "shard_id": backend.shard_id,
+                "doc_lo": backend.doc_lo,
+                "doc_hi": backend.doc_hi,
+            }
+            entry.update(backend.describe())
+            try:
+                health = backend.healthz()
+            except Exception as exc:  # noqa: BLE001 - any failure = unreachable
+                entry["status"] = "unreachable"
+                entry["error"] = str(exc)
+            else:
+                entry["status"] = health.get("status", "unknown")
+                entry["documents"] = health.get("documents")
+                entry["index_epoch"] = health.get("index_epoch")
+                if entry["status"] == "ok":
+                    reachable += 1
+            shards.append(entry)
+        if self._closed:
+            status = "closed"
+        elif reachable == len(self._backends):
+            status = "ok"
+        elif reachable:
+            status = "degraded"
+        else:
+            status = "down"
+        return {
+            "status": status,
+            "service": self.name,
+            "num_shards": len(self._backends),
+            "shards_ok": reachable,
+            "documents": self._backends[-1].doc_hi,
+            "index_epoch": self.index_epoch,
+            "uptime_seconds": time.time() - self.started_at,
+            "shards": shards,
+        }
+
+    def metrics_snapshot(self) -> dict:
+        """Router counters + the per-shard registries, merged.
+
+        Counters and timers sum across shards (deterministic for a
+        deterministic workload), gauges keep the maximum — the same
+        envelope ``check_regression.py`` diffs for a single service.
+        """
+        with self._metrics_lock:
+            registry = MetricsRegistry.from_snapshot(self._registry.snapshot())
+        for backend in self._backends:
+            try:
+                snapshot = backend.metrics_snapshot()
+            except Exception:  # noqa: BLE001 - a dead shard has no metrics
+                registry.counter("router.metrics_unavailable").inc()
+                continue
+            registry.merge_snapshot(snapshot.get("metrics", {}))
+        return {
+            "name": self.name,
+            "schema_version": 1,
+            "metrics": registry.snapshot(),
+        }
+
+    # ------------------------------------------------------------------
+    # Query path
+    # ------------------------------------------------------------------
+    def search(
+        self, query: Document, *, timeout: float | None = None
+    ) -> RouterResponse:
+        """Scatter ``query`` to every shard and gather a merged response.
+
+        Raises only when *no* shard responded (the last shard error is
+        chained); otherwise missing shards are reported on
+        ``response.failures`` and the merged pairs cover the shards
+        that answered.
+        """
+        if self._closed:
+            raise ServiceClosedError(f"{self.name} is closed")
+        if timeout is None:
+            timeout = self.default_timeout
+        start = time.monotonic()
+        deadline_at = start + timeout if timeout is not None else None
+        with self._metrics_lock:
+            self._registry.counter("router.requests").inc()
+        results, failures, last_error = self._scatter_gather(query, deadline_at)
+        if not results:
+            with self._metrics_lock:
+                self._registry.counter("router.errors").inc()
+            error = ServiceError(
+                f"all {len(self._backends)} shard(s) failed for query "
+                f"{query.name or query.doc_id}: "
+                + "; ".join(f.error_message for f in failures)
+            )
+            error.failures = failures
+            raise error from last_error
+        pairs: list[MatchPair] = []
+        shard_epochs: dict[int, int] = {}
+        cached_votes: list[bool] = []
+        for backend in self._backends:
+            reply = results.get(backend.shard_id)
+            if reply is None:
+                continue
+            faults.inject("shards.gather", shard=backend.shard_id)
+            shard_epochs[backend.shard_id] = reply.index_epoch
+            self._last_epochs[backend.shard_id] = max(
+                self._last_epochs[backend.shard_id], reply.index_epoch
+            )
+            cached_votes.append(reply.cached)
+            offset = backend.doc_lo
+            # Shard-local doc ids renumber from 0 within [doc_lo, doc_hi);
+            # adding the offset restores global ids.  Ranges ascend and
+            # every reply is canonically ordered, so appending in shard
+            # order keeps the merged list canonical without a re-sort.
+            pairs.extend(
+                MatchPair(pair[0] + offset, pair[1], pair[2], pair[3])
+                for pair in reply.pairs
+            )
+        elapsed = time.monotonic() - start
+        with self._metrics_lock:
+            self._registry.counter("router.completed").inc()
+            self._registry.timer("router.request_seconds").add(elapsed)
+            if failures:
+                self._registry.counter("router.partial_responses").inc()
+                self._registry.counter("router.shard_failures").inc(len(failures))
+        return RouterResponse(
+            tuple(pairs),
+            cached=bool(cached_votes) and all(cached_votes),
+            seconds=elapsed,
+            index_epoch=sum(shard_epochs.values()),
+            failures=failures,
+            shard_epochs=shard_epochs,
+        )
+
+    def search_text(
+        self, text: str, *, timeout: float | None = None
+    ) -> RouterResponse:
+        """Encode ``text`` (any shard vocabulary works) and search it."""
+        if self.data is None:
+            raise ReproError(
+                "router has no document collection to encode text queries; "
+                "submit pre-encoded Document queries instead"
+            )
+        return self.search(self.data.encode_query(text), timeout=timeout)
+
+    def search_many(
+        self, queries: Sequence[Document], *, timeout: float | None = None
+    ) -> AggregateRun:
+        """Serve a batch; shard failures aggregate per query position."""
+        start = time.monotonic()
+        results_by_query: dict[int, list[MatchPair]] = {}
+        failures: list[QueryFailure] = []
+        for position, query in enumerate(queries):
+            try:
+                response = self.search(query, timeout=timeout)
+            except ReproError as exc:
+                failures.append(
+                    QueryFailure(
+                        position=position,
+                        query_id=query.doc_id,
+                        query_name=query.name,
+                        error_type=type(exc).__name__,
+                        error_message=str(exc),
+                        attempts=1,
+                    )
+                )
+                continue
+            results_by_query[position] = list(response.pairs)
+            failures.extend(
+                replace(shard_failure, position=position)
+                for shard_failure in response.failures
+            )
+        return AggregateRun(
+            name=self.name,
+            num_queries=len(queries),
+            total_seconds=time.monotonic() - start,
+            stats=SearchStats(),
+            results_by_query=results_by_query,
+            failures=failures,
+        )
+
+    # ------------------------------------------------------------------
+    def _shard_call(self, backend, query: Document, deadline_at: float | None):
+        faults.inject("shards.scatter", shard=backend.shard_id)
+        timeout = None
+        if deadline_at is not None:
+            timeout = max(1e-3, deadline_at - time.monotonic())
+        return backend.search(query, timeout=timeout)
+
+    def _shard_failure(
+        self, query: Document, shard_id: int, error: Exception, attempts: int
+    ) -> QueryFailure:
+        return QueryFailure(
+            position=shard_id,
+            query_id=query.doc_id,
+            query_name=f"{query.name or 'query'}@shard-{shard_id:03d}",
+            error_type=type(error).__name__,
+            error_message=str(error),
+            attempts=attempts,
+        )
+
+    def _scatter_gather(self, query: Document, deadline_at: float | None):
+        """Fan out, hedge stragglers once, and collect per-shard replies."""
+        outstanding: dict = {}
+        unresolved = dict(self._by_id)
+        results: dict[int, _ShardReply] = {}
+        errors: dict[int, Exception] = {}
+        attempts = {shard_id: 1 for shard_id in self._by_id}
+        failures: list[QueryFailure] = []
+        last_error: Exception | None = None
+        for backend in self._backends:
+            future = self._pool.submit(
+                self._shard_call, backend, query, deadline_at
+            )
+            outstanding[future] = backend.shard_id
+        hedge_at = (
+            time.monotonic() + self.hedge_after
+            if self.hedge_after is not None
+            else None
+        )
+        while outstanding and unresolved:
+            now = time.monotonic()
+            if deadline_at is not None and now >= deadline_at:
+                break
+            wait_until = deadline_at
+            if hedge_at is not None:
+                wait_until = (
+                    hedge_at if wait_until is None else min(wait_until, hedge_at)
+                )
+            wait_timeout = (
+                None if wait_until is None else max(0.0, wait_until - now)
+            )
+            done, _ = wait(
+                set(outstanding), timeout=wait_timeout,
+                return_when=FIRST_COMPLETED,
+            )
+            for future in done:
+                shard_id = outstanding.pop(future)
+                if shard_id not in unresolved:
+                    continue  # the other attempt already answered
+                try:
+                    results[shard_id] = future.result()
+                except Exception as exc:  # noqa: BLE001 - per-shard isolation
+                    errors[shard_id] = exc
+                    last_error = exc
+                    still_in_flight = shard_id in outstanding.values()
+                    if not still_in_flight:
+                        failures.append(
+                            self._shard_failure(
+                                query, shard_id, exc, attempts[shard_id]
+                            )
+                        )
+                        del unresolved[shard_id]
+                else:
+                    del unresolved[shard_id]
+            if hedge_at is not None and time.monotonic() >= hedge_at:
+                hedge_at = None  # at most one hedge per shard per query
+                for shard_id in list(unresolved):
+                    if shard_id not in outstanding.values():
+                        continue  # primary already failed; nothing to race
+                    backend = self._by_id[shard_id]
+                    future = self._pool.submit(
+                        self._shard_call, backend, query, deadline_at
+                    )
+                    outstanding[future] = shard_id
+                    attempts[shard_id] += 1
+                    with self._metrics_lock:
+                        self._registry.counter("router.hedges").inc()
+        for shard_id in sorted(unresolved):
+            error = errors.get(shard_id)
+            if error is None:
+                error = DeadlineExceededError(
+                    f"shard {shard_id} did not reply within the per-query "
+                    f"deadline"
+                )
+                last_error = error
+            failures.append(
+                self._shard_failure(query, shard_id, error, attempts[shard_id])
+            )
+        for future in outstanding:
+            future.cancel()  # best effort; late replies are discarded
+        failures.sort(key=lambda failure: failure.position)
+        return results, failures, last_error
+
+    # ------------------------------------------------------------------
+    # Mutation / swap
+    # ------------------------------------------------------------------
+    def remove_document(self, doc_id: int) -> None:
+        """Tombstone a *global* doc id on the shard that owns it."""
+        for backend in self._backends:
+            if backend.doc_lo <= doc_id < backend.doc_hi:
+                remover = getattr(backend, "remove_document", None)
+                if remover is None:
+                    raise ServiceError(
+                        f"shard {backend.shard_id} backend does not support "
+                        f"remove_document (rebuild + rolling swap instead)"
+                    )
+                remover(doc_id - backend.doc_lo)
+                return
+        raise ConfigurationError(
+            f"doc_id {doc_id} outside corpus [0, {self._backends[-1].doc_hi})"
+        )
+
+    def swap_shard(
+        self, shard_id: int, searcher, data: DocumentCollection | None = None
+    ) -> int:
+        """Swap one shard to a new snapshot generation without downtime."""
+        backend = self._by_id.get(shard_id)
+        if backend is None:
+            raise ConfigurationError(f"unknown shard id {shard_id}")
+        faults.inject("shards.swap", shard=shard_id)
+        swap = getattr(backend, "swap", None)
+        if swap is None:
+            raise ServiceError(
+                f"shard {shard_id} backend ({type(backend).__name__}) does "
+                f"not support in-process swap"
+            )
+        generation = swap(searcher, data)
+        with self._metrics_lock:
+            self._registry.counter("router.swaps").inc()
+        return generation
+
+    def rolling_swap(
+        self, directory: str | Path, *, mmap: bool = True
+    ) -> int:
+        """Swap every shard to the generation in ``directory``'s manifest.
+
+        One shard at a time: build/load the new snapshot, then
+        :meth:`swap_shard` it — each swap drains that shard's in-flight
+        readers under the write lock while all other shards keep
+        serving.  Returns the new generation number.
+        """
+        directory = Path(directory)
+        plan = ShardPlan.load(directory)
+        if plan.num_shards != len(self._backends):
+            raise ConfigurationError(
+                f"plan has {plan.num_shards} shards, router has "
+                f"{len(self._backends)}"
+            )
+        for spec in plan.shards:
+            backend = self._by_id.get(spec.shard_id)
+            if backend is None or (backend.doc_lo, backend.doc_hi) != (
+                spec.doc_lo,
+                spec.doc_hi,
+            ):
+                raise ConfigurationError(
+                    f"shard {spec.shard_id} range mismatch between plan "
+                    f"and router"
+                )
+        for spec in plan.shards:
+            bundle = load_bundle(directory / spec.path, mmap=mmap)
+            self.swap_shard(spec.shard_id, bundle.searcher, bundle.data)
+        return plan.generation
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop routing, then close every backend.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.shutdown(wait=True)
+        for backend in self._backends:
+            backend.close()
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardRouter({self.name!r}, shards={len(self._backends)}, "
+            f"hedge_after={self.hedge_after}, closed={self._closed})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker supervision (subprocess shards for the CLI / smoke / bench)
+# ----------------------------------------------------------------------
+@dataclass
+class ShardWorker:
+    """A spawned shard worker process and its serving URL."""
+
+    spec: ShardSpec
+    process: subprocess.Popen
+    url: str
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+
+def _read_serving_line(process: subprocess.Popen, timeout: float) -> str:
+    """Read a worker's stdout until its ``SERVING <url>`` line."""
+    deadline = time.monotonic() + timeout
+    assert process.stdout is not None
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            if process.poll() is not None:
+                raise ServiceError(
+                    f"shard worker exited with code {process.returncode} "
+                    f"before serving"
+                )
+            time.sleep(0.05)
+            continue
+        if line.startswith("SERVING "):
+            return line.split(None, 1)[1].strip()
+    raise ServiceError(f"shard worker did not serve within {timeout}s")
+
+
+def spawn_shard_workers(
+    directory: str | Path,
+    plan: ShardPlan | None = None,
+    *,
+    cache_size: int | None = None,
+    workers: int | None = None,
+    startup_timeout: float = 60.0,
+) -> list[ShardWorker]:
+    """Start one ``repro serve`` process per shard of ``plan``.
+
+    Each worker maps its own compact snapshot (``--mmap``) and binds an
+    ephemeral port; the returned :class:`ShardWorker`\\ s carry the
+    parsed URLs.  On any startup failure every already-spawned worker
+    is terminated before the error propagates.
+    """
+    directory = Path(directory)
+    if plan is None:
+        plan = ShardPlan.load(directory)
+    spawned: list[tuple[ShardSpec, subprocess.Popen]] = []
+    try:
+        for spec in plan.shards:
+            command = [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--index",
+                str(directory / spec.path),
+                "--port",
+                "0",
+                "--mmap",
+            ]
+            if cache_size is not None:
+                command += ["--cache-size", str(cache_size)]
+            if workers is not None:
+                command += ["--workers", str(workers)]
+            process = subprocess.Popen(
+                command, stdout=subprocess.PIPE, text=True
+            )
+            spawned.append((spec, process))
+        return [
+            ShardWorker(spec=spec, process=process,
+                        url=_read_serving_line(process, startup_timeout))
+            for spec, process in spawned
+        ]
+    except BaseException:
+        stop_shard_workers(
+            ShardWorker(spec=spec, process=process, url="")
+            for spec, process in spawned
+        )
+        raise
+
+
+def stop_shard_workers(workers, *, timeout: float = 5.0) -> None:
+    """Terminate (then kill) every worker process.  Idempotent."""
+    workers = list(workers)
+    for worker in workers:
+        if worker.process.poll() is None:
+            worker.process.terminate()
+    deadline = time.monotonic() + timeout
+    for worker in workers:
+        remaining = max(0.1, deadline - time.monotonic())
+        try:
+            worker.process.wait(timeout=remaining)
+        except subprocess.TimeoutExpired:
+            worker.process.kill()
+            worker.process.wait()
+        if worker.process.stdout is not None:
+            worker.process.stdout.close()
+
+
+def backends_for_workers(
+    workers: Sequence[ShardWorker],
+    *,
+    retries: int = 2,
+    http_timeout: float = 30.0,
+) -> list[HTTPShardBackend]:
+    """HTTP backends pointing at spawned shard workers."""
+    return [
+        HTTPShardBackend(
+            worker.url,
+            shard_id=worker.spec.shard_id,
+            doc_lo=worker.spec.doc_lo,
+            doc_hi=worker.spec.doc_hi,
+            retries=retries,
+            http_timeout=http_timeout,
+            pid=worker.pid,
+        )
+        for worker in workers
+    ]

@@ -91,14 +91,20 @@ def http_error(status: int, message: str = "server error") -> ReproError:
 
 
 class ScriptedSend:
-    """Yields the scripted outcomes in order; exceptions are raised."""
+    """Yields the scripted outcomes in order; exceptions are raised.
+
+    Records the per-attempt socket timeout the retry loop passed in,
+    so tests can assert the deadline clamp.
+    """
 
     def __init__(self, outcomes) -> None:
         self.outcomes = list(outcomes)
         self.calls = 0
+        self.timeouts: list[float | None] = []
 
-    def __call__(self):
+    def __call__(self, timeout=None):
         self.calls += 1
+        self.timeouts.append(timeout)
         outcome = self.outcomes.pop(0)
         if isinstance(outcome, Exception):
             raise outcome
@@ -327,10 +333,81 @@ class TestRetryPolicy:
             ResilientClient("http://x", backoff=-0.1)
 
 
-class ScriptedHandler(BaseHTTPRequestHandler):
-    """Serves a scripted list of (status, body) responses in order."""
+class TestDeadlineClamp:
+    """Satellite fix: per-attempt socket timeout honors the deadline budget."""
 
-    script: list[tuple[int, dict]] = []
+    def test_socket_timeout_clamped_to_remaining_budget(self):
+        client, clock, _sleeps = make_client(
+            retries=10, deadline=5.0, http_timeout=30.0, failure_threshold=100
+        )
+        send = ScriptedSend([urllib.error.URLError("hang")] * 10)
+        original_call = send.__call__
+
+        def slow_call(timeout=None):
+            clock.advance(2.0)  # each attempt burns 2s of wall clock
+            return original_call(timeout)
+
+        with pytest.raises(DeadlineExceededError, match="deadline"):
+            client._call(slow_call)
+        # 5s budget at 2s per attempt: timeouts 5 → 3 → 1, then the
+        # fourth attempt is refused before sending (budget < 0).
+        assert send.calls == 3
+        assert send.timeouts == [
+            pytest.approx(5.0),
+            pytest.approx(3.0),
+            pytest.approx(1.0),
+        ]
+
+    def test_hung_attempt_cannot_blow_budget_by_http_timeout(self):
+        # A scripted slow server exceeds the deadline mid-attempt: the
+        # old behavior would send again with the full 30s socket
+        # timeout; now the follow-up attempt raises *before* sending.
+        client, clock, _sleeps = make_client(
+            retries=5, deadline=5.0, http_timeout=30.0, failure_threshold=100
+        )
+        send = ScriptedSend([urllib.error.URLError("slow")] * 6)
+        original_call = send.__call__
+
+        def hung_call(timeout=None):
+            clock.advance(6.0)  # hangs past the whole deadline
+            return original_call(timeout)
+
+        with pytest.raises(DeadlineExceededError) as info:
+            client._call(hung_call)
+        assert send.calls == 1
+        # The single attempt got the full (clamped) 5s, not 30s.
+        assert send.timeouts == [pytest.approx(5.0)]
+        assert isinstance(info.value.__cause__, ServiceError)
+
+    def test_no_deadline_passes_http_timeout_through(self):
+        client, _clock, _sleeps = make_client(
+            retries=0, deadline=None, http_timeout=7.5
+        )
+        send = ScriptedSend([{"ok": 1}])
+        assert client._call(send) == {"ok": 1}
+        assert send.timeouts == [pytest.approx(7.5)]
+
+    def test_budget_exactly_exhausted_raises_before_sending(self):
+        # Backoff lands exactly on the deadline: the next attempt must
+        # be refused at the pre-send check (remaining budget is zero).
+        client, _clock, sleeps = make_client(
+            retries=5, deadline=1.0, failure_threshold=100
+        )
+        send = ScriptedSend([ServiceOverloadError("busy", retry_after=1.0)] * 2)
+        with pytest.raises(DeadlineExceededError):
+            client._call(send)
+        assert send.calls == 1
+        assert sleeps == [pytest.approx(1.0)]
+
+
+class ScriptedHandler(BaseHTTPRequestHandler):
+    """Serves a scripted list of (status, body) responses in order.
+
+    A ``bytes`` body is sent verbatim (for malformed-JSON scripts);
+    anything else is JSON-encoded.
+    """
+
+    script: list[tuple[int, object]] = []
     lock = threading.Lock()
 
     def _reply(self) -> None:
@@ -338,7 +415,10 @@ class ScriptedHandler(BaseHTTPRequestHandler):
             status, body = (
                 self.script.pop(0) if self.script else (200, {"ok": True})
             )
-        payload = json.dumps(body).encode("utf-8")
+        if isinstance(body, bytes):
+            payload = body
+        else:
+            payload = json.dumps(body).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(payload)))
@@ -407,6 +487,88 @@ class TestClientOverHTTP:
         )
         with pytest.raises(ServiceError, match="cannot reach"):
             client.healthz()
+
+    def test_garbage_200_body_is_retried_then_succeeds(self, scripted_server):
+        # Satellite fix: a 200 with a non-JSON body must be classified
+        # as a retryable transport fault, not leak json.JSONDecodeError.
+        ScriptedHandler.script = [
+            (200, b"<<<truncated garbage"),
+            (200, {"status": "ok"}),
+        ]
+        client = ResilientClient(
+            scripted_server, retries=3, backoff=0.0, deadline=10.0
+        )
+        assert client.healthz() == {"status": "ok"}
+
+    def test_persistent_garbage_body_surfaces_typed(self, scripted_server):
+        ScriptedHandler.script = [(200, b"not json at all")] * 4
+        client = ResilientClient(
+            scripted_server,
+            retries=2,
+            backoff=0.0,
+            deadline=10.0,
+            failure_threshold=100,
+        )
+        with pytest.raises(ServiceError, match="malformed JSON") as info:
+            client.healthz()
+        assert getattr(info.value, "status", None) == 502
+
+    def test_non_dict_200_body_surfaces_typed(self, scripted_server):
+        ScriptedHandler.script = [(200, [1, 2, 3])] * 2
+        client = ResilientClient(
+            scripted_server,
+            retries=1,
+            backoff=0.0,
+            deadline=10.0,
+            failure_threshold=100,
+        )
+        with pytest.raises(ServiceError, match="JSON object") as info:
+            client.healthz()
+        assert getattr(info.value, "status", None) == 502
+
+
+class TestResultCacheEpochScan:
+    """Satellite fix: one stale-entry scan per epoch advance, not per put."""
+
+    def test_single_scan_per_epoch_burst(self):
+        from repro.service import ResultCache
+
+        cache = ResultCache(capacity=64)
+        for i in range(10):
+            cache.put((f"q{i}", "p", 0), (i,))
+        assert cache.invalidations == 0
+        # First insert at the new epoch purges every stale entry...
+        cache.put(("q0", "p", 1), (0,))
+        assert cache.invalidations == 10
+        # ...and the rest of the same-epoch burst never rescans.
+        for i in range(1, 10):
+            cache.put((f"q{i}", "p", 1), (i,))
+        assert cache.invalidations == 10
+        assert len(cache) == 10
+
+    def test_stale_epoch_straggler_purged_on_next_advance(self):
+        from repro.service import ResultCache
+
+        cache = ResultCache(capacity=64)
+        cache.put(("a", "p", 1), (1,))
+        # A straggler insert at an older epoch triggers no scan...
+        cache.put(("late", "p", 0), (0,))
+        assert cache.invalidations == 0
+        assert len(cache) == 2
+        # ...but the next epoch advance sweeps both dead entries.
+        cache.put(("b", "p", 2), (2,))
+        assert cache.invalidations == 2
+        assert len(cache) == 1
+
+    def test_len_is_lock_safe_and_counts_entries(self):
+        from repro.service import ResultCache
+
+        cache = ResultCache(capacity=4)
+        assert len(cache) == 0
+        for i in range(6):
+            cache.put((f"q{i}", "p", 0), (i,))
+        assert len(cache) == 4  # LRU evicted down to capacity
+        assert cache.evictions == 2
 
 
 class TestServiceFaultPoint:

@@ -1,0 +1,476 @@
+"""Tests for repro.service.shards: plans, router parity, faults, swaps."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import (
+    ConfigurationError,
+    DocumentCollection,
+    FaultInjectionError,
+    FaultPlan,
+    FaultSpec,
+    Index,
+    PKWiseSearcher,
+    SearchParams,
+    ServiceError,
+    faults,
+)
+from repro.errors import ServiceClosedError
+from repro.eval.harness import canonical_pair_order
+from repro.persistence import generation_name
+from repro.service import (
+    ShardPlan,
+    ShardRouter,
+    partition_ranges,
+    remote_healthz,
+    remote_search,
+    serve_http,
+)
+from repro.service.shards import MANIFEST_NAME
+
+from .conftest import pairs_as_set
+
+PARAMS = SearchParams(w=10, tau=2, k_max=3)
+
+
+@pytest.fixture(autouse=True)
+def _clear_fault_plan():
+    yield
+    faults.clear_plan()
+
+
+@pytest.fixture
+def query(small_corpus):
+    """A query cut from doc 0 — matches docs 0 and 3 (different shards)."""
+    tokens = small_corpus[0].tokens[8:38]
+    words = small_corpus.vocabulary.decode(tokens)
+    return small_corpus.encode_query_tokens(words, name="cross-shard")
+
+
+def expected_pairs(corpus, query):
+    searcher = PKWiseSearcher(corpus, PARAMS)
+    return canonical_pair_order(list(searcher.search(query).pairs))
+
+
+# ----------------------------------------------------------------------
+class TestPartitionRanges:
+    def test_equal_sizes_tile_evenly(self):
+        assert partition_ranges([10] * 6, 3) == [(0, 2), (2, 4), (4, 6)]
+
+    def test_token_weight_balances_ranges(self):
+        # One huge document gets its own shard; the tail splits evenly.
+        assert partition_ranges([30, 1, 1, 1, 1, 1], 3) == [
+            (0, 1),
+            (1, 4),
+            (4, 6),
+        ]
+
+    def test_single_shard_covers_corpus(self):
+        assert partition_ranges([5, 5, 5], 1) == [(0, 3)]
+
+    def test_ranges_always_tile_and_are_nonempty(self):
+        sizes = [3, 90, 1, 1, 40, 2, 2, 60, 5]
+        for num_shards in range(1, len(sizes) + 1):
+            ranges = partition_ranges(sizes, num_shards)
+            assert ranges[0][0] == 0
+            assert ranges[-1][1] == len(sizes)
+            for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+                assert hi == lo
+            assert all(hi > lo for lo, hi in ranges)
+
+    def test_rejects_bad_shard_counts(self):
+        with pytest.raises(ConfigurationError):
+            partition_ranges([1, 1], 0)
+        with pytest.raises(ConfigurationError):
+            partition_ranges([1, 1], 3)
+
+
+# ----------------------------------------------------------------------
+class TestShardPlan:
+    def test_build_save_load_round_trip(self, small_corpus, tmp_path):
+        plan = ShardPlan.build(
+            small_corpus, PARAMS, tmp_path, num_shards=3
+        )
+        assert (tmp_path / MANIFEST_NAME).exists()
+        assert plan.num_shards == 3
+        assert plan.num_documents == len(small_corpus)
+        for spec in plan.shards:
+            assert spec.path == generation_name(
+                f"shard-{spec.shard_id:03d}", 1
+            )
+            assert (tmp_path / spec.path).exists()
+        loaded = ShardPlan.load(tmp_path)
+        assert loaded.shards == plan.shards
+        assert loaded.generation == plan.generation
+        loaded.validate()
+
+    def test_ensure_reuses_compatible_manifest(self, small_corpus, tmp_path):
+        first = ShardPlan.build(small_corpus, PARAMS, tmp_path, num_shards=3)
+        mtimes = {
+            spec.path: (tmp_path / spec.path).stat().st_mtime_ns
+            for spec in first.shards
+        }
+        again = ShardPlan.ensure(
+            small_corpus, PARAMS, tmp_path, num_shards=3
+        )
+        assert again.shards == first.shards
+        for spec in again.shards:
+            assert (tmp_path / spec.path).stat().st_mtime_ns == mtimes[
+                spec.path
+            ]
+
+    def test_ensure_rebuilds_on_shard_count_change(
+        self, small_corpus, tmp_path
+    ):
+        ShardPlan.build(small_corpus, PARAMS, tmp_path, num_shards=3)
+        rebuilt = ShardPlan.ensure(
+            small_corpus, PARAMS, tmp_path, num_shards=2
+        )
+        assert rebuilt.num_shards == 2
+        assert ShardPlan.load(tmp_path).num_shards == 2
+
+    def test_generation_name_format(self):
+        assert generation_name("shard-001", 7) == "shard-001.g000007.idx"
+        with pytest.raises(ValueError):
+            generation_name("shard-001", 0)
+
+
+# ----------------------------------------------------------------------
+class TestRouterParity:
+    @pytest.mark.parametrize("shards", [1, 3])
+    def test_local_router_matches_single_index(
+        self, small_corpus, query, shards
+    ):
+        single = expected_pairs(small_corpus, query)
+        assert single, "fixture query must produce matches"
+        with ShardRouter.local(
+            small_corpus, PARAMS, shards=shards
+        ) as router:
+            response = router.search(query)
+            assert list(response.pairs) == single
+            assert not response.partial
+            cached = router.search(query)
+            assert cached.cached
+            assert list(cached.pairs) == single
+
+    @pytest.mark.parametrize("shards", [1, 3])
+    def test_snapshot_router_matches_single_index(
+        self, small_corpus, query, tmp_path, shards
+    ):
+        single = expected_pairs(small_corpus, query)
+        ShardPlan.build(small_corpus, PARAMS, tmp_path, num_shards=shards)
+        with ShardRouter.open(tmp_path, mmap=True) as router:
+            assert list(router.search(query).pairs) == single
+
+    def test_index_serve_shards_facade(self, small_corpus, query):
+        index = Index.build(
+            [
+                " ".join(small_corpus.vocabulary.decode(doc.tokens))
+                for doc in small_corpus
+            ],
+            params=PARAMS,
+        )
+        single = canonical_pair_order(list(index.search(query)))
+        with index.serve(shards=3) as router:
+            assert router.num_shards == 3
+            assert list(router.search(query).pairs) == single
+
+    def test_http_round_trip(self, small_corpus, query):
+        single = expected_pairs(small_corpus, query)
+        with ShardRouter.local(small_corpus, PARAMS, shards=3) as router:
+            server = serve_http(router, port=0)
+            thread = threading.Thread(
+                target=server.serve_forever, daemon=True
+            )
+            thread.start()
+            try:
+                health = remote_healthz(server.url)
+                assert health["status"] == "ok"
+                assert health["num_shards"] == 3
+                reply = remote_search(
+                    server.url, token_ids=list(query.tokens)
+                )
+                assert [tuple(p) for p in reply["pairs"]] == [
+                    tuple(p) for p in single
+                ]
+                assert "partial" not in reply
+            finally:
+                server.shutdown()
+                server.server_close()
+                thread.join(timeout=5)
+
+
+# ----------------------------------------------------------------------
+class TestPartialResults:
+    def test_dead_shard_reports_partial(self, small_corpus, query):
+        single = expected_pairs(small_corpus, query)
+        with ShardRouter.local(small_corpus, PARAMS, shards=3) as router:
+            dead = router.backends[1]
+            lo, hi = dead.doc_lo, dead.doc_hi
+            faults.install_plan(
+                FaultPlan(
+                    [
+                        FaultSpec(
+                            point="shards.scatter",
+                            kind="raise",
+                            match={"shard": 1},
+                        )
+                    ]
+                )
+            )
+            response = router.search(query)
+            assert response.partial
+            assert len(response.failures) == 1
+            failure = response.failures[0]
+            assert failure.position == 1
+            assert failure.query_name.endswith("@shard-001")
+            assert failure.error_type == "FaultInjectionError"
+            survivors = [
+                tuple(p) for p in single if not lo <= p[0] < hi
+            ]
+            assert [tuple(p) for p in response.pairs] == survivors
+
+    def test_all_shards_down_raises(self, small_corpus, query):
+        with ShardRouter.local(small_corpus, PARAMS, shards=3) as router:
+            faults.install_plan(
+                FaultPlan(
+                    [FaultSpec(point="shards.scatter", kind="raise")]
+                )
+            )
+            with pytest.raises(ServiceError) as excinfo:
+                router.search(query)
+            assert len(excinfo.value.failures) == 3
+
+    def test_search_many_tags_query_positions(self, small_corpus, query):
+        with ShardRouter.local(small_corpus, PARAMS, shards=3) as router:
+            faults.install_plan(
+                FaultPlan(
+                    [
+                        FaultSpec(
+                            point="shards.scatter",
+                            kind="raise",
+                            match={"shard": 2},
+                        )
+                    ]
+                )
+            )
+            run = router.search_many([query, query])
+            assert sorted(run.results_by_query) == [0, 1]
+            assert [f.position for f in run.failures] == [0, 1]
+            assert all(
+                f.query_name.endswith("@shard-002") for f in run.failures
+            )
+
+    def test_http_partial_reply_shape(self, small_corpus, query):
+        with ShardRouter.local(small_corpus, PARAMS, shards=3) as router:
+            faults.install_plan(
+                FaultPlan(
+                    [
+                        FaultSpec(
+                            point="shards.scatter",
+                            kind="raise",
+                            match={"shard": 0},
+                        )
+                    ]
+                )
+            )
+            server = serve_http(router, port=0)
+            thread = threading.Thread(
+                target=server.serve_forever, daemon=True
+            )
+            thread.start()
+            try:
+                reply = remote_search(
+                    server.url, token_ids=list(query.tokens)
+                )
+                assert reply["partial"] is True
+                assert reply["failures"][0]["position"] == 0
+            finally:
+                server.shutdown()
+                server.server_close()
+                thread.join(timeout=5)
+
+    def test_closed_router_raises(self, small_corpus, query):
+        router = ShardRouter.local(small_corpus, PARAMS, shards=2)
+        router.close()
+        with pytest.raises(ServiceClosedError):
+            router.search(query)
+
+
+# ----------------------------------------------------------------------
+class TestHedging:
+    def test_hedge_covers_one_slow_shard(self, small_corpus, query):
+        single = expected_pairs(small_corpus, query)
+        # The first scatter attempt for shard 0 sleeps well past the
+        # hedge trigger; the hedge (second attempt) finds the fault
+        # exhausted and answers promptly.
+        faults.install_plan(
+            FaultPlan(
+                [
+                    FaultSpec(
+                        point="shards.scatter",
+                        kind="delay",
+                        match={"shard": 0},
+                        delay_seconds=0.5,
+                        max_triggers=1,
+                    )
+                ]
+            )
+        )
+        with ShardRouter.local(
+            small_corpus, PARAMS, shards=3, hedge_after=0.05
+        ) as router:
+            response = router.search(query)
+            assert not response.partial
+            assert [tuple(p) for p in response.pairs] == [
+                tuple(p) for p in single
+            ]
+            metrics = router.metrics_snapshot()["metrics"]
+            assert metrics["counters"]["router.hedges"] >= 1
+
+
+# ----------------------------------------------------------------------
+def _mutated_corpus(small_corpus, doc_id=0):
+    """Same shape (doc count + token counts) with ``doc_id`` rewritten,
+    so a rebuilt ShardPlan has identical ranges but different matches.
+    Shares the parent vocabulary so old-vocab queries stay comparable."""
+    data = DocumentCollection(
+        tokenizer=small_corpus.tokenizer,
+        vocabulary=small_corpus.vocabulary,
+    )
+    for doc in small_corpus:
+        words = small_corpus.vocabulary.decode(doc.tokens)
+        if doc.doc_id == doc_id:
+            words = [f"swapped{i}" for i in range(len(words))]
+        data.add_tokens(words)
+    return data
+
+
+class TestRollingSwap:
+    def test_rolling_swap_changes_results_and_epochs(
+        self, small_corpus, query, tmp_path
+    ):
+        ShardPlan.build(small_corpus, PARAMS, tmp_path, num_shards=3)
+        with ShardRouter.open(tmp_path, mmap=True) as router:
+            before = router.search(query)
+            assert before.pairs
+            epoch_before = router.index_epoch
+            mutated = _mutated_corpus(small_corpus, doc_id=0)
+            ShardPlan.build(
+                mutated, PARAMS, tmp_path, num_shards=3, generation=2
+            )
+            assert router.rolling_swap(tmp_path) == 2
+            after = router.search(query)
+            assert router.index_epoch > epoch_before
+            # Doc 0 was rewritten: its matches are gone, doc 3's stay.
+            assert not after.cached
+            after_docs = {p.doc_id for p in after.pairs}
+            assert 0 not in after_docs
+            assert 3 in after_docs
+            expected = expected_pairs(mutated, query)
+            assert list(after.pairs) == expected
+
+    def test_swap_is_atomic_per_shard_under_live_queries(
+        self, small_corpus, query, tmp_path
+    ):
+        """Each shard's slice of every response is wholly old or new."""
+        ShardPlan.build(small_corpus, PARAMS, tmp_path, num_shards=3)
+        mutated = _mutated_corpus(small_corpus, doc_id=0)
+        old = pairs_as_set(expected_pairs(small_corpus, query))
+        new = pairs_as_set(expected_pairs(mutated, query))
+        assert old != new
+        with ShardRouter.open(tmp_path, mmap=True) as router:
+            shard_ranges = [
+                (b.doc_lo, b.doc_hi) for b in router.backends
+            ]
+
+            def slices(pair_set):
+                return [
+                    frozenset(p for p in pair_set if lo <= p[0] < hi)
+                    for lo, hi in shard_ranges
+                ]
+
+            old_slices, new_slices = slices(old), slices(new)
+            errors: list[str] = []
+            stop = threading.Event()
+
+            def stream():
+                while not stop.is_set():
+                    got = slices(pairs_as_set(router.search(query)))
+                    for shard, observed in enumerate(got):
+                        if observed not in (
+                            old_slices[shard],
+                            new_slices[shard],
+                        ):
+                            errors.append(
+                                f"shard {shard} served a mixed "
+                                f"generation: {sorted(observed)}"
+                            )
+                            stop.set()
+
+            thread = threading.Thread(target=stream, daemon=True)
+            thread.start()
+            try:
+                time.sleep(0.05)
+                ShardPlan.build(
+                    mutated, PARAMS, tmp_path, num_shards=3, generation=2
+                )
+                router.rolling_swap(tmp_path)
+                time.sleep(0.05)
+            finally:
+                stop.set()
+                thread.join(timeout=10)
+            assert not errors, errors[0]
+            assert pairs_as_set(router.search(query)) == new
+
+    def test_swap_invalidates_cache(self, small_corpus, query, tmp_path):
+        ShardPlan.build(small_corpus, PARAMS, tmp_path, num_shards=2)
+        with ShardRouter.open(tmp_path, mmap=True) as router:
+            first = router.search(query)
+            assert router.search(query).cached
+            mutated = _mutated_corpus(small_corpus, doc_id=0)
+            ShardPlan.build(
+                mutated, PARAMS, tmp_path, num_shards=2, generation=2
+            )
+            router.rolling_swap(tmp_path)
+            fresh = router.search(query)
+            assert not fresh.cached
+            assert pairs_as_set(fresh) != pairs_as_set(first)
+
+    def test_swap_fault_point_fires(self, small_corpus, tmp_path):
+        ShardPlan.build(small_corpus, PARAMS, tmp_path, num_shards=2)
+        with ShardRouter.open(tmp_path, mmap=True) as router:
+            faults.install_plan(
+                FaultPlan(
+                    [
+                        FaultSpec(
+                            point="shards.swap",
+                            kind="raise",
+                            match={"shard": 1},
+                        )
+                    ]
+                )
+            )
+            searcher = PKWiseSearcher(
+                small_corpus.subset(
+                    range(router.backends[1].doc_lo, router.backends[1].doc_hi)
+                ),
+                PARAMS,
+            )
+            with pytest.raises(FaultInjectionError):
+                router.swap_shard(1, searcher)
+
+    def test_remove_document_routes_to_owner(self, small_corpus, query):
+        with ShardRouter.local(small_corpus, PARAMS, shards=3) as router:
+            before = pairs_as_set(router.search(query))
+            assert any(p[0] == 3 for p in before)
+            router.remove_document(3)
+            after = pairs_as_set(router.search(query))
+            assert not any(p[0] == 3 for p in after)
+            assert after == {p for p in before if p[0] != 3}
+            with pytest.raises(ConfigurationError):
+                router.remove_document(10_000)
