@@ -23,11 +23,21 @@ smaller hosts the measured numbers are still recorded, with the gate
 marked unenforced — a 1-core box physically cannot show the speedup
 and pretending otherwise would just train the suite to lie.
 
+A third profile measures **ingest while serving**: a writer thread
+streams documents through ``service.add_text`` (upgrading the
+deployment to the LSM write path in place) with periodic flushes and a
+final compaction, while concurrent reader threads drive uncached
+queries the whole time.  The gates are behavioral, not timed: zero
+``ServiceOverloadError`` (installs happen inside the write-lock
+critical section — serving never blocks on a fold) and per-thread
+monotone response epochs (no mixed-generation response).  Sustained
+writes/s and concurrent-query latency are recorded.
+
 Emits ``BENCH_serving.json`` at the repo root: the latency table, the
-cache hit/miss counters, the sharded throughput profile, and a
-``serial`` metrics section in the layout
-``benchmarks/check_regression.py`` diffs (counters exact, timers within
-tolerance).
+cache hit/miss counters, the sharded throughput profile, the
+ingest-while-serving profile, and a ``serial`` metrics section in the
+layout ``benchmarks/check_regression.py`` diffs (counters exact,
+timers within tolerance).
 
 Usage::
 
@@ -224,6 +234,127 @@ def bench_sharded_throughput(args, data, params, queries) -> tuple[dict, bool]:
     return section, passed
 
 
+def bench_ingest_while_serving(args, data, params, queries) -> tuple[dict, bool]:
+    """Stream writes through a live service under concurrent queries.
+
+    Returns ``(profile_section, ok)`` — ``ok`` is False when a query
+    was rejected with ``ServiceOverloadError`` or any reader observed
+    a non-monotone response epoch.
+    """
+    import random
+
+    from repro import (
+        DocumentCollection,
+        PKWiseSearcher,
+        SearchService,
+        ServiceOverloadError,
+    )
+
+    writes = 12 if args.tiny else 60
+    flush_every = 5 if args.tiny else 25
+    readers = 2
+    rng = random.Random(20160626)
+
+    # A private copy of the corpus: the writer grows it live.
+    live_data = DocumentCollection()
+    doc_texts = [data.vocabulary.decode(doc.tokens) for doc in data]
+    for doc_id, tokens in enumerate(doc_texts):
+        live_data.add_tokens(tokens, name=f"doc-{doc_id}")
+    service = SearchService(
+        PKWiseSearcher(live_data, params), live_data,
+        max_workers=2, max_queue=256, cache_size=0, name="serving-ingest",
+    )
+    token_queries = [
+        live_data.encode_query_tokens(data.vocabulary.decode(query.tokens))
+        for query in queries
+    ]
+
+    overloads: list[Exception] = []
+    errors: list[Exception] = []
+    latencies_lock = threading.Lock()
+    query_latencies: list[float] = []
+    epoch_ok = True
+    stop = threading.Event()
+
+    def reader(seed: int) -> None:
+        nonlocal epoch_ok
+        reader_rng = random.Random(seed)
+        last_epoch = -1
+        while not stop.is_set():
+            query = token_queries[reader_rng.randrange(len(token_queries))]
+            start = time.perf_counter()
+            try:
+                response = service.search(query)
+            except ServiceOverloadError as exc:
+                overloads.append(exc)
+                continue
+            except Exception as exc:  # noqa: BLE001 - recorded and gated
+                errors.append(exc)
+                continue
+            elapsed = time.perf_counter() - start
+            with latencies_lock:
+                query_latencies.append(elapsed)
+                if response.index_epoch < last_epoch:
+                    epoch_ok = False
+                last_epoch = max(last_epoch, response.index_epoch)
+
+    threads = [
+        threading.Thread(target=reader, args=(1000 + i,))
+        for i in range(readers)
+    ]
+    for thread in threads:
+        thread.start()
+    folds = 0
+    write_start = time.perf_counter()
+    try:
+        for i in range(writes):
+            source = doc_texts[rng.randrange(len(doc_texts))]
+            offset = rng.randrange(max(1, len(source) - 120))
+            service.add_text(
+                " ".join(source[offset:offset + 120]), name=f"live-{i}"
+            )
+            if (i + 1) % flush_every == 0:
+                service.searcher.store.flush()
+                folds += 1
+        service.searcher.store.compact()
+        folds += 1
+    finally:
+        write_seconds = time.perf_counter() - write_start
+        stop.set()
+        for thread in threads:
+            thread.join()
+    store = service.searcher.store
+    final_segments = store.num_segments
+    service.close()
+
+    ok = not overloads and not errors and epoch_ok
+    writes_per_second = writes / write_seconds if write_seconds else 0.0
+    qps = len(query_latencies) / write_seconds if write_seconds else 0.0
+    section = {
+        "writes": writes,
+        "folds": folds,
+        "writes_per_second": writes_per_second,
+        "concurrent_queries": len(query_latencies),
+        "concurrent_qps": qps,
+        "query_p50_seconds": percentile(query_latencies, 0.50)
+        if query_latencies else None,
+        "query_p95_seconds": percentile(query_latencies, 0.95)
+        if query_latencies else None,
+        "overloads": len(overloads),
+        "errors": len(errors),
+        "epoch_monotonic": epoch_ok,
+        "final_segments": final_segments,
+    }
+    print(
+        f"ingest-while-serving: {writes} writes at "
+        f"{writes_per_second:.1f}/s across {folds} folds, "
+        f"{len(query_latencies)} concurrent queries "
+        f"({qps:.1f}/s), overloads={len(overloads)}, "
+        f"epoch_monotonic={epoch_ok}"
+    )
+    return section, ok
+
+
 def main(argv: list[str] | None = None) -> int:
     _ensure_importable()
     from common import workload  # noqa: E402  (benchmarks dir import)
@@ -287,6 +418,10 @@ def main(argv: list[str] | None = None) -> int:
     snapshot = cached_service.metrics_snapshot()
     cached_service.close()
 
+    ingest_section, ingest_ok = bench_ingest_while_serving(
+        args, data, params, queries
+    )
+
     sharded_section = None
     sharded_ok = True
     if args.shards > 1:
@@ -325,6 +460,7 @@ def main(argv: list[str] | None = None) -> int:
             "misses": misses,
             "hit_rate": hits / max(1, hits + misses),
         },
+        "ingest": ingest_section,
         # The layout check_regression.py diffs: counters exact, timers
         # within tolerance.
         "serial": {"metrics": snapshot},
@@ -349,6 +485,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.repeats > 1 and p50_speedup < 5.0:
         print(f"REGRESSION: cached p50 speedup {p50_speedup:.1f}x < 5x",
               file=sys.stderr)
+        return 1
+    if not ingest_ok:
+        print(
+            f"REGRESSION: ingest-while-serving saw "
+            f"{ingest_section['overloads']} overloads, "
+            f"{ingest_section['errors']} errors, "
+            f"epoch_monotonic={ingest_section['epoch_monotonic']} — "
+            f"serving must never block on (or reorder across) a fold",
+            file=sys.stderr,
+        )
         return 1
     if not sharded_ok:
         print(f"REGRESSION: sharded speedup "

@@ -52,29 +52,30 @@ def main() -> None:
         print(f"saved {index_path.stat().st_size / 1024:.0f} KiB to disk")
 
         # --- day 1: reload and serve ----------------------------------
-        # (A mutable deployment reopens WITHOUT mmap/compact; a frozen
-        # compact snapshot would reject the add_document below.)
+        # (Mutations go through the Index facade: the first add lazily
+        # upgrades the snapshot to the LSM write path, so this works
+        # even when the file was saved compact/frozen.)
         reopened = Index.open(index_path)
-        searcher, data = reopened.searcher(), reopened.data
-        print(f"reloaded: {searcher.index}")
+        data = reopened.data
+        print(f"reloaded: {reopened.searcher().index}")
 
         # A new document arrives: it quotes document 7.
         quoted = list(data[7].tokens[30:120])
         newcomer = data.add_token_ids(
             list(data[3].tokens[:50]) + quoted, name="newcomer"
         )
-        new_id = searcher.add_document(newcomer)
-        print(f"ingested {newcomer.name} as doc {new_id}")
+        new_id = reopened.add(newcomer)
+        print(f"ingested {newcomer.name} as doc {new_id} (live={reopened.live})")
 
         # Search with the newcomer as the query: finds its source.
-        result = searcher.search(newcomer)
+        result = reopened.search(newcomer)
         source_docs = {pair.doc_id for pair in result.pairs} - {new_id}
         print(f"  reuse detected from documents: {sorted(source_docs)}")
         assert 7 in source_docs and 3 in source_docs
 
         # --- day 2: document 7 is retracted ---------------------------
-        searcher.remove_document(7)
-        result = searcher.search(newcomer)
+        reopened.remove(7)
+        result = reopened.search(newcomer)
         remaining = {pair.doc_id for pair in result.pairs} - {new_id}
         print(f"  after retracting doc 7: {sorted(remaining)}")
         assert 7 not in remaining and 3 in remaining

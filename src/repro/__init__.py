@@ -25,6 +25,13 @@ Quickstart — the :class:`Index` facade is the documented entry point::
     with index.serve(max_workers=4) as service:
         response = service.search_text("the lord and the kings ...")
 
+    # Mutate through the unified write path (LSM ingest; see
+    # repro.ingest / `repro ingest`) — new documents are searchable
+    # immediately, flush/compact fold them into frozen segments:
+    doc_id = index.add("another document streaming in ...")
+    index.remove(doc_id)
+    index.compact()
+
 The individual layers (:class:`DocumentCollection`,
 :class:`PKWiseSearcher`, :class:`SearchParams`, ...) remain importable
 directly for fine-grained control.  See DESIGN.md for the full system
@@ -76,6 +83,7 @@ from .errors import (
     WorkerCrashError,
 )
 from .index import CompactIntervalIndex, IntervalIndex, PackedRankDocs
+from .ingest import CompactionPolicy, IngestStore, LSMSearcher
 from .faults import FaultPlan, FaultSpec
 from .obs import (
     MetricsRegistry,
@@ -175,6 +183,10 @@ __all__ = [
     "suggested_subpartitions",
     "SelfJoinPair",
     "local_similarity_self_join",
+    # Streaming ingestion (LSM write path)
+    "IngestStore",
+    "CompactionPolicy",
+    "LSMSearcher",
     # Parallel execution
     "ParallelExecutor",
     # Observability

@@ -52,6 +52,7 @@ from typing import Protocol, runtime_checkable
 
 from .core.base import MatchPair
 from .corpus import (
+    Document,
     DocumentCollection,
     collection_from_directory,
     collection_from_texts,
@@ -177,7 +178,7 @@ class Index:
     :meth:`open`; use as a context manager to release resources.
     """
 
-    __slots__ = ("_searcher", "data", "path", "load_seconds")
+    __slots__ = ("_searcher", "_store", "data", "path", "load_seconds")
 
     def __init__(
         self,
@@ -189,6 +190,9 @@ class Index:
     ) -> None:
         #: The query engine; prefer the :meth:`searcher` accessor.
         self._searcher = searcher
+        #: The LSM ingest store once this index has been mutated (or
+        #: was opened live); None for a purely read-side index.
+        self._store = getattr(searcher, "store", None)
         #: The paired :class:`~repro.DocumentCollection` (None for
         #: ids-only snapshots — text queries then raise).
         self.data = data
@@ -272,6 +276,72 @@ class Index:
             load_seconds=bundle.load_seconds,
         )
 
+    @classmethod
+    def open_live(
+        cls,
+        directory: str | Path | None = None,
+        params: SearchParams | None = None,
+        *,
+        w: int | None = None,
+        tau: int | None = None,
+        k_max: int = DEFAULT_K_MAX,
+        m: int | None = None,
+        policy=None,
+        background: bool = False,
+        fsync: bool = False,
+    ) -> "Index":
+        """Open (or create) a live, mutable LSM-backed index.
+
+        With ``directory`` pointing at an existing ingest directory
+        (one holding a ``MANIFEST``), the manifest is read, compact
+        segments are mapped, and the write-ahead log is replayed — the
+        index resumes exactly where the last process stopped, torn
+        final WAL record included.  Otherwise a fresh store is created
+        there (durable) or fully in memory (``directory=None``);
+        creation needs ``params`` or ``w=``/``tau=`` like
+        :meth:`build`.
+
+        ``background=True`` starts the background compactor thread, so
+        memtable flushes and segment compactions happen off the write
+        path (:class:`~repro.ingest.CompactionPolicy` decides when).
+        ``fsync=True`` makes every WAL append durable against power
+        loss, not just process crash.
+        """
+        from .ingest import IngestStore
+        from .ingest.manifest import MANIFEST_NAME
+
+        if directory is not None and (Path(directory) / MANIFEST_NAME).exists():
+            store = IngestStore.open(
+                directory, policy=policy, background=background, fsync=fsync
+            )
+        else:
+            if params is None:
+                if w is None or tau is None:
+                    raise ConfigurationError(
+                        "creating a live index needs either "
+                        "params=SearchParams(...) or both w= and tau="
+                    )
+                params = SearchParams(
+                    w=w,
+                    tau=tau,
+                    k_max=k_max,
+                    m=m if m is not None else suggested_subpartitions(tau),
+                )
+            store = IngestStore.create(
+                params,
+                directory=directory,
+                policy=policy,
+                background=background,
+                fsync=fsync,
+            )
+        index = cls(
+            store.searcher(),
+            store.data,
+            path=Path(directory) if directory is not None else None,
+        )
+        index._store = store
+        return index
+
     def save(
         self,
         path: str | Path,
@@ -285,18 +355,32 @@ class Index:
         ``compact=True`` writes the mmap-able format-v3 layout (the
         engine is frozen with
         :meth:`~repro.PKWiseSearcher.compacted` first).
+
+        A live (LSM-backed) index is folded into a single plain
+        searcher first — the snapshot is self-contained and reopens
+        with :meth:`open` like any other; the live store itself
+        persists through its own manifest + WAL instead.
         """
+        searcher = self._engine()
+        if self._store is not None:
+            searcher = searcher.compacted()
         save_searcher(
-            self._searcher,
+            searcher,
             path,
             data=self.data,
             rotate=rotate or 0,
             compact=compact,
         )
 
+    def _engine(self):
+        """Current query engine, re-pointed after LSM installs."""
+        if self._store is not None:
+            self._searcher = self._store.searcher()
+        return self._searcher
+
     def searcher(self) -> Searcher:
         """The underlying query engine (algorithm object)."""
-        return self._searcher
+        return self._engine()
 
     @property
     def params(self) -> SearchParams:
@@ -322,15 +406,81 @@ class Index:
 
     def search(self, query):
         """Search one encoded query; pairs are typed ``MatchPair``s."""
-        return self._searcher.search(query)
+        return self._engine().search(query)
 
     def search_text(self, text: str):
         """Encode ``text`` and search it in one step."""
-        return self._searcher.search(self.encode_query(text))
+        return self._engine().search(self.encode_query(text))
 
     def search_many(self, queries, *, jobs: int = 1):
         """Run a query workload (serial or multi-process)."""
-        return self._searcher.search_many(queries, jobs=jobs)
+        return self._engine().search_many(queries, jobs=jobs)
+
+    # ------------------------------------------------------------------
+    # Mutation (the unified write path)
+    # ------------------------------------------------------------------
+    def _ensure_store(self):
+        """The LSM ingest store behind all mutations, created lazily.
+
+        The first write on a built or loaded index wraps the existing
+        engine as the base segment of an in-memory
+        :class:`~repro.ingest.IngestStore` and swaps the tiered LSM
+        view in; frozen compact indexes upgrade the same way (the
+        compact segment stays frozen — writes land in the memtable).
+        """
+        if self._store is None:
+            from .ingest import IngestStore
+
+            self._store = IngestStore.from_searcher(self._searcher, self.data)
+            self._searcher = self._store.searcher()
+        return self._store
+
+    def add(self, document_or_text, *, name: str | None = None) -> int:
+        """Add one document (raw text or encoded ``Document``).
+
+        Returns the new doc id.  The document is immediately
+        searchable: it lands in the store's mutable memtable and every
+        subsequent query fans out over memtable + frozen segments with
+        exact merged results.
+        """
+        store = self._ensure_store()
+        if isinstance(document_or_text, str):
+            if self.data is None:
+                raise ConfigurationError(
+                    "index has no document collection (saved ids-only); "
+                    "pass an encoded Document instead of raw text"
+                )
+            return store.add_text(document_or_text, name=name)
+        if isinstance(document_or_text, Document):
+            return store.add_document(document_or_text)
+        raise ConfigurationError(
+            f"Index.add takes a str or Document, "
+            f"got {type(document_or_text).__name__}"
+        )
+
+    def remove(self, doc_id: int) -> None:
+        """Tombstone ``doc_id``; it stops matching immediately and is
+        physically purged at the next :meth:`compact`."""
+        self._ensure_store().remove(doc_id)
+
+    def flush(self):
+        """Seal the memtable and fold it into a frozen compact segment.
+
+        Returns the new segment's generation (None when the memtable
+        was empty).  Durable stores persist the segment and manifest
+        before the in-memory flip, and drop the folded WAL files after.
+        """
+        return self._ensure_store().flush()
+
+    def compact(self):
+        """Fold all tiers (memtable + every segment) into one compact
+        segment, physically purging tombstoned documents."""
+        return self._ensure_store().compact()
+
+    @property
+    def live(self) -> bool:
+        """True once this index has a mutable LSM write path attached."""
+        return self._store is not None
 
     def serve(self, *, shards: int = 1, hedge_after: float | None = None, **kwargs):
         """Wrap this index in a serving front-end.
@@ -348,6 +498,12 @@ class Index:
         from .service import SearchService
 
         if shards > 1:
+            if self._store is not None:
+                raise ConfigurationError(
+                    "sharded serving rebuilds per-shard compact indexes "
+                    "and cannot host a live ingest store; serve with "
+                    "shards=1 (live writes) or save + reopen read-only"
+                )
             if self.data is None:
                 raise ConfigurationError(
                     "sharded serving partitions the document collection; "
@@ -365,13 +521,13 @@ class Index:
                 hedge_after=hedge_after,
                 **kwargs,
             )
-        return SearchService(self._searcher, self.data, **kwargs)
+        return SearchService(self._engine(), self.data, **kwargs)
 
     def compacted(self) -> "Index":
         """This index frozen onto array-backed structures (see
         :meth:`~repro.PKWiseSearcher.compacted`)."""
         return type(self)(
-            self._searcher.compacted(),
+            self._engine().compacted(),
             self.data,
             path=self.path,
             load_seconds=self.load_seconds,
@@ -379,6 +535,8 @@ class Index:
 
     def close(self) -> None:
         """Release the engine's resources.  Idempotent."""
+        if self._store is not None:
+            self._store.close()
         self._searcher.close()
 
     def __enter__(self) -> "Index":

@@ -1,24 +1,31 @@
 """Command-line interface: index a corpus, search for local reuse.
 
-Five subcommands:
+Six subcommands:
 
 * ``repro index``  — tokenize a directory of ``.txt`` files, build the
   pkwise interval index (optionally with greedy partitioning), and save
   it to a file.
+* ``repro ingest`` — stream documents into a durable LSM ingest
+  directory (write-ahead log + memtable + compact segments); killing
+  the process mid-stream loses nothing, the next open replays the WAL.
 * ``repro search`` — load an index and report reused passages between a
   query file and the corpus.
 * ``repro selfjoin`` — find replication *within* a directory of files.
 * ``repro serve``  — load an index and serve concurrent queries over
   HTTP (``/search``, ``/healthz``, ``/metrics``) through
-  :class:`~repro.service.SearchService`.
+  :class:`~repro.service.SearchService`; ``--live`` serves an ingest
+  directory with mutation endpoints (``POST /ingest``, ``/remove``)
+  and a background compactor.
 * ``repro query``  — send one query to a running ``repro serve``.
 
 Examples::
 
     repro index  --data corpus/ --out corpus.idx -w 25 --tau 5
+    repro ingest --dir corpus.lsm --data corpus/ -w 25 --tau 5
     repro search --index corpus.idx --query suspicious.txt
     repro selfjoin --data corpus/ -w 25 --tau 5
     repro serve  --index corpus.idx --port 8080
+    repro serve  --index corpus.lsm --live --port 8080
     repro query  --server http://127.0.0.1:8080 --text "some passage"
 
 All subcommands accept ``--jobs N`` to spread the work over ``N``
@@ -168,6 +175,67 @@ def _cmd_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    """Stream documents into a durable LSM ingest directory.
+
+    Opens (or creates) the write-ahead-logged store at ``--dir``,
+    appends every ``.txt`` under ``--data`` and/or every line of
+    stdin (``--from-stdin``), applies ``--remove`` tombstones, and
+    optionally folds with ``--flush`` / ``--compact`` before closing.
+    Killing the process mid-stream loses nothing: the next open
+    replays the WAL and resumes at the same state.
+    """
+    from .api import Index
+    from .ingest.manifest import MANIFEST_NAME
+
+    directory = Path(args.dir)
+    creating = not (directory / MANIFEST_NAME).exists()
+    params = _params_from_args(args) if creating else None
+    index = Index.open_live(directory, params, fsync=args.fsync)
+    store = index._store
+    print(
+        f"{'created' if creating else 'opened'} ingest store at {directory} "
+        f"(w={index.params.w}, tau={index.params.tau}, "
+        f"docs={store.next_doc_id}, segments={store.num_segments})",
+        file=sys.stderr,
+    )
+    added = 0
+    try:
+        if args.data:
+            for path in sorted(Path(args.data).glob("**/*.txt")):
+                index.add(
+                    path.read_text(encoding="utf-8"), name=str(path.name)
+                )
+                added += 1
+        if args.from_stdin:
+            for line in sys.stdin:
+                line = line.strip()
+                if line:
+                    index.add(line)
+                    added += 1
+        for doc_id in args.remove or ():
+            index.remove(doc_id)
+        if args.compact:
+            index.compact()
+        elif args.flush:
+            index.flush()
+    finally:
+        summary = store.metrics_snapshot()
+        index.close()
+    print(
+        f"ingested {added} documents "
+        f"(total {store.next_doc_id}, {store.num_segments} segments, "
+        f"{len(store.removed)} tombstones)",
+        file=sys.stderr,
+    )
+    if args.metrics_out:
+        _write_metrics(
+            args.metrics_out,
+            {"name": "ingest", "schema_version": 1, "metrics": summary},
+        )
+    return 0
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
     from .eval.harness import run_searcher
 
@@ -290,13 +358,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     _graceful_sigterm()
     if args.shards > 1:
+        if args.live:
+            print("error: --live and --shards are mutually exclusive",
+                  file=sys.stderr)
+            return 2
         return _serve_sharded(args)
-    index = Index.open(args.index, mmap=args.mmap)
-    print(
-        f"loaded {index} in {index.load_seconds:.2f}s "
-        f"(w={index.params.w}, tau={index.params.tau})",
-        file=sys.stderr,
-    )
+    if args.live:
+        index = Index.open_live(args.index, background=True)
+        store = index._store
+        print(
+            f"opened live ingest store {args.index} "
+            f"(w={index.params.w}, tau={index.params.tau}, "
+            f"docs={store.next_doc_id}, segments={store.num_segments}, "
+            f"background compactor on)",
+            file=sys.stderr,
+        )
+    else:
+        index = Index.open(args.index, mmap=args.mmap)
+        print(
+            f"loaded {index} in {index.load_seconds:.2f}s "
+            f"(w={index.params.w}, tau={index.params.tau})",
+            file=sys.stderr,
+        )
     service = SearchService(
         index.searcher(),
         index.data,
@@ -318,9 +401,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("shutting down ...", file=sys.stderr)
     finally:
         server.server_close()
-        service.close()
         if args.metrics_out:
             _write_metrics(args.metrics_out, service.metrics_snapshot())
+        service.close()
+        index.close()
     return 0
 
 
@@ -463,6 +547,34 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(index_parser)
     index_parser.set_defaults(func=_cmd_index)
 
+    ingest_parser = subparsers.add_parser(
+        "ingest",
+        help="stream documents into a durable LSM ingest directory "
+        "(WAL + memtable + compact segments; crash-safe)",
+    )
+    ingest_parser.add_argument("--dir", required=True,
+                               help="ingest directory (created on first use)")
+    ingest_parser.add_argument("--data", default=None,
+                               help="directory of .txt files to append")
+    ingest_parser.add_argument("--from-stdin", action="store_true",
+                               help="append one document per non-empty "
+                                    "stdin line")
+    ingest_parser.add_argument("--remove", type=int, action="append",
+                               help="tombstone this doc id (repeatable)")
+    ingest_parser.add_argument("--flush", action="store_true",
+                               help="fold the memtable into a compact "
+                                    "segment before closing")
+    ingest_parser.add_argument("--compact", action="store_true",
+                               help="fold everything into one segment, "
+                                    "purging tombstones")
+    ingest_parser.add_argument("--fsync", action="store_true",
+                               help="fsync every WAL append (power-loss "
+                                    "durability, slower)")
+    _add_search_params(ingest_parser)
+    _add_jobs_flag(ingest_parser)
+    _add_obs_flags(ingest_parser)
+    ingest_parser.set_defaults(func=_cmd_ingest)
+
     search_parser = subparsers.add_parser(
         "search", help="search a query file against a saved index"
     )
@@ -519,6 +631,11 @@ def build_parser() -> argparse.ArgumentParser:
                               help="default per-request deadline in seconds")
     serve_parser.add_argument("--verbose", action="store_true",
                               help="log every HTTP request to stderr")
+    serve_parser.add_argument("--live", action="store_true",
+                              help="treat --index as an ingest directory "
+                                   "(repro ingest) and serve it live: "
+                                   "POST /ingest and /remove mutate while "
+                                   "queries keep flowing")
     serve_parser.add_argument("--mmap", action="store_true",
                               help="memory-map a compact (v3) index instead "
                                    "of deserializing it")

@@ -128,7 +128,7 @@ class PKWiseSearcher:
         ) as build_span:
             self.index = IntervalIndex(params.w, params.tau, scheme, hashed=hashed)
             for doc_id, ranks in enumerate(self.rank_docs):
-                self.index.add_document(doc_id, ranks)
+                self.index.index_document(doc_id, ranks)
             build_span.annotate(
                 windows=self.index.num_windows, postings=self.index.num_postings
             )
@@ -227,6 +227,26 @@ class PKWiseSearcher:
     # Incremental maintenance
     # ------------------------------------------------------------------
     def add_document(self, document: Document) -> int:
+        """Deprecated direct mutation; use ``Index.add`` (ingest path).
+
+        .. deprecated:: 1.3
+            The unified write path (:class:`repro.Index` backed by
+            :class:`repro.ingest.IngestStore`) replaces per-searcher
+            mutation: it works on frozen snapshots too, batches index
+            maintenance behind a memtable, and is crash-safe when
+            durable.  This wrapper keeps the old in-place semantics.
+        """
+        import warnings
+
+        warnings.warn(
+            "PKWiseSearcher.add_document is deprecated; mutate through "
+            "Index.add (the LSM ingest write path)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._add_document(document)
+
+    def _add_document(self, document: Document) -> int:
         """Index one more document; returns its doc_id in this searcher.
 
         The document must be encoded against the same vocabulary as the
@@ -244,11 +264,27 @@ class PKWiseSearcher:
         doc_id = len(self.rank_docs)
         ranks = self.order.rank_document(document)
         self.rank_docs.append(ranks)
-        self.index.add_document(doc_id, ranks)
+        self.index.index_document(doc_id, ranks)
         self.index_epoch += 1
         return doc_id
 
     def remove_document(self, doc_id: int) -> None:
+        """Deprecated direct mutation; use ``Index.remove`` (ingest path).
+
+        .. deprecated:: 1.3
+            See :meth:`add_document`.
+        """
+        import warnings
+
+        warnings.warn(
+            "PKWiseSearcher.remove_document is deprecated; mutate "
+            "through Index.remove (the LSM ingest write path)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._remove_document(doc_id)
+
+    def _remove_document(self, doc_id: int) -> None:
         """Stop returning matches from ``doc_id`` (tombstone removal).
 
         Postings are filtered at candidate-generation time rather than

@@ -53,7 +53,7 @@ class PKWiseNonIntervalSearcher:
         build_start = time.perf_counter()
         self.index = WindowInvertedIndex(params.w, params.tau, scheme, hashed=hashed)
         for doc_id, ranks in enumerate(self.rank_docs):
-            self.index.add_document(doc_id, ranks)
+            self.index.index_document(doc_id, ranks)
         self.index_build_seconds = time.perf_counter() - build_start
 
     # ------------------------------------------------------------------

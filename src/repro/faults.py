@@ -49,7 +49,13 @@ Injection-point catalog (see ``docs/robustness.md`` for semantics):
 ``persistence.read``, ``service.request``, ``client.request``,
 ``shards.scatter`` (router → shard sub-request, context ``shard``),
 ``shards.gather`` (merging one shard's reply, context ``shard``),
-``shards.swap`` (rolling snapshot swap of one shard, context ``shard``).
+``shards.swap`` (rolling snapshot swap of one shard, context ``shard``),
+``ingest.wal`` (write-ahead-log append, ``inject_bytes`` site — reach
+it with ``corrupt`` for torn/damaged tails; context ``seq``, ``op``,
+``generation``), ``ingest.compact`` (memtable fold / segment write /
+manifest install, context ``phase`` in ``fold`` | ``segment`` |
+``manifest`` plus ``generation`` — ``kill`` here simulates dying
+mid-compaction for recovery tests).
 """
 
 from __future__ import annotations

@@ -334,6 +334,8 @@ class CompactIntervalIndex:
     def add_document(self, doc_id: int, ranks: Sequence[int]) -> None:
         raise IndexStateError(_FROZEN_MESSAGE)
 
+    index_document = add_document
+
     def merge(self, other) -> None:
         raise IndexStateError(_FROZEN_MESSAGE)
 

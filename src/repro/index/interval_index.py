@@ -11,6 +11,7 @@ transition and every stored interval is maximal.
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Sequence
 
 from ..errors import IndexStateError
@@ -60,6 +61,23 @@ class IntervalIndex:
 
     # ------------------------------------------------------------------
     def add_document(self, doc_id: int, ranks: Sequence[int]) -> None:
+        """Deprecated alias of :meth:`index_document`.
+
+        .. deprecated:: 1.3
+            Renamed to :meth:`index_document` to free ``add_document``
+            for the unified mutation surface (``Index.add`` routes
+            through the ingest pipeline, never into an index directly).
+        """
+        warnings.warn(
+            "IntervalIndex.add_document is deprecated; call "
+            "index_document (build-time) or mutate through Index.add "
+            "(the ingest write path)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.index_document(doc_id, ranks)
+
+    def index_document(self, doc_id: int, ranks: Sequence[int]) -> None:
         """Index all windows of one document (given as a rank sequence)."""
         stream = SignatureStream(ranks, self.w, self.tau, self.scheme)
         open_at: dict[Signature, int] = {}
@@ -98,7 +116,7 @@ class IntervalIndex:
         Postings lists are concatenated, so merging partial indexes in
         ascending doc_id-block order reproduces exactly the lists a
         serial build over the whole collection would have produced
-        (serial ``add_document`` also appends in doc_id order).  The
+        (serial ``index_document`` also appends in doc_id order).  The
         parameters, scheme, and key mode must match.
         """
         if (

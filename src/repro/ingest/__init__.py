@@ -1,0 +1,45 @@
+"""repro.ingest: LSM-style streaming ingestion.
+
+The write path of the library.  Writes land in a mutable dict-backed
+memtable (:mod:`~repro.ingest.memtable`), queries fan out over
+memtable + frozen compact segments with exact merged results
+(:mod:`~repro.ingest.tiered`, :mod:`~repro.ingest.searcher`), and a
+background compactor folds sealed memtables and tombstones into new
+compact segments behind a persisted manifest
+(:mod:`~repro.ingest.store`, :mod:`~repro.ingest.manifest`), installing
+each new tier snapshot through the serving layer's epoch-monotone
+searcher swap so serving never stops.  A write-ahead token log
+(:mod:`~repro.ingest.wal`) makes acknowledged mutations crash-safe.
+
+Most callers never touch this package directly: ``Index.add`` /
+``Index.remove`` / ``Index.flush`` / ``Index.compact`` (and the
+mutation methods of :class:`~repro.service.SearchService`) are backed
+by an :class:`IngestStore` transparently.  Use the store directly for
+durable streaming ingestion (``IngestStore.create(directory=...)`` /
+``IngestStore.open``), which is what ``repro ingest`` and
+``repro serve --live`` do.
+"""
+
+from .manifest import ManifestState, read_manifest, write_manifest
+from .memtable import Memtable
+from .searcher import LSMSearcher
+from .store import CompactionPolicy, IngestStore
+from .tiered import Tier, TieredIntervalIndex, TieredRankDocs
+from .wal import WriteAheadLog, read_wal, wal_generations, wal_name
+
+__all__ = [
+    "CompactionPolicy",
+    "IngestStore",
+    "LSMSearcher",
+    "ManifestState",
+    "Memtable",
+    "Tier",
+    "TieredIntervalIndex",
+    "TieredRankDocs",
+    "WriteAheadLog",
+    "read_manifest",
+    "read_wal",
+    "wal_generations",
+    "wal_name",
+    "write_manifest",
+]

@@ -1,0 +1,152 @@
+"""Durable segment manifest for the LSM ingest store.
+
+The manifest is the single point of truth for what is on disk: which
+compact segment files are live, the sealed prefix of the corpus they
+cover, the tombstones accumulated against that prefix, and the first
+WAL generation whose records are *not* yet folded into a segment.  The
+recovery invariant is::
+
+    manifest state  +  replay of WAL generations >= wal_generation
+        ==  pre-crash live state   (pair-identical query results)
+
+It reuses the v2 checksummed-pickle envelope from
+:mod:`repro.persistence` (kind ``"ingest-manifest"``), written
+atomically, so a crash mid-write leaves the previous manifest intact
+and a corrupted file fails loudly with a typed
+:class:`~repro.persistence.PersistenceError` instead of resurrecting a
+half-written state.
+
+Ordering discipline (write-ahead, like the WAL itself):
+
+1. new segment file hits disk (``segment.g<N>.idx``),
+2. the manifest referencing it is atomically replaced,
+3. only then are replaced segment files and folded WALs deleted and the
+   in-memory tier list flipped.
+
+A crash between 1 and 2 leaves an *orphan* segment file, which recovery
+detects (not referenced by the manifest) and deletes.  A crash between
+2 and 3 leaves extra WAL files, whose replay is idempotent.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..persistence import PersistenceError, read_envelope, write_envelope
+
+MANIFEST_NAME = "MANIFEST"
+MANIFEST_KIND = "ingest-manifest"
+
+#: Stem for segment snapshot files (``segment.g000003.idx``).
+SEGMENT_STEM = "segment"
+
+
+class ManifestState:
+    """Decoded contents of one manifest file."""
+
+    __slots__ = (
+        "params",
+        "order",
+        "scheme",
+        "data",
+        "segments",
+        "tombstones",
+        "next_doc_id",
+        "wal_generation",
+        "generation",
+        "policy",
+    )
+
+    def __init__(
+        self,
+        *,
+        params,
+        order,
+        scheme,
+        data,
+        segments,
+        tombstones,
+        next_doc_id,
+        wal_generation,
+        generation,
+        policy,
+    ) -> None:
+        self.params = params
+        self.order = order
+        self.scheme = scheme
+        #: Collection snapshot covering exactly ``[0, next_doc_id)``.
+        self.data = data
+        #: ``[{"file", "doc_lo", "doc_hi", "generation"}, ...]`` ascending.
+        self.segments = segments
+        #: Tombstoned doc ids within the sealed prefix.
+        self.tombstones = tombstones
+        self.next_doc_id = next_doc_id
+        #: First WAL generation recovery must replay.
+        self.wal_generation = wal_generation
+        #: Highest tier/WAL generation the store had handed out.
+        self.generation = generation
+        #: Compaction-policy knobs (plain dict; informational on read).
+        self.policy = policy
+
+
+def manifest_path(directory: str | Path) -> Path:
+    return Path(directory) / MANIFEST_NAME
+
+
+def write_manifest(directory: str | Path, state: ManifestState) -> None:
+    """Atomically persist ``state`` as the directory's manifest."""
+    header = {
+        "next_doc_id": state.next_doc_id,
+        "wal_generation": state.wal_generation,
+        "generation": state.generation,
+        "segments": [dict(segment) for segment in state.segments],
+        "policy": dict(state.policy),
+    }
+    sections = {
+        "params": state.params,
+        "order": state.order,
+        "scheme": state.scheme,
+        "data": state.data,
+        "tombstones": sorted(state.tombstones),
+    }
+    write_envelope(manifest_path(directory), MANIFEST_KIND, sections, header)
+
+
+def read_manifest(directory: str | Path) -> ManifestState:
+    """Load and validate the manifest of an ingest directory."""
+    path = manifest_path(directory)
+    header, sections = read_envelope(path, MANIFEST_KIND)
+    segments = list(header.get("segments", []))
+    lo = 0
+    for segment in segments:
+        if segment["doc_lo"] != lo:
+            raise PersistenceError(
+                f"{path}: segment {segment['file']} starts at doc "
+                f"{segment['doc_lo']}, expected {lo} — the segment list "
+                f"does not tile the corpus"
+            )
+        lo = segment["doc_hi"]
+    next_doc_id = header["next_doc_id"]
+    if lo > next_doc_id:
+        raise PersistenceError(
+            f"{path}: segments cover {lo} docs but next_doc_id is "
+            f"{next_doc_id}"
+        )
+    data = sections["data"]
+    if data is not None and len(data) != next_doc_id:
+        raise PersistenceError(
+            f"{path}: collection snapshot has {len(data)} docs, "
+            f"next_doc_id says {next_doc_id}"
+        )
+    return ManifestState(
+        params=sections["params"],
+        order=sections["order"],
+        scheme=sections["scheme"],
+        data=data,
+        segments=segments,
+        tombstones=set(sections["tombstones"]),
+        next_doc_id=next_doc_id,
+        wal_generation=header["wal_generation"],
+        generation=header["generation"],
+        policy=dict(header.get("policy", {})),
+    )

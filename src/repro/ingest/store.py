@@ -1,0 +1,925 @@
+"""IngestStore: the LSM write path behind the unified mutation API.
+
+One store owns everything mutable about a live corpus:
+
+* the **active memtable** (dict-backed, search-visible immediately),
+* the ordered list of frozen tiers — compact **segments** plus any
+  sealed memtables a fold has not consumed yet,
+* the **tombstone** set and the epoch counters caches key on,
+* the **WAL** (durable stores) and the **manifest** snapshot,
+* the optional background **compactor** thread.
+
+Writes are strictly write-ahead: the WAL record is appended and flushed
+before the memtable or collection mutates, so an acknowledged add or
+remove survives any crash.  Tier membership only ever changes through
+an *install*: a new :class:`~repro.ingest.searcher.LSMSearcher` view is
+built over the post-change tiers and swapped into the attached
+:class:`~repro.service.SearchService` inside its writer-preferring lock
+(standalone stores just flip the view under their own mutex).  Queries
+therefore always run against one consistent tier snapshot — serving
+never blocks on a fold, which happens entirely outside the lock.
+
+Durable fold ordering (crash-safe at every point, see
+:mod:`repro.ingest.manifest`): segment file → manifest → in-memory flip
+→ delete folded WALs / replaced segment files.  The ``ingest.compact``
+fault point fires at each phase boundary (``phase`` context:
+``"fold"``, ``"segment"``, ``"manifest"``) so tests can kill the
+compactor exactly where a real crash would land.
+
+Locking order, everywhere: service write lock (when attached) OUTER,
+store mutex INNER; folds additionally serialize on a dedicated fold
+lock that is never held while taking the service lock's write side
+until the (brief) install commit.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+
+from .. import faults
+from ..corpus import DocumentCollection
+from ..core.pkwise import PKWiseSearcher, default_scheme
+from ..errors import ConfigurationError, CorpusError, IndexStateError
+from ..index.compact import CompactIntervalIndex, PackedRankDocs
+from ..index.interval_index import IntervalIndex
+from ..obs import MetricsRegistry
+from ..ordering import GlobalOrder
+from ..persistence import (
+    PersistenceError,
+    generation_name,
+    load_bundle,
+    save_searcher,
+)
+from ..service.cache import ResultCache
+from .manifest import (
+    SEGMENT_STEM,
+    ManifestState,
+    manifest_path,
+    read_manifest,
+    write_manifest,
+)
+from .memtable import Memtable
+from .searcher import LSMSearcher
+from .tiered import Tier
+from .wal import WriteAheadLog, read_wal, wal_generations, wal_name
+
+#: Segment-cache capacity (frozen-part results; see LSMSearcher).
+DEFAULT_SEGMENT_CACHE = 128
+
+
+class CompactionPolicy:
+    """When to seal the memtable and when to fold segments together."""
+
+    __slots__ = ("memtable_max_docs", "memtable_max_tokens", "max_segments")
+
+    def __init__(
+        self,
+        *,
+        memtable_max_docs: int = 256,
+        memtable_max_tokens: int = 1 << 18,
+        max_segments: int = 4,
+    ) -> None:
+        if memtable_max_docs < 1 or memtable_max_tokens < 1 or max_segments < 1:
+            raise ConfigurationError("compaction policy thresholds must be >= 1")
+        #: Seal the memtable once it holds this many documents ...
+        self.memtable_max_docs = memtable_max_docs
+        #: ... or this many tokens, whichever trips first.
+        self.memtable_max_tokens = memtable_max_tokens
+        #: Fold all segments into one when their count exceeds this.
+        self.max_segments = max_segments
+
+    def should_flush(self, memtable: Memtable) -> bool:
+        return len(memtable) > 0 and (
+            len(memtable) >= self.memtable_max_docs
+            or memtable.total_tokens >= self.memtable_max_tokens
+        )
+
+    def should_compact(self, num_segments: int) -> bool:
+        return num_segments > self.max_segments
+
+    def to_dict(self) -> dict:
+        return {
+            "memtable_max_docs": self.memtable_max_docs,
+            "memtable_max_tokens": self.memtable_max_tokens,
+            "max_segments": self.max_segments,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CompactionPolicy":
+        return cls(**data) if data else cls()
+
+    def __repr__(self) -> str:
+        return (
+            f"CompactionPolicy(docs<={self.memtable_max_docs}, "
+            f"tokens<={self.memtable_max_tokens}, "
+            f"segments<={self.max_segments})"
+        )
+
+
+class _SealedSnapshot:
+    """Immutable copy of the sealed prefix, taken at seal time.
+
+    Manifest writes happen off-lock (during folds), so they must not
+    touch live objects that concurrent adds mutate; everything a
+    manifest needs is copied here while the writer lock is held.
+    """
+
+    __slots__ = ("data", "order", "tombstones", "next_doc_id", "wal_generation")
+
+    def __init__(self, *, data, order, tombstones, next_doc_id, wal_generation):
+        self.data = data
+        self.order = order
+        self.tombstones = tombstones
+        self.next_doc_id = next_doc_id
+        self.wal_generation = wal_generation
+
+
+def _copy_collection(data: DocumentCollection) -> DocumentCollection:
+    """Point-in-time copy: documents shared (immutable), vocabulary copied."""
+    clone = DocumentCollection(
+        tokenizer=data.tokenizer, vocabulary=data.vocabulary.copy()
+    )
+    clone._documents = list(data.documents)
+    return clone
+
+
+class IngestStore:
+    """Log-structured write path over memtable + segment tiers.
+
+    Construct with :meth:`create` (fresh store, optionally durable),
+    :meth:`open` (recover a durable store: manifest + WAL replay), or
+    :meth:`from_searcher` (wrap an existing searcher as the base tier —
+    the lazy upgrade behind ``Index.add`` on a static index).
+    """
+
+    def __init__(
+        self,
+        params,
+        order,
+        scheme,
+        data=None,
+        *,
+        directory=None,
+        policy=None,
+        fsync: bool = False,
+        cache_size: int = DEFAULT_SEGMENT_CACHE,
+    ) -> None:
+        self.params = params
+        self.order = order
+        self.scheme = scheme
+        self.data = data
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None and data is None:
+            raise ConfigurationError(
+                "a durable ingest store needs a document collection "
+                "(the WAL records token strings)"
+            )
+        self.policy = policy if policy is not None else CompactionPolicy()
+        self.fsync = fsync
+        self._segments: list[Tier] = []
+        self._active: Memtable | None = None
+        self._generation = 0
+        #: Live tombstones (shared by reference with every searcher view).
+        self.removed: set[int] = set()
+        #: Bumped by every add/remove; the service-level cache epoch.
+        self.mutation_epoch = 0
+        #: Bumped by removes only; leading element of the segment-cache
+        #: epoch vector, so adds leave frozen-part results warm.
+        self.tombstone_epoch = 0
+        self._wal: WriteAheadLog | None = None
+        self._seq = 0
+        self._snapshot: _SealedSnapshot | None = None
+        self.segment_cache = ResultCache(cache_size)
+        self.metrics = MetricsRegistry()
+        self._mutex = threading.RLock()
+        self._fold_lock = threading.Lock()
+        self._service = None
+        self._view: LSMSearcher | None = None
+        self._closed = False
+        self._compactor: threading.Thread | None = None
+        self._wake = threading.Event()
+        self._stop = False
+        #: Last exception swallowed by the background compactor.
+        self.last_error: BaseException | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        params,
+        *,
+        directory=None,
+        data=None,
+        order=None,
+        scheme=None,
+        policy=None,
+        background: bool = False,
+        fsync: bool = False,
+        cache_size: int = DEFAULT_SEGMENT_CACHE,
+    ) -> "IngestStore":
+        """A fresh store; pre-existing ``data`` documents are bootstrapped
+        through the write path (so a durable store's WAL covers them)."""
+        data = data if data is not None else DocumentCollection()
+        if order is None:
+            order = GlobalOrder(data, params.w)
+        if scheme is None:
+            scheme = default_scheme(params, order)
+        store = cls(
+            params,
+            order,
+            scheme,
+            data,
+            directory=directory,
+            policy=policy,
+            fsync=fsync,
+            cache_size=cache_size,
+        )
+        store._generation = 1
+        store._active = Memtable(0, 1, params, scheme)
+        if store.directory is not None:
+            store.directory.mkdir(parents=True, exist_ok=True)
+            if manifest_path(store.directory).exists():
+                raise PersistenceError(
+                    f"{store.directory} already holds an ingest store; "
+                    f"use IngestStore.open to resume it"
+                )
+            empty = DocumentCollection(tokenizer=data.tokenizer)
+            store._snapshot = _SealedSnapshot(
+                data=empty,
+                order=order.snapshot(empty.vocabulary),
+                tombstones=set(),
+                next_doc_id=0,
+                wal_generation=1,
+            )
+            store._write_initial_manifest()
+            store._wal = WriteAheadLog(
+                store.directory / wal_name(1), fsync=fsync
+            )
+        vocabulary = data.vocabulary
+        for document in list(data.documents):
+            tokens = [vocabulary.token_of(t) for t in document.tokens]
+            store._log({"op": "add", "tokens": tokens, "name": document.name})
+            store._index_ranks(store.order.rank_document(document))
+        store.mutation_epoch = 0  # bootstrap is construction, not mutation
+        store._refresh_view_locked()
+        if background:
+            store.start_compactor()
+        return store
+
+    @classmethod
+    def open(
+        cls,
+        directory,
+        *,
+        policy=None,
+        background: bool = False,
+        fsync: bool = False,
+        cache_size: int = DEFAULT_SEGMENT_CACHE,
+    ) -> "IngestStore":
+        """Recover a durable store: manifest, segments, then WAL replay."""
+        directory = Path(directory)
+        state = read_manifest(directory)
+        if state.data is None:
+            raise PersistenceError(
+                f"{manifest_path(directory)} carries no document collection"
+            )
+        store = cls(
+            state.params,
+            state.order,
+            state.scheme,
+            state.data,
+            directory=directory,
+            policy=policy if policy is not None else
+            CompactionPolicy.from_dict(state.policy),
+            fsync=fsync,
+            cache_size=cache_size,
+        )
+        store.removed = set(state.tombstones)
+        # Snapshot the sealed prefix *before* replay mutates the live
+        # collection/order (a compact() before the next seal reuses it).
+        store._snapshot = _SealedSnapshot(
+            data=_copy_collection(state.data),
+            order=state.order.snapshot(state.data.vocabulary.copy()),
+            tombstones=set(state.tombstones),
+            next_doc_id=state.next_doc_id,
+            wal_generation=state.wal_generation,
+        )
+        referenced = set()
+        for record in state.segments:
+            path = directory / record["file"]
+            referenced.add(record["file"])
+            bundle = load_bundle(path, fallback=False, mmap=True)
+            segment = bundle.searcher
+            store._segments.append(
+                Tier(
+                    record["doc_lo"],
+                    record["doc_hi"],
+                    record["generation"],
+                    segment.index,
+                    segment.rank_docs,
+                    "segment",
+                    path,
+                )
+            )
+        for orphan in directory.glob(f"{SEGMENT_STEM}.g*.idx"):
+            if orphan.name not in referenced:
+                orphan.unlink()
+                store.metrics.counter("ingest.recovered_orphans").inc()
+        replay = [
+            (gen, path)
+            for gen, path in wal_generations(directory)
+            if gen >= state.wal_generation
+        ]
+        highest = replay[-1][0] if replay else None
+        store._generation = max(
+            [state.generation] + [gen for gen, _ in replay]
+        ) + 1
+        store._active = Memtable(
+            state.next_doc_id, store._generation, state.params, state.scheme
+        )
+        for gen, path in replay:
+            records, torn = read_wal(path)
+            if torn:
+                if gen != highest:
+                    raise PersistenceError(
+                        f"WAL {path} has a torn tail but later generations "
+                        f"exist — the log sequence is damaged"
+                    )
+                store.metrics.counter("ingest.torn_wal_tails").inc()
+            for record in records:
+                store._replay(record)
+        store._wal = WriteAheadLog(
+            directory / wal_name(store._generation), fsync=fsync
+        )
+        store._refresh_view_locked()
+        if background:
+            store.start_compactor()
+        return store
+
+    @classmethod
+    def from_searcher(
+        cls,
+        searcher,
+        data=None,
+        *,
+        policy=None,
+        cache_size: int = DEFAULT_SEGMENT_CACHE,
+    ) -> "IngestStore":
+        """Wrap an existing searcher as the base tier of an in-memory store.
+
+        This is the lazy upgrade behind ``Index.add`` /
+        ``SearchService.add_document`` on a statically built index —
+        including frozen compact snapshots, which gain a mutable
+        memtable on top without thawing.  Mutations are not durable;
+        create a directory-backed store for that.
+        """
+        existing = getattr(searcher, "store", None)
+        if existing is not None:
+            return existing
+        store = cls(
+            searcher.params,
+            searcher.order,
+            searcher.scheme,
+            data,
+            policy=policy,
+            cache_size=cache_size,
+        )
+        num_docs = len(searcher.rank_docs)
+        if num_docs:
+            kind = (
+                "segment" if getattr(searcher.index, "frozen", False)
+                else "memtable"
+            )
+            store._segments.append(
+                Tier(0, num_docs, 1, searcher.index, searcher.rank_docs, kind)
+            )
+            store._generation = 2
+        else:
+            store._generation = 1
+        store._active = Memtable(num_docs, store._generation,
+                                 searcher.params, searcher.scheme)
+        store.removed = set(getattr(searcher, "removed_documents", ()))
+        store.mutation_epoch = getattr(searcher, "index_epoch", 0)
+        store._refresh_view_locked()
+        return store
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def searcher(self) -> LSMSearcher:
+        """The current installed view (changes identity on installs)."""
+        return self._view
+
+    @property
+    def next_doc_id(self) -> int:
+        return self._active.doc_hi
+
+    @property
+    def num_segments(self) -> int:
+        return sum(1 for tier in self._segments if tier.kind == "segment")
+
+    @property
+    def memtable_docs(self) -> int:
+        return len(self._active)
+
+    def metrics_snapshot(self) -> dict:
+        registry = MetricsRegistry().merge(self.metrics)
+        registry.gauge("ingest.memtable_docs").set(len(self._active))
+        registry.gauge("ingest.segments").set(self.num_segments)
+        registry.gauge("ingest.tombstones").set(len(self.removed))
+        cache = self.segment_cache
+        registry.counter("ingest.segment_cache_hits").inc(cache.hits)
+        registry.counter("ingest.segment_cache_misses").inc(cache.misses)
+        return registry.snapshot()
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _writer(self):
+        """Service write lock (when attached) outside, store mutex inside."""
+        service = self._service
+        if service is not None:
+            service._index_lock.acquire_write()
+            try:
+                with self._mutex:
+                    yield
+            finally:
+                service._index_lock.release_write()
+        else:
+            with self._mutex:
+                yield
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise IndexStateError("ingest store is closed")
+
+    def _log(self, record: dict) -> None:
+        if self._wal is None:
+            return
+        record = {"seq": self._seq, **record}
+        self._wal.append(record)
+        self._seq += 1
+        self.metrics.counter("ingest.wal_records").inc()
+
+    def _index_ranks(self, ranks) -> int:
+        doc_id = self._active.add(ranks)
+        self.mutation_epoch += 1
+        self.metrics.counter("ingest.adds").inc()
+        return doc_id
+
+    def add_text(self, text: str, name: str | None = None) -> int:
+        """Tokenize, log, and index one document; returns its doc id."""
+        if self.data is None:
+            raise ConfigurationError(
+                "this store carries no document collection; ingest "
+                "pre-encoded documents via add_document instead"
+            )
+        return self.add_tokens(self.data.tokenizer.tokenize(text), name=name)
+
+    def add_tokens(self, tokens, name: str | None = None) -> int:
+        """Log and index one document given as token strings."""
+        if self.data is None:
+            raise ConfigurationError(
+                "this store carries no document collection; ingest "
+                "pre-encoded documents via add_document instead"
+            )
+        tokens = list(tokens)
+        with self._writer():
+            self._check_open()
+            self._log({"op": "add", "tokens": tokens, "name": name})
+            document = self.data.add_tokens(tokens, name=name)
+            doc_id = self._index_ranks(self.order.rank_document(document))
+            if doc_id != document.doc_id:
+                raise IndexStateError(
+                    f"collection assigned doc id {document.doc_id} but the "
+                    f"memtable is at {doc_id} — collection mutated outside "
+                    f"the store"
+                )
+        self._after_write()
+        return doc_id
+
+    def add_document(self, document) -> int:
+        """Ingest a pre-encoded :class:`~repro.corpus.Document`.
+
+        Accepts both a document already appended to this store's
+        collection (the historical ``data.add_text`` + ``add_document``
+        flow) and a free-standing one, which is appended first.
+        Query-encoded documents (OOV sentinel ids) are refused.
+        """
+        if any(token < 0 for token in document.tokens):
+            raise CorpusError(
+                "query-encoded documents (OOV sentinel ids) cannot be "
+                "ingested as data"
+            )
+        with self._writer():
+            self._check_open()
+            if self.data is not None:
+                documents = self.data.documents
+                vocabulary = self.data.vocabulary
+                if documents and documents[-1] is document:
+                    # Already appended by the caller through the
+                    # collection; log it and index in place.
+                    tokens = [vocabulary.token_of(t) for t in document.tokens]
+                    self._log({"op": "add", "tokens": tokens,
+                               "name": document.name})
+                    doc_id = self._index_ranks(
+                        self.order.rank_document(document)
+                    )
+                else:
+                    try:
+                        tokens = [
+                            vocabulary.token_of(t) for t in document.tokens
+                        ]
+                    except IndexError:
+                        raise CorpusError(
+                            "document is encoded against a different "
+                            "vocabulary than this store's collection"
+                        ) from None
+                    self._log({"op": "add", "tokens": tokens,
+                               "name": document.name})
+                    appended = self.data.add_tokens(tokens, name=document.name)
+                    doc_id = self._index_ranks(
+                        self.order.rank_document(appended)
+                    )
+            else:
+                doc_id = self._index_ranks(self.order.rank_document(document))
+        self._after_write()
+        return doc_id
+
+    def remove(self, doc_id: int) -> None:
+        """Tombstone ``doc_id``; space is reclaimed at the next fold."""
+        with self._writer():
+            self._check_open()
+            if not 0 <= doc_id < self.next_doc_id:
+                raise IndexError(f"no document with id {doc_id}")
+            self._log({"op": "remove", "doc_id": doc_id})
+            self.removed.add(doc_id)
+            self.tombstone_epoch += 1
+            self.mutation_epoch += 1
+            self.metrics.counter("ingest.removes").inc()
+        self._after_write()
+
+    def _replay(self, record: dict) -> None:
+        """Re-apply one WAL record during recovery (no logging, no locks)."""
+        op = record.get("op")
+        if op == "add":
+            document = self.data.add_tokens(
+                record["tokens"], name=record.get("name")
+            )
+            self._active.add(self.order.rank_document(document))
+            self.metrics.counter("ingest.wal_replayed").inc()
+        elif op == "remove":
+            doc_id = record["doc_id"]
+            if 0 <= doc_id < self.next_doc_id:
+                self.removed.add(doc_id)
+            self.metrics.counter("ingest.wal_replayed").inc()
+        else:
+            raise PersistenceError(f"unknown WAL op {op!r}")
+        seq = record.get("seq")
+        if seq is not None:
+            self._seq = max(self._seq, seq + 1)
+
+    def _after_write(self) -> None:
+        """Trigger rolls outside the writer lock."""
+        if self._compactor is not None:
+            if self.policy.should_flush(self._active) or \
+                    self.policy.should_compact(self.num_segments):
+                self._wake.set()
+            return
+        if self.policy.should_flush(self._active):
+            self.flush()
+        if self.policy.should_compact(self.num_segments):
+            self.compact()
+
+    # ------------------------------------------------------------------
+    # Installs (view swaps)
+    # ------------------------------------------------------------------
+    def _refresh_view_locked(self) -> None:
+        active = self._active
+        active_tier = Tier(
+            active.doc_lo, None, active.generation,
+            active.index, active.rank_docs, "memtable",
+        )
+        self._view = LSMSearcher(self, tuple(self._segments), active_tier)
+
+    def _run_install(self, commit):
+        """Run ``commit`` (tier flip + view rebuild) atomically for readers.
+
+        Attached: inside the service's write-lock critical section, via
+        the factory form of ``swap_searcher`` — in-flight queries drain,
+        the flip happens, and the new view starts serving, all without
+        rejecting a single request.  Standalone: under the store mutex
+        (``commit`` takes it itself).
+        """
+        service = self._service
+        if service is None:
+            return commit()
+        outcome = {}
+
+        def factory():
+            outcome["result"] = commit()
+            if outcome["result"] is None:
+                return None
+            return self._view
+
+        service.swap_searcher(factory=factory)
+        return outcome.get("result")
+
+    def _seal(self):
+        """Freeze the active memtable into a sealed tier; rotate the WAL."""
+        def commit():
+            with self._mutex:
+                if self._closed or len(self._active) == 0:
+                    return None
+                old = self._active
+                sealed = Tier(
+                    old.doc_lo, old.doc_hi, old.generation,
+                    old.index, old.rank_docs, "memtable",
+                )
+                self._segments.append(sealed)
+                self._generation += 1
+                self._active = Memtable(
+                    old.doc_hi, self._generation, self.params, self.scheme
+                )
+                if self._wal is not None:
+                    self._wal.close()
+                    self._wal = WriteAheadLog(
+                        self.directory / wal_name(self._generation),
+                        fsync=self.fsync,
+                    )
+                if self.directory is not None:
+                    self._snapshot = _SealedSnapshot(
+                        data=_copy_collection(self.data),
+                        order=self.order.snapshot(self.data.vocabulary.copy()),
+                        tombstones=set(self.removed),
+                        next_doc_id=old.doc_hi,
+                        wal_generation=self._generation,
+                    )
+                self._refresh_view_locked()
+                return sealed
+
+        return self._run_install(commit)
+
+    def flush(self):
+        """Seal the memtable and fold every sealed tier into a segment.
+
+        Returns the new segment's generation, or None when there was
+        nothing to fold.  Safe to call concurrently with writes and
+        queries; folds serialize among themselves.
+        """
+        with self._fold_lock:
+            self._seal()
+            pending = [t for t in self._segments if t.kind == "memtable"]
+            if not pending:
+                return None
+            generation = self._fold_and_install(pending)
+            self.metrics.counter("ingest.flushes").inc()
+            return generation
+
+    def compact(self):
+        """Fold *all* tiers (after sealing) into one segment covering
+        the whole corpus, dropping tombstoned documents for good."""
+        with self._fold_lock:
+            self._seal()
+            pending = list(self._segments)
+            if not pending:
+                return None
+            span_removed = any(
+                pending[0].doc_lo <= doc_id < pending[-1].doc_hi
+                for doc_id in self.removed
+            )
+            if len(pending) == 1 and pending[0].kind == "segment" \
+                    and not span_removed:
+                return None  # already fully compact
+            generation = self._fold_and_install(pending)
+            self.metrics.counter("ingest.compactions").inc()
+            return generation
+
+    def _fold_and_install(self, pending) -> int:
+        """Fold contiguous ``pending`` tiers (+tombstones) into one segment.
+
+        Runs off-lock except for two brief critical sections (generation
+        bump, install commit); callers hold the fold lock.
+        """
+        doc_lo = pending[0].doc_lo
+        doc_hi = pending[-1].doc_hi
+        with self._mutex:
+            removed_snapshot = set(self.removed)
+        faults.inject(
+            "ingest.compact", phase="fold", doc_lo=doc_lo, doc_hi=doc_hi
+        )
+        with self.metrics.timer("ingest.fold_seconds").time():
+            folded = IntervalIndex(
+                self.params.w, self.params.tau, self.scheme, hashed=False
+            )
+            rank_lists = []
+            for tier in pending:
+                base = tier.doc_lo
+                for local in range(tier.doc_hi - base):
+                    doc_id = base + local
+                    if doc_id in removed_snapshot:
+                        ranks = []  # keep the id slot, drop the postings
+                    else:
+                        ranks = list(tier.rank_docs[local])
+                    folded.index_document(doc_id - doc_lo, ranks)
+                    rank_lists.append(ranks)
+            compact_index = CompactIntervalIndex.from_index(folded)
+            packed = PackedRankDocs.from_lists(rank_lists)
+        with self._mutex:
+            self._generation += 1
+            generation = self._generation
+        path = None
+        snapshot = self._snapshot
+        if self.directory is not None:
+            segment_searcher = PKWiseSearcher.from_prebuilt(
+                self.params, snapshot.order, self.scheme,
+                compact_index, packed,
+            )
+            faults.inject(
+                "ingest.compact", phase="segment", generation=generation
+            )
+            path = self.directory / generation_name(SEGMENT_STEM, generation)
+            save_searcher(segment_searcher, path, compact=True)
+        new_tier = Tier(
+            doc_lo, doc_hi, generation, compact_index, packed, "segment", path
+        )
+        keep = [t for t in self._segments
+                if not any(t is p for p in pending)]
+        purged = {d for d in removed_snapshot if doc_lo <= d < doc_hi}
+        if self.directory is not None:
+            faults.inject(
+                "ingest.compact", phase="manifest", generation=generation
+            )
+            write_manifest(self.directory, ManifestState(
+                params=self.params,
+                order=snapshot.order,
+                scheme=self.scheme,
+                data=snapshot.data,
+                segments=[
+                    {
+                        "file": t.path.name,
+                        "doc_lo": t.doc_lo,
+                        "doc_hi": t.doc_hi,
+                        "generation": t.generation,
+                    }
+                    for t in keep + [new_tier]
+                ],
+                tombstones=snapshot.tombstones - purged,
+                next_doc_id=snapshot.next_doc_id,
+                wal_generation=snapshot.wal_generation,
+                generation=generation,
+                policy=self.policy.to_dict(),
+            ))
+
+        def commit():
+            with self._mutex:
+                self._segments[:] = keep + [new_tier]
+                self.removed -= purged
+                self._refresh_view_locked()
+                return new_tier
+
+        self._run_install(commit)
+        if self.directory is not None:
+            for gen, wal_path in wal_generations(self.directory):
+                if gen < snapshot.wal_generation:
+                    wal_path.unlink(missing_ok=True)
+            for tier in pending:
+                if tier.path is not None and tier.path != path:
+                    tier.path.unlink(missing_ok=True)
+        return generation
+
+    def _write_initial_manifest(self) -> None:
+        snapshot = self._snapshot
+        write_manifest(self.directory, ManifestState(
+            params=self.params,
+            order=snapshot.order,
+            scheme=self.scheme,
+            data=snapshot.data,
+            segments=[],
+            tombstones=set(),
+            next_doc_id=0,
+            wal_generation=1,
+            generation=1,
+            policy=self.policy.to_dict(),
+        ))
+
+    # ------------------------------------------------------------------
+    # Snapshot out
+    # ------------------------------------------------------------------
+    def compacted_searcher(self) -> PKWiseSearcher:
+        """A standalone frozen searcher over every document (global ids).
+
+        Tombstones carry over as tombstones (matching
+        :meth:`~repro.PKWiseSearcher.compacted` semantics); use
+        :meth:`compact` first to drop them physically.
+        """
+        with self._fold_lock:
+            with self._mutex:
+                tiers = list(self._segments)
+                active = self._active
+                active_len = len(active)
+                removed = set(self.removed)
+                epoch = self.mutation_epoch
+            folded = IntervalIndex(
+                self.params.w, self.params.tau, self.scheme, hashed=False
+            )
+            rank_lists = []
+            for tier in tiers:
+                for local in range(tier.doc_hi - tier.doc_lo):
+                    ranks = list(tier.rank_docs[local])
+                    folded.index_document(tier.doc_lo + local, ranks)
+                    rank_lists.append(ranks)
+            for local in range(active_len):
+                ranks = list(active.rank_docs[local])
+                folded.index_document(active.doc_lo + local, ranks)
+                rank_lists.append(ranks)
+            return PKWiseSearcher.from_prebuilt(
+                self.params,
+                self.order,
+                self.scheme,
+                CompactIntervalIndex.from_index(folded),
+                PackedRankDocs.from_lists(rank_lists),
+                removed=removed,
+                index_epoch=epoch,
+            )
+
+    # ------------------------------------------------------------------
+    # Background compactor
+    # ------------------------------------------------------------------
+    def start_compactor(self, poll_seconds: float = 0.05) -> None:
+        """Start the background thread that flushes/compacts on policy."""
+        with self._mutex:
+            if self._compactor is not None or self._closed:
+                return
+            self._stop = False
+            thread = threading.Thread(
+                target=self._compactor_loop,
+                args=(poll_seconds,),
+                name="repro-ingest-compactor",
+                daemon=True,
+            )
+            self._compactor = thread
+        thread.start()
+
+    def stop_compactor(self, timeout: float = 10.0) -> None:
+        thread = self._compactor
+        if thread is None:
+            return
+        self._stop = True
+        self._wake.set()
+        thread.join(timeout=timeout)
+        self._compactor = None
+
+    def _compactor_loop(self, poll_seconds: float) -> None:
+        while True:
+            self._wake.wait(poll_seconds)
+            self._wake.clear()
+            if self._stop:
+                return
+            try:
+                if self.policy.should_flush(self._active):
+                    self.flush()
+                if self.policy.should_compact(self.num_segments):
+                    self.compact()
+            except Exception as exc:  # keep serving; surface via metrics
+                self.last_error = exc
+                self.metrics.counter("ingest.compactor_errors").inc()
+
+    # ------------------------------------------------------------------
+    # Service wiring + lifecycle
+    # ------------------------------------------------------------------
+    def attach(self, service) -> None:
+        """Route installs through ``service`` (its write lock becomes the
+        writer-side outer lock, and swaps go through swap_searcher)."""
+        with self._mutex:
+            self._service = service
+        if service.searcher is not self._view:
+            service.swap_searcher(self._view)
+
+    def detach(self, service) -> None:
+        with self._mutex:
+            if self._service is service:
+                self._service = None
+
+    def close(self) -> None:
+        """Stop the compactor and close the WAL; queries on existing
+        views keep working (they are in-memory)."""
+        self.stop_compactor()
+        with self._mutex:
+            self._closed = True
+            if self._wal is not None:
+                self._wal.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"IngestStore(docs={self.next_doc_id}, "
+            f"segments={self.num_segments}, "
+            f"memtable={len(self._active)}, "
+            f"tombstones={len(self.removed)}, "
+            f"{'durable' if self.directory else 'in-memory'})"
+        )

@@ -1,0 +1,220 @@
+"""Tiered index and rank-sequence views over memtables + segments.
+
+The LSM store keeps the corpus as a sequence of tiers that tile the
+global doc-id space contiguously: frozen compact segments first, then
+any sealed (immutable) memtables, then the active memtable.  Each tier
+indexes its documents under local ids; these views glue the tiers back
+into the single-index shape the pkwise search kernel expects:
+
+* :class:`TieredIntervalIndex` satisfies the ``probe``/``probe_many``
+  contract of :class:`~repro.index.IntervalIndex`.  A batched probe
+  fans out to every tier, offsets each tier's hit docs by its base, and
+  merges the batches *signature-wise* with one stable argsort — entries
+  for each probed signature come back grouped, ordered by tier base and
+  within a tier in postings-append order, which is exactly the order a
+  serial from-scratch build over the same documents would have stored
+  (the parallel build's exact-merge argument, applied at probe time
+  instead of merge time).
+* :class:`TieredRankDocs` resolves a global doc id to its owning tier's
+  rank sequence for verification.
+
+Both are read-only views: tier *membership* only changes when the store
+installs a new searcher snapshot, so a search that captured a view
+never sees tiers appear or vanish mid-query.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..errors import IndexStateError
+from ..index.intervals import ProbeBatch
+
+
+class Tier:
+    """One doc-id-contiguous slice of the corpus with its own index."""
+
+    __slots__ = ("doc_lo", "_doc_hi", "generation", "index", "rank_docs", "kind", "path")
+
+    def __init__(
+        self, doc_lo, doc_hi, generation, index, rank_docs, kind, path=None
+    ) -> None:
+        self.doc_lo = doc_lo
+        #: ``None`` marks the active-memtable tier: its upper bound
+        #: tracks the shared rank_docs list live, so adds are visible
+        #: through already-installed views without a reinstall.
+        self._doc_hi = doc_hi
+        self.generation = generation
+        #: ``probe_many``-capable index over local ids ``0..doc_hi-doc_lo-1``.
+        self.index = index
+        #: Local-id rank sequences (list of lists or PackedRankDocs).
+        self.rank_docs = rank_docs
+        #: ``"segment"`` (frozen compact) or ``"memtable"`` (dict).
+        self.kind = kind
+        #: Backing snapshot file for segments persisted to disk.
+        self.path = path
+
+    @property
+    def doc_hi(self) -> int:
+        """One past the highest global doc id this tier covers."""
+        if self._doc_hi is not None:
+            return self._doc_hi
+        return self.doc_lo + len(self.rank_docs)
+
+    def __len__(self) -> int:
+        return self.doc_hi - self.doc_lo
+
+    def __repr__(self) -> str:
+        return (
+            f"Tier({self.kind}[{self.doc_lo},{self.doc_hi}), "
+            f"gen={self.generation})"
+        )
+
+
+class TieredIntervalIndex:
+    """Probe-side fan-out over an ordered tuple of :class:`Tier`\\ s.
+
+    Mutation goes through the store (which installs new views), never
+    through this object — ``add_document`` raises like the frozen
+    compact index does.
+    """
+
+    frozen = False
+
+    def __init__(self, tiers: Sequence[Tier], w: int, tau: int, scheme) -> None:
+        starts = [tier.doc_lo for tier in tiers]
+        if starts != sorted(starts):
+            raise IndexStateError("tiers must be ordered by doc_lo")
+        self.tiers = tuple(tiers)
+        self.w = w
+        self.tau = tau
+        self.scheme = scheme
+
+    # -- probe contract -------------------------------------------------
+    def probe(self, signature):
+        """Scalar probe: concatenated per-tier postings, globally numbered."""
+        hits = []
+        for tier in self.tiers:
+            for hit in tier.index.probe(signature):
+                hits.append(type(hit)(hit[0] + tier.doc_lo, hit[1], hit[2]))
+        return hits
+
+    def probe_many(self, signatures, signs=None) -> ProbeBatch:
+        """Batched probe across all tiers, merged signature-wise.
+
+        Stable-sorting the concatenated entries by probed-signature
+        index groups each signature's hits back together while
+        preserving tier order (ascending ``doc_lo``) within a group —
+        the append order of a serial single-index build.
+        """
+        batches: list[tuple[int, ProbeBatch]] = []
+        for tier in self.tiers:
+            batch = tier.index.probe_many(signatures, signs)
+            if batch.entries:
+                batches.append((tier.doc_lo, batch))
+        if not batches:
+            return ProbeBatch.empty(probed=len(signatures))
+        if len(batches) == 1:
+            doc_lo, batch = batches[0]
+            if doc_lo == 0:
+                return batch
+            return ProbeBatch(
+                batch.docs + doc_lo, batch.us, batch.vs,
+                batch.signs, batch.sig_counts, batch.probed,
+            )
+        probed = batches[0][1].probed
+        owners = np.concatenate(
+            [
+                np.repeat(np.arange(probed, dtype=np.int64), batch.sig_counts)
+                for _lo, batch in batches
+            ]
+        )
+        order = np.argsort(owners, kind="stable")
+        docs = np.concatenate([batch.docs + lo for lo, batch in batches])[order]
+        us = np.concatenate([batch.us for _lo, batch in batches])[order]
+        vs = np.concatenate([batch.vs for _lo, batch in batches])[order]
+        signs_column = np.concatenate([batch.signs for _lo, batch in batches])[order]
+        sig_counts = batches[0][1].sig_counts.copy()
+        for _lo, batch in batches[1:]:
+            sig_counts = sig_counts + batch.sig_counts
+        return ProbeBatch(docs, us, vs, signs_column, sig_counts, probed)
+
+    def __contains__(self, signature) -> bool:
+        return any(signature in tier.index for tier in self.tiers)
+
+    # -- mutation is a store concern ------------------------------------
+    def add_document(self, doc_id, ranks) -> None:
+        raise IndexStateError(
+            "a tiered LSM index is mutated through its IngestStore "
+            "(Index.add / Index.remove), never directly"
+        )
+
+    index_document = add_document
+
+    def merge(self, other) -> None:
+        raise IndexStateError(
+            "a tiered LSM index cannot merge; compaction folds tiers instead"
+        )
+
+    # -- aggregate introspection ----------------------------------------
+    @property
+    def num_documents(self) -> int:
+        return sum(tier.index.num_documents for tier in self.tiers)
+
+    @property
+    def num_windows(self) -> int:
+        return sum(tier.index.num_windows for tier in self.tiers)
+
+    @property
+    def num_signatures(self) -> int:
+        return sum(tier.index.num_signatures for tier in self.tiers)
+
+    @property
+    def num_postings(self) -> int:
+        return sum(tier.index.num_postings for tier in self.tiers)
+
+    def size_in_entries(self) -> int:
+        return self.num_postings
+
+    def __repr__(self) -> str:
+        return (
+            f"TieredIntervalIndex({len(self.tiers)} tiers, "
+            f"postings={self.num_postings})"
+        )
+
+
+class TieredRankDocs(Sequence):
+    """Global doc id -> rank sequence, resolved through the owning tier.
+
+    Length is derived from the *last* tier's (possibly live) upper
+    bound, so a view over the active memtable sees documents the moment
+    they are added.
+    """
+
+    __slots__ = ("_tiers", "_starts")
+
+    def __init__(self, tiers: Sequence[Tier]) -> None:
+        self._tiers = tuple(tiers)
+        self._starts = [tier.doc_lo for tier in tiers]
+
+    def __len__(self) -> int:
+        if not self._tiers:
+            return 0
+        return self._tiers[-1].doc_hi
+
+    def __getitem__(self, doc_id: int):
+        if not 0 <= doc_id < len(self):
+            raise IndexError(f"no document with id {doc_id}")
+        slot = bisect_right(self._starts, doc_id) - 1
+        if slot < 0:
+            raise IndexError(f"doc id {doc_id} precedes the first tier")
+        tier = self._tiers[slot]
+        if doc_id >= tier.doc_hi:
+            raise IndexError(f"doc id {doc_id} falls in a tier gap")
+        return tier.rank_docs[doc_id - tier.doc_lo]
+
+    def __repr__(self) -> str:
+        return f"TieredRankDocs({len(self._tiers)} tiers, docs={len(self)})"

@@ -165,6 +165,28 @@ class GlobalOrder:
         return self.frequency_of_rank(rank) / self.num_data_windows
 
     # ------------------------------------------------------------------
+    def snapshot(self, vocabulary=None) -> "GlobalOrder":
+        """A point-in-time copy safe to pickle while this order keeps
+        admitting tokens.
+
+        The build-time tables are frozen after construction and are
+        shared; only the lazy-admission map is copied.  Pass the
+        matching vocabulary snapshot so the copy does not pin (or race
+        with) the live, still-interning vocabulary.
+        """
+        clone = GlobalOrder.__new__(GlobalOrder)
+        clone._vocabulary = (
+            vocabulary if vocabulary is not None else self._vocabulary
+        )
+        clone.w = self.w
+        clone._rank_of_token = self._rank_of_token
+        clone._token_of_rank = self._token_of_rank
+        clone._freq_of_rank = self._freq_of_rank
+        clone._built_size = self._built_size
+        clone._extra_ranks = dict(self._extra_ranks)
+        clone.num_data_windows = self.num_data_windows
+        return clone
+
     def rank_sequence(self, tokens: Sequence[int]) -> list[int]:
         """Map a token-id sequence to its rank sequence."""
         rank = self.rank

@@ -140,7 +140,7 @@ def index_chunk(task):
     for doc_id in range(lo, hi):
         ranks = order.rank_document(data[doc_id])
         rank_docs.append(ranks)
-        index.add_document(doc_id, ranks)
+        index.index_document(doc_id, ranks)
     elapsed = time.perf_counter() - started
     return chunk_index, os.getpid(), elapsed, index, rank_docs
 

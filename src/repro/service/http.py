@@ -15,8 +15,19 @@ endpoints:
     ``"partial": true`` and ``"failures": [QueryFailure dicts]`` —
     the pairs cover the shards that answered.  Overload maps to ``429``
     with a ``Retry-After`` header; a missed deadline maps to ``504``.
+``POST /ingest``
+    JSON body ``{"text": "...", "name": "optional"}``: add one document
+    through the service's LSM write path (upgrading a read-only
+    searcher to a live tiered view on the first call).  Replies
+    ``{"doc_id": N, "index_epoch": e}``; the document is searchable as
+    soon as the reply is sent.
+``POST /remove``
+    JSON body ``{"doc_id": N}``: tombstone one document.  Unknown ids
+    map to ``404``.
 ``GET /healthz``
-    Liveness and index state (documents, epoch, queue depth, uptime).
+    Liveness and index state (documents, epoch, queue depth, uptime,
+    plus an ``ingest`` block — memtable size, segment count,
+    tombstones — once the write path is live).
 ``GET /metrics``
     The service's :class:`~repro.obs.MetricsRegistry` snapshot —
     request-latency timers, queue-depth gauges, cache hit/miss
@@ -99,7 +110,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib API)
         url = urlparse(self.path)
-        if url.path != "/search":
+        if url.path not in ("/search", "/ingest", "/remove"):
             self._reply_error(404, f"unknown path {url.path!r}")
             return
         try:
@@ -118,7 +129,55 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         if not isinstance(payload, dict):
             self._reply_error(400, "JSON body must be an object")
             return
-        self._search(payload)
+        if url.path == "/search":
+            self._search(payload)
+        elif url.path == "/ingest":
+            self._ingest(payload)
+        else:
+            self._remove(payload)
+
+    def _ingest(self, payload: dict) -> None:
+        service = self.server.service
+        text = payload.get("text")
+        if not isinstance(text, str):
+            self._reply_error(400, "body needs a string 'text'")
+            return
+        name = payload.get("name")
+        if name is not None and not isinstance(name, str):
+            self._reply_error(400, "'name' must be a string")
+            return
+        try:
+            doc_id = service.add_text(text, name=name)
+        except ServiceClosedError as exc:
+            self._reply_error(503, str(exc))
+            return
+        except ReproError as exc:
+            self._reply_error(400, str(exc))
+            return
+        self._reply(
+            200, {"doc_id": doc_id, "index_epoch": service.index_epoch}
+        )
+
+    def _remove(self, payload: dict) -> None:
+        service = self.server.service
+        doc_id = payload.get("doc_id")
+        if not isinstance(doc_id, int) or isinstance(doc_id, bool):
+            self._reply_error(400, "body needs an integer 'doc_id'")
+            return
+        try:
+            service.remove_document(doc_id)
+        except ServiceClosedError as exc:
+            self._reply_error(503, str(exc))
+            return
+        except IndexError as exc:
+            self._reply_error(404, str(exc))
+            return
+        except ReproError as exc:
+            self._reply_error(400, str(exc))
+            return
+        self._reply(
+            200, {"removed": doc_id, "index_epoch": service.index_epoch}
+        )
 
     # ------------------------------------------------------------------
     def _search(self, payload: dict) -> None:

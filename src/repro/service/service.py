@@ -270,6 +270,7 @@ class SearchService:
         self._queue_capacity = max_queue
         self._queue_lock = threading.Lock()
         self._queue_ready = threading.Condition(self._queue_lock)
+        self._upgrade_lock = threading.Lock()
         self._workers = [
             threading.Thread(
                 target=self._worker_loop, name=f"{name}-worker-{i}", daemon=True
@@ -278,6 +279,9 @@ class SearchService:
         ]
         for thread in self._workers:
             thread.start()
+        store = getattr(searcher, "store", None)
+        if store is not None:
+            store.attach(self)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -305,7 +309,7 @@ class SearchService:
 
     def healthz(self) -> dict:
         """Liveness summary served by the HTTP front-end's ``/healthz``."""
-        return {
+        info = {
             "status": "closed" if self._closed else "ok",
             "service": self.name,
             "documents": len(getattr(self.searcher, "rank_docs", ())),
@@ -316,6 +320,14 @@ class SearchService:
             "cache_entries": len(self.cache),
             "uptime_seconds": time.time() - self.started_at,
         }
+        store = getattr(self.searcher, "store", None)
+        if store is not None:
+            info["ingest"] = {
+                "memtable_docs": store.memtable_docs,
+                "segments": store.num_segments,
+                "tombstones": len(store.removed),
+            }
+        return info
 
     def metrics_snapshot(self) -> dict:
         """Canonical metrics record (service + cache + search counters).
@@ -332,6 +344,9 @@ class SearchService:
         registry.gauge("service.cache_entries").set(len(self.cache))
         registry.gauge("service.queue_depth_now").set(self.queue_depth)
         registry.gauge("service.index_epoch").set(self.index_epoch)
+        store = getattr(self.searcher, "store", None)
+        if store is not None:
+            registry.merge_snapshot(store.metrics_snapshot())
         return {
             "name": self.name,
             "schema_version": 1,
@@ -423,20 +438,41 @@ class SearchService:
     # ------------------------------------------------------------------
     # Index mutation (write side)
     # ------------------------------------------------------------------
+    def _live_store(self):
+        """The ingest store backing mutations, upgrading lazily.
+
+        Every write on a :class:`SearchService` flows through a
+        :class:`~repro.ingest.IngestStore` (the LSM write path).  If the
+        current searcher does not carry one yet — including a frozen
+        compact searcher, which is read-only on its own — the existing
+        index becomes the base segment of a fresh in-memory store and
+        the tiered LSM view is swapped in, so the first write upgrades
+        the service to live ingestion transparently.
+        """
+        store = getattr(self.searcher, "store", None)
+        if store is not None:
+            return store
+        with self._upgrade_lock:
+            store = getattr(self.searcher, "store", None)
+            if store is None:
+                from ..ingest import IngestStore
+
+                store = IngestStore.from_searcher(self.searcher, self.data)
+                store.attach(self)
+        return store
+
     def add_document(self, document: Document) -> int:
         """Index one more document; invalidates cached results via epoch.
 
-        A service over a frozen compact searcher (opened with
-        ``compact``/``mmap``) is read-only for additions: this raises
-        :class:`~repro.errors.IndexStateError` without touching the
-        epoch or mutation counters.  ``remove_document`` still works
-        (tombstones don't rewrite the index).
+        Routed through the LSM ingest write path: the document lands in
+        the store's mutable memtable (upgrading a plain or frozen
+        compact searcher to a tiered live view on first write) and
+        becomes visible to the next search atomically.  Frozen-segment
+        cache entries stay warm — only the epoch component covering the
+        memtable moves.
         """
-        self._index_lock.acquire_write()
-        try:
-            doc_id = self.searcher.add_document(document)
-        finally:
-            self._index_lock.release_write()
+        store = self._live_store()
+        doc_id = store.add_document(document)
         with self._metrics_lock:
             self._registry.counter("service.mutations").inc()
         return doc_id
@@ -445,19 +481,29 @@ class SearchService:
         """Tokenize ``text`` into the bundled collection and index it."""
         if self.data is None:
             raise ReproError("service has no document collection to tokenize into")
-        return self.add_document(self.data.add_text(text, name=name))
+        store = self._live_store()
+        if store.data is self.data:
+            doc_id = store.add_text(text, name=name)
+        else:
+            doc_id = store.add_document(self.data.add_text(text, name=name))
+        with self._metrics_lock:
+            self._registry.counter("service.mutations").inc()
+        return doc_id
 
     def remove_document(self, doc_id: int) -> None:
         """Tombstone ``doc_id``; invalidates cached results via epoch."""
-        self._index_lock.acquire_write()
-        try:
-            self.searcher.remove_document(doc_id)
-        finally:
-            self._index_lock.release_write()
+        store = self._live_store()
+        store.remove(doc_id)
         with self._metrics_lock:
             self._registry.counter("service.mutations").inc()
 
-    def swap_searcher(self, searcher, data: DocumentCollection | None = None) -> int:
+    def swap_searcher(
+        self,
+        searcher=None,
+        data: DocumentCollection | None = None,
+        *,
+        factory=None,
+    ) -> int:
         """Atomically replace the serving searcher (rolling snapshot swap).
 
         The replacement — typically a freshly built compact snapshot
@@ -472,13 +518,29 @@ class SearchService:
         is purged in one scan on the next insert).  Dropping the old
         searcher releases its snapshot mapping.
 
+        Pass ``factory`` (a zero-argument callable) instead of
+        ``searcher`` to run the final commit of a prepared swap inside
+        the write-lock critical section itself — the ingest compactor
+        uses this so flipping its tier list and installing the new view
+        are one atomic step against concurrent searches.  A factory
+        returning ``None`` aborts: nothing is swapped and the current
+        generation is returned unchanged.
+
         Returns the new serving generation number.
         """
         if self._closed:
             raise ServiceClosedError(f"{self.name} is closed")
-        new_contrib = getattr(searcher, "index_epoch", 0)
+        if (searcher is None) == (factory is None):
+            raise ConfigurationError(
+                "swap_searcher takes exactly one of searcher or factory"
+            )
         self._index_lock.acquire_write()
         try:
+            if factory is not None:
+                searcher = factory()
+                if searcher is None:
+                    return self.generation
+            new_contrib = getattr(searcher, "index_epoch", 0)
             old_searcher = self.searcher
             old_epoch = self.index_epoch
             self.searcher = searcher
@@ -644,6 +706,9 @@ class SearchService:
             request.future._fail(ServiceClosedError(f"{self.name} is closed"))
         for thread in self._workers:
             thread.join()
+        store = getattr(self.searcher, "store", None)
+        if store is not None:
+            store.detach(self)
 
     def __enter__(self) -> "SearchService":
         return self

@@ -108,6 +108,18 @@ class Vocabulary:
             return OOV_TOKEN
         return self._token_of[token_id]
 
+    def copy(self) -> "Vocabulary":
+        """An independent copy with identical ids.
+
+        Snapshot isolation for persistence: the ingest store copies the
+        vocabulary at seal time so manifest writes (which happen off the
+        writer lock) never race with concurrent interning.
+        """
+        clone = Vocabulary()
+        clone._id_of = dict(self._id_of)
+        clone._token_of = list(self._token_of)
+        return clone
+
     def __len__(self) -> int:
         return len(self._token_of)
 

@@ -183,25 +183,34 @@ class TestFrozenGuards:
             frozen.index.merge(searcher.index)
 
     def test_searcher_add_document_raises(self, built, small_corpus):
+        # The frozen engine itself stays immutable; the supported
+        # mutation route is Index.add, which upgrades to the LSM write
+        # path instead of touching the compact arrays.
         _data, searcher = built
         frozen = searcher.compacted()
         with pytest.raises(IndexStateError, match="frozen"):
-            frozen.add_document(small_corpus[0])
+            frozen._add_document(small_corpus[0])
 
     def test_remove_document_still_works(self, built, queries):
         _data, searcher = built
         frozen = searcher.compacted()
         before = frozen.search(queries[1])
         assert any(pair.doc_id == 0 for pair in before.pairs)
-        frozen.remove_document(0)
+        frozen._remove_document(0)
         after = frozen.search(queries[1])
         assert not any(pair.doc_id == 0 for pair in after.pairs)
 
-    def test_service_add_document_raises(self, built, small_corpus):
+    def test_service_add_upgrades_frozen_to_live(self, built, small_corpus):
+        # Mutating a service over a frozen compact searcher used to be
+        # a hard error; it now upgrades to the LSM write path — the
+        # compact index becomes the frozen base segment and the add
+        # lands in a memtable, immediately searchable.
         data, searcher = built
         with SearchService(searcher.compacted(), data, max_workers=1) as service:
-            with pytest.raises(IndexStateError, match="frozen"):
-                service.add_document(small_corpus[0])
+            new_id = service.add_document(small_corpus[0])
+            assert new_id == len(small_corpus) - 1
+            result = service.search(small_corpus[0])
+            assert any(pair.doc_id == new_id for pair in result.pairs)
 
     def test_column_shape_validation(self):
         with pytest.raises(IndexStateError, match="offsets"):
@@ -254,7 +263,7 @@ class TestV3Snapshots:
 
     def test_tombstones_survive_roundtrip(self, built, queries, tmp_path):
         _data, searcher = built
-        searcher.remove_document(0)
+        searcher._remove_document(0)
         epoch_before = searcher.index_epoch
         path = tmp_path / "index.idx"
         save_searcher(searcher, path, compact=True)

@@ -1,4 +1,11 @@
-"""Tests for incremental index maintenance and top-k search."""
+"""Tests for incremental index maintenance and top-k search.
+
+Mutations go through the :class:`repro.Index` facade — the unified
+write path that backs every add/remove with the LSM ingest pipeline
+(memtable + frozen segments).  The legacy direct-mutation methods on
+searchers remain importable but warn; ``TestDeprecatedMutation`` pins
+that contract.
+"""
 
 from __future__ import annotations
 
@@ -9,6 +16,7 @@ import pytest
 from repro import (
     DocumentCollection,
     GlobalOrder,
+    Index,
     PKWiseSearcher,
     SearchParams,
 )
@@ -28,11 +36,12 @@ class TestAddDocument:
     def test_added_document_searchable(self):
         data, rng = corpus()
         params = SearchParams(w=10, tau=2, k_max=2)
-        searcher = PKWiseSearcher(data, params)
+        index = Index(PKWiseSearcher(data, params), data)
         new_doc = data.add_tokens([f"t{rng.randrange(60)}" for _ in range(50)])
-        doc_id = searcher.add_document(new_doc)
+        doc_id = index.add(new_doc)
         assert doc_id == 3
-        result = searcher.search(new_doc)
+        assert index.live
+        result = index.search(new_doc)
         # The new document matches itself on every window.
         for start in range(new_doc.num_windows(10)):
             assert (doc_id, start, start, 10) in pairs_as_set(result)
@@ -46,9 +55,11 @@ class TestAddDocument:
         batch = PKWiseSearcher(data, params, order=order)
 
         partial = data.subset(range(2))
-        incremental = PKWiseSearcher(partial, params, order=order)
-        incremental.add_document(data[2])
-        incremental.add_document(data[3])
+        incremental = Index(
+            PKWiseSearcher(partial, params, order=order), partial
+        )
+        incremental.add(data[2])
+        incremental.add(data[3])
 
         query = data.encode_query_tokens(
             [f"t{rng.randrange(60)}" for _ in range(30)]
@@ -60,55 +71,98 @@ class TestAddDocument:
     def test_added_document_with_new_tokens(self):
         data, _rng = corpus(seed=2)
         params = SearchParams(w=6, tau=1, k_max=2)
-        searcher = PKWiseSearcher(data, params)
+        index = Index(PKWiseSearcher(data, params), data)
         new_doc = data.add_tokens([f"fresh{i}" for i in range(20)])
-        doc_id = searcher.add_document(new_doc)
-        result = searcher.search(new_doc)
+        doc_id = index.add(new_doc)
+        result = index.search(new_doc)
         assert (doc_id, 0, 0, 6) in pairs_as_set(result)
 
     def test_added_results_are_exact(self):
         data, rng = corpus(seed=3, docs=2)
         params = SearchParams(w=8, tau=2, k_max=2)
-        searcher = PKWiseSearcher(data, params)
+        index = Index(PKWiseSearcher(data, params), data)
         extra = data.add_tokens([f"t{rng.randrange(60)}" for _ in range(40)])
-        searcher.add_document(extra)
+        index.add(extra)
         query = data.encode_query_tokens(
             [f"t{rng.randrange(60)}" for _ in range(30)]
         )
-        assert pairs_as_set(searcher.search(query)) == brute_force_pairs(
+        assert pairs_as_set(index.search(query)) == brute_force_pairs(
             data, query, 8, 2
         )
+
+    def test_results_exact_across_flush_and_compact(self):
+        # Folding the memtable into a frozen segment (and folding all
+        # tiers into one) must not change a single pair.
+        data, rng = corpus(seed=9, docs=2)
+        params = SearchParams(w=8, tau=2, k_max=2)
+        index = Index(PKWiseSearcher(data, params), data)
+        extra = data.add_tokens([f"t{rng.randrange(60)}" for _ in range(40)])
+        index.add(extra)
+        query = data.encode_query_tokens(
+            [f"t{rng.randrange(60)}" for _ in range(30)]
+        )
+        before = pairs_as_set(index.search(query))
+        index.flush()
+        assert pairs_as_set(index.search(query)) == before
+        index.compact()
+        assert pairs_as_set(index.search(query)) == before
+        assert before == brute_force_pairs(data, query, 8, 2)
 
 
 class TestRemoveDocument:
     def test_removed_document_excluded(self):
         data, _rng = corpus(seed=4)
         params = SearchParams(w=10, tau=2, k_max=2)
-        searcher = PKWiseSearcher(data, params)
+        index = Index(PKWiseSearcher(data, params), data)
         query = data[1]
-        before = pairs_as_set(searcher.search(query))
+        before = pairs_as_set(index.search(query))
         assert any(doc_id == 1 for doc_id, *_ in before)
-        searcher.remove_document(1)
-        after = pairs_as_set(searcher.search(query))
+        index.remove(1)
+        after = pairs_as_set(index.search(query))
         assert after == {t for t in before if t[0] != 1}
-        assert searcher.removed_documents == frozenset({1})
+        assert index.searcher().removed_documents == frozenset({1})
 
     def test_remove_unknown_raises(self):
         data, _rng = corpus()
-        searcher = PKWiseSearcher(data, SearchParams(w=10, tau=2, k_max=2))
+        index = Index(
+            PKWiseSearcher(data, SearchParams(w=10, tau=2, k_max=2)), data
+        )
         with pytest.raises(IndexError):
-            searcher.remove_document(99)
+            index.remove(99)
 
     def test_remove_then_add_independent(self):
         data, rng = corpus(seed=5, docs=2)
         params = SearchParams(w=8, tau=1, k_max=2)
-        searcher = PKWiseSearcher(data, params)
-        searcher.remove_document(0)
+        index = Index(PKWiseSearcher(data, params), data)
+        index.remove(0)
         new_doc = data.add_tokens([f"t{rng.randrange(60)}" for _ in range(30)])
-        new_id = searcher.add_document(new_doc)
-        result = pairs_as_set(searcher.search(new_doc))
+        new_id = index.add(new_doc)
+        result = pairs_as_set(index.search(new_doc))
         assert all(doc_id != 0 for doc_id, *_ in result)
         assert any(doc_id == new_id for doc_id, *_ in result)
+
+
+class TestDeprecatedMutation:
+    def test_searcher_add_document_warns(self):
+        data, rng = corpus(seed=10, docs=2)
+        searcher = PKWiseSearcher(data, SearchParams(w=10, tau=2, k_max=2))
+        new_doc = data.add_tokens([f"t{rng.randrange(60)}" for _ in range(30)])
+        with pytest.warns(DeprecationWarning, match="Index.add"):
+            doc_id = searcher.add_document(new_doc)
+        assert doc_id == 2
+
+    def test_searcher_remove_document_warns(self):
+        data, _rng = corpus(seed=11, docs=2)
+        searcher = PKWiseSearcher(data, SearchParams(w=10, tau=2, k_max=2))
+        with pytest.warns(DeprecationWarning, match="Index.remove"):
+            searcher.remove_document(1)
+        assert searcher.removed_documents == frozenset({1})
+
+    def test_interval_index_add_document_warns(self):
+        data, _rng = corpus(seed=12, docs=1)
+        searcher = PKWiseSearcher(data, SearchParams(w=10, tau=2, k_max=2))
+        with pytest.warns(DeprecationWarning, match="index_document"):
+            searcher.index.add_document(1, searcher.rank_docs[0])
 
 
 class TestTopK:

@@ -67,7 +67,7 @@ class TestIntervalIndex:
         ranks = [E, G, A, F, C, B, D]
         scheme = PartitionScheme(universe_size=7, borders=(4,))
         index = IntervalIndex(4, 1, scheme)
-        index.add_document(0, ranks)
+        index.index_document(0, ranks)
         assert index.probe((A,)) == [WindowInterval(0, 0, 2)]
         assert index.probe((E, F)) == [WindowInterval(0, 0, 0)]
         assert index.probe((C,)) == [
@@ -79,7 +79,7 @@ class TestIntervalIndex:
     def test_probe_missing_signature(self):
         scheme = PartitionScheme.single(5)
         index = IntervalIndex(2, 0, scheme)
-        index.add_document(0, [0, 1, 2])
+        index.index_document(0, [0, 1, 2])
         assert index.probe((4,)) == []
         assert (0,) in index
 
@@ -97,7 +97,7 @@ class TestIntervalIndex:
         num_windows = len(ranks) - w + 1
 
         index = IntervalIndex(w, tau, scheme)
-        index.add_document(0, ranks)
+        index.index_document(0, ranks)
 
         # Reference presence per window.
         presence: dict = {}
@@ -122,8 +122,8 @@ class TestIntervalIndex:
     def test_multiple_documents(self):
         scheme = PartitionScheme.single(4)
         index = IntervalIndex(2, 0, scheme)
-        index.add_document(0, [0, 1, 2])
-        index.add_document(1, [0, 0, 0])
+        index.index_document(0, [0, 1, 2])
+        index.index_document(1, [0, 0, 0])
         assert index.num_documents == 2
         assert {interval.doc_id for interval in index.probe((0,))} == {0, 1}
 
@@ -133,8 +133,8 @@ class TestIntervalIndex:
         ranks = [rng.randrange(8) for _ in range(30)]
         plain = IntervalIndex(4, 1, scheme)
         hashed = IntervalIndex(4, 1, scheme, hashed=True)
-        plain.add_document(0, ranks)
-        hashed.add_document(0, ranks)
+        plain.index_document(0, ranks)
+        hashed.index_document(0, ranks)
         assert plain.num_postings == hashed.num_postings
         window = sorted(ranks[0:4])
         for signature in set(generate_signatures(window, 1, scheme)):
@@ -143,7 +143,7 @@ class TestIntervalIndex:
     def test_build_stats_accumulate(self):
         scheme = PartitionScheme.single(5)
         index = IntervalIndex(2, 0, scheme)
-        index.add_document(0, [0, 1, 2, 3])
+        index.index_document(0, [0, 1, 2, 3])
         assert index.build_stats["generated_signatures"] > 0
         assert index.num_windows == 3
 
@@ -152,7 +152,7 @@ class TestWindowInvertedIndex:
     def test_postings_per_window(self):
         scheme = PartitionScheme.single(4)
         index = WindowInvertedIndex(2, 0, scheme)
-        index.add_document(0, [0, 1, 0])
+        index.index_document(0, [0, 1, 0])
         # tau=0: prefix length 1; windows [0,1] and [0,1] sorted -> rank 0
         # is the prefix of both.
         assert index.probe((0,)) == [(0, 0), (0, 1)]
@@ -164,13 +164,13 @@ class TestWindowInvertedIndex:
         ranks = [rng.randrange(6) for _ in range(60)]
         interval_index = IntervalIndex(6, 1, scheme)
         window_index = WindowInvertedIndex(6, 1, scheme)
-        interval_index.add_document(0, ranks)
-        window_index.add_document(0, ranks)
+        interval_index.index_document(0, ranks)
+        window_index.index_document(0, ranks)
         assert interval_index.size_in_entries() <= window_index.size_in_entries()
 
     def test_signature_and_posting_counts(self):
         scheme = PartitionScheme.single(3)
         index = WindowInvertedIndex(2, 0, scheme)
-        index.add_document(0, [0, 1, 2])
+        index.index_document(0, [0, 1, 2])
         assert index.num_signatures >= 1
         assert index.num_postings == 2  # one prefix token per window

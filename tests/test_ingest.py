@@ -1,0 +1,486 @@
+"""Tests for the LSM streaming-ingestion write path (:mod:`repro.ingest`).
+
+The contract under test, end to end:
+
+* **Exactness for any interleaving** — a store mutated by any sequence
+  of adds / removes / flushes / compactions returns pair-for-pair the
+  results of a one-shot :class:`~repro.PKWiseSearcher` built over the
+  final collection state (Theorem 1: the shared global order makes
+  tier boundaries invisible to the result set).
+* **Serving never stops** — installs happen inside the service's
+  write-lock critical section via the factory form of
+  ``swap_searcher``; queries interleaved with a mutation storm see
+  zero :class:`~repro.ServiceOverloadError` and per-thread epochs
+  only move forward.
+* **Crash safety** — segment files and the manifest are persisted
+  before the in-memory flip; dying at any ``ingest.compact`` phase (or
+  mid-WAL-append) loses nothing that was acknowledged: reopen replays
+  the WAL and reproduces the pre-crash result set exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import random
+import subprocess
+import sys
+import threading
+
+import pytest
+
+import repro
+from repro import (
+    CompactionPolicy,
+    DocumentCollection,
+    IngestStore,
+    PKWiseSearcher,
+    SearchParams,
+    SearchService,
+    ServiceOverloadError,
+    faults,
+)
+from repro.errors import FaultInjectionError
+from repro.eval.harness import canonical_pair_order
+from repro.faults import KILL_EXIT_CODE, FaultPlan, FaultSpec
+from repro.ingest import read_wal, wal_generations
+from repro.persistence import PersistenceError
+
+PARAMS = SearchParams(w=8, tau=2, k_max=2)
+VOCAB = 40
+DOC_LEN = 36
+
+#: Absolute src/ path so crash-test subprocesses import this checkout.
+SRC_DIR = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+
+
+@pytest.fixture(autouse=True)
+def _no_fault_leak():
+    faults.clear_plan()
+    yield
+    faults.clear_plan()
+
+
+def make_tokens(rng, length=DOC_LEN):
+    return [f"t{rng.randrange(VOCAB)}" for _ in range(length)]
+
+
+def make_query(data, rng, length=24):
+    return data.encode_query_tokens(make_tokens(rng, length))
+
+
+def store_pairs(store, query):
+    return canonical_pair_order(store.searcher().search(query).pairs)
+
+
+def one_shot_reference(texts, live_ids):
+    """A one-shot searcher over the full text history + tombstones."""
+    ref_data = DocumentCollection()
+    for tokens in texts:
+        ref_data.add_tokens(tokens)
+    ref = PKWiseSearcher(ref_data, PARAMS)
+    for doc_id in set(range(len(texts))) - set(live_ids):
+        ref._remove_document(doc_id)
+    return ref_data, ref
+
+
+class TestStoreBasics:
+    def test_memtable_only_parity(self):
+        rng = random.Random(0)
+        texts = [make_tokens(rng) for _ in range(4)]
+        store = IngestStore.create(PARAMS, data=DocumentCollection())
+        for tokens in texts:
+            store.add_tokens(tokens)
+        ref_data, ref = one_shot_reference(texts, range(len(texts)))
+        query_tokens = make_tokens(rng, 24)
+        got = store_pairs(store, store.data.encode_query_tokens(query_tokens))
+        want = canonical_pair_order(
+            ref.search(ref_data.encode_query_tokens(query_tokens)).pairs
+        )
+        assert got == want
+        store.close()
+
+    def test_flush_and_compact_preserve_results(self):
+        rng = random.Random(1)
+        store = IngestStore.create(PARAMS, data=DocumentCollection())
+        for _ in range(6):
+            store.add_tokens(make_tokens(rng))
+        query = make_query(store.data, rng)
+        before = store_pairs(store, query)
+        assert store.flush() is not None
+        assert store.num_segments == 1
+        assert store.memtable_docs == 0
+        assert store_pairs(store, query) == before
+        store.remove(2)
+        store.add_tokens(make_tokens(rng))
+        mid = store_pairs(store, query)
+        store.compact()
+        assert store.num_segments == 1
+        assert not store.removed  # tombstone physically purged
+        assert store_pairs(store, query) == mid
+        store.close()
+
+    def test_policy_triggers_synchronous_flush(self):
+        rng = random.Random(2)
+        policy = CompactionPolicy(memtable_max_docs=3, max_segments=2)
+        store = IngestStore.create(
+            PARAMS, data=DocumentCollection(), policy=policy
+        )
+        for _ in range(10):
+            store.add_tokens(make_tokens(rng))
+        assert store.memtable_docs < 10  # rolls happened automatically
+        assert store.num_segments >= 1
+        query = make_query(store.data, rng)
+        got = store_pairs(store, query)
+        store.compact()
+        assert store_pairs(store, query) == got
+        store.close()
+
+    def test_segment_cache_stays_warm_across_memtable_adds(self):
+        rng = random.Random(3)
+        store = IngestStore.create(PARAMS, data=DocumentCollection())
+        for _ in range(5):
+            store.add_tokens(make_tokens(rng))
+        store.flush()
+        query = make_query(store.data, rng)
+        store.searcher().search(query)
+        hits0 = store.segment_cache.hits
+        misses0 = store.segment_cache.misses
+        # A memtable insert must NOT invalidate the frozen-segment
+        # partial result: its generation vector is unchanged.
+        store.add_tokens(make_tokens(rng))
+        store.searcher().search(query)
+        assert store.segment_cache.hits == hits0 + 1
+        assert store.segment_cache.misses == misses0
+        # A remove bumps the tombstone epoch: partial result recomputed.
+        store.remove(0)
+        store.searcher().search(query)
+        assert store.segment_cache.misses == misses0 + 1
+        store.close()
+
+    def test_compacted_searcher_is_plain_and_exact(self):
+        rng = random.Random(4)
+        store = IngestStore.create(PARAMS, data=DocumentCollection())
+        for _ in range(5):
+            store.add_tokens(make_tokens(rng))
+        store.flush()
+        store.add_tokens(make_tokens(rng))
+        store.remove(1)
+        query = make_query(store.data, rng)
+        live = store_pairs(store, query)
+        folded = store.searcher().compacted()
+        assert folded.frozen
+        assert folded.removed_documents == frozenset({1})
+        assert canonical_pair_order(folded.search(query).pairs) == live
+        store.close()
+
+
+class TestInterleavingProperty:
+    """Seeded random interleavings of add/remove/flush/compact."""
+
+    @pytest.mark.parametrize("seed", [11, 23, 37])
+    def test_serial_interleaving_matches_one_shot(self, seed):
+        rng = random.Random(seed)
+        store = IngestStore.create(PARAMS, data=DocumentCollection())
+        texts: list[list[str]] = []
+        live_ids: list[int] = []
+        for _step in range(40):
+            op = rng.random()
+            if op < 0.6 or not live_ids:
+                tokens = make_tokens(rng)
+                live_ids.append(store.add_tokens(tokens))
+                texts.append(tokens)
+            elif op < 0.75:
+                victim = rng.choice(live_ids)
+                live_ids.remove(victim)
+                store.remove(victim)
+            elif op < 0.9:
+                store.flush()
+            else:
+                store.compact()
+        ref_data, ref = one_shot_reference(texts, live_ids)
+        for _ in range(5):
+            query_tokens = make_tokens(rng, 24)
+            got = store_pairs(
+                store, store.data.encode_query_tokens(query_tokens)
+            )
+            want = canonical_pair_order(
+                ref.search(ref_data.encode_query_tokens(query_tokens)).pairs
+            )
+            assert got == want
+        store.close()
+
+    def test_interleaving_under_live_service_traffic(self):
+        rng = random.Random(99)
+        data = DocumentCollection()
+        store = IngestStore.create(PARAMS, data=data)
+        seed_texts = [make_tokens(rng) for _ in range(6)]
+        for tokens in seed_texts:
+            store.add_tokens(tokens)
+        service = SearchService(
+            store.searcher(), data, max_workers=2, max_queue=256
+        )
+        queries = [make_query(data, rng) for _ in range(4)]
+        overloads: list[Exception] = []
+        errors: list[Exception] = []
+        epochs: list[list[int]] = [[] for _ in queries]
+        stop = threading.Event()
+
+        def reader(slot: int, query) -> None:
+            while not stop.is_set():
+                try:
+                    response = service.search(query)
+                except ServiceOverloadError as exc:
+                    overloads.append(exc)
+                    continue
+                except Exception as exc:  # noqa: BLE001 - collected
+                    errors.append(exc)
+                    continue
+                epochs[slot].append(response.index_epoch)
+
+        threads = [
+            threading.Thread(target=reader, args=(slot, query))
+            for slot, query in enumerate(queries)
+        ]
+        for thread in threads:
+            thread.start()
+        texts = list(seed_texts)
+        live_ids = list(range(len(seed_texts)))
+        try:
+            for _step in range(30):
+                op = rng.random()
+                if op < 0.55 or not live_ids:
+                    tokens = make_tokens(rng)
+                    live_ids.append(store.add_tokens(tokens))
+                    texts.append(tokens)
+                elif op < 0.7:
+                    victim = rng.choice(live_ids)
+                    live_ids.remove(victim)
+                    store.remove(victim)
+                elif op < 0.85:
+                    store.flush()
+                else:
+                    store.compact()
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+            service.close()
+        assert not overloads, overloads  # serving never blocked on folds
+        assert not errors, errors
+        for per_query in epochs:
+            assert per_query == sorted(per_query)  # epochs only move up
+        # The final state is exact against a one-shot build.
+        ref_data, ref = one_shot_reference(texts, live_ids)
+        for query_tokens in (make_tokens(rng, 24) for _ in range(3)):
+            got = store_pairs(
+                store, store.data.encode_query_tokens(query_tokens)
+            )
+            want = canonical_pair_order(
+                ref.search(ref_data.encode_query_tokens(query_tokens)).pairs
+            )
+            assert got == want
+        store.close()
+
+
+def drive_durable(directory, *, steps, seed=7):
+    """Deterministic durable-store workload; returns the open store."""
+    rng = random.Random(seed)
+    if (directory / "MANIFEST").exists():
+        store = IngestStore.open(directory)
+    else:
+        store = IngestStore.create(
+            PARAMS, directory=directory, data=DocumentCollection()
+        )
+    live_ids: list[int] = []
+    for _step in range(steps):
+        op = rng.random()
+        if op < 0.7 or not live_ids:
+            live_ids.append(store.add_tokens(make_tokens(rng)))
+        elif op < 0.85:
+            victim = rng.choice(live_ids)
+            live_ids.remove(victim)
+            store.remove(victim)
+        else:
+            store.flush()
+    return store, live_ids
+
+
+class TestDurability:
+    def test_reopen_replays_wal_identically(self, tmp_path):
+        directory = tmp_path / "store"
+        store, _live = drive_durable(directory, steps=20)
+        rng = random.Random(123)
+        query_tokens = make_tokens(rng, 24)
+        before = store_pairs(
+            store, store.data.encode_query_tokens(query_tokens)
+        )
+        next_id = store.next_doc_id
+        removed = set(store.removed)
+        store.close()  # memtable contents now exist only in the WAL
+
+        reopened = IngestStore.open(directory)
+        assert reopened.next_doc_id == next_id
+        assert reopened.removed == removed
+        after = store_pairs(
+            reopened, reopened.data.encode_query_tokens(query_tokens)
+        )
+        assert after == before
+        assert reopened.metrics_snapshot()["counters"][
+            "ingest.wal_replayed"
+        ] > 0
+        reopened.close()
+
+    def test_torn_wal_tail_is_tolerated(self, tmp_path):
+        directory = tmp_path / "store"
+        store, _live = drive_durable(directory, steps=12)
+        rng = random.Random(200)
+        store.add_tokens(make_tokens(rng))  # guarantee a tail record
+        docs_before = store.next_doc_id
+        store.close()
+        _gen, tail_path = wal_generations(directory)[-1]
+        records, torn = read_wal(tail_path)
+        assert not torn and records
+        # Tear the last record mid-line, as a crash mid-append would.
+        lines = tail_path.read_bytes().splitlines(keepends=True)
+        torn_raw = b"".join(lines[:-1]) \
+            + lines[-1][: max(1, len(lines[-1]) // 2)]
+        tail_path.write_bytes(torn_raw)
+        kept, torn_now = read_wal(tail_path)
+        assert torn_now
+        assert len(kept) == len(records) - 1
+        reopened = IngestStore.open(directory)
+        # Exactly the torn record is gone; every intact one replayed.
+        lost = 1 if records[-1]["op"] == "add" else 0
+        assert reopened.next_doc_id == docs_before - lost
+        snap = reopened.metrics_snapshot()
+        assert snap["counters"]["ingest.torn_wal_tails"] == 1
+        reopened.close()
+
+    def test_damaged_wal_middle_is_a_typed_error(self, tmp_path):
+        directory = tmp_path / "store"
+        store, _live = drive_durable(directory, steps=10)
+        rng = random.Random(201)
+        store.add_tokens(make_tokens(rng))
+        store.add_tokens(make_tokens(rng))  # >= 2 records in the tail
+        store.close()
+        _gen, tail_path = wal_generations(directory)[-1]
+        lines = tail_path.read_bytes().splitlines(keepends=True)
+        assert len(lines) >= 2
+        # Corrupt a record that is FOLLOWED by an intact one: that is
+        # damage, not a torn tail, and must refuse loudly.
+        lines[0] = b"garbage\tnothash\n"
+        tail_path.write_bytes(b"".join(lines))
+        with pytest.raises(PersistenceError, match="damaged"):
+            read_wal(tail_path)
+        with pytest.raises(PersistenceError):
+            IngestStore.open(directory)
+
+    def test_corrupt_manifest_is_a_typed_error(self, tmp_path):
+        directory = tmp_path / "store"
+        store, _live = drive_durable(directory, steps=8)
+        store.flush()
+        store.close()
+        manifest = directory / "MANIFEST"
+        raw = bytearray(manifest.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        manifest.write_bytes(bytes(raw))
+        with pytest.raises(PersistenceError):
+            IngestStore.open(directory)
+
+    def test_orphan_segments_are_cleaned_at_open(self, tmp_path):
+        directory = tmp_path / "store"
+        store, _live = drive_durable(directory, steps=10)
+        store.flush()
+        store.close()
+        orphan = directory / "segment.g000099.idx"
+        orphan.write_bytes(b"leftover from a crashed compaction")
+        reopened = IngestStore.open(directory)
+        assert not orphan.exists()
+        snap = reopened.metrics_snapshot()
+        assert snap["counters"]["ingest.recovered_orphans"] == 1
+        reopened.close()
+
+
+CRASH_SCRIPT = """
+import pathlib, sys
+from repro import IngestStore
+from repro.faults import FaultPlan, FaultSpec, install_plan
+
+directory = pathlib.Path(sys.argv[1])
+phase = sys.argv[2]
+store = IngestStore.open(directory)
+install_plan(FaultPlan([
+    FaultSpec(point="ingest.compact", kind="kill", match={"phase": phase}),
+]))
+store.compact()  # dies here with KILL_EXIT_CODE
+print("compaction survived the kill plan", file=sys.stderr)
+sys.exit(3)
+"""
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize("phase", ["fold", "segment", "manifest"])
+    def test_kill_mid_compaction_recovers_exactly(self, tmp_path, phase):
+        directory = tmp_path / "store"
+        store, live = drive_durable(directory, steps=18)
+        rng = random.Random(5)
+        # Guarantee the child's compaction has real work to do: a
+        # memtable resident and a tombstone inside the folded span.
+        store.add_tokens(make_tokens(rng))
+        store.remove(live[0])
+        query_tokens = make_tokens(rng, 24)
+        before = store_pairs(
+            store, store.data.encode_query_tokens(query_tokens)
+        )
+        docs_before = store.next_doc_id
+        removed_before = set(store.removed)
+        store.close()
+
+        env = {**os.environ, "PYTHONPATH": SRC_DIR}
+        proc = subprocess.run(
+            [sys.executable, "-c", CRASH_SCRIPT, str(directory), phase],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env=env,
+        )
+        assert proc.returncode == KILL_EXIT_CODE, proc.stderr
+
+        reopened = IngestStore.open(directory)
+        assert reopened.next_doc_id == docs_before
+        assert reopened.removed == removed_before
+        requery = reopened.data.encode_query_tokens(query_tokens)
+        assert store_pairs(reopened, requery) == before
+        # The recovered store keeps working: the same compaction,
+        # retried without the fault, converges to the same results.
+        reopened.compact()
+        assert store_pairs(reopened, requery) == before
+        reopened.close()
+
+    def test_raise_mid_fold_leaves_store_serving(self, tmp_path):
+        directory = tmp_path / "store"
+        store, live = drive_durable(directory, steps=12)
+        rng = random.Random(6)
+        store.add_tokens(make_tokens(rng))
+        store.remove(live[0])
+        query = make_query(store.data, rng)
+        before = store_pairs(store, query)
+        faults.install_plan(FaultPlan([
+            FaultSpec(
+                point="ingest.compact",
+                kind="raise",
+                match={"phase": "segment"},
+                max_triggers=1,
+            )
+        ]))
+        with pytest.raises(FaultInjectionError):
+            store.compact()
+        # Nothing flipped: same results, and the store stays writable.
+        assert store_pairs(store, query) == before
+        store.add_tokens(make_tokens(rng))
+        faults.clear_plan()
+        store.compact()  # the retry succeeds
+        assert store.num_segments == 1
+        assert not store.removed
+        store.close()

@@ -200,8 +200,8 @@ class TestSearcherLevelBatching:
     def test_tombstone_parity_dict_vs_compact(self, built, queries):
         data, searcher = built
         frozen = searcher.compacted()
-        searcher.remove_document(3)
-        frozen.remove_document(3)
+        searcher._remove_document(3)
+        frozen._remove_document(3)
         for query in queries:
             a = pairs_as_set(searcher.search(query))
             b = pairs_as_set(frozen.search(query))
