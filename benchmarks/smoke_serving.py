@@ -22,12 +22,26 @@ With ``--shards N`` the smoke instead exercises the sharded stack:
 ``repro serve --shards N`` (N worker processes + scatter router),
 asserts pair-for-pair parity against the single-process server, writes
 the deterministic metrics record, then SIGKILLs one worker mid-run and
-asserts the router serves partial results naming the dead shard.
+asserts the router serves partial results naming the dead shard (the
+supervisor is disabled so the corpse stays dead for the assertion).
+
+With ``--chaos`` (requires ``--replicas >= 2``) the smoke becomes a
+self-healing drill: ``repro serve --shards N --replicas R`` with the
+supervisor on, then a seeded loop SIGKILLs random workers under a
+sustained query stream.  Every query during every outage must come back
+complete and pair-identical (replica failover), and after each kill the
+supervisor must restart + re-admit the worker until ``/healthz`` is
+``ok`` again with no operator action.  The emitted metrics record is a
+hand-built envelope of chaos counters (kills, query failures = 0,
+parity violations = 0, heals) that is identical across runs, so two
+chaos runs diff clean under ``check_regression.py --strict``.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/smoke_serving.py --out smoke1.json
     PYTHONPATH=src python benchmarks/smoke_serving.py --shards 3 --out s3.json
+    PYTHONPATH=src python benchmarks/smoke_serving.py \\
+        --shards 2 --replicas 2 --chaos --out chaos.json
 """
 
 from __future__ import annotations
@@ -100,28 +114,37 @@ def _spawn_server(cmd: list[str], startup_timeout: float):
     return server, url, shard_lines
 
 
-def _healthz_any_status(url: str) -> dict:
-    """GET /healthz and return the body even on 503 (degraded/down)."""
+def _healthz_any_status(url: str) -> tuple[int, dict]:
+    """GET /healthz; returns (http_status, body) even on 503 (down)."""
     import urllib.error
     import urllib.request
 
     try:
         with urllib.request.urlopen(f"{url}/healthz", timeout=10) as resp:
-            return json.load(resp)
+            return resp.status, json.load(resp)
     except urllib.error.HTTPError as exc:
-        return json.load(exc)
+        return exc.code, json.load(exc)
 
 
 def _parse_shard_line(line: str) -> dict:
-    """``SHARD 1 http://h:p pid=123 docs=[2,4)`` -> fields dict."""
+    """``SHARD 1 http://h:p pid=123 docs=[2,4) replica=0`` -> dict.
+
+    The ``replica=`` field is trailing and optional (pre-replication
+    servers do not print it).
+    """
     parts = line.split()
     lo, hi = parts[4][len("docs=["):-1].split(",")
+    replica = 0
+    for extra in parts[5:]:
+        if extra.startswith("replica="):
+            replica = int(extra[len("replica="):])
     return {
         "shard_id": int(parts[1]),
         "url": parts[2],
         "pid": int(parts[3][len("pid="):]),
         "doc_lo": int(lo),
         "doc_hi": int(hi),
+        "replica": replica,
     }
 
 
@@ -147,10 +170,12 @@ def run_sharded(args: argparse.Namespace, index_path: Path,
         server.wait(timeout=10)
     assert reference["num_pairs"] > 0, "smoke query found no matches"
 
+    # --no-supervise: this mode asserts the *partial-results* contract,
+    # which needs the killed worker to stay dead instead of healing.
     server, url, shard_lines = _spawn_server(
         [sys.executable, "-m", "repro.cli", "serve",
          "--index", str(index_path), "--port", "0",
-         "--shards", str(args.shards)],
+         "--shards", str(args.shards), "--no-supervise"],
         args.startup_timeout,
     )
     try:
@@ -197,8 +222,12 @@ def run_sharded(args: argparse.Namespace, index_path: Path,
             "kill test needs matches inside the killed shard"
         )
 
-        degraded = _healthz_any_status(url)
+        # Degraded is an *answering* state: the body says degraded but
+        # the HTTP status must stay 200 (503 is reserved for down /
+        # closed, where no query can be answered at all).
+        code, degraded = _healthz_any_status(url)
         assert degraded["status"] == "degraded", degraded
+        assert code == 200, (code, degraded)
     finally:
         server.terminate()
         server.wait(timeout=30)
@@ -209,6 +238,118 @@ def run_sharded(args: argparse.Namespace, index_path: Path,
     return snapshot
 
 
+def _supervisor_replicas(url: str) -> list[dict]:
+    code, health = _healthz_any_status(url)
+    assert code == 200, (code, health)  # degraded still answers: 200
+    return health["supervisor"]["replicas"]
+
+
+def run_chaos(args: argparse.Namespace, index_path: Path,
+              query_text: str) -> dict:
+    """The --chaos mode: kill loop under load, zero lost queries.
+
+    Returns a *hand-built* metrics envelope: the live router counters
+    vary with poll timing (how many queries land during each outage),
+    so the deterministic record is the chaos outcome itself — kills
+    injected, query failures observed (must be 0), parity violations
+    (must be 0), heals completed.  Identical across runs by
+    construction, so ``check_regression.py --strict`` can diff it.
+    """
+    from repro.service.client import remote_search
+
+    assert args.replicas >= 2, "--chaos needs --replicas >= 2 (failover)"
+
+    server, url, _ = _spawn_server(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--index", str(index_path), "--port", "0"],
+        args.startup_timeout,
+    )
+    try:
+        reference = remote_search(url, query_text)
+    finally:
+        server.terminate()
+        server.wait(timeout=10)
+    assert reference["num_pairs"] > 0, "smoke query found no matches"
+
+    server, url, shard_lines = _spawn_server(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--index", str(index_path), "--port", "0",
+         "--shards", str(args.shards), "--replicas", str(args.replicas),
+         "--check-interval", "0.2"],
+        args.startup_timeout,
+    )
+    queries = 0
+    query_failures = 0
+    parity_violations = 0
+    healed = 0
+    rng = random.Random(SEED)
+    try:
+        shards = [_parse_shard_line(line) for line in shard_lines]
+        assert len(shards) == args.shards * args.replicas, shard_lines
+
+        def one_query() -> None:
+            nonlocal queries, query_failures, parity_violations
+            response = remote_search(url, query_text)
+            queries += 1
+            if response.get("partial") or response.get("failures"):
+                query_failures += 1
+            elif response["pairs"] != reference["pairs"]:
+                parity_violations += 1
+
+        one_query()
+        for round_no in range(args.kills):
+            replicas = _supervisor_replicas(url)
+            assert all(r["state"] == "ok" for r in replicas), replicas
+            victim = rng.choice(replicas)
+            os.kill(victim["pid"], signal.SIGKILL)
+            # Sustained queries across the outage; heal = every replica
+            # back to ok with one more completed restart than before.
+            deadline = time.monotonic() + args.heal_timeout
+            while True:
+                one_query()
+                replicas = _supervisor_replicas(url)
+                restarts = sum(r["restarts"] for r in replicas)
+                if (all(r["state"] == "ok" for r in replicas)
+                        and restarts >= round_no + 1):
+                    healed += 1
+                    break
+                if time.monotonic() > deadline:
+                    raise AssertionError(
+                        f"kill round {round_no} never healed: {replicas}"
+                    )
+                time.sleep(0.1)
+
+        code, health = _healthz_any_status(url)
+        assert code == 200 and health["status"] == "ok", (code, health)
+        one_query()
+    finally:
+        server.terminate()
+        server.wait(timeout=30)
+
+    assert query_failures == 0, (
+        f"{query_failures}/{queries} queries failed during chaos"
+    )
+    assert parity_violations == 0, (
+        f"{parity_violations}/{queries} queries lost parity during chaos"
+    )
+    print(f"chaos smoke ok: {args.kills} kills across {args.shards}x"
+          f"{args.replicas} workers, {queries} queries, 0 failures, "
+          f"0 parity violations, {healed} heals")
+    return {
+        "counters": {
+            "chaos.kills": args.kills,
+            "chaos.query_failures": query_failures,
+            "chaos.parity_violations": parity_violations,
+            "chaos.healed": healed,
+        },
+        "timers": {},
+        "gauges": {
+            "chaos.shards": args.shards,
+            "chaos.replicas": args.replicas,
+        },
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument("--out", type=Path, required=True,
@@ -217,6 +358,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--shards", type=int, default=0,
                         help="exercise `repro serve --shards N` instead of "
                              "the single-process server")
+    parser.add_argument("--replicas", type=int, default=1,
+                        help="workers per shard (chaos mode needs >= 2)")
+    parser.add_argument("--chaos", action="store_true",
+                        help="self-healing drill: SIGKILL random workers "
+                             "under load; requires --shards and "
+                             "--replicas >= 2")
+    parser.add_argument("--kills", type=int, default=3,
+                        help="workers to SIGKILL in --chaos mode")
+    parser.add_argument("--heal-timeout", type=float, default=60.0,
+                        help="seconds to wait for the supervisor to heal "
+                             "each kill")
     args = parser.parse_args(argv)
 
     _ensure_importable()
@@ -235,6 +387,27 @@ def main(argv: list[str] | None = None) -> int:
              "-w", str(W), "--tau", str(TAU)],
             check=True,
         )
+
+        if args.chaos:
+            snapshot = run_chaos(args, index_path, query_text)
+            record = {
+                "config": {
+                    "profile": "serving-smoke-chaos",
+                    "num_documents": NUM_DOCS,
+                    "shards": args.shards,
+                    "replicas": args.replicas,
+                    "kills": args.kills,
+                    "w": W,
+                    "tau": TAU,
+                    "k_max": 4,
+                },
+                "serial": {"metrics": snapshot},
+            }
+            args.out.write_text(
+                json.dumps(record, indent=2, sort_keys=True) + "\n"
+            )
+            print(f"wrote {args.out}")
+            return 0
 
         if args.shards > 1:
             snapshot = run_sharded(args, index_path, query_text)

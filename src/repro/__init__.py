@@ -73,6 +73,7 @@ from .errors import (
     FaultInjectionError,
     IndexStateError,
     PartitioningError,
+    ReplicaQuarantinedError,
     ReproError,
     SearchCancelled,
     ServiceClosedError,
@@ -81,6 +82,7 @@ from .errors import (
     TokenizationError,
     UnknownTokenError,
     WorkerCrashError,
+    WorkerStartupError,
 )
 from .index import CompactIntervalIndex, IntervalIndex, PackedRankDocs
 from .ingest import CompactionPolicy, IngestStore, LSMSearcher
@@ -105,6 +107,7 @@ from .service import (
     ServiceResponse,
     ShardPlan,
     ShardRouter,
+    ShardSupervisor,
 )
 from .similarity import (
     jaccard_to_overlap,
@@ -162,6 +165,7 @@ __all__ = [
     "ResilientClient",
     "ShardPlan",
     "ShardRouter",
+    "ShardSupervisor",
     "RouterResponse",
     # Fault injection (robustness testing)
     "FaultPlan",
@@ -240,6 +244,8 @@ __all__ = [
     "ServiceOverloadError",
     "DeadlineExceededError",
     "ServiceClosedError",
+    "ReplicaQuarantinedError",
+    "WorkerStartupError",
     "CircuitOpenError",
     "FaultInjectionError",
     "WorkerCrashError",

@@ -482,22 +482,31 @@ class Index:
         """True once this index has a mutable LSM write path attached."""
         return self._store is not None
 
-    def serve(self, *, shards: int = 1, hedge_after: float | None = None, **kwargs):
+    def serve(
+        self,
+        *,
+        shards: int = 1,
+        replicas: int = 1,
+        hedge_after: float | None = None,
+        **kwargs,
+    ):
         """Wrap this index in a serving front-end.
 
-        ``shards=1`` (default) returns a
+        ``shards=1, replicas=1`` (default) returns a
         :class:`~repro.service.SearchService` over this index.
-        ``shards=N`` partitions the paired collection into N compact
-        in-process shards and returns a
+        ``shards=N`` (or ``replicas=R >= 2``) partitions the paired
+        collection into N compact in-process shards and returns a
         :class:`~repro.service.ShardRouter` scatter-gathering over them
-        (pair-for-pair identical results; ``hedge_after`` enables
-        hedged sub-requests to slow shards).  Keyword arguments are
-        forwarded to each underlying service (``max_workers``,
-        ``max_queue``, ``cache_size``, ``default_timeout`` ...).
+        (pair-for-pair identical results; ``replicas=R`` serves each
+        shard from R independent in-process services with automatic
+        failover; ``hedge_after`` enables hedged sub-requests to slow
+        shards).  Keyword arguments are forwarded to each underlying
+        service (``max_workers``, ``max_queue``, ``cache_size``,
+        ``default_timeout`` ...).
         """
         from .service import SearchService
 
-        if shards > 1:
+        if shards > 1 or replicas > 1:
             if self._store is not None:
                 raise ConfigurationError(
                     "sharded serving rebuilds per-shard compact indexes "
@@ -516,6 +525,7 @@ class Index:
                 self.data,
                 self.params,
                 shards=shards,
+                replicas=replicas,
                 compact=True,
                 default_timeout=default_timeout,
                 hedge_after=hedge_after,

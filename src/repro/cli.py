@@ -412,12 +412,15 @@ def _serve_sharded(args: argparse.Namespace) -> int:
     """``repro serve --shards N``: worker processes + scatter router.
 
     Builds (or reuses) a :class:`~repro.service.ShardPlan` of compact
-    snapshots next to the index, spawns one ``repro serve`` process
-    per shard mapping its own snapshot, and fronts them with a
-    :class:`~repro.service.ShardRouter` on the requested port.  One
-    ``SHARD <id> <url> pid=<pid> docs=[lo,hi)`` line per worker goes to
-    stdout before the ``SERVING`` line so smoke scripts can target (or
-    kill) individual workers.
+    snapshots next to the index, spawns ``--replicas`` ``repro serve``
+    processes per shard mapping that shard's snapshot, and fronts them
+    with a :class:`~repro.service.ShardRouter` on the requested port.
+    One ``SHARD <id> <url> pid=<pid> docs=[lo,hi) replica=<r>`` line
+    per worker goes to stdout before the ``SERVING`` line so smoke
+    scripts can target (or kill) individual workers.  Unless
+    ``--no-supervise`` is given, a
+    :class:`~repro.service.ShardSupervisor` watches the workers and
+    restarts + re-admits dead ones automatically.
     """
     from pathlib import Path
 
@@ -425,6 +428,7 @@ def _serve_sharded(args: argparse.Namespace) -> int:
     from .service import (
         ShardPlan,
         ShardRouter,
+        ShardSupervisor,
         backends_for_workers,
         serve_http,
         spawn_shard_workers,
@@ -438,11 +442,15 @@ def _serve_sharded(args: argparse.Namespace) -> int:
         return 1
     shard_dir = Path(args.shard_dir or f"{args.index}.shards")
     plan = ShardPlan.ensure(
-        index.data, index.params, shard_dir, num_shards=args.shards
+        index.data,
+        index.params,
+        shard_dir,
+        num_shards=args.shards,
+        replicas=args.replicas,
     )
     print(
-        f"shard plan: {plan.num_shards} shards over "
-        f"{plan.num_documents} documents (generation {plan.generation}) "
+        f"shard plan: {plan.num_shards} shards x {plan.replicas} replica(s) "
+        f"over {plan.num_documents} documents (generation {plan.generation}) "
         f"in {shard_dir}",
         file=sys.stderr,
     )
@@ -451,20 +459,33 @@ def _serve_sharded(args: argparse.Namespace) -> int:
     )
     router = None
     server = None
+    supervisor = None
     try:
         for worker in workers:
             spec = worker.spec
             print(
                 f"SHARD {spec.shard_id} {worker.url} pid={worker.pid} "
-                f"docs=[{spec.doc_lo},{spec.doc_hi})",
+                f"docs=[{spec.doc_lo},{spec.doc_hi}) replica={worker.replica}",
                 flush=True,
             )
+        # With replicas the router's failover beats client retries (a
+        # retry hammers a dead worker; a failover moves past it).
+        retries = 0 if plan.replicas > 1 else 2
         router = ShardRouter(
-            backends_for_workers(workers),
+            backends_for_workers(workers, retries=retries),
             index.data,
             default_timeout=args.request_timeout,
             hedge_after=args.hedge_after,
         )
+        if not args.no_supervise:
+            supervisor = ShardSupervisor(
+                router,
+                workers,
+                directory=shard_dir,
+                check_interval=args.check_interval,
+                cache_size=args.cache_size,
+                http_workers=args.workers,
+            ).start()
         server = serve_http(
             router, host=args.host, port=args.port, verbose=args.verbose
         )
@@ -479,6 +500,9 @@ def _serve_sharded(args: argparse.Namespace) -> int:
             server.server_close()
         if args.metrics_out and router is not None:
             _write_metrics(args.metrics_out, router.metrics_snapshot())
+        if supervisor is not None:
+            supervisor.stop()
+            workers = supervisor.workers  # restarts replaced some handles
         if router is not None:
             router.close()
         stop_shard_workers(workers)
@@ -648,6 +672,19 @@ def build_parser() -> argparse.ArgumentParser:
                               help="directory for shard snapshots + manifest "
                                    "(default <index>.shards); a compatible "
                                    "existing manifest is reused")
+    serve_parser.add_argument("--replicas", type=int, default=1,
+                              help="worker processes per shard (sharded mode "
+                                   "only); with R >= 2 the router fails over "
+                                   "to a sibling replica before declaring a "
+                                   "shard dead (default 1)")
+    serve_parser.add_argument("--check-interval", type=float, default=1.0,
+                              help="seconds between supervisor liveness "
+                                   "sweeps over the shard workers "
+                                   "(default 1.0)")
+    serve_parser.add_argument("--no-supervise", action="store_true",
+                              help="disable the shard supervisor: dead "
+                                   "workers stay dead and queries degrade "
+                                   "to partial results (sharded mode only)")
     serve_parser.add_argument("--hedge-after", type=float, default=None,
                               help="seconds before hedging a slow shard "
                                    "sub-request (sharded mode only)")

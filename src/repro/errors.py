@@ -129,6 +129,53 @@ class ServiceClosedError(ServiceError):
     """The service has been shut down and accepts no new requests."""
 
 
+class WorkerStartupError(ServiceError):
+    """A spawned shard worker died (or hung) before it started serving.
+
+    Raised by :func:`~repro.service.shards.spawn_shard_workers` when a
+    worker process exits before printing its ``SERVING`` line or fails
+    to serve within the startup timeout.  Carries the worker's exit
+    code (``None`` if it is still running) and the tail of its captured
+    stderr so the operator sees *why* the worker died instead of a bare
+    timeout.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        returncode: int | None = None,
+        stderr: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.returncode = returncode
+        self.stderr = stderr
+
+
+class ReplicaQuarantinedError(ServiceError):
+    """A crash-looping shard replica was quarantined by its supervisor.
+
+    Raised (and surfaced through ``/healthz``) by
+    :class:`~repro.service.supervisor.ShardSupervisor` when a replica
+    keeps dying immediately after being restarted: instead of burning
+    CPU on a restart loop, the supervisor parks the replica for an
+    exponentially growing backoff.  ``retry_after`` estimates seconds
+    until the next restart attempt.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard_id: int = -1,
+        replica: int = -1,
+        retry_after: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.replica = replica
+        self.retry_after = retry_after
+
+
 class IndexError_(ReproError):
     """The inverted/interval index is in an inconsistent state.
 

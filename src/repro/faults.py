@@ -47,9 +47,14 @@ Injection-point catalog (see ``docs/robustness.md`` for semantics):
 ``parallel.worker.chunk``, ``parallel.worker.query``,
 ``parallel.worker.document``, ``persistence.write``,
 ``persistence.read``, ``service.request``, ``client.request``,
-``shards.scatter`` (router → shard sub-request, context ``shard``),
+``shards.scatter`` (router → shard sub-request, context ``shard``,
+``replica``), ``shards.failover`` (before a failover sub-request to
+the next replica of a failed shard, context ``shard``, ``replica``),
 ``shards.gather`` (merging one shard's reply, context ``shard``),
 ``shards.swap`` (rolling snapshot swap of one shard, context ``shard``),
+``supervisor.restart`` (before respawning a dead shard worker, context
+``shard``, ``replica``), ``supervisor.readmit`` (before the restarted
+worker's health + generation gate, context ``shard``, ``replica``),
 ``ingest.wal`` (write-ahead-log append, ``inject_bytes`` site — reach
 it with ``corrupt`` for torn/damaged tails; context ``seq``, ``op``,
 ``generation``), ``ingest.compact`` (memtable fold / segment write /

@@ -19,11 +19,17 @@ thread-safe query service:
   breaker (``repro query --retries/--timeout``).
 * :mod:`~repro.service.shards` — sharded scatter-gather serving:
   :class:`ShardPlan` partitions a corpus into compact snapshot shards
-  with a persisted manifest; :class:`ShardRouter` fans every query out
-  to per-shard backends (in-process services or HTTP workers), merges
-  pairs in canonical order, hedges slow shards, reports dead shards as
-  partial results, and swaps in new snapshot generations without
-  stopping serving (``repro serve --shards N``).
+  (times ``replicas`` workers per shard) with a persisted manifest;
+  :class:`ShardRouter` fans every query out to one replica per shard
+  (in-process services or HTTP workers), fails over to sibling
+  replicas before declaring a shard dead, merges pairs in canonical
+  order, hedges slow shards, reports dead shards as partial results,
+  and swaps in new snapshot generations without stopping serving
+  (``repro serve --shards N --replicas R``).
+* :class:`~repro.service.supervisor.ShardSupervisor` — self-healing
+  supervision of the spawned worker processes: detects death, restarts
+  from the snapshot, re-admits after health + generation checks, and
+  quarantines crash-loopers with exponential backoff.
 """
 
 from .cache import CacheKey, ResultCache, query_token_hash
@@ -39,6 +45,7 @@ from .service import SearchService, ServiceFuture, ServiceResponse
 from .shards import (
     HTTPShardBackend,
     LocalShardBackend,
+    ReplicaSet,
     RouterResponse,
     ShardPlan,
     ShardRouter,
@@ -46,9 +53,11 @@ from .shards import (
     ShardWorker,
     backends_for_workers,
     partition_ranges,
+    spawn_one_worker,
     spawn_shard_workers,
     stop_shard_workers,
 )
+from .supervisor import ShardSupervisor
 
 __all__ = [
     "SearchService",
@@ -68,11 +77,14 @@ __all__ = [
     "ShardPlan",
     "ShardSpec",
     "ShardRouter",
+    "ShardSupervisor",
+    "ReplicaSet",
     "RouterResponse",
     "LocalShardBackend",
     "HTTPShardBackend",
     "ShardWorker",
     "partition_ranges",
+    "spawn_one_worker",
     "spawn_shard_workers",
     "stop_shard_workers",
     "backends_for_workers",

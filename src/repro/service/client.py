@@ -48,6 +48,14 @@ from ..errors import (
 #: busy-wait hammering an overloaded server.
 MIN_RETRY_AFTER = 0.05
 
+#: Smallest deadline budget (seconds) worth spending on one more
+#: attempt.  A backoff sleep is clamped so at least this much budget
+#: survives it; when even that much is gone — or the server's
+#: ``retry_after`` hint cannot fit inside the remaining budget — the
+#: retry loop raises *before* sleeping instead of burning the tail of
+#: the budget on a nap it can never wake up from usefully.
+MIN_ATTEMPT_BUDGET = 0.01
+
 
 def _parse_retry_after(value, default: float = 1.0) -> float:
     """A sane ``retry_after`` from an untrusted response body.
@@ -257,7 +265,13 @@ class ResilientClient:
         so a single hung connection can overrun the deadline by at most
         one socket-timeout resolution — never by ``http_timeout``
         multiples — and an attempt whose budget is already spent raises
-        before sending rather than firing a doomed request.
+        before sending rather than firing a doomed request.  Backoff
+        sleeps are clamped the same way: a sleep never eats the budget
+        slice (:data:`MIN_ATTEMPT_BUDGET`) reserved for the attempt
+        after it, and when the remaining budget cannot cover another
+        attempt at all — or the server's ``retry_after`` hint does not
+        fit inside it — the loop raises *before* sleeping instead of
+        discovering the exhausted budget on wake-up.
     http_timeout:
         Socket timeout per individual attempt (upper bound; see
         ``deadline`` for the per-attempt clamp).
@@ -371,11 +385,23 @@ class ResilientClient:
             if attempt > self.retries:
                 raise last_error
             delay = self._delay(attempt, hint)
-            if deadline_at is not None and self._clock() + delay > deadline_at:
-                raise DeadlineExceededError(
-                    f"client deadline ({self.deadline}s) exhausted after "
-                    f"{attempt} attempt(s): {last_error}"
-                ) from last_error
+            if deadline_at is not None:
+                # Clamp the sleep so the budget left after it can still
+                # fund an attempt; if even a clamped sleep cannot leave
+                # that much — or honoring the server's retry_after hint
+                # would overrun the budget — fail now, before sleeping.
+                sleep_budget = (
+                    deadline_at - self._clock() - MIN_ATTEMPT_BUDGET
+                )
+                if sleep_budget <= 0 or (
+                    hint is not None and hint > sleep_budget
+                ):
+                    raise DeadlineExceededError(
+                        f"client deadline ({self.deadline}s) cannot cover "
+                        f"another attempt after {attempt} attempt(s): "
+                        f"{last_error}"
+                    ) from last_error
+                delay = min(delay, sleep_budget)
             if delay > 0:
                 self._sleep(delay)
 

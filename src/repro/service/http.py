@@ -91,7 +91,12 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         url = urlparse(self.path)
         if url.path == "/healthz":
             health = self.server.service.healthz()
-            status = 200 if health["status"] == "ok" else 503
+            # ``degraded`` means the node is still answering queries
+            # (some shards/replicas down, partial results served): it
+            # must stay 200 so load balancers do not eject a node that
+            # is the last one serving.  503 is reserved for ``down`` /
+            # ``closed`` — states where no query can be answered.
+            status = 200 if health["status"] in ("ok", "degraded") else 503
             self._reply(status, health)
         elif url.path == "/metrics":
             self._reply(200, self.server.service.metrics_snapshot())

@@ -12,46 +12,67 @@ order-independent).  This module exploits that:
   ranges balanced by token count, build one compact v3 snapshot per
   range, and persist a JSON manifest (``shards.json``) mapping ranges →
   generation-named shard files
-  (:func:`~repro.persistence.generation_name`).
+  (:func:`~repro.persistence.generation_name`).  The plan also records
+  a ``replicas`` dimension: R workers per shard, all mapping the same
+  generation-named snapshot.
 * Shard backends — :class:`LocalShardBackend` wraps an in-process
   :class:`SearchService` (tests, ``Index.serve(shards=N)``);
   :class:`HTTPShardBackend` wraps a :class:`ResilientClient` to a
   worker process serving one shard snapshot (``repro serve --shards``
-  spawns them via :func:`spawn_shard_workers`).
-* :class:`ShardRouter` — scatters every query to all shards, gathers
-  replies, maps shard-local doc ids back to global ids, and merges in
-  the existing canonical pair order (shards own disjoint ascending id
-  ranges and each reply is already canonically ordered, so the merge is
-  an order-preserving concatenation).  Per-query deadlines bound the
-  gather; one **hedged request** per slow shard fires after
-  ``hedge_after`` seconds; a failed or timed-out shard becomes a
-  :class:`~repro.eval.harness.QueryFailure` on the response instead of
-  failing the whole query — callers get partial results plus an
-  explicit account of what is missing.
+  spawns them via :func:`spawn_shard_workers`).  Backends carry a
+  ``replica`` index; the router groups backends with the same
+  ``shard_id`` into a :class:`ReplicaSet`.
+* :class:`ShardRouter` — scatters every query to **one replica per
+  shard**, gathers replies, maps shard-local doc ids back to global
+  ids, and merges in the existing canonical pair order (shards own
+  disjoint ascending id ranges and each reply is already canonically
+  ordered, so the merge is an order-preserving concatenation).
+  Per-query deadlines bound the gather; one **hedged request** per slow
+  shard fires after ``hedge_after`` seconds; a *failed* replica fails
+  over to the next replica of the same shard *before* the shard is
+  declared dead, so with R >= 2 a single worker death costs zero
+  queries (``router.failovers`` counts these).  Only when every replica
+  of a shard has failed does the shard become a
+  :class:`~repro.eval.harness.QueryFailure` on the response — callers
+  get partial results plus an explicit account of what is missing.
+* Self-healing — :class:`~repro.service.supervisor.ShardSupervisor`
+  owns the worker processes, restarts dead ones from their snapshot,
+  and re-admits them via :meth:`ShardRouter.replace_replica` /
+  :meth:`ShardRouter.readmit_replica` only after a health *and*
+  generation-consistency check.
 * Rolling swap — :meth:`ShardRouter.rolling_swap` walks a freshly
   built generation through :meth:`SearchService.swap_searcher` one
-  shard at a time: the new snapshot is mapped, the write lock drains
+  replica at a time: the new snapshot is mapped, the write lock drains
   in-flight readers, the epoch jumps past the old generation (so the
   result cache can never serve stale pairs), and the old mapping is
   dropped.  Serving never stops; each request observes exactly one
   generation per shard.
 
-Fault-injection points: ``shards.scatter`` (per shard, before each
-sub-request), ``shards.gather`` (per responding shard, during merge),
-``shards.swap`` (per shard swap) — all carrying ``shard=<id>`` context.
+Fault-injection points: ``shards.scatter`` (per sub-request, context
+``shard=<id>, replica=<r>``), ``shards.failover`` (before each
+failover sub-request, same context), ``shards.gather`` (per responding
+shard, ``shard=<id>``), ``shards.swap`` (per shard swap,
+``shard=<id>``).
 
 The router duck-types the service surface (``search`` /
 ``search_text`` / ``healthz`` / ``metrics_snapshot`` / ``close``), so
 :func:`repro.service.http.serve_http` fronts a router exactly as it
-fronts a single service; ``/metrics`` merges the per-shard registries
-into one deterministic aggregate.
+fronts a single service; ``/metrics`` merges the per-replica registries
+into one deterministic aggregate.  ``/healthz`` reports ``ok`` only
+when every replica of every shard is healthy, ``degraded`` while any
+shard still has at least one live replica (HTTP 200 — the node is
+still answering queries; load balancers must not eject it), and
+``down``/``closed`` (HTTP 503) when no query can be answered.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import selectors
 import subprocess
 import sys
+import tempfile
 import threading
 import time
 from collections.abc import Sequence
@@ -70,6 +91,7 @@ from ..errors import (
     ReproError,
     ServiceClosedError,
     ServiceError,
+    WorkerStartupError,
 )
 from ..eval.harness import AggregateRun, QueryFailure
 from ..obs import MetricsRegistry
@@ -164,12 +186,19 @@ class ShardSpec:
 
 @dataclass(frozen=True)
 class ShardPlan:
-    """A persisted partition of one corpus into compact shard snapshots."""
+    """A persisted partition of one corpus into compact shard snapshots.
+
+    ``replicas`` is the serving redundancy: R workers per shard, every
+    one mapping the *same* generation-named snapshot file.  Replication
+    is a property of the serving topology, not of the on-disk layout —
+    a plan built with one replica count can be served with another.
+    """
 
     shards: tuple[ShardSpec, ...]
     num_documents: int
     generation: int
     params: dict
+    replicas: int = 1
 
     @property
     def num_shards(self) -> int:
@@ -177,6 +206,10 @@ class ShardPlan:
 
     def validate(self) -> None:
         """Ranges must tile ``[0, num_documents)`` without gap or overlap."""
+        if self.replicas < 1:
+            raise ConfigurationError(
+                f"replicas must be >= 1, got {self.replicas}"
+            )
         expected_lo = 0
         for spec in self.shards:
             if spec.doc_lo != expected_lo or spec.doc_hi <= spec.doc_lo:
@@ -202,6 +235,7 @@ class ShardPlan:
         *,
         num_shards: int,
         generation: int = 1,
+        replicas: int = 1,
     ) -> "ShardPlan":
         """Build ``num_shards`` compact v3 snapshots + manifest under ``directory``.
 
@@ -243,7 +277,9 @@ class ShardPlan:
                 "k_max": params.k_max,
                 "m": params.m,
             },
+            replicas=replicas,
         )
+        plan.validate()
         plan.save(directory)
         return plan
 
@@ -256,6 +292,7 @@ class ShardPlan:
             "num_documents": self.num_documents,
             "num_shards": self.num_shards,
             "generation": self.generation,
+            "replicas": self.replicas,
             "params": self.params,
             "shards": [spec.to_dict() for spec in self.shards],
         }
@@ -284,6 +321,8 @@ class ShardPlan:
             num_documents=int(payload["num_documents"]),
             generation=int(payload["generation"]),
             params=dict(payload.get("params", {})),
+            # Pre-replication manifests carry no key: one worker per shard.
+            replicas=int(payload.get("replicas", 1)),
         )
         plan.validate()
         return plan
@@ -296,8 +335,14 @@ class ShardPlan:
         directory: str | Path,
         *,
         num_shards: int,
+        replicas: int = 1,
     ) -> "ShardPlan":
-        """Reuse a compatible manifest in ``directory`` or build one."""
+        """Reuse a compatible manifest in ``directory`` or build one.
+
+        A manifest that matches in every way except ``replicas`` is
+        reused with the new replica count (snapshot files are shared by
+        all replicas of a shard, so changing R is a manifest-only edit).
+        """
         directory = Path(directory)
         if (directory / MANIFEST_NAME).exists():
             try:
@@ -317,8 +362,14 @@ class ShardPlan:
                 }
                 and all((directory / spec.path).exists() for spec in plan.shards)
             ):
+                if plan.replicas != replicas:
+                    plan = replace(plan, replicas=replicas)
+                    plan.validate()
+                    plan.save(directory)
                 return plan
-        return cls.build(data, params, directory, num_shards=num_shards)
+        return cls.build(
+            data, params, directory, num_shards=num_shards, replicas=replicas
+        )
 
 
 # ----------------------------------------------------------------------
@@ -342,11 +393,13 @@ class LocalShardBackend:
         shard_id: int,
         doc_lo: int,
         doc_hi: int,
+        replica: int = 0,
     ) -> None:
         self.service = service
         self.shard_id = shard_id
         self.doc_lo = doc_lo
         self.doc_hi = doc_hi
+        self.replica = replica
 
     def search(self, query: Document, *, timeout: float | None) -> _ShardReply:
         response = self.service.search(query, timeout=timeout)
@@ -373,7 +426,7 @@ class LocalShardBackend:
 
     def __repr__(self) -> str:
         return (
-            f"LocalShardBackend(shard={self.shard_id}, "
+            f"LocalShardBackend(shard={self.shard_id}, r{self.replica}, "
             f"docs=[{self.doc_lo},{self.doc_hi}))"
         )
 
@@ -395,6 +448,7 @@ class HTTPShardBackend:
         shard_id: int,
         doc_lo: int,
         doc_hi: int,
+        replica: int = 0,
         retries: int = 2,
         http_timeout: float = 30.0,
         pid: int | None = None,
@@ -403,6 +457,7 @@ class HTTPShardBackend:
         self.shard_id = shard_id
         self.doc_lo = doc_lo
         self.doc_hi = doc_hi
+        self.replica = replica
         self.pid = pid
         self._client = ResilientClient(
             base_url,
@@ -437,8 +492,70 @@ class HTTPShardBackend:
 
     def __repr__(self) -> str:
         return (
-            f"HTTPShardBackend(shard={self.shard_id}, {self.base_url!r}, "
-            f"docs=[{self.doc_lo},{self.doc_hi}))"
+            f"HTTPShardBackend(shard={self.shard_id}, r{self.replica}, "
+            f"{self.base_url!r}, docs=[{self.doc_lo},{self.doc_hi}))"
+        )
+
+
+# ----------------------------------------------------------------------
+# Replica sets
+# ----------------------------------------------------------------------
+class ReplicaSet:
+    """All replicas of one shard: same doc range, same snapshot.
+
+    The router scatters to one replica per shard and fails over through
+    the rest.  ``down`` holds replica indices the router (or the
+    supervisor) has marked unhealthy; :meth:`preference_order` lists
+    healthy replicas first so a fresh query never starts on a replica
+    known to be dead — down replicas stay at the tail as a last resort
+    (they may have come back since the marker was set).
+    """
+
+    def __init__(self, shard_id: int, backends: Sequence) -> None:
+        if not backends:
+            raise ConfigurationError(f"shard {shard_id} has no replicas")
+        ranges = {(b.doc_lo, b.doc_hi) for b in backends}
+        if len(ranges) != 1:
+            raise ConfigurationError(
+                f"shard {shard_id} replicas disagree on doc range: "
+                f"{sorted(ranges)}"
+            )
+        self.shard_id = shard_id
+        self.doc_lo = backends[0].doc_lo
+        self.doc_hi = backends[0].doc_hi
+        # Stable replica numbering: honor an existing replica attribute,
+        # fall back to listing order, then renumber densely 0..R-1 so
+        # failover order and metrics labels are deterministic.
+        ordered = sorted(
+            enumerate(backends),
+            key=lambda item: (getattr(item[1], "replica", 0), item[0]),
+        )
+        self.replicas = [backend for _, backend in ordered]
+        for index, backend in enumerate(self.replicas):
+            backend.replica = index
+        self.down: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self.replicas)
+
+    def backend(self, replica: int):
+        for candidate in self.replicas:
+            if candidate.replica == replica:
+                return candidate
+        raise ConfigurationError(
+            f"shard {self.shard_id} has no replica {replica} "
+            f"(has {[b.replica for b in self.replicas]})"
+        )
+
+    def preference_order(self) -> list:
+        healthy = [b for b in self.replicas if b.replica not in self.down]
+        downed = [b for b in self.replicas if b.replica in self.down]
+        return healthy + downed
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicaSet(shard={self.shard_id}, replicas={len(self.replicas)}, "
+            f"down={sorted(self.down)}, docs=[{self.doc_lo},{self.doc_hi}))"
         )
 
 
@@ -493,8 +610,9 @@ class ShardRouter:
     Parameters
     ----------
     backends:
-        Shard backends owning disjoint contiguous doc-id ranges that
-        tile ``[0, num_documents)``.
+        Shard backends; backends sharing a ``shard_id`` are replicas of
+        the same shard (identical doc range).  The per-shard ranges
+        must be disjoint, contiguous, and tile ``[0, num_documents)``.
     data:
         Collection used to encode ``search_text`` queries (any shard
         subset works — subsets share the parent vocabulary).
@@ -503,10 +621,11 @@ class ShardRouter:
         caller passes none.  ``None`` = wait for every shard.
     hedge_after:
         Seconds to wait for a shard before sending one hedged duplicate
-        sub-request; first reply wins.  ``None`` disables hedging.
+        sub-request (to the next replica, when there is one); first
+        reply wins.  ``None`` disables hedging.
     pool_size:
-        Scatter thread-pool size (default ``4 * num_shards`` — enough
-        for hedges plus concurrent callers).
+        Scatter thread-pool size (default ``4 *`` total backend count —
+        enough for hedges and failovers plus concurrent callers).
     """
 
     def __init__(
@@ -519,36 +638,43 @@ class ShardRouter:
         pool_size: int | None = None,
         name: str = "shard-router",
     ) -> None:
-        backends = sorted(backends, key=lambda backend: backend.doc_lo)
+        backends = list(backends)
         if not backends:
             raise ConfigurationError("a ShardRouter needs at least one backend")
-        previous_hi = 0
+        grouped: dict[int, list] = {}
         for backend in backends:
-            if backend.doc_lo != previous_hi:
+            grouped.setdefault(backend.shard_id, []).append(backend)
+        sets = sorted(
+            (ReplicaSet(shard_id, group) for shard_id, group in grouped.items()),
+            key=lambda rset: rset.doc_lo,
+        )
+        previous_hi = 0
+        for rset in sets:
+            if rset.doc_lo != previous_hi:
                 raise ConfigurationError(
-                    f"shard {backend.shard_id} starts at doc {backend.doc_lo}, "
+                    f"shard {rset.shard_id} starts at doc {rset.doc_lo}, "
                     f"expected {previous_hi} (ranges must tile the corpus)"
                 )
-            previous_hi = backend.doc_hi
-        ids = [backend.shard_id for backend in backends]
-        if len(set(ids)) != len(ids):
-            raise ConfigurationError(f"duplicate shard ids: {sorted(ids)}")
-        self._backends = list(backends)
-        self._by_id = {backend.shard_id: backend for backend in backends}
+            previous_hi = rset.doc_hi
+        self._sets = sets
+        self._by_id = {rset.shard_id: rset for rset in sets}
         self.data = data
         self.name = name
         self.default_timeout = default_timeout
         self.hedge_after = hedge_after
         self.started_at = time.time()
         self._closed = False
+        self._supervisor = None
         self._pool = ThreadPoolExecutor(
             max_workers=pool_size or 4 * len(backends),
             thread_name_prefix=f"{name}-scatter",
         )
         self._metrics_lock = threading.Lock()
+        self._health_lock = threading.Lock()
         self._registry = MetricsRegistry()
-        self._registry.gauge("router.shards").set(len(backends))
-        self._last_epochs = {backend.shard_id: 0 for backend in backends}
+        self._registry.gauge("router.shards").set(len(sets))
+        self._registry.gauge("router.replicas").set(len(backends))
+        self._last_epochs = {rset.shard_id: 0 for rset in sets}
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -560,32 +686,46 @@ class ShardRouter:
         params: SearchParams,
         *,
         shards: int,
+        replicas: int = 1,
         compact: bool = True,
         default_timeout: float | None = None,
         hedge_after: float | None = None,
         name: str = "shard-router",
         **service_kwargs,
     ) -> "ShardRouter":
-        """Build an in-process router: one :class:`SearchService` per shard."""
+        """Build an in-process router: one :class:`SearchService` per replica.
+
+        Every replica of a shard gets its *own* searcher over the same
+        document subset, mirroring the process isolation of worker
+        replicas — mutations (tombstones, swaps) are applied per
+        replica, never shared through one object.
+        """
+        if replicas < 1:
+            raise ConfigurationError(f"replicas must be >= 1, got {replicas}")
         sizes = [len(doc) for doc in data]
         ranges = partition_ranges(sizes, shards)
         backends = []
         for shard_id, (lo, hi) in enumerate(ranges):
             subset = data.subset(range(lo, hi))
-            searcher = PKWiseSearcher(subset, params)
-            if compact:
-                searcher = searcher.compacted()
-            service = SearchService(
-                searcher,
-                subset,
-                name=f"{name}-shard-{shard_id:03d}",
-                **service_kwargs,
-            )
-            backends.append(
-                LocalShardBackend(
-                    service, shard_id=shard_id, doc_lo=lo, doc_hi=hi
+            for replica in range(replicas):
+                searcher = PKWiseSearcher(subset, params)
+                if compact:
+                    searcher = searcher.compacted()
+                service = SearchService(
+                    searcher,
+                    subset,
+                    name=f"{name}-shard-{shard_id:03d}-r{replica}",
+                    **service_kwargs,
                 )
-            )
+                backends.append(
+                    LocalShardBackend(
+                        service,
+                        shard_id=shard_id,
+                        doc_lo=lo,
+                        doc_hi=hi,
+                        replica=replica,
+                    )
+                )
         return cls(
             backends,
             data,
@@ -600,6 +740,7 @@ class ShardRouter:
         directory: str | Path,
         *,
         mmap: bool = True,
+        replicas: int | None = None,
         default_timeout: float | None = None,
         hedge_after: float | None = None,
         name: str = "shard-router",
@@ -607,35 +748,44 @@ class ShardRouter:
     ) -> "ShardRouter":
         """Serve an existing :class:`ShardPlan` directory in process.
 
-        Every shard snapshot is loaded (``mmap=True`` maps the v3
-        sections zero-copy) behind its own :class:`SearchService`.
+        Every replica loads its shard snapshot independently
+        (``mmap=True`` maps the v3 sections zero-copy — the page cache
+        is shared, the searcher state is not) behind its own
+        :class:`SearchService`.  ``replicas=None`` uses the plan's
+        recorded replica count.
         """
         directory = Path(directory)
         plan = ShardPlan.load(directory)
+        if replicas is None:
+            replicas = plan.replicas
+        if replicas < 1:
+            raise ConfigurationError(f"replicas must be >= 1, got {replicas}")
         backends = []
         encode_data = None
         for spec in plan.shards:
-            bundle = load_bundle(directory / spec.path, mmap=mmap)
-            if bundle.data is None:
-                raise ConfigurationError(
-                    f"shard snapshot {spec.path} has no document bundle"
+            for replica in range(replicas):
+                bundle = load_bundle(directory / spec.path, mmap=mmap)
+                if bundle.data is None:
+                    raise ConfigurationError(
+                        f"shard snapshot {spec.path} has no document bundle"
+                    )
+                if encode_data is None:
+                    encode_data = bundle.data
+                service = SearchService(
+                    bundle.searcher,
+                    bundle.data,
+                    name=f"{name}-shard-{spec.shard_id:03d}-r{replica}",
+                    **service_kwargs,
                 )
-            if encode_data is None:
-                encode_data = bundle.data
-            service = SearchService(
-                bundle.searcher,
-                bundle.data,
-                name=f"{name}-shard-{spec.shard_id:03d}",
-                **service_kwargs,
-            )
-            backends.append(
-                LocalShardBackend(
-                    service,
-                    shard_id=spec.shard_id,
-                    doc_lo=spec.doc_lo,
-                    doc_hi=spec.doc_hi,
+                backends.append(
+                    LocalShardBackend(
+                        service,
+                        shard_id=spec.shard_id,
+                        doc_lo=spec.doc_lo,
+                        doc_hi=spec.doc_hi,
+                        replica=replica,
+                    )
                 )
-            )
         return cls(
             backends,
             encode_data,
@@ -649,11 +799,23 @@ class ShardRouter:
     # ------------------------------------------------------------------
     @property
     def backends(self) -> tuple:
-        return tuple(self._backends)
+        """Primary (replica-0) backend of every shard, in doc order."""
+        return tuple(rset.replicas[0] for rset in self._sets)
+
+    @property
+    def replica_sets(self) -> tuple:
+        return tuple(self._sets)
+
+    @property
+    def all_backends(self) -> tuple:
+        """Every backend of every replica set, shard-major order."""
+        return tuple(
+            backend for rset in self._sets for backend in rset.replicas
+        )
 
     @property
     def num_shards(self) -> int:
-        return len(self._backends)
+        return len(self._sets)
 
     @property
     def closed(self) -> bool:
@@ -664,70 +826,189 @@ class ShardRouter:
         """Sum of the last-observed per-shard epochs (monotone)."""
         return sum(self._last_epochs.values())
 
+    # ------------------------------------------------------------------
+    # Replica health (used by the failover path and the supervisor)
+    # ------------------------------------------------------------------
+    def mark_replica_down(self, shard_id: int, replica: int) -> None:
+        """Deprioritize a replica: new queries try it last, not first."""
+        rset = self._require_set(shard_id)
+        with self._health_lock:
+            rset.down.add(replica)
+            self._update_down_gauge()
+
+    def readmit_replica(self, shard_id: int, replica: int) -> None:
+        """Clear a replica's down marker so it leads rotation again."""
+        rset = self._require_set(shard_id)
+        with self._health_lock:
+            rset.down.discard(replica)
+            self._update_down_gauge()
+
+    def replace_replica(self, shard_id: int, replica: int, backend) -> None:
+        """Swap in a fresh backend for one replica slot (same doc range).
+
+        Used by the supervisor after restarting a dead worker: the new
+        backend points at the restarted process.  The slot keeps its
+        down marker until :meth:`readmit_replica` — callers re-admit
+        only after the replacement passes its health checks.
+        """
+        rset = self._require_set(shard_id)
+        if (backend.doc_lo, backend.doc_hi) != (rset.doc_lo, rset.doc_hi):
+            raise ConfigurationError(
+                f"replacement for shard {shard_id} covers "
+                f"[{backend.doc_lo},{backend.doc_hi}), replica set owns "
+                f"[{rset.doc_lo},{rset.doc_hi})"
+            )
+        if backend.shard_id != shard_id:
+            raise ConfigurationError(
+                f"replacement carries shard_id {backend.shard_id}, "
+                f"expected {shard_id}"
+            )
+        backend.replica = replica
+        with self._health_lock:
+            for position, existing in enumerate(rset.replicas):
+                if existing.replica == replica:
+                    rset.replicas[position] = backend
+                    break
+            else:
+                raise ConfigurationError(
+                    f"shard {shard_id} has no replica {replica} to replace"
+                )
+        with self._metrics_lock:
+            self._registry.counter("router.replica_replacements").inc()
+
+    def attach_supervisor(self, supervisor) -> None:
+        """Surface a supervisor's status in healthz/metrics."""
+        self._supervisor = supervisor
+
+    def _require_set(self, shard_id: int) -> ReplicaSet:
+        rset = self._by_id.get(shard_id)
+        if rset is None:
+            raise ConfigurationError(f"unknown shard id {shard_id}")
+        return rset
+
+    def _update_down_gauge(self) -> None:
+        # Caller holds _health_lock.  Gauges merge by max across
+        # snapshots, so this records the worst observed outage depth.
+        total_down = sum(len(rset.down) for rset in self._sets)
+        with self._metrics_lock:
+            self._registry.gauge("router.replicas_down").set(total_down)
+
+    def _note_replica_failure(self, backend, error: Exception) -> None:
+        with self._health_lock:
+            rset = self._by_id[backend.shard_id]
+            rset.down.add(backend.replica)
+            self._update_down_gauge()
+        with self._metrics_lock:
+            self._registry.counter("router.replica_failures").inc()
+            self._registry.counter(
+                f"router.replica_failures.shard{backend.shard_id:03d}"
+                f".r{backend.replica}"
+            ).inc()
+
+    def _note_replica_success(self, backend) -> None:
+        rset = self._by_id[backend.shard_id]
+        if backend.replica in rset.down:
+            with self._health_lock:
+                rset.down.discard(backend.replica)
+                self._update_down_gauge()
+
     def healthz(self) -> dict:
         """Router liveness: aggregate status plus one entry per shard.
 
-        ``status`` is ``ok`` only when every shard answers ok —
-        ``degraded`` (some shards down, partial results still served)
-        and ``down`` (no shard reachable) both surface as 503 through
-        the HTTP front-end so balancers can eject the router.
+        ``status`` is ``ok`` only when *every replica of every shard*
+        answers ok; ``degraded`` while at least one shard is reachable
+        (queries still get answers — partial at worst, complete
+        whenever each shard keeps one live replica).  The HTTP
+        front-end maps
+        ``ok``/``degraded`` to 200 — a degraded router still answers
+        queries, so balancers must not eject it — and reserves 503 for
+        ``down`` (no shard reachable) and ``closed``.
         """
         shards = []
-        reachable = 0
-        for backend in self._backends:
-            entry = {
-                "shard_id": backend.shard_id,
-                "doc_lo": backend.doc_lo,
-                "doc_hi": backend.doc_hi,
-            }
-            entry.update(backend.describe())
-            try:
-                health = backend.healthz()
-            except Exception as exc:  # noqa: BLE001 - any failure = unreachable
-                entry["status"] = "unreachable"
-                entry["error"] = str(exc)
+        shards_reachable = 0
+        shards_fully_ok = 0
+        for rset in self._sets:
+            replica_entries = []
+            replicas_ok = 0
+            for backend in rset.replicas:
+                entry = {"replica": backend.replica}
+                entry.update(backend.describe())
+                try:
+                    health = backend.healthz()
+                except Exception as exc:  # noqa: BLE001 - failure = unreachable
+                    entry["status"] = "unreachable"
+                    entry["error"] = str(exc)
+                else:
+                    entry["status"] = health.get("status", "unknown")
+                    entry["documents"] = health.get("documents")
+                    entry["index_epoch"] = health.get("index_epoch")
+                    if entry["status"] == "ok":
+                        replicas_ok += 1
+                replica_entries.append(entry)
+            if replicas_ok == len(rset.replicas):
+                shard_status = "ok"
+            elif replicas_ok:
+                shard_status = "degraded"
             else:
-                entry["status"] = health.get("status", "unknown")
-                entry["documents"] = health.get("documents")
-                entry["index_epoch"] = health.get("index_epoch")
-                if entry["status"] == "ok":
-                    reachable += 1
-            shards.append(entry)
+                shard_status = "down"
+            if replicas_ok:
+                shards_reachable += 1
+            if shard_status == "ok":
+                shards_fully_ok += 1
+            shards.append(
+                {
+                    "shard_id": rset.shard_id,
+                    "doc_lo": rset.doc_lo,
+                    "doc_hi": rset.doc_hi,
+                    "status": shard_status,
+                    "replicas_ok": replicas_ok,
+                    "num_replicas": len(rset.replicas),
+                    "replicas": replica_entries,
+                }
+            )
         if self._closed:
             status = "closed"
-        elif reachable == len(self._backends):
+        elif shards_fully_ok == len(self._sets):
             status = "ok"
-        elif reachable:
+        elif shards_reachable:
             status = "degraded"
         else:
             status = "down"
-        return {
+        payload = {
             "status": status,
             "service": self.name,
-            "num_shards": len(self._backends),
-            "shards_ok": reachable,
-            "documents": self._backends[-1].doc_hi,
+            "num_shards": len(self._sets),
+            "shards_ok": shards_reachable,
+            "documents": self._sets[-1].doc_hi,
             "index_epoch": self.index_epoch,
             "uptime_seconds": time.time() - self.started_at,
             "shards": shards,
         }
+        if self._supervisor is not None:
+            payload["supervisor"] = self._supervisor.status()
+        return payload
 
     def metrics_snapshot(self) -> dict:
-        """Router counters + the per-shard registries, merged.
+        """Router counters + every replica's registry, merged.
 
-        Counters and timers sum across shards (deterministic for a
+        Counters and timers sum across replicas (deterministic for a
         deterministic workload), gauges keep the maximum — the same
         envelope ``check_regression.py`` diffs for a single service.
+        A supervisor attached via :meth:`attach_supervisor` contributes
+        its restart/readmit/quarantine counters too.
         """
         with self._metrics_lock:
             registry = MetricsRegistry.from_snapshot(self._registry.snapshot())
-        for backend in self._backends:
-            try:
-                snapshot = backend.metrics_snapshot()
-            except Exception:  # noqa: BLE001 - a dead shard has no metrics
-                registry.counter("router.metrics_unavailable").inc()
-                continue
-            registry.merge_snapshot(snapshot.get("metrics", {}))
+        for rset in self._sets:
+            for backend in rset.replicas:
+                try:
+                    snapshot = backend.metrics_snapshot()
+                except Exception:  # noqa: BLE001 - a dead replica has no metrics
+                    registry.counter("router.metrics_unavailable").inc()
+                    continue
+                registry.merge_snapshot(snapshot.get("metrics", {}))
+        if self._supervisor is not None:
+            registry.merge_snapshot(self._supervisor.metrics_registry.snapshot())
         return {
             "name": self.name,
             "schema_version": 1,
@@ -760,7 +1041,7 @@ class ShardRouter:
             with self._metrics_lock:
                 self._registry.counter("router.errors").inc()
             error = ServiceError(
-                f"all {len(self._backends)} shard(s) failed for query "
+                f"all {len(self._sets)} shard(s) failed for query "
                 f"{query.name or query.doc_id}: "
                 + "; ".join(f.error_message for f in failures)
             )
@@ -769,17 +1050,17 @@ class ShardRouter:
         pairs: list[MatchPair] = []
         shard_epochs: dict[int, int] = {}
         cached_votes: list[bool] = []
-        for backend in self._backends:
-            reply = results.get(backend.shard_id)
+        for rset in self._sets:
+            reply = results.get(rset.shard_id)
             if reply is None:
                 continue
-            faults.inject("shards.gather", shard=backend.shard_id)
-            shard_epochs[backend.shard_id] = reply.index_epoch
-            self._last_epochs[backend.shard_id] = max(
-                self._last_epochs[backend.shard_id], reply.index_epoch
+            faults.inject("shards.gather", shard=rset.shard_id)
+            shard_epochs[rset.shard_id] = reply.index_epoch
+            self._last_epochs[rset.shard_id] = max(
+                self._last_epochs[rset.shard_id], reply.index_epoch
             )
             cached_votes.append(reply.cached)
-            offset = backend.doc_lo
+            offset = rset.doc_lo
             # Shard-local doc ids renumber from 0 within [doc_lo, doc_hi);
             # adding the offset restores global ids.  Ranges ascend and
             # every reply is canonically ordered, so appending in shard
@@ -852,8 +1133,23 @@ class ShardRouter:
         )
 
     # ------------------------------------------------------------------
-    def _shard_call(self, backend, query: Document, deadline_at: float | None):
-        faults.inject("shards.scatter", shard=backend.shard_id)
+    def _shard_call(
+        self,
+        backend,
+        query: Document,
+        deadline_at: float | None,
+        *,
+        is_failover: bool = False,
+    ):
+        if is_failover:
+            faults.inject(
+                "shards.failover",
+                shard=backend.shard_id,
+                replica=backend.replica,
+            )
+        faults.inject(
+            "shards.scatter", shard=backend.shard_id, replica=backend.replica
+        )
         timeout = None
         if deadline_at is not None:
             timeout = max(1e-3, deadline_at - time.monotonic())
@@ -872,19 +1168,50 @@ class ShardRouter:
         )
 
     def _scatter_gather(self, query: Document, deadline_at: float | None):
-        """Fan out, hedge stragglers once, and collect per-shard replies."""
-        outstanding: dict = {}
-        unresolved = dict(self._by_id)
-        results: dict[int, _ShardReply] = {}
+        """Fan out one sub-request per shard; fail over, hedge, collect.
+
+        Per shard the replicas form a preference list (healthy first).
+        The first replica is tried immediately; every *failed* attempt
+        advances to the next untried replica (``router.failovers``)
+        before the shard is given up on — a shard fails only once all
+        of its replicas have failed or the deadline passes.  Hedging
+        races one extra replica per straggling shard after
+        ``hedge_after`` seconds; first reply wins.
+        """
+        # Per-shard scatter state, keyed by shard id.
+        order: dict[int, list] = {}  # replica preference order
+        cursor: dict[int, int] = {}  # next index in order to try
+        in_flight: dict[int, int] = {}  # outstanding attempts
+        attempts: dict[int, int] = {}  # total attempts started
         errors: dict[int, Exception] = {}
-        attempts = {shard_id: 1 for shard_id in self._by_id}
+        outstanding: dict = {}  # future -> (shard_id, backend)
+        unresolved: set[int] = set(self._by_id)
+        results: dict[int, _ShardReply] = {}
         failures: list[QueryFailure] = []
         last_error: Exception | None = None
-        for backend in self._backends:
+
+        def submit(shard_id: int, *, is_failover: bool) -> None:
+            backend = order[shard_id][cursor[shard_id] % len(order[shard_id])]
+            cursor[shard_id] += 1
+            attempts[shard_id] += 1
+            in_flight[shard_id] += 1
             future = self._pool.submit(
-                self._shard_call, backend, query, deadline_at
+                self._shard_call,
+                backend,
+                query,
+                deadline_at,
+                is_failover=is_failover,
             )
-            outstanding[future] = backend.shard_id
+            outstanding[future] = (shard_id, backend)
+
+        with self._health_lock:
+            for rset in self._sets:
+                order[rset.shard_id] = rset.preference_order()
+                cursor[rset.shard_id] = 0
+                in_flight[rset.shard_id] = 0
+                attempts[rset.shard_id] = 0
+        for shard_id in (rset.shard_id for rset in self._sets):
+            submit(shard_id, is_failover=False)
         hedge_at = (
             time.monotonic() + self.hedge_after
             if self.hedge_after is not None
@@ -907,37 +1234,44 @@ class ShardRouter:
                 return_when=FIRST_COMPLETED,
             )
             for future in done:
-                shard_id = outstanding.pop(future)
+                shard_id, backend = outstanding.pop(future)
+                in_flight[shard_id] -= 1
                 if shard_id not in unresolved:
-                    continue  # the other attempt already answered
+                    continue  # another attempt already answered
                 try:
                     results[shard_id] = future.result()
-                except Exception as exc:  # noqa: BLE001 - per-shard isolation
+                except Exception as exc:  # noqa: BLE001 - per-replica isolation
                     errors[shard_id] = exc
                     last_error = exc
-                    still_in_flight = shard_id in outstanding.values()
-                    if not still_in_flight:
+                    self._note_replica_failure(backend, exc)
+                    if cursor[shard_id] < len(order[shard_id]):
+                        # Untried replicas remain: fail over before the
+                        # shard is declared dead.
+                        with self._metrics_lock:
+                            self._registry.counter("router.failovers").inc()
+                        submit(shard_id, is_failover=True)
+                    elif in_flight[shard_id] == 0:
+                        # Every replica tried, none still racing.
                         failures.append(
                             self._shard_failure(
                                 query, shard_id, exc, attempts[shard_id]
                             )
                         )
-                        del unresolved[shard_id]
+                        unresolved.discard(shard_id)
                 else:
-                    del unresolved[shard_id]
+                    unresolved.discard(shard_id)
+                    self._note_replica_success(backend)
             if hedge_at is not None and time.monotonic() >= hedge_at:
                 hedge_at = None  # at most one hedge per shard per query
-                for shard_id in list(unresolved):
-                    if shard_id not in outstanding.values():
-                        continue  # primary already failed; nothing to race
-                    backend = self._by_id[shard_id]
-                    future = self._pool.submit(
-                        self._shard_call, backend, query, deadline_at
-                    )
-                    outstanding[future] = shard_id
-                    attempts[shard_id] += 1
+                for shard_id in sorted(unresolved):
+                    if in_flight[shard_id] == 0:
+                        continue  # failover already racing; nothing to hedge
                     with self._metrics_lock:
                         self._registry.counter("router.hedges").inc()
+                    # The hedge goes to the next replica in preference
+                    # order (wrapping back to the head when every
+                    # replica already has an attempt out).
+                    submit(shard_id, is_failover=False)
         for shard_id in sorted(unresolved):
             error = errors.get(shard_id)
             if error is None:
@@ -958,36 +1292,62 @@ class ShardRouter:
     # Mutation / swap
     # ------------------------------------------------------------------
     def remove_document(self, doc_id: int) -> None:
-        """Tombstone a *global* doc id on the shard that owns it."""
-        for backend in self._backends:
-            if backend.doc_lo <= doc_id < backend.doc_hi:
-                remover = getattr(backend, "remove_document", None)
-                if remover is None:
-                    raise ServiceError(
-                        f"shard {backend.shard_id} backend does not support "
-                        f"remove_document (rebuild + rolling swap instead)"
-                    )
-                remover(doc_id - backend.doc_lo)
+        """Tombstone a *global* doc id on every replica of its shard.
+
+        Replicas must stay pair-identical — a tombstone applied to one
+        replica only would make results depend on which replica served
+        the query — so the removal either reaches all replicas or
+        raises before touching any.
+        """
+        for rset in self._sets:
+            if rset.doc_lo <= doc_id < rset.doc_hi:
+                removers = []
+                for backend in rset.replicas:
+                    remover = getattr(backend, "remove_document", None)
+                    if remover is None:
+                        raise ServiceError(
+                            f"shard {rset.shard_id} replica {backend.replica} "
+                            f"backend does not support remove_document "
+                            f"(rebuild + rolling swap instead)"
+                        )
+                    removers.append(remover)
+                for remover in removers:
+                    remover(doc_id - rset.doc_lo)
                 return
         raise ConfigurationError(
-            f"doc_id {doc_id} outside corpus [0, {self._backends[-1].doc_hi})"
+            f"doc_id {doc_id} outside corpus [0, {self._sets[-1].doc_hi})"
         )
 
     def swap_shard(
-        self, shard_id: int, searcher, data: DocumentCollection | None = None
+        self,
+        shard_id: int,
+        searcher,
+        data: DocumentCollection | None = None,
+        *,
+        replica: int | None = None,
     ) -> int:
-        """Swap one shard to a new snapshot generation without downtime."""
-        backend = self._by_id.get(shard_id)
-        if backend is None:
-            raise ConfigurationError(f"unknown shard id {shard_id}")
+        """Swap one shard to a new snapshot generation without downtime.
+
+        ``replica=None`` installs ``searcher`` on every replica of the
+        shard (fine for frozen snapshots — per-replica mutations need
+        per-replica searcher objects: pass an explicit ``replica`` per
+        freshly loaded bundle, as :meth:`rolling_swap` does).
+        """
+        rset = self._require_set(shard_id)
         faults.inject("shards.swap", shard=shard_id)
-        swap = getattr(backend, "swap", None)
-        if swap is None:
-            raise ServiceError(
-                f"shard {shard_id} backend ({type(backend).__name__}) does "
-                f"not support in-process swap"
-            )
-        generation = swap(searcher, data)
+        targets = (
+            rset.replicas if replica is None else [rset.backend(replica)]
+        )
+        generation = 0
+        for backend in targets:
+            swap = getattr(backend, "swap", None)
+            if swap is None:
+                raise ServiceError(
+                    f"shard {shard_id} replica {backend.replica} backend "
+                    f"({type(backend).__name__}) does not support in-process "
+                    f"swap"
+                )
+            generation = max(generation, swap(searcher, data))
         with self._metrics_lock:
             self._registry.counter("router.swaps").inc()
         return generation
@@ -997,21 +1357,22 @@ class ShardRouter:
     ) -> int:
         """Swap every shard to the generation in ``directory``'s manifest.
 
-        One shard at a time: build/load the new snapshot, then
-        :meth:`swap_shard` it — each swap drains that shard's in-flight
-        readers under the write lock while all other shards keep
-        serving.  Returns the new generation number.
+        One replica at a time: load a *fresh* copy of the new snapshot
+        (so replicas never share mutable searcher state), then
+        :meth:`swap_shard` it — each swap drains that replica's
+        in-flight readers under the write lock while every other
+        replica keeps serving.  Returns the new generation number.
         """
         directory = Path(directory)
         plan = ShardPlan.load(directory)
-        if plan.num_shards != len(self._backends):
+        if plan.num_shards != len(self._sets):
             raise ConfigurationError(
                 f"plan has {plan.num_shards} shards, router has "
-                f"{len(self._backends)}"
+                f"{len(self._sets)}"
             )
         for spec in plan.shards:
-            backend = self._by_id.get(spec.shard_id)
-            if backend is None or (backend.doc_lo, backend.doc_hi) != (
+            rset = self._by_id.get(spec.shard_id)
+            if rset is None or (rset.doc_lo, rset.doc_hi) != (
                 spec.doc_lo,
                 spec.doc_hi,
             ):
@@ -1020,8 +1381,15 @@ class ShardRouter:
                     f"and router"
                 )
         for spec in plan.shards:
-            bundle = load_bundle(directory / spec.path, mmap=mmap)
-            self.swap_shard(spec.shard_id, bundle.searcher, bundle.data)
+            rset = self._by_id[spec.shard_id]
+            for backend in list(rset.replicas):
+                bundle = load_bundle(directory / spec.path, mmap=mmap)
+                self.swap_shard(
+                    spec.shard_id,
+                    bundle.searcher,
+                    bundle.data,
+                    replica=backend.replica,
+                )
         return plan.generation
 
     # ------------------------------------------------------------------
@@ -1032,9 +1400,15 @@ class ShardRouter:
         if self._closed:
             return
         self._closed = True
+        supervisor = self._supervisor
+        if supervisor is not None:
+            stop = getattr(supervisor, "stop", None)
+            if stop is not None:
+                stop()
         self._pool.shutdown(wait=True)
-        for backend in self._backends:
-            backend.close()
+        for rset in self._sets:
+            for backend in rset.replicas:
+                backend.close()
 
     def __enter__(self) -> "ShardRouter":
         return self
@@ -1044,13 +1418,14 @@ class ShardRouter:
 
     def __repr__(self) -> str:
         return (
-            f"ShardRouter({self.name!r}, shards={len(self._backends)}, "
+            f"ShardRouter({self.name!r}, shards={len(self._sets)}, "
+            f"replicas={[len(rset) for rset in self._sets]}, "
             f"hedge_after={self.hedge_after}, closed={self._closed})"
         )
 
 
 # ----------------------------------------------------------------------
-# Worker supervision (subprocess shards for the CLI / smoke / bench)
+# Worker processes (subprocess shards for the CLI / smoke / bench)
 # ----------------------------------------------------------------------
 @dataclass
 class ShardWorker:
@@ -1059,29 +1434,176 @@ class ShardWorker:
     spec: ShardSpec
     process: subprocess.Popen
     url: str
+    replica: int = 0
+    #: Where the worker's stderr is captured (a temp file, so a chatty
+    #: long-running worker can never deadlock on a full pipe); read
+    #: back into :class:`WorkerStartupError` when startup fails.
+    stderr_path: Path | None = None
 
     @property
     def pid(self) -> int:
         return self.process.pid
 
 
-def _read_serving_line(process: subprocess.Popen, timeout: float) -> str:
-    """Read a worker's stdout until its ``SERVING <url>`` line."""
+#: How much captured worker stderr a startup error carries.
+_STDERR_TAIL_BYTES = 4000
+
+
+def _stderr_tail(stderr_path: Path | None) -> str:
+    if stderr_path is None:
+        return ""
+    try:
+        text = Path(stderr_path).read_text(errors="replace")
+    except OSError:
+        return ""
+    return text[-_STDERR_TAIL_BYTES:]
+
+
+def _read_serving_line(
+    process: subprocess.Popen,
+    timeout: float,
+    *,
+    stderr_path: Path | None = None,
+) -> str:
+    """Read a worker's stdout until its ``SERVING <url>`` line.
+
+    ``poll()``\\ s the child between reads: a worker that dies before
+    serving fails fast with a :class:`~repro.errors.WorkerStartupError`
+    carrying the exit code and captured stderr, instead of blocking the
+    parent on a ``readline`` that will never return.
+    """
     deadline = time.monotonic() + timeout
     assert process.stdout is not None
-    while time.monotonic() < deadline:
-        line = process.stdout.readline()
-        if not line:
-            if process.poll() is not None:
-                raise ServiceError(
-                    f"shard worker exited with code {process.returncode} "
-                    f"before serving"
+    selector: selectors.DefaultSelector | None = selectors.DefaultSelector()
+    try:
+        selector.register(process.stdout, selectors.EVENT_READ)
+    except (ValueError, OSError, KeyError):
+        # Not a selectable stream (e.g. a test double); fall back to
+        # short blocking reads guarded by the same poll()/deadline loop.
+        selector.close()
+        selector = None
+    try:
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise WorkerStartupError(
+                    f"shard worker (pid {process.pid}) did not serve within "
+                    f"{timeout}s",
+                    returncode=process.poll(),
+                    stderr=_stderr_tail(stderr_path),
                 )
-            time.sleep(0.05)
-            continue
-        if line.startswith("SERVING "):
-            return line.split(None, 1)[1].strip()
-    raise ServiceError(f"shard worker did not serve within {timeout}s")
+            if selector is not None:
+                # Wait for readable stdout first: a worker that printed
+                # SERVING and then exited still hands over its URL.
+                ready = selector.select(timeout=min(0.1, remaining))
+                if not ready:
+                    if process.poll() is not None:
+                        raise WorkerStartupError(
+                            f"shard worker (pid {process.pid}) exited with "
+                            f"code {process.returncode} before serving",
+                            returncode=process.returncode,
+                            stderr=_stderr_tail(stderr_path),
+                        )
+                    continue
+            line = process.stdout.readline()
+            if not line:
+                # EOF: the worker closed stdout without ever serving.
+                returncode = process.poll()
+                if returncode is None:
+                    if selector is None:
+                        if process.poll() is None:
+                            time.sleep(0.05)
+                            continue
+                    try:
+                        returncode = process.wait(timeout=1.0)
+                    except subprocess.TimeoutExpired:
+                        returncode = None
+                raise WorkerStartupError(
+                    f"shard worker (pid {process.pid}) closed stdout "
+                    f"(exit code {returncode}) before serving",
+                    returncode=returncode,
+                    stderr=_stderr_tail(stderr_path),
+                )
+            if line.startswith("SERVING "):
+                return line.split(None, 1)[1].strip()
+    finally:
+        if selector is not None:
+            selector.close()
+
+
+def _spawn_worker_process(
+    directory: Path,
+    spec: ShardSpec,
+    *,
+    cache_size: int | None,
+    workers: int | None,
+) -> tuple[subprocess.Popen, Path]:
+    command = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "serve",
+        "--index",
+        str(directory / spec.path),
+        "--port",
+        "0",
+        "--mmap",
+    ]
+    if cache_size is not None:
+        command += ["--cache-size", str(cache_size)]
+    if workers is not None:
+        command += ["--workers", str(workers)]
+    stderr_fd, stderr_name = tempfile.mkstemp(
+        prefix=f"repro-shard-{spec.shard_id:03d}-", suffix=".stderr"
+    )
+    try:
+        process = subprocess.Popen(
+            command, stdout=subprocess.PIPE, stderr=stderr_fd, text=True
+        )
+    except BaseException:
+        os.close(stderr_fd)
+        Path(stderr_name).unlink(missing_ok=True)
+        raise
+    os.close(stderr_fd)
+    return process, Path(stderr_name)
+
+
+def spawn_one_worker(
+    directory: str | Path,
+    spec: ShardSpec,
+    *,
+    replica: int = 0,
+    cache_size: int | None = None,
+    workers: int | None = None,
+    startup_timeout: float = 60.0,
+) -> ShardWorker:
+    """Start (and wait for) a single shard worker process.
+
+    Used by :class:`~repro.service.supervisor.ShardSupervisor` to
+    restart one dead replica without touching its siblings.  Raises
+    :class:`~repro.errors.WorkerStartupError` — with the worker's exit
+    code and stderr tail — when the process dies or hangs before its
+    ``SERVING`` line; the process is reaped before the error leaves.
+    """
+    directory = Path(directory)
+    process, stderr_path = _spawn_worker_process(
+        directory, spec, cache_size=cache_size, workers=workers
+    )
+    worker = ShardWorker(
+        spec=spec,
+        process=process,
+        url="",
+        replica=replica,
+        stderr_path=stderr_path,
+    )
+    try:
+        worker.url = _read_serving_line(
+            process, startup_timeout, stderr_path=stderr_path
+        )
+    except BaseException:
+        stop_shard_workers([worker])
+        raise
+    return worker
 
 
 def spawn_shard_workers(
@@ -1091,49 +1613,53 @@ def spawn_shard_workers(
     cache_size: int | None = None,
     workers: int | None = None,
     startup_timeout: float = 60.0,
+    replicas: int | None = None,
 ) -> list[ShardWorker]:
-    """Start one ``repro serve`` process per shard of ``plan``.
+    """Start ``replicas`` ``repro serve`` processes per shard of ``plan``.
 
-    Each worker maps its own compact snapshot (``--mmap``) and binds an
-    ephemeral port; the returned :class:`ShardWorker`\\ s carry the
-    parsed URLs.  On any startup failure every already-spawned worker
-    is terminated before the error propagates.
+    Each worker maps its shard's compact snapshot (``--mmap``; replicas
+    of a shard share the file, and the page cache deduplicates the
+    mapping) and binds an ephemeral port; the returned
+    :class:`ShardWorker`\\ s carry the parsed URLs, shard-major
+    (``[s0r0, s0r1, ..., s1r0, ...]``).  ``replicas=None`` uses the
+    plan's recorded count.  All processes launch before any ``SERVING``
+    line is awaited, so startup latency is one worker's, not the sum.
+    On any startup failure — including a worker that dies before
+    serving, which raises :class:`~repro.errors.WorkerStartupError`
+    with its stderr — every already-spawned worker is terminated before
+    the error propagates.
     """
     directory = Path(directory)
     if plan is None:
         plan = ShardPlan.load(directory)
-    spawned: list[tuple[ShardSpec, subprocess.Popen]] = []
+    if replicas is None:
+        replicas = plan.replicas
+    if replicas < 1:
+        raise ConfigurationError(f"replicas must be >= 1, got {replicas}")
+    spawned: list[ShardWorker] = []
     try:
         for spec in plan.shards:
-            command = [
-                sys.executable,
-                "-m",
-                "repro.cli",
-                "serve",
-                "--index",
-                str(directory / spec.path),
-                "--port",
-                "0",
-                "--mmap",
-            ]
-            if cache_size is not None:
-                command += ["--cache-size", str(cache_size)]
-            if workers is not None:
-                command += ["--workers", str(workers)]
-            process = subprocess.Popen(
-                command, stdout=subprocess.PIPE, text=True
+            for replica in range(replicas):
+                process, stderr_path = _spawn_worker_process(
+                    directory, spec, cache_size=cache_size, workers=workers
+                )
+                spawned.append(
+                    ShardWorker(
+                        spec=spec,
+                        process=process,
+                        url="",
+                        replica=replica,
+                        stderr_path=stderr_path,
+                    )
+                )
+        for worker in spawned:
+            worker.url = _read_serving_line(
+                worker.process, startup_timeout,
+                stderr_path=worker.stderr_path,
             )
-            spawned.append((spec, process))
-        return [
-            ShardWorker(spec=spec, process=process,
-                        url=_read_serving_line(process, startup_timeout))
-            for spec, process in spawned
-        ]
+        return spawned
     except BaseException:
-        stop_shard_workers(
-            ShardWorker(spec=spec, process=process, url="")
-            for spec, process in spawned
-        )
+        stop_shard_workers(spawned)
         raise
 
 
@@ -1153,6 +1679,9 @@ def stop_shard_workers(workers, *, timeout: float = 5.0) -> None:
             worker.process.wait()
         if worker.process.stdout is not None:
             worker.process.stdout.close()
+        stderr_path = getattr(worker, "stderr_path", None)
+        if stderr_path is not None:
+            Path(stderr_path).unlink(missing_ok=True)
 
 
 def backends_for_workers(
@@ -1161,13 +1690,20 @@ def backends_for_workers(
     retries: int = 2,
     http_timeout: float = 30.0,
 ) -> list[HTTPShardBackend]:
-    """HTTP backends pointing at spawned shard workers."""
+    """HTTP backends pointing at spawned shard workers.
+
+    With replicated workers, prefer ``retries=0``: the router's
+    replica failover is both faster and safer than per-replica client
+    retries (a retry burns deadline budget on a worker that is already
+    dead; a failover moves on to one that is not).
+    """
     return [
         HTTPShardBackend(
             worker.url,
             shard_id=worker.spec.shard_id,
             doc_lo=worker.spec.doc_lo,
             doc_hi=worker.spec.doc_hi,
+            replica=getattr(worker, "replica", 0),
             retries=retries,
             http_timeout=http_timeout,
             pid=worker.pid,

@@ -202,6 +202,110 @@ class TestCircuitBreaker:
             CircuitBreaker(failure_threshold=0)
 
 
+class TestCircuitBreakerConcurrency:
+    """Real threads hammering one breaker: the lock must hold its story."""
+
+    def _contend(self, workers: int, action) -> list:
+        """Run ``action()`` on ``workers`` threads released together."""
+        barrier = threading.Barrier(workers)
+        results: list = [None] * workers
+        def run(slot: int) -> None:
+            barrier.wait()
+            results[slot] = action()
+        threads = [
+            threading.Thread(target=run, args=(slot,))
+            for slot in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return results
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_after=10.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(10.0)
+
+        def try_allow() -> str:
+            try:
+                breaker.allow()
+            except CircuitOpenError:
+                return "rejected"
+            return "admitted"
+
+        results = self._contend(16, try_allow)
+        assert results.count("admitted") == 1
+        assert breaker.state == "half-open"
+
+    def test_concurrent_failures_during_half_open_single_trip(self):
+        # The probe fails while stale in-flight requests also report
+        # failures: the breaker must land in one clean "open" cooldown,
+        # and the eventual successful probe must fully reset the
+        # failure count (no leftover ghost failures from the pile-up).
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=3, reset_after=10.0, clock=clock
+        )
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        breaker.allow()  # the probe
+        assert breaker.state == "half-open"
+        self._contend(16, breaker.record_failure)
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError) as info:
+            breaker.allow()  # cooldown restarted by the (single) re-trip
+        assert info.value.retry_after == pytest.approx(10.0)
+        clock.advance(10.0)
+        breaker.allow()  # next probe
+        breaker.record_success()
+        assert breaker.state == "closed"
+        # Counter consistency: the pile-up left nothing behind — it
+        # still takes a full threshold of fresh failures to re-open.
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+
+    def test_closed_state_failure_counting_is_atomic(self):
+        # N racing failures with threshold N must trip exactly at the
+        # threshold — a lost update would leave the breaker closed.
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=16, reset_after=10.0, clock=clock
+        )
+        self._contend(16, breaker.record_failure)
+        assert breaker.state == "open"
+
+    def test_mixed_allow_and_failure_race_keeps_state_legal(self):
+        # Interleave admissions and failures from many threads; the
+        # breaker must always be in exactly one legal state and never
+        # raise anything but CircuitOpenError.
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=4, reset_after=0.0, clock=clock
+        )
+
+        def hammer() -> None:
+            for _ in range(50):
+                try:
+                    breaker.allow()
+                except CircuitOpenError:
+                    breaker.record_failure()
+                else:
+                    breaker.record_success()
+
+        self._contend(8, hammer)
+        assert breaker.state in ("closed", "open", "half-open")
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+
 class TestRetryPolicy:
     def test_success_first_try(self):
         client, _clock, sleeps = make_client(retries=3)
@@ -388,8 +492,10 @@ class TestDeadlineClamp:
         assert send.timeouts == [pytest.approx(7.5)]
 
     def test_budget_exactly_exhausted_raises_before_sending(self):
-        # Backoff lands exactly on the deadline: the next attempt must
-        # be refused at the pre-send check (remaining budget is zero).
+        # The server's retry_after hint lands exactly on the deadline:
+        # honoring it would eat the whole budget, so the loop must
+        # raise *before* sleeping — no nap it can never wake up from
+        # usefully, no second send.
         client, _clock, sleeps = make_client(
             retries=5, deadline=1.0, failure_threshold=100
         )
@@ -397,7 +503,30 @@ class TestDeadlineClamp:
         with pytest.raises(DeadlineExceededError):
             client._call(send)
         assert send.calls == 1
-        assert sleeps == [pytest.approx(1.0)]
+        assert sleeps == []
+
+    def test_backoff_sleep_clamped_to_remaining_budget(self):
+        # A huge server hint cannot be honored, but a plain backoff
+        # sleep that merely *overshoots* the budget is clamped so the
+        # final attempt still gets its slice of the deadline.
+        client, clock, sleeps = make_client(
+            retries=1,
+            deadline=1.0,
+            backoff=10.0,  # unclamped first delay would be 10s
+            backoff_cap=10.0,
+            rng=MaxRng(),
+            failure_threshold=100,
+        )
+        send = ScriptedSend(
+            [http_error(500), http_error(500), http_error(500)]
+        )
+        start = clock.now
+        with pytest.raises(ReproError):
+            client._call(send)
+        assert send.calls == 2  # the clamped sleep left room to retry
+        assert len(sleeps) == 1
+        assert sleeps[0] <= 1.0  # never past the deadline
+        assert clock.now - start <= 1.0 + 1e-9
 
 
 class ScriptedHandler(BaseHTTPRequestHandler):
