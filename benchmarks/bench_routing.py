@@ -1,0 +1,296 @@
+#!/usr/bin/env python
+"""Fingerprint routing tier: pruning power and net speedup.
+
+The routing tier exists for one economic claim: on corpora where most
+documents are unrelated to a query, a vectorized fingerprint pass over
+flat ``uint64`` columns is far cheaper than letting the exact engine
+discover the same irrelevance window by window.  This bench measures
+that claim at two corpus sizes of the same profile:
+
+* **Pruned fraction** — ``routing_pruned_docs / routing_checked_docs``
+  over the workload: how much of the corpus the tier eliminated before
+  any window-level work.
+* **Net speedup** — wall-clock of the routed run vs the routing-off
+  run over identical queries, fingerprint time *included* (the tier
+  must pay for itself, not just look busy).
+* **Recall** — asserted, not measured: ``exact`` mode must return
+  pair-for-pair the routing-off results (the bench exits 1 on any
+  divergence).  ``approx`` mode is reported informationally with its
+  measured recall.
+
+Larger corpora favour routing (query-side signature cost is constant
+while doc-side work grows), which is why the gates in CI are applied
+to the *largest* size via ``check_regression.py
+--min-pruned-fraction/--min-routing-speedup``.
+
+Emits ``BENCH_routing.json`` at the repo root with a ``routing``
+section (the gate input), per-size rows, and a ``serial`` metrics
+section in the layout ``benchmarks/check_regression.py`` diffs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_routing.py
+    PYTHONPATH=src python benchmarks/bench_routing.py --smoke  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: REUTERS base scale from benchmarks/common.py, applied under the
+#: global REPRO_BENCH_SCALE multiplier like every other bench.
+BASE_SCALE = 0.008
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--profile", default="REUTERS",
+                        help="synthetic dataset profile (default REUTERS)")
+    parser.add_argument("-w", "--window", type=int, default=50)
+    parser.add_argument("--tau", type=int, default=5)
+    parser.add_argument("--k-max", type=int, default=4)
+    parser.add_argument("--block-tokens", type=int, default=64,
+                        help="routing block size (64 keeps covers "
+                             "unsaturated at w=50; see docs/tuning.md)")
+    parser.add_argument("--sizes", default="1.0,2.5",
+                        help="comma-separated corpus scale multipliers "
+                             "(gates apply to the largest)")
+    parser.add_argument("--num-queries", type=int, default=8)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="workload repeats per timing (min is kept)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="single repeat for CI wall-clock")
+    parser.add_argument("--approx", action="store_true",
+                        help="also report approx mode at the largest "
+                             "size (informational: measured recall)")
+    parser.add_argument("--out", type=Path, default=ROOT / "BENCH_routing.json",
+                        help="output JSON path (default repo root)")
+    parser.add_argument("--metrics-out", type=Path, default=None,
+                        help="also write the bare metrics snapshot here")
+    parser.add_argument("--min-pruned-fraction", type=float, default=None,
+                        help="fail when the largest size prunes less "
+                             "than this fraction of documents")
+    parser.add_argument("--min-routing-speedup", type=float, default=None,
+                        help="fail when the largest size's net routed "
+                             "speedup is below this floor")
+    return parser
+
+
+def timed_run(searcher, queries, *, repeats: int, name: str):
+    """(best wall-clock seconds, last WorkloadRun) over ``repeats``."""
+    from repro.eval import run_searcher
+
+    best = None
+    run = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run = run_searcher(searcher, queries, name=name)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, run
+
+
+def main(argv: list[str] | None = None) -> int:
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(ROOT / "src"))
+
+    from common import BENCH_SCALE  # noqa: E402  (benchmarks dir import)
+
+    from repro import PKWiseSearcher, RoutingPolicy, SearchParams
+    from repro.corpus.plagiarism import ObfuscationLevel
+    from repro.corpus.synthetic import ReuseSpec, make_profile_collection
+
+    args = build_arg_parser().parse_args(argv)
+    repeats = 1 if args.smoke else args.repeats
+    sizes = sorted(float(s) for s in args.sizes.split(","))
+    params = SearchParams(w=args.window, tau=args.tau, k_max=args.k_max)
+    policy = RoutingPolicy(mode="exact", block_tokens=args.block_tokens)
+
+    rows = []
+    largest = None
+    for size in sizes:
+        data, queries, _truth = make_profile_collection(
+            args.profile,
+            scale=BASE_SCALE * BENCH_SCALE * size,
+            seed=7,
+            reuse=ReuseSpec(
+                segment_length=150,
+                levels=(
+                    ObfuscationLevel.NONE,
+                    ObfuscationLevel.LOW,
+                    ObfuscationLevel.HIGH,
+                    ObfuscationLevel.SIMULATED,
+                ),
+            ),
+            num_queries=args.num_queries,
+        )
+        off = PKWiseSearcher(data, params.with_routing("off"))
+        build_start = time.perf_counter()
+        routed = PKWiseSearcher(data, params.with_routing(policy))
+        build_seconds = time.perf_counter() - build_start
+
+        off_seconds, off_run = timed_run(off, queries, repeats=repeats, name="off")
+        routed_seconds, routed_run = timed_run(
+            routed, queries, repeats=repeats, name="routed"
+        )
+        if routed_run.results_by_query != off_run.results_by_query:
+            print("PARITY FAILURE: exact routing changed the result set",
+                  file=sys.stderr)
+            return 1
+
+        stats = routed_run.stats
+        pruned_fraction = stats.routing_pruned_docs / max(
+            1, stats.routing_checked_docs
+        )
+        speedup = off_seconds / routed_seconds if routed_seconds > 0 else 0.0
+        row = {
+            "size_multiplier": size,
+            "num_documents": len(data),
+            "num_tokens": sum(len(doc) for doc in data),
+            "num_queries": len(queries),
+            "build_seconds": build_seconds,
+            "off_seconds": off_seconds,
+            "routed_seconds": routed_seconds,
+            "off_qps": len(queries) / off_seconds,
+            "routed_qps": len(queries) / routed_seconds,
+            "net_speedup": speedup,
+            "pruned_fraction": pruned_fraction,
+            "routing_checked_docs": stats.routing_checked_docs,
+            "routing_pruned_docs": stats.routing_pruned_docs,
+            "fingerprint_seconds": stats.routing_fingerprint_time,
+            "recall": 1.0,  # asserted pair-for-pair above
+        }
+        rows.append(row)
+        largest = (row, off_run, routed_run, data, queries, off)
+
+    row, off_run, routed_run, data, queries, off = largest
+
+    approx_row = None
+    if args.approx:
+        from repro.eval.harness import canonical_pair_order
+
+        approx = PKWiseSearcher(
+            data, params.with_routing(policy.with_mode("approx"))
+        )
+        approx_seconds, approx_run = timed_run(
+            approx, queries, repeats=repeats, name="approx"
+        )
+        want = {
+            qid: canonical_pair_order(pairs)
+            for qid, pairs in off_run.results_by_query.items()
+        }
+        found = sum(
+            len(set(approx_run.results_by_query.get(qid, ())) & set(pairs))
+            for qid, pairs in want.items()
+        )
+        total = sum(len(pairs) for pairs in want.values())
+        approx_stats = approx_run.stats
+        approx_row = {
+            "routed_seconds": approx_seconds,
+            "net_speedup": row["off_seconds"] / approx_seconds,
+            "pruned_fraction": approx_stats.routing_pruned_docs
+            / max(1, approx_stats.routing_checked_docs),
+            "recall": found / total if total else 1.0,
+        }
+
+    print(f"profile {args.profile}, w={params.w} tau={params.tau} "
+          f"k_max={params.k_max}, block_tokens={args.block_tokens}, "
+          f"repeats={repeats}")
+    header = (f"{'size':>6} {'docs':>6} {'off qps':>9} {'routed qps':>11} "
+              f"{'speedup':>8} {'pruned':>8}")
+    print(header)
+    for entry in rows:
+        print(f"{entry['size_multiplier']:>6.1f} {entry['num_documents']:>6} "
+              f"{entry['off_qps']:>9.1f} {entry['routed_qps']:>11.1f} "
+              f"{entry['net_speedup']:>7.2f}x {entry['pruned_fraction']:>7.1%}")
+    if approx_row is not None:
+        print(f"approx mode at largest size: {approx_row['net_speedup']:.2f}x, "
+              f"pruned {approx_row['pruned_fraction']:.1%}, "
+              f"recall {approx_row['recall']:.3f}")
+
+    record = {
+        "bench": "routing",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "host": {
+            "cpus": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "config": {
+            "profile": args.profile,
+            "num_documents": row["num_documents"],
+            "num_queries": row["num_queries"],
+            "w": params.w,
+            "tau": params.tau,
+            "k_max": params.k_max,
+            "block_tokens": args.block_tokens,
+            "sizes": sizes,
+            "smoke": args.smoke,
+        },
+        "sizes": rows,
+        # The gate section check_regression.py reads: the largest size's
+        # pruning power and net speedup (exact mode, recall asserted).
+        "routing": {
+            "mode": "exact",
+            "pruned_fraction": row["pruned_fraction"],
+            "net_speedup": row["net_speedup"],
+            "off_qps": row["off_qps"],
+            "routed_qps": row["routed_qps"],
+            "recall": 1.0,
+        },
+        # The layout check_regression.py diffs: counters exact, timers
+        # within tolerance.  The routed run carries the routing.*
+        # counter family on top of the off run's counters.
+        "serial": {"metrics": routed_run.metrics_snapshot()},
+    }
+    if approx_row is not None:
+        record["approx"] = approx_row
+    args.out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    if args.metrics_out:
+        args.metrics_out.write_text(
+            json.dumps(
+                {
+                    "config": record["config"],
+                    "routing": record["routing"],
+                    "serial": record["serial"],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        print(f"wrote {args.metrics_out}")
+
+    failures = []
+    if (args.min_pruned_fraction is not None
+            and row["pruned_fraction"] < args.min_pruned_fraction):
+        failures.append(
+            f"pruned fraction {row['pruned_fraction']:.2%} below required "
+            f"{args.min_pruned_fraction:.2%}"
+        )
+    if (args.min_routing_speedup is not None
+            and row["net_speedup"] < args.min_routing_speedup):
+        failures.append(
+            f"net speedup {row['net_speedup']:.2f}x below required "
+            f"{args.min_routing_speedup}x"
+        )
+    for failure in failures:
+        print(f"GATE FAILURE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,7 +19,11 @@ contracts on them:
 alone: ``probe.compact_to_dict_probe_ratio`` (written by
 ``bench_compact.py``) must be at least the given floor — the compact
 index losing to the dict index on batched probes is a hot-path
-regression regardless of any baseline.
+regression regardless of any baseline.  ``--min-pruned-fraction`` and
+``--min-routing-speedup`` are the same kind of absolute gate over the
+``routing`` section written by ``bench_routing.py``: the fingerprint
+tier pruning too little, or no longer paying for its own fingerprint
+pass, is a regression regardless of baseline.
 
 Records with different configs (corpus size, w, tau, query count) are
 not comparable; the guard reports that and exits 0 unless ``--strict``
@@ -142,6 +146,13 @@ def main(argv: list[str] | None = None) -> int:
                              "probe.compact_to_dict_probe_ratio is below "
                              "this floor (records lacking the section fail "
                              "only under --strict)")
+    parser.add_argument("--min-pruned-fraction", type=float, default=None,
+                        help="fail when the current record's "
+                             "routing.pruned_fraction (written by "
+                             "bench_routing.py) is below this floor")
+    parser.add_argument("--min-routing-speedup", type=float, default=None,
+                        help="fail when the current record's "
+                             "routing.net_speedup is below this floor")
     args = parser.parse_args(argv)
 
     current = load_record(args.current)
@@ -182,6 +193,28 @@ def main(argv: list[str] | None = None) -> int:
             problems.append(
                 f"probe ratio compact/dict {float(ratio):.2f} below required "
                 f"{args.min_probe_ratio}"
+            )
+
+    # Absolute gates on the routing section (bench_routing.py): the
+    # fingerprint tier must keep pruning and keep paying for itself.
+    for attr, key, floor_format in (
+        ("min_pruned_fraction", "pruned_fraction", "{:.2%}"),
+        ("min_routing_speedup", "net_speedup", "{:.2f}x"),
+    ):
+        floor = getattr(args, attr)
+        if floor is None:
+            continue
+        value = current.get("routing", {}).get(key)
+        if value is None:
+            message = f"current record has no routing.{key}"
+            if args.strict:
+                problems.append(message)
+            else:
+                print(f"note: {message}; gate skipped", file=sys.stderr)
+        elif float(value) < floor:
+            problems.append(
+                f"routing {key} " + floor_format.format(float(value))
+                + f" below required " + floor_format.format(floor)
             )
 
     # Internal parity: within the current record, every parallel

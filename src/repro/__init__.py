@@ -42,7 +42,7 @@ figure of the paper.
 import warnings as _warnings
 
 from . import api
-from .api import Index, ProbeHit, Searcher, build_index, open_index, save_index
+from .api import Index, ProbeHit, Searcher
 from .core import (
     MatchPair,
     PKWiseNonIntervalSearcher,
@@ -75,6 +75,7 @@ from .errors import (
     PartitioningError,
     ReplicaQuarantinedError,
     ReproError,
+    RoutingUnavailableError,
     SearchCancelled,
     ServiceClosedError,
     ServiceError,
@@ -100,6 +101,7 @@ from .parallel import ParallelExecutor
 from .params import SearchParams, suggested_subpartitions
 from .persistence import PersistenceError, SearcherBundle, save_searcher
 from .postprocess import Passage, filter_passages, merge_passages
+from .routing import RoutingPolicy
 from .service import (
     ResilientClient,
     RouterResponse,
@@ -123,7 +125,7 @@ from .partition import (
     workload_cost,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: Legacy top-level loaders, kept importable behind a DeprecationWarning.
 _DEPRECATED_ALIASES = {
@@ -155,9 +157,6 @@ __all__ = [
     # Facade (the documented entry point)
     "api",
     "Index",
-    "build_index",
-    "open_index",
-    "save_index",
     "Searcher",
     # Serving
     "SearchService",
@@ -184,6 +183,7 @@ __all__ = [
     "SearchResult",
     "SearchStats",
     "SearchParams",
+    "RoutingPolicy",
     "suggested_subpartitions",
     "SelfJoinPair",
     "local_similarity_self_join",
@@ -238,6 +238,7 @@ __all__ = [
     "CorpusError",
     "PartitioningError",
     "IndexStateError",
+    "RoutingUnavailableError",
     "SearchCancelled",
     "UnknownTokenError",
     "ServiceError",

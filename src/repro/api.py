@@ -39,13 +39,13 @@ Quickstart::
     with Index.open("corpus.idx", mmap=True) as index:
         result = index.search_text("query text")
 
-The pre-1.2 functions :func:`build_index` / :func:`open_index` /
-:func:`save_index` remain as thin deprecated wrappers.
+The pre-1.2 functions ``build_index`` / ``open_index`` / ``save_index``
+were deprecated in 1.2 and have been removed; use :class:`Index`.
 """
 
 from __future__ import annotations
 
-import warnings
+import inspect
 from collections.abc import Iterable
 from pathlib import Path
 from typing import Protocol, runtime_checkable
@@ -57,19 +57,17 @@ from .corpus import (
     collection_from_directory,
     collection_from_texts,
 )
-from .errors import ConfigurationError
+from .errors import ConfigurationError, RoutingUnavailableError
 from .index import ProbeHit
 from .params import DEFAULT_K_MAX, SearchParams, suggested_subpartitions
-from .persistence import SearcherBundle, load_bundle, save_searcher
+from .persistence import load_bundle, save_searcher
+from .routing import RoutingPolicy
 
 __all__ = [
     "Index",
     "Searcher",
     "MatchPair",
     "ProbeHit",
-    "build_index",
-    "open_index",
-    "save_index",
 ]
 
 
@@ -119,8 +117,9 @@ def _build_searcher(
     greedy_partition: bool,
     sample_ratio: float,
     jobs: int,
+    routing=None,
 ):
-    """Shared build kernel behind :meth:`Index.build` / :func:`build_index`."""
+    """Shared build kernel behind :meth:`Index.build`."""
     collection = _as_collection(data)
     if params is None:
         if w is None or tau is None:
@@ -138,6 +137,8 @@ def _build_searcher(
         raise ConfigurationError(
             "pass either params= or the individual w=/tau=/m= values, not both"
         )
+    if routing is not None:
+        params = params.with_routing(routing)
 
     order = None
     scheme = None
@@ -218,6 +219,7 @@ class Index:
         sample_ratio: float = 0.01,
         jobs: int = 1,
         compact: bool = False,
+        routing: RoutingPolicy | dict | str | None = None,
     ) -> "Index":
         """Build a ready-to-query pkwise index over ``data``.
 
@@ -235,6 +237,12 @@ class Index:
         ``compact=True`` freezes the result into the array-backed
         :class:`~repro.index.CompactIntervalIndex` (read-only, leaner,
         what ``save(compact=True)`` snapshots).
+
+        ``routing`` sets the fingerprint routing policy the index
+        searches under — a :class:`~repro.RoutingPolicy`, its dict
+        form, or a bare mode string (``"exact"`` / ``"approx"``); the
+        policy rides on the params, so it round-trips through
+        :meth:`save` / :meth:`open`.
         """
         searcher, collection = _build_searcher(
             data,
@@ -246,6 +254,7 @@ class Index:
             greedy_partition=greedy_partition,
             sample_ratio=sample_ratio,
             jobs=jobs,
+            routing=routing,
         )
         if compact:
             searcher = searcher.compacted()
@@ -253,7 +262,12 @@ class Index:
 
     @classmethod
     def open(
-        cls, path: str | Path, *, mmap: bool = False, fallback: bool = True
+        cls,
+        path: str | Path,
+        *,
+        mmap: bool = False,
+        fallback: bool = True,
+        routing: RoutingPolicy | dict | str | None = None,
     ) -> "Index":
         """Load an index saved by :meth:`save` (or ``repro index``).
 
@@ -265,12 +279,28 @@ class Index:
         controls rotated-snapshot recovery as in
         :func:`~repro.persistence.load_bundle`.
 
+        ``routing`` overrides the snapshot's routing policy for every
+        query through this index.  Requesting an active mode against a
+        compact snapshot saved without fingerprints raises
+        :class:`~repro.errors.RoutingUnavailableError` here, at open
+        time, rather than on the first query.
+
         SECURITY: snapshots contain pickled sections; only open files
         you (or your pipeline) wrote.
         """
         bundle = load_bundle(path, fallback=fallback, mmap=mmap)
+        searcher = bundle.searcher
+        if routing is not None:
+            policy = RoutingPolicy.from_dict(routing)
+            if policy.enabled and getattr(searcher, "_routing_tier", "auto") is None:
+                raise RoutingUnavailableError(
+                    f"{path} was saved without routing fingerprints; "
+                    f"re-save it with a routing policy (mode != 'off') "
+                    f"to route queries"
+                )
+            searcher.params = searcher.params.with_routing(policy)
         return cls(
-            bundle.searcher,
+            searcher,
             bundle.data,
             path=bundle.path,
             load_seconds=bundle.load_seconds,
@@ -287,6 +317,7 @@ class Index:
         k_max: int = DEFAULT_K_MAX,
         m: int | None = None,
         policy=None,
+        routing: RoutingPolicy | dict | str | None = None,
         background: bool = False,
         fsync: bool = False,
     ) -> "Index":
@@ -306,13 +337,24 @@ class Index:
         path (:class:`~repro.ingest.CompactionPolicy` decides when).
         ``fsync=True`` makes every WAL append durable against power
         loss, not just process crash.
+
+        ``routing`` sets (on creation) or overrides (on resume) the
+        store's :class:`~repro.RoutingPolicy` — new memtables maintain
+        fingerprints incrementally; frozen tiers fall back to lazily
+        built ones.
         """
         from .ingest import IngestStore
         from .ingest.manifest import MANIFEST_NAME
 
+        if routing is not None:
+            routing = RoutingPolicy.from_dict(routing)
         if directory is not None and (Path(directory) / MANIFEST_NAME).exists():
             store = IngestStore.open(
-                directory, policy=policy, background=background, fsync=fsync
+                directory,
+                policy=policy,
+                routing=routing,
+                background=background,
+                fsync=fsync,
             )
         else:
             if params is None:
@@ -331,6 +373,7 @@ class Index:
                 params,
                 directory=directory,
                 policy=policy,
+                routing=routing,
                 background=background,
                 fsync=fsync,
             )
@@ -404,13 +447,32 @@ class Index:
             )
         return self.data.encode_query(text, name=name)
 
-    def search(self, query):
-        """Search one encoded query; pairs are typed ``MatchPair``s."""
-        return self._engine().search(query)
+    def search(self, query, *, routing: RoutingPolicy | dict | str | None = None):
+        """Search one encoded query; pairs are typed ``MatchPair``s.
 
-    def search_text(self, text: str):
+        ``routing`` overrides the index's routing policy for this one
+        query (e.g. ``"exact"`` to route on an off-policy index, or
+        ``RoutingPolicy(mode="off")`` to bypass a routed one).
+        """
+        engine = self._engine()
+        if routing is None:
+            return engine.search(query)
+        policy = RoutingPolicy.from_dict(routing)
+        if "routing" not in inspect.signature(engine.search).parameters:
+            if policy.enabled:
+                raise ConfigurationError(
+                    f"{type(engine).__name__} does not support fingerprint "
+                    f"routing; use the pkwise interval engine or pass "
+                    f"routing=None"
+                )
+            return engine.search(query)
+        return engine.search(query, routing=policy)
+
+    def search_text(
+        self, text: str, *, routing: RoutingPolicy | dict | str | None = None
+    ):
         """Encode ``text`` and search it in one step."""
-        return self._engine().search(self.encode_query(text))
+        return self.search(self.encode_query(text), routing=routing)
 
     def search_many(self, queries, *, jobs: int = 1):
         """Run a query workload (serial or multi-process)."""
@@ -563,71 +625,3 @@ class Index:
             f"frozen={self.frozen}, source={source})"
         )
 
-
-# ----------------------------------------------------------------------
-# Deprecated pre-1.2 function facade (thin wrappers over Index).
-# ----------------------------------------------------------------------
-def _deprecated_facade(old: str, new: str) -> None:
-    warnings.warn(
-        f"{old} is deprecated and will be removed in 2.0; use {new}",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-def build_index(
-    data,
-    params: SearchParams | None = None,
-    *,
-    w: int | None = None,
-    tau: int | None = None,
-    k_max: int = DEFAULT_K_MAX,
-    m: int | None = None,
-    greedy_partition: bool = False,
-    sample_ratio: float = 0.01,
-    jobs: int = 1,
-) -> SearcherBundle:
-    """Deprecated: use :meth:`Index.build`.
-
-    Returns the legacy :class:`~repro.persistence.SearcherBundle`
-    shape for compatibility.
-    """
-    _deprecated_facade("build_index", "Index.build")
-    searcher, collection = _build_searcher(
-        data,
-        params,
-        w=w,
-        tau=tau,
-        k_max=k_max,
-        m=m,
-        greedy_partition=greedy_partition,
-        sample_ratio=sample_ratio,
-        jobs=jobs,
-    )
-    return SearcherBundle(searcher, collection)
-
-
-def save_index(index, path: str | Path, data=None) -> None:
-    """Deprecated: use :meth:`Index.save`."""
-    _deprecated_facade("save_index", "Index.save")
-    if isinstance(index, Index):
-        searcher = index.searcher()
-        if data is None:
-            data = index.data
-    elif isinstance(index, SearcherBundle):
-        searcher = index.searcher
-        if data is None:
-            data = index.data
-    else:
-        searcher = index
-    save_searcher(searcher, path, data=data)
-
-
-def open_index(path: str | Path, *, mmap: bool = False) -> SearcherBundle:
-    """Deprecated: use :meth:`Index.open`.
-
-    Returns the legacy :class:`~repro.persistence.SearcherBundle`
-    shape for compatibility; ``mmap`` as in :meth:`Index.open`.
-    """
-    _deprecated_facade("open_index", "Index.open")
-    return load_bundle(path, mmap=mmap)

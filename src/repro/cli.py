@@ -105,11 +105,50 @@ def _jobs_from_args(args: argparse.Namespace) -> int | None:
     return None if args.jobs == 0 else args.jobs
 
 
+def _add_routing_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--routing", choices=("off", "exact", "approx"),
+                        default=None,
+                        help="fingerprint routing tier: 'exact' prunes "
+                             "documents without losing any pair, 'approx' "
+                             "prunes harder with bounded recall "
+                             "(default: the index's stored policy)")
+    parser.add_argument("--hamming-budget", type=int, default=None,
+                        help="approx-mode Hamming budget (default tau; "
+                             "exact mode derives its own conservative one)")
+    parser.add_argument("--routing-bands", type=int, default=None,
+                        help="MinHash bands per fingerprint (default 4)")
+    parser.add_argument("--routing-block", type=int, default=None,
+                        help="tokens per fingerprint block (default 128)")
+
+
+def _routing_from_args(args: argparse.Namespace):
+    """A RoutingPolicy from the --routing* flags, or None when untouched."""
+    from .routing import RoutingPolicy
+    from .routing.policy import DEFAULT_BANDS, DEFAULT_BLOCK_TOKENS
+
+    mode = getattr(args, "routing", None)
+    budget = getattr(args, "hamming_budget", None)
+    bands = getattr(args, "routing_bands", None)
+    block = getattr(args, "routing_block", None)
+    if mode is None and budget is None and bands is None and block is None:
+        return None
+    return RoutingPolicy(
+        mode=mode if mode is not None else "exact",
+        hamming_budget=budget,
+        bands=bands if bands is not None else DEFAULT_BANDS,
+        block_tokens=block if block is not None else DEFAULT_BLOCK_TOKENS,
+    )
+
+
 def _params_from_args(args: argparse.Namespace) -> SearchParams:
     m = args.sub_partitions
     if m is None:
         m = suggested_subpartitions(args.tau)
-    return SearchParams(w=args.window, tau=args.tau, k_max=args.k_max, m=m)
+    params = SearchParams(w=args.window, tau=args.tau, k_max=args.k_max, m=m)
+    routing = _routing_from_args(args)
+    if routing is not None:
+        params = params.with_routing(routing)
+    return params
 
 
 def _cmd_index(args: argparse.Namespace) -> int:
@@ -191,7 +230,12 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     directory = Path(args.dir)
     creating = not (directory / MANIFEST_NAME).exists()
     params = _params_from_args(args) if creating else None
-    index = Index.open_live(directory, params, fsync=args.fsync)
+    index = Index.open_live(
+        directory,
+        params,
+        routing=None if creating else _routing_from_args(args),
+        fsync=args.fsync,
+    )
     store = index._store
     print(
         f"{'created' if creating else 'opened'} ingest store at {directory} "
@@ -236,11 +280,27 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_routing_override(searcher, routing, source) -> None:
+    """Re-key a loaded searcher's params with a --routing override."""
+    if routing is None:
+        return
+    if routing.enabled and getattr(searcher, "_routing_tier", "auto") is None:
+        from .errors import RoutingUnavailableError
+
+        raise RoutingUnavailableError(
+            f"{source} was saved without routing fingerprints; re-save it "
+            f"with a routing policy (repro index --routing exact) or drop "
+            f"the --routing flags"
+        )
+    searcher.params = searcher.params.with_routing(routing)
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
     from .eval.harness import run_searcher
 
     bundle = load_bundle(args.index, mmap=args.mmap)
     searcher, data = bundle.searcher, bundle.data
+    _apply_routing_override(searcher, _routing_from_args(args), args.index)
     if data is None:
         raise ReproError(
             "index was saved without the document collection; rebuild with "
@@ -364,7 +424,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             return 2
         return _serve_sharded(args)
     if args.live:
-        index = Index.open_live(args.index, background=True)
+        index = Index.open_live(
+            args.index, routing=_routing_from_args(args), background=True
+        )
         store = index._store
         print(
             f"opened live ingest store {args.index} "
@@ -374,7 +436,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     else:
-        index = Index.open(args.index, mmap=args.mmap)
+        index = Index.open(
+            args.index, mmap=args.mmap, routing=_routing_from_args(args)
+        )
         print(
             f"loaded {index} in {index.load_seconds:.2f}s "
             f"(w={index.params.w}, tau={index.params.tau})",
@@ -527,7 +591,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
         if args.text is not None
         else Path(args.query).read_text(encoding="utf-8")
     )
-    reply = client.search(text, timeout=args.request_timeout)
+    routing = _routing_from_args(args)
+    reply = client.search(
+        text,
+        timeout=args.request_timeout,
+        routing=routing.to_dict() if routing is not None else None,
+    )
     print(
         f"{reply['num_pairs']} window pairs "
         f"({'cached' if reply['cached'] else 'fresh'}, "
@@ -567,6 +636,7 @@ def build_parser() -> argparse.ArgumentParser:
                               help="write the array-backed format-v3 snapshot "
                                    "(frozen; loadable with --mmap)")
     _add_search_params(index_parser)
+    _add_routing_flags(index_parser)
     _add_jobs_flag(index_parser)
     _add_obs_flags(index_parser)
     index_parser.set_defaults(func=_cmd_index)
@@ -595,6 +665,7 @@ def build_parser() -> argparse.ArgumentParser:
                                help="fsync every WAL append (power-loss "
                                     "durability, slower)")
     _add_search_params(ingest_parser)
+    _add_routing_flags(ingest_parser)
     _add_jobs_flag(ingest_parser)
     _add_obs_flags(ingest_parser)
     ingest_parser.set_defaults(func=_cmd_ingest)
@@ -617,6 +688,7 @@ def build_parser() -> argparse.ArgumentParser:
     search_parser.add_argument("--mmap", action="store_true",
                                help="memory-map a compact (v3) index instead "
                                     "of deserializing it")
+    _add_routing_flags(search_parser)
     _add_jobs_flag(search_parser)
     _add_obs_flags(search_parser)
     search_parser.set_defaults(func=_cmd_search)
@@ -688,6 +760,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--hedge-after", type=float, default=None,
                               help="seconds before hedging a slow shard "
                                    "sub-request (sharded mode only)")
+    _add_routing_flags(serve_parser)
     _add_obs_flags(serve_parser)
     serve_parser.set_defaults(func=_cmd_serve)
 
@@ -711,6 +784,7 @@ def build_parser() -> argparse.ArgumentParser:
                               help="print every matching window pair")
     query_parser.add_argument("--healthz", action="store_true",
                               help="print the server's health report instead")
+    _add_routing_flags(query_parser)
     query_parser.set_defaults(func=_cmd_query)
 
     return parser

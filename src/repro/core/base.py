@@ -36,6 +36,7 @@ STAT_TIMER_FIELDS: tuple[str, ...] = (
     "signature_time",
     "candidate_time",
     "verify_time",
+    "routing_fingerprint_time",
 )
 STAT_COUNTER_FIELDS: tuple[str, ...] = (
     "signature_tokens",
@@ -48,6 +49,8 @@ STAT_COUNTER_FIELDS: tuple[str, ...] = (
     "num_results",
     "shared_windows",
     "changed_windows",
+    "routing_checked_docs",
+    "routing_pruned_docs",
 )
 
 
@@ -75,6 +78,11 @@ class SearchStats:
         Hash-table operations during verification (Equation 4's unit).
     ``candidate_windows``
         Number of data windows whose similarity was actually checked.
+    ``routing_checked_docs`` / ``routing_pruned_docs``
+        Documents the fingerprint routing tier examined and how many it
+        pruned before candidate generation (the ``routing.*`` family;
+        zero when ``RoutingPolicy.mode == "off"``).  Both are abstract
+        counts — deterministic across serial, fork, and spawn runs.
 
     The class is a flat-attribute view over the typed metric schema
     (``STAT_TIMER_FIELDS`` / ``STAT_COUNTER_FIELDS``): hot loops add to
@@ -86,6 +94,7 @@ class SearchStats:
     signature_time: float = 0.0
     candidate_time: float = 0.0
     verify_time: float = 0.0
+    routing_fingerprint_time: float = 0.0
     signature_tokens: int = 0
     signatures_generated: int = 0
     postings_entries: int = 0
@@ -96,15 +105,23 @@ class SearchStats:
     num_results: int = 0
     shared_windows: int = 0
     changed_windows: int = 0
+    routing_checked_docs: int = 0
+    routing_pruned_docs: int = 0
 
     @property
     def total_time(self) -> float:
-        """Sum of the three phase times."""
-        return self.signature_time + self.candidate_time + self.verify_time
+        """Sum of the phase times (routing gate included)."""
+        return (
+            self.routing_fingerprint_time
+            + self.signature_time
+            + self.candidate_time
+            + self.verify_time
+        )
 
     def phase_seconds(self) -> dict[str, float]:
         """Per-phase wall-clock breakdown keyed by short phase name."""
         return {
+            "routing": self.routing_fingerprint_time,
             "signature": self.signature_time,
             "candidate": self.candidate_time,
             "verify": self.verify_time,

@@ -18,13 +18,19 @@ from collections import Counter
 from collections.abc import Callable
 
 from ..corpus import Document, DocumentCollection
-from ..errors import ConfigurationError, IndexStateError, SearchCancelled
+from ..errors import (
+    ConfigurationError,
+    IndexStateError,
+    RoutingUnavailableError,
+    SearchCancelled,
+)
 from ..index.interval_index import IntervalIndex
 from ..obs import get_tracer
 from ..index.intervals import WindowInterval, merge_intervals
 from ..ordering import GlobalOrder
 from ..params import SearchParams
 from ..partition.scheme import PartitionScheme
+from ..routing import FingerprintTier, RoutingPolicy
 from ..signatures.maintain import SignatureStream
 from .base import SearchResult, SearchStats
 from .verify import IntervalVerifier
@@ -154,6 +160,7 @@ class PKWiseSearcher:
         *,
         removed=(),
         index_epoch: int = 0,
+        routing_tier="auto",
     ) -> "PKWiseSearcher":
         """Assemble a searcher around an already-built interval index.
 
@@ -167,7 +174,13 @@ class PKWiseSearcher:
         likewise a list of lists or a
         :class:`~repro.index.PackedRankDocs`.  ``removed`` /
         ``index_epoch`` restore tombstones and the cache epoch of a
-        snapshotted searcher.
+        snapshotted searcher.  ``routing_tier`` is the fingerprint
+        routing slot: ``"auto"`` (the default) builds lazily from
+        ``rank_docs`` on the first routed query, an explicit
+        :class:`~repro.routing.FingerprintTier` is used as-is (the v3
+        loader's mmap path), and ``None`` marks routing unavailable —
+        a routed query raises
+        :class:`~repro.errors.RoutingUnavailableError`.
         """
         if scheme.m != params.m:
             raise ConfigurationError(
@@ -188,6 +201,7 @@ class PKWiseSearcher:
         self.index_build_seconds = build_seconds
         self.build_worker_reports = []
         self.index_epoch = index_epoch
+        self._routing_tier = routing_tier
         return self
 
     def compacted(self) -> "PKWiseSearcher":
@@ -216,6 +230,7 @@ class PKWiseSearcher:
         clone.index_build_seconds = self.index_build_seconds
         clone.build_worker_reports = []
         clone.index_epoch = self.index_epoch
+        clone._routing_tier = getattr(self, "_routing_tier", "auto")
         return clone
 
     @property
@@ -302,11 +317,75 @@ class PKWiseSearcher:
         return frozenset(self._removed)
 
     # ------------------------------------------------------------------
+    # Fingerprint routing tier
+    # ------------------------------------------------------------------
+    #: The routing-tier slot.  ``"auto"`` (the class default — also what
+    #: searchers pickled before 1.3 fall back to) builds the tier lazily
+    #: from ``rank_docs`` on the first routed query; an explicit
+    #: :class:`~repro.routing.FingerprintTier` (the v3 mmap path) is
+    #: used as-is; ``None`` means the snapshot carries no fingerprints
+    #: and routed queries raise :class:`RoutingUnavailableError`.
+    _routing_tier = "auto"
+    _routing_memo = None
+
+    def routing_fingerprints(self) -> FingerprintTier:
+        """The document fingerprint tier gating this searcher's queries.
+
+        Lazily built (and memoized, keyed on corpus size so live adds
+        invalidate it) when the slot is ``"auto"``; the build is
+        deterministic, so serial, fork, and spawn workers reconstruct
+        byte-identical tiers.
+        """
+        tier = getattr(self, "_routing_tier", "auto")
+        if tier is None:
+            raise RoutingUnavailableError(
+                "this snapshot carries no routing fingerprints; re-save it "
+                "with a routing policy (mode != 'off') or query with "
+                "routing mode 'off'"
+            )
+        if isinstance(tier, FingerprintTier):
+            return tier
+        ndocs = len(self.rank_docs)
+        memo = getattr(self, "_routing_memo", None)
+        if memo is not None and memo[0] == ndocs:
+            return memo[1]
+        policy = self.params.routing
+        built = FingerprintTier.from_rank_docs(
+            self.rank_docs,
+            block_len=max(policy.block_tokens, self.params.w),
+            bands=policy.bands,
+            doc_lo=getattr(self.rank_docs, "doc_lo", 0),
+        )
+        self._routing_memo = (ndocs, built)
+        return built
+
+    def _route_query(
+        self, query_ranks, policy: RoutingPolicy, stats: SearchStats
+    ):
+        """Survivor mask (or ``None``) for one query under ``policy``."""
+        tier = self.routing_fingerprints()
+        allowed = tier.survivors(
+            query_ranks,
+            w=self.params.w,
+            tau=self.params.tau,
+            mode=policy.mode,
+            hamming_budget=policy.hamming_budget,
+            bands=policy.bands,
+        )
+        if allowed is not None:
+            stats.routing_checked_docs += tier.ndocs
+            stats.routing_pruned_docs += tier.ndocs - int(
+                allowed[tier.doc_lo :].sum()
+            )
+        return allowed
+
+    # ------------------------------------------------------------------
     def search(
         self,
         query: Document,
         *,
         cancel: Callable[[], bool] | None = None,
+        routing: RoutingPolicy | None = None,
     ) -> SearchResult:
         """All matching window pairs between ``query`` and the data.
 
@@ -316,12 +395,17 @@ class PKWiseSearcher:
         :class:`~repro.errors.SearchCancelled`.  The serving layer uses
         this for per-request deadlines; a hook that always returns
         False costs one call per window.
+
+        ``routing`` overrides the fingerprint routing policy for this
+        request (``None`` uses ``self.params.routing``).  The tier's
+        *layout* (block width, stored bands) is fixed at build time; a
+        per-request policy can change the mode and budget freely.
         """
         tracer = get_tracer()
         if not tracer.enabled:
-            return self._search(query, cancel)
+            return self._search(query, cancel, routing)
         with tracer.span("pkwise.search", query=query.name) as search_span:
-            result = self._search(query, cancel)
+            result = self._search(query, cancel, routing)
             search_span.annotate(
                 results=len(result.pairs),
                 candidate_windows=result.stats.candidate_windows,
@@ -342,7 +426,10 @@ class PKWiseSearcher:
     _PROBE_CHUNK_EVENTS = 32
 
     def _search(
-        self, query: Document, cancel: Callable[[], bool] | None = None
+        self,
+        query: Document,
+        cancel: Callable[[], bool] | None = None,
+        routing: RoutingPolicy | None = None,
     ) -> SearchResult:
         """The untraced search kernel behind :meth:`search`.
 
@@ -366,6 +453,18 @@ class PKWiseSearcher:
         query_ranks = self.order.rank_document(query)
         if len(query_ranks) < w:
             return SearchResult(pairs=[], stats=stats)
+
+        # Routing gate: one vectorized fingerprint pass decides which
+        # documents may participate before any signature is generated.
+        policy = params.routing if routing is None else routing
+        allowed = None
+        if policy is not None and policy.enabled:
+            clock = time.perf_counter
+            routing_start = clock()
+            allowed = self._route_query(query_ranks, policy, stats)
+            stats.routing_fingerprint_time += clock() - routing_start
+            if allowed is not None and not allowed.any():
+                return SearchResult(pairs=[], stats=stats)
 
         stream = SignatureStream(query_ranks, w, tau, self.scheme)
         verifier = IntervalVerifier(query_ranks, w, tau)
@@ -423,6 +522,8 @@ class PKWiseSearcher:
                 stats.postings_entries += batch.entries
                 if removed:
                     batch = batch.without_docs(removed)
+                if allowed is not None:
+                    batch = batch.where_docs(allowed)
                 hit_docs = batch.docs.tolist()
                 hit_us = batch.us.tolist()
                 hit_vs = batch.vs.tolist()

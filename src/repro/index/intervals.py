@@ -158,6 +158,35 @@ class ProbeBatch:
             self.signs[keep], sig_counts, self.probed,
         )
 
+    def where_docs(self, allowed: np.ndarray) -> "ProbeBatch":
+        """The batch restricted to documents flagged in a boolean mask.
+
+        ``allowed`` is indexed by doc id (the routing tier's survivor
+        mask); entries of flagged-off documents are dropped, with
+        ``sig_counts`` re-derived exactly as in :meth:`without_docs` so
+        per-signature slicing keeps working.  Doc ids at or beyond the
+        mask's length are *kept* — a document the tier never
+        fingerprinted must not be pruned.  Returns ``self`` unchanged
+        when every entry survives.
+        """
+        if not len(self.docs):
+            return self
+        keep = (self.docs >= len(allowed)) | allowed[
+            np.minimum(self.docs, len(allowed) - 1)
+        ]
+        if keep.all():
+            return self
+        owner = np.repeat(
+            np.arange(self.probed, dtype=np.int64), self.sig_counts
+        )
+        sig_counts = np.bincount(owner[keep], minlength=self.probed).astype(
+            np.int64
+        )
+        return ProbeBatch(
+            self.docs[keep], self.us[keep], self.vs[keep],
+            self.signs[keep], sig_counts, self.probed,
+        )
+
     def signed_intervals(self) -> list[tuple[WindowInterval, int]]:
         """Decode to ``(interval, sign)`` pairs (tests and debugging)."""
         return [

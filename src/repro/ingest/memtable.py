@@ -18,12 +18,16 @@ from collections.abc import Sequence
 from ..index.interval_index import IntervalIndex
 from ..params import SearchParams
 from ..partition.scheme import PartitionScheme
+from ..routing import FingerprintTier
 
 
 class Memtable:
     """Mutable dict-index tier over documents ``doc_lo .. doc_lo+n-1``."""
 
-    __slots__ = ("doc_lo", "generation", "index", "rank_docs", "total_tokens")
+    __slots__ = (
+        "doc_lo", "generation", "index", "rank_docs", "total_tokens",
+        "fingerprints",
+    )
 
     def __init__(
         self,
@@ -42,6 +46,18 @@ class Memtable:
         #: ``doc_lo + i``).
         self.rank_docs: list[list[int]] = []
         self.total_tokens = 0
+        #: Routing fingerprints, maintained on insert when the store's
+        #: policy enables the tier (``None`` otherwise — a per-request
+        #: routed query then falls back to a lazily built tier).
+        routing = params.routing
+        if routing.enabled:
+            self.fingerprints = FingerprintTier(
+                block_len=max(routing.block_tokens, params.w),
+                bands=routing.bands,
+                doc_lo=doc_lo,
+            )
+        else:
+            self.fingerprints = None
 
     def add(self, ranks: Sequence[int]) -> int:
         """Index one document's rank sequence; returns its *global* id."""
@@ -49,6 +65,8 @@ class Memtable:
         self.rank_docs.append(list(ranks))
         self.index.index_document(local_id, ranks)
         self.total_tokens += len(ranks)
+        if self.fingerprints is not None:
+            self.fingerprints.add(ranks)
         return self.doc_lo + local_id
 
     @property

@@ -80,6 +80,11 @@ class LSMSearcher(PKWiseSearcher):
             store.scheme,
             TieredIntervalIndex((active_tier,), params.w, params.tau, store.scheme),
             TieredRankDocs((active_tier,)),
+            routing_tier=(
+                active_tier.fingerprints
+                if active_tier.fingerprints is not None
+                else "auto"
+            ),
         )
         self._memtable_view._removed = store.removed
         #: Frozen-tier component of the epoch vector (tier generations
@@ -113,26 +118,28 @@ class LSMSearcher(PKWiseSearcher):
         return False
 
     # -- search ---------------------------------------------------------
-    def _search(self, query, cancel=None) -> SearchResult:
+    def _search(self, query, cancel=None, routing=None) -> SearchResult:
         stats = SearchStats()
         pairs: list = []
+        policy = self.params.routing if routing is None else routing
         frozen_view = self._frozen_view
         if frozen_view is not None:
             cache = self.store.segment_cache
             key = (
                 query_token_hash(query.tokens),
-                self._params_key,
+                self._params_key if routing is None
+                else (self._params_key, repr(routing)),
                 self.frozen_epoch_vector(),
             )
             cached = cache.get(key)
             if cached is None:
-                result = frozen_view._search(query, cancel)
+                result = frozen_view._search(query, cancel, policy)
                 cached = tuple(canonical_pair_order(list(result.pairs)))
                 cache.put(key, cached)
                 stats.merge(result.stats)
             pairs.extend(cached)
         if len(self._active_tier):
-            result = self._memtable_view._search(query, cancel)
+            result = self._memtable_view._search(query, cancel, policy)
             pairs.extend(canonical_pair_order(list(result.pairs)))
             stats.merge(result.stats)
         stats.num_results = len(pairs)

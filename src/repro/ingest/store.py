@@ -217,12 +217,15 @@ class IngestStore:
         order=None,
         scheme=None,
         policy=None,
+        routing=None,
         background: bool = False,
         fsync: bool = False,
         cache_size: int = DEFAULT_SEGMENT_CACHE,
     ) -> "IngestStore":
         """A fresh store; pre-existing ``data`` documents are bootstrapped
         through the write path (so a durable store's WAL covers them)."""
+        if routing is not None:
+            params = params.with_routing(routing)
         data = data if data is not None else DocumentCollection()
         if order is None:
             order = GlobalOrder(data, params.w)
@@ -276,6 +279,7 @@ class IngestStore:
         directory,
         *,
         policy=None,
+        routing=None,
         background: bool = False,
         fsync: bool = False,
         cache_size: int = DEFAULT_SEGMENT_CACHE,
@@ -283,6 +287,11 @@ class IngestStore:
         """Recover a durable store: manifest, segments, then WAL replay."""
         directory = Path(directory)
         state = read_manifest(directory)
+        if routing is not None:
+            # Routing is a query-time policy: overriding it re-keys the
+            # store's params (memtables created from here on fingerprint
+            # accordingly; frozen tiers fall back to lazy fingerprints).
+            state.params = state.params.with_routing(routing)
         if state.data is None:
             raise PersistenceError(
                 f"{manifest_path(directory)} carries no document collection"
@@ -604,6 +613,7 @@ class IngestStore:
         active_tier = Tier(
             active.doc_lo, None, active.generation,
             active.index, active.rank_docs, "memtable",
+            fingerprints=active.fingerprints,
         )
         self._view = LSMSearcher(self, tuple(self._segments), active_tier)
 
@@ -640,6 +650,7 @@ class IngestStore:
                 sealed = Tier(
                     old.doc_lo, old.doc_hi, old.generation,
                     old.index, old.rank_docs, "memtable",
+                    fingerprints=old.fingerprints,
                 )
                 self._segments.append(sealed)
                 self._generation += 1

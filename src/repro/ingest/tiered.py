@@ -37,10 +37,14 @@ from ..index.intervals import ProbeBatch
 class Tier:
     """One doc-id-contiguous slice of the corpus with its own index."""
 
-    __slots__ = ("doc_lo", "_doc_hi", "generation", "index", "rank_docs", "kind", "path")
+    __slots__ = (
+        "doc_lo", "_doc_hi", "generation", "index", "rank_docs", "kind",
+        "path", "fingerprints",
+    )
 
     def __init__(
-        self, doc_lo, doc_hi, generation, index, rank_docs, kind, path=None
+        self, doc_lo, doc_hi, generation, index, rank_docs, kind, path=None,
+        fingerprints=None,
     ) -> None:
         self.doc_lo = doc_lo
         #: ``None`` marks the active-memtable tier: its upper bound
@@ -56,6 +60,10 @@ class Tier:
         self.kind = kind
         #: Backing snapshot file for segments persisted to disk.
         self.path = path
+        #: Routing :class:`~repro.routing.FingerprintTier` for this
+        #: tier's doc range (the memtable's insert-maintained tier, or
+        #: ``None`` — callers fall back to a lazily built one).
+        self.fingerprints = fingerprints
 
     @property
     def doc_hi(self) -> int:
@@ -204,6 +212,17 @@ class TieredRankDocs(Sequence):
         if not self._tiers:
             return 0
         return self._tiers[-1].doc_hi
+
+    @property
+    def doc_lo(self) -> int:
+        """First global doc id covered (ids below raise ``IndexError``).
+
+        The routing tier's lazy builder starts fingerprinting here, so
+        a memtable-only view never decodes frozen documents.
+        """
+        if not self._tiers:
+            return 0
+        return self._tiers[0].doc_lo
 
     def __getitem__(self, doc_id: int):
         if not 0 <= doc_id < len(self):

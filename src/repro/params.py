@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .errors import ConfigurationError
+from .routing.policy import RoutingPolicy
 
 #: Default number of token classes (the paper's default, Section 7.1).
 DEFAULT_K_MAX = 4
@@ -77,12 +78,19 @@ class SearchParams:
     m:
         Number of equi-width sub-partitions per class above 1
         (Section 6).  ``m = 1`` disables sub-partitioning.
+    routing:
+        The fingerprint routing policy (:class:`~repro.RoutingPolicy`)
+        this configuration searches under.  ``mode="off"`` (the
+        default) bypasses the tier; ``"exact"`` prunes documents
+        conservatively before the exact engine (recall 1.0);
+        ``"approx"`` is opt-in bounded-recall pruning.
     """
 
     w: int
     tau: int
     k_max: int = DEFAULT_K_MAX
     m: int = 1
+    routing: RoutingPolicy = field(default_factory=RoutingPolicy)
     theta: int = field(init=False)
 
     def __post_init__(self) -> None:
@@ -106,7 +114,20 @@ class SearchParams:
                 f"w >= tau + 1 + m*k_max*(k_max-1)/2 = {bound}, got w={self.w}. "
                 f"Lower k_max or m, or raise w."
             )
+        if not isinstance(self.routing, RoutingPolicy):
+            object.__setattr__(
+                self, "routing", RoutingPolicy.from_dict(self.routing)
+            )
         object.__setattr__(self, "theta", self.w - self.tau)
+
+    def __getattr__(self, name: str):
+        # Params pickled before 1.3 predate the ``routing`` field; read
+        # them as the off policy so old snapshots keep opening.
+        if name == "routing":
+            return RoutingPolicy()
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
 
     @classmethod
     def from_theta(
@@ -126,8 +147,26 @@ class SearchParams:
 
     def with_k_max(self, k_max: int) -> "SearchParams":
         """Return a copy with a different ``k_max`` (re-validated)."""
-        return SearchParams(w=self.w, tau=self.tau, k_max=k_max, m=self.m)
+        return SearchParams(
+            w=self.w, tau=self.tau, k_max=k_max, m=self.m, routing=self.routing
+        )
 
     def with_m(self, m: int) -> "SearchParams":
         """Return a copy with a different sub-partition count ``m``."""
-        return SearchParams(w=self.w, tau=self.tau, k_max=self.k_max, m=m)
+        return SearchParams(
+            w=self.w, tau=self.tau, k_max=self.k_max, m=m, routing=self.routing
+        )
+
+    def with_routing(self, routing: RoutingPolicy | dict | str | None) -> "SearchParams":
+        """Return a copy under a different routing policy.
+
+        Accepts a :class:`~repro.RoutingPolicy`, its ``to_dict`` form,
+        a bare mode string, or ``None`` (the off policy).
+        """
+        return SearchParams(
+            w=self.w,
+            tau=self.tau,
+            k_max=self.k_max,
+            m=self.m,
+            routing=RoutingPolicy.from_dict(routing),
+        )

@@ -462,6 +462,16 @@ def save_searcher(
     }
     arrays = {f"index.{name}": array for name, array in index_arrays.items()}
     arrays.update({f"ranks.{name}": array for name, array in rank_arrays.items()})
+    routing = getattr(frozen.params, "routing", None)
+    if routing is not None and routing.enabled:
+        # Fingerprints ride in their own v3 section so reopened
+        # snapshots (and the shard workers mmapping them) route without
+        # decoding a single rank column.
+        tier = frozen.routing_fingerprints()
+        meta["routing"] = tier.describe()
+        arrays.update(
+            {f"routing.{name}": array for name, array in tier.to_arrays().items()}
+        )
     write_envelope_v3(
         path,
         _INDEX_KIND,
@@ -512,6 +522,25 @@ def _load_envelope_v3(path: Path, *, mmap: bool = False) -> dict:
                 if name.startswith("ranks.")
             }
         )
+        routing_meta = meta.get("routing")
+        if routing_meta is not None:
+            from .routing import FingerprintTier
+
+            routing_tier = FingerprintTier.from_arrays(
+                {
+                    name.partition(".")[2]: array
+                    for name, array in arrays.items()
+                    if name.startswith("routing.")
+                },
+                block_len=routing_meta["block_len"],
+                bands=routing_meta["bands"],
+                doc_lo=routing_meta.get("doc_lo", 0),
+            )
+        else:
+            # Saved without fingerprints: a routed query against this
+            # snapshot raises RoutingUnavailableError instead of
+            # silently decoding every rank column to build them.
+            routing_tier = None
         searcher = PKWiseSearcher.from_prebuilt(
             meta["params"],
             sections["order"],
@@ -521,6 +550,7 @@ def _load_envelope_v3(path: Path, *, mmap: bool = False) -> dict:
             build_seconds=meta.get("build_seconds", 0.0),
             removed=meta.get("removed", ()),
             index_epoch=meta.get("index_epoch", 0),
+            routing_tier=routing_tier,
         )
     except KeyError as exc:
         raise PersistenceError(

@@ -1,0 +1,39 @@
+"""Document-fingerprint routing tier (pre-filter in front of exact search).
+
+Window-level indexing bounds per-query cost but still touches every
+data document.  This package adds a *routing tier*: per-block 256-bit
+OR-fingerprints (a saturating simhash over token ids) plus banded
+MinHash minima, computed per document at build/ingest time and stored
+as flat numpy columns.  At query time the tier vector-computes missing
+bits (popcount over AND-NOT of packed ``uint64`` lanes — equivalently
+the asymmetric half of the XOR Hamming distance) between the query's
+window fingerprints and every document's block covers, and prunes
+documents that *provably* cannot contain a qualifying window under
+``(w, tau)``.  The exact engine then runs only over the survivors.
+
+``exact`` mode uses a conservative budget derived from ``tau`` and the
+query stride (see :func:`exact_hamming_budget`): recall is exactly 1.0
+by construction.  ``approx`` mode is opt-in and trades bounded recall
+for deeper pruning via a tighter budget and MinHash band agreement.
+
+The public surface is :class:`RoutingPolicy` (carried on
+:class:`~repro.params.SearchParams`) and :class:`FingerprintTier` (the
+per-searcher data structure).
+"""
+
+from .fingerprints import (
+    FINGERPRINT_BITS,
+    LANES,
+    FingerprintTier,
+    exact_hamming_budget,
+)
+from .policy import ROUTING_MODES, RoutingPolicy
+
+__all__ = [
+    "RoutingPolicy",
+    "ROUTING_MODES",
+    "FingerprintTier",
+    "FINGERPRINT_BITS",
+    "LANES",
+    "exact_hamming_budget",
+]

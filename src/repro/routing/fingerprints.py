@@ -1,0 +1,385 @@
+"""Per-document block fingerprints and the vectorized survivor test.
+
+Layout
+------
+Every document's rank sequence is cut into tumbling blocks of
+``block_len = max(block_tokens, w)`` tokens.  Each block gets a 256-bit
+OR-fingerprint — bit ``mix(rank) mod 256`` set for every token in the
+block, packed into :data:`LANES` ``uint64`` lanes — and what is stored
+is the *cover* of every pair of consecutive blocks,
+``cover_i = block_i | block_{i+1}``.  Because ``block_len >= w``, any
+``w``-window of the document lies within two consecutive blocks, hence
+within some stored cover.  Alongside each cover sit ``bands`` MinHash
+minima (one universal-hash minimum per band over the cover's tokens),
+consulted only by ``approx`` mode.
+
+Conservativeness (``exact`` mode)
+---------------------------------
+Let ``Q`` be a query window and ``D`` a data window with at most
+``tau`` differing tokens.  Every bit set in ``F(Q)`` but not in
+``F(D)`` requires a token *type* present in ``Q`` and wholly absent
+from ``D`` — there are at most ``tau`` such types, so
+``popcount(F(Q) & ~F(D)) <= tau``.  Covers only add bits
+(``F(D) ⊆ cover``), so the bound holds against the cover too.  The
+query side tests windows on a stride of ``tau + 1`` (plus the final
+position): the nearest tested window ``Q'`` left of ``Q`` is at most
+``tau`` positions away, and each one-position shift removes at most
+one token type, so ``popcount(F(Q') & ~cover) <= 2 * tau``.  A
+document none of whose covers comes within ``2 * tau`` missing bits of
+*any* tested query window therefore cannot contain a qualifying
+window, and pruning it never changes results (recall 1.0).
+
+The missing-bit count is the asymmetric half of the Hamming distance:
+``F(Q) & ~M == (F(Q) | M) ^ M``, so the kernel is a popcount over an
+XOR of packed ``uint64`` columns, fully vectorized with
+``np.bitwise_count``.
+
+Determinism
+-----------
+All hashing is splitmix64-style arithmetic on ``uint64`` numpy arrays
+with fixed seeds — no Python ``hash``, no RNG — so fingerprints are
+byte-identical across processes, start methods, and
+``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import IndexStateError
+
+#: Packed ``uint64`` lanes per fingerprint (8 lanes = 512 bits).  64
+#: bits saturate on realistic blocks (a 256-token cover would set
+#: nearly every bit, leaving no missing-bit signal); 512 keeps cover
+#: fill near 40%, so an unrelated window misses far more bits than the
+#: ``2 * tau`` budget at the paper's thresholds.
+LANES = 8
+
+#: Total fingerprint width in bits.
+FINGERPRINT_BITS = LANES * 64
+
+_U64 = np.uint64
+_BIT_MASK = _U64(FINGERPRINT_BITS - 1)
+_LANE_SHIFT = _U64(6)
+_LOW6 = _U64(63)
+_ONE = _U64(1)
+
+_SPLIT_GAMMA = _U64(0x9E3779B97F4A7C15)
+_SPLIT_M1 = _U64(0xBF58476D1CE4E5B9)
+_SPLIT_M2 = _U64(0x94D049BB133111EB)
+_TOKEN_SEED = _U64(0xA076_1D64_78BD_642F)
+
+
+def _mix64(values: np.ndarray) -> np.ndarray:
+    """splitmix64 finalizer over a ``uint64`` array (wraps silently)."""
+    z = values + _SPLIT_GAMMA
+    z = (z ^ (z >> _U64(30))) * _SPLIT_M1
+    z = (z ^ (z >> _U64(27))) * _SPLIT_M2
+    return z ^ (z >> _U64(31))
+
+
+#: Fixed per-band seeds (enough for the policy's maximum band count).
+_BAND_SEEDS = _mix64(np.arange(1, 17, dtype=np.uint64) * _SPLIT_GAMMA)
+
+
+def exact_hamming_budget(tau: int) -> int:
+    """The conservative missing-bit budget for ``exact`` mode.
+
+    ``tau`` bits for the qualifying pair itself plus ``tau`` for the
+    worst-case alignment shift to the nearest tested query window
+    (stride ``tau + 1``); see the module docstring for the derivation.
+    """
+    return 2 * tau
+
+
+def _as_u64(ranks) -> np.ndarray:
+    """Rank sequence -> ``uint64`` array (negative ranks wrap, fixed)."""
+    return np.asarray(ranks, dtype=np.int64).astype(np.uint64)
+
+
+def _token_masks(u64_ranks: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-token (lane, single-bit mask) columns for OR-fingerprinting."""
+    bits = _mix64(u64_ranks ^ _TOKEN_SEED) & _BIT_MASK
+    return (bits >> _LANE_SHIFT).astype(np.int64), np.left_shift(_ONE, bits & _LOW6)
+
+
+def _query_positions(n: int, w: int, tau: int) -> list[int]:
+    """Window starts tested on the query side (stride ``tau + 1``)."""
+    last = n - w
+    positions = list(range(0, last + 1, tau + 1))
+    if positions[-1] != last:
+        positions.append(last)
+    return positions
+
+
+class _Compiled:
+    """Flat concatenated columns the survivor kernel runs over."""
+
+    __slots__ = ("cover_lanes", "band_minima", "cover_counts", "doc_of_cover")
+
+    def __init__(self, cover_lanes, band_minima, cover_counts) -> None:
+        self.cover_lanes = cover_lanes
+        self.band_minima = band_minima
+        self.cover_counts = cover_counts
+        self.doc_of_cover = np.repeat(
+            np.arange(len(cover_counts), dtype=np.int64), cover_counts
+        )
+
+
+class FingerprintTier:
+    """Block-cover fingerprints for one contiguous doc-id range.
+
+    Grows incrementally (:meth:`add`, the memtable insert path) or
+    builds in one pass over a rank-docs sequence
+    (:meth:`from_rank_docs`), and freezes to flat numpy columns for the
+    format-v3 envelope (:meth:`to_arrays` / :meth:`from_arrays`).
+    ``doc_lo`` is the global id of the first fingerprinted document —
+    survivor masks cover ``[0, doc_lo + ndocs)`` with the prefix all
+    False (ids below ``doc_lo`` are never probed by the view that owns
+    this tier).
+    """
+
+    __slots__ = (
+        "block_len",
+        "bands",
+        "doc_lo",
+        "_cover_lanes",
+        "_band_minima",
+        "_cover_counts",
+        "_compiled",
+    )
+
+    def __init__(self, *, block_len: int, bands: int, doc_lo: int = 0) -> None:
+        if block_len < 1:
+            raise ValueError(f"block_len must be >= 1, got {block_len}")
+        if not 1 <= bands <= len(_BAND_SEEDS):
+            raise ValueError(f"bands must be in [1, {len(_BAND_SEEDS)}]")
+        self.block_len = block_len
+        self.bands = bands
+        self.doc_lo = doc_lo
+        self._cover_lanes: list | None = []
+        self._band_minima: list | None = []
+        self._cover_counts: list[int] = []
+        self._compiled: _Compiled | None = None
+
+    # -- pickling (``__slots__`` classes need explicit state) ----------
+    def __getstate__(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __setstate__(self, state) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+
+    # -- construction ---------------------------------------------------
+    @property
+    def ndocs(self) -> int:
+        """Documents fingerprinted so far."""
+        return len(self._cover_counts)
+
+    @property
+    def frozen(self) -> bool:
+        """True when array-backed (loaded from a snapshot); no adds."""
+        return self._cover_lanes is None
+
+    def add(self, ranks) -> None:
+        """Fingerprint the next document (global id ``doc_lo + ndocs``).
+
+        ``ranks`` is the document's rank sequence (any int sequence or
+        array; negative lazy/OOV ranks hash fine).  O(len(ranks)).
+        """
+        if self.frozen:
+            raise IndexStateError(
+                "cannot add documents to a frozen fingerprint tier"
+            )
+        lanes, minima = self._fingerprint_document(ranks)
+        self._cover_lanes.append(lanes)
+        self._band_minima.append(minima)
+        self._cover_counts.append(len(lanes))
+        self._compiled = None
+
+    def _fingerprint_document(self, ranks) -> tuple[np.ndarray, np.ndarray]:
+        """One document's ``(cover_lanes, band_minima)`` arrays."""
+        u = _as_u64(ranks)
+        n = len(u)
+        bands = self.bands
+        if n == 0:
+            return (
+                np.zeros((0, LANES), dtype=np.uint64),
+                np.zeros((0, bands), dtype=np.uint64),
+            )
+        block_len = self.block_len
+        nblocks = -(-n // block_len)
+        pad = nblocks * block_len - n
+        if pad:
+            # Repeating the last token changes neither ORs nor minima.
+            u = np.concatenate([u, np.full(pad, u[-1], dtype=np.uint64)])
+        lane, mask = _token_masks(u)
+        token_lanes = np.zeros((len(u), LANES), dtype=np.uint64)
+        token_lanes[np.arange(len(u)), lane] = mask
+        block_lanes = np.bitwise_or.reduce(
+            token_lanes.reshape(nblocks, block_len, LANES), axis=1
+        )
+        hashed = _mix64(u[:, None] ^ _BAND_SEEDS[None, :bands])
+        block_minima = hashed.reshape(nblocks, block_len, bands).min(axis=1)
+        if nblocks > 1:
+            cover_lanes = block_lanes[:-1] | block_lanes[1:]
+            cover_minima = np.minimum(block_minima[:-1], block_minima[1:])
+        else:
+            cover_lanes = block_lanes
+            cover_minima = block_minima
+        return cover_lanes, cover_minima
+
+    @classmethod
+    def from_rank_docs(
+        cls, rank_docs, *, block_len: int, bands: int, doc_lo: int = 0
+    ) -> "FingerprintTier":
+        """Fingerprint ``rank_docs[doc_lo:]`` in one pass.
+
+        ``rank_docs`` is anything indexable by global doc id (a list of
+        lists, a :class:`~repro.index.PackedRankDocs`, or a
+        :class:`~repro.ingest.tiered.TieredRankDocs`).  Ids that raise
+        ``IndexError`` (gaps between tiers) get zero covers — they are
+        never probed, so pruning them is vacuous.
+        """
+        tier = cls(block_len=block_len, bands=bands, doc_lo=doc_lo)
+        for doc_id in range(doc_lo, len(rank_docs)):
+            try:
+                ranks = rank_docs[doc_id]
+            except IndexError:
+                ranks = ()
+            tier.add(ranks)
+        return tier
+
+    # -- persistence ----------------------------------------------------
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Flat columns for the format-v3 envelope."""
+        compiled = self._compile()
+        return {
+            "cover_lanes": compiled.cover_lanes,
+            "band_minima": compiled.band_minima,
+            "cover_counts": compiled.cover_counts,
+        }
+
+    def describe(self) -> dict:
+        """Layout parameters persisted next to the arrays."""
+        return {
+            "block_len": self.block_len,
+            "bands": self.bands,
+            "doc_lo": self.doc_lo,
+            "ndocs": self.ndocs,
+            "lanes": LANES,
+        }
+
+    @classmethod
+    def from_arrays(
+        cls,
+        arrays: dict[str, np.ndarray],
+        *,
+        block_len: int,
+        bands: int,
+        doc_lo: int = 0,
+    ) -> "FingerprintTier":
+        """Rebuild a frozen tier straight over mmap-able columns."""
+        tier = cls(block_len=block_len, bands=bands, doc_lo=doc_lo)
+        cover_counts = np.ascontiguousarray(arrays["cover_counts"], dtype=np.int64)
+        cover_lanes = np.asarray(arrays["cover_lanes"], dtype=np.uint64)
+        band_minima = np.asarray(arrays["band_minima"], dtype=np.uint64)
+        cover_lanes = cover_lanes.reshape(-1, LANES)
+        band_minima = band_minima.reshape(len(cover_lanes), -1)
+        tier._cover_lanes = None
+        tier._band_minima = None
+        tier._cover_counts = cover_counts  # len() works on the array
+        tier._compiled = _Compiled(cover_lanes, band_minima, cover_counts)
+        return tier
+
+    def _compile(self) -> _Compiled:
+        """Concatenate per-doc arrays into the kernel's flat columns."""
+        compiled = self._compiled
+        if compiled is not None:
+            return compiled
+        if self._cover_lanes:
+            cover_lanes = np.concatenate(self._cover_lanes, axis=0)
+            band_minima = np.concatenate(self._band_minima, axis=0)
+        else:
+            cover_lanes = np.zeros((0, LANES), dtype=np.uint64)
+            band_minima = np.zeros((0, self.bands), dtype=np.uint64)
+        counts = np.asarray(self._cover_counts, dtype=np.int64)
+        compiled = _Compiled(cover_lanes, band_minima, counts)
+        self._compiled = compiled
+        return compiled
+
+    # -- the survivor kernel --------------------------------------------
+    def survivors(
+        self,
+        query_ranks,
+        *,
+        w: int,
+        tau: int,
+        mode: str = "exact",
+        hamming_budget: int | None = None,
+        bands: int | None = None,
+    ) -> np.ndarray | None:
+        """Boolean mask over global doc ids ``[0, doc_lo + ndocs)``.
+
+        ``True`` means the document *may* contain a qualifying window
+        and must go to exact verification; ``False`` means it provably
+        (``exact``) or probably (``approx``) cannot.  Returns ``None``
+        when the tier cannot prune anything (empty tier, query shorter
+        than ``w``, or a budget at or above the fingerprint width).
+        """
+        ndocs = self.ndocs
+        u = _as_u64(query_ranks)
+        n = len(u)
+        if ndocs == 0 or n < w:
+            return None
+        if mode == "exact":
+            budget = exact_hamming_budget(tau)
+        else:
+            budget = tau if hamming_budget is None else hamming_budget
+        if budget >= FINGERPRINT_BITS:
+            return None
+
+        compiled = self._compile()
+        positions = _query_positions(n, w, tau)
+        lane, mask = _token_masks(u)
+        token_lanes = np.zeros((n, LANES), dtype=np.uint64)
+        token_lanes[np.arange(n), lane] = mask
+
+        cover_lanes = compiled.cover_lanes
+        inverted = ~cover_lanes
+        cover_ok = np.zeros(len(cover_lanes), dtype=bool)
+        budget_u = np.int64(budget)
+        for start in positions:
+            window = np.bitwise_or.reduce(token_lanes[start : start + w], axis=0)
+            missing = np.bitwise_count(window[None, :] & inverted).sum(axis=1)
+            cover_ok |= missing.astype(np.int64) <= budget_u
+
+        if mode == "approx" and cover_ok.any():
+            use_bands = self.bands if bands is None else min(bands, self.bands)
+            if use_bands >= 1:
+                hashed = _mix64(u[:, None] ^ _BAND_SEEDS[None, :use_bands])
+                window_minima = np.stack(
+                    [hashed[p : p + w].min(axis=0) for p in positions]
+                )
+                band_match = np.zeros(len(cover_lanes), dtype=bool)
+                stored = compiled.band_minima
+                for j in range(use_bands):
+                    band_match |= np.isin(stored[:, j], window_minima[:, j])
+                cover_ok &= band_match
+
+        alive = (
+            np.bincount(
+                compiled.doc_of_cover, weights=cover_ok, minlength=ndocs
+            )
+            > 0
+        )
+        out = np.zeros(self.doc_lo + ndocs, dtype=bool)
+        out[self.doc_lo :] = alive
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"FingerprintTier(docs=[{self.doc_lo},{self.doc_lo + self.ndocs}), "
+            f"block_len={self.block_len}, bands={self.bands}, "
+            f"frozen={self.frozen})"
+        )

@@ -140,13 +140,16 @@ def remote_search(
     *,
     token_ids: Sequence[int] | None = None,
     timeout: float | None = None,
+    routing=None,
     http_timeout: float = 30.0,
 ) -> dict:
     """POST one query to ``{base_url}/search`` and return the reply dict.
 
     Exactly one of ``text`` / ``token_ids`` must be given.  ``timeout``
     is the *service-side* deadline forwarded in the request body;
-    ``http_timeout`` bounds the socket.
+    ``http_timeout`` bounds the socket.  ``routing`` (a
+    :class:`~repro.RoutingPolicy`, dict, or mode string) is forwarded
+    as the per-request fingerprint routing override.
     """
     if (text is None) == (token_ids is None):
         raise ValueError("pass exactly one of text= or token_ids=")
@@ -155,6 +158,10 @@ def remote_search(
         payload["text"] = text
     else:
         payload["token_ids"] = list(token_ids)
+    if routing is not None:
+        payload["routing"] = (
+            routing.to_dict() if hasattr(routing, "to_dict") else routing
+        )
     return _request(f"{base_url.rstrip('/')}/search", payload, timeout=http_timeout)
 
 
@@ -412,6 +419,7 @@ class ResilientClient:
         *,
         token_ids: Sequence[int] | None = None,
         timeout: float | None = None,
+        routing=None,
     ) -> dict:
         """Resilient :func:`remote_search`."""
         return self._call(
@@ -420,6 +428,7 @@ class ResilientClient:
                 text,
                 token_ids=token_ids,
                 timeout=timeout,
+                routing=routing,
                 http_timeout=http_timeout,
             )
         )

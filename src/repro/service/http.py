@@ -6,7 +6,11 @@ endpoints:
 
 ``POST /search``
     JSON body ``{"text": "..."}`` or ``{"token_ids": [...]}`` plus an
-    optional ``"timeout"`` (seconds).  ``GET /search?q=...`` accepts
+    optional ``"timeout"`` (seconds) and an optional ``"routing"``
+    (``"off"``/``"exact"``/``"approx"`` or a
+    :meth:`~repro.RoutingPolicy.to_dict` object) overriding the
+    serving index's fingerprint routing policy per request.
+    ``GET /search?q=...`` accepts
     the same query as a URL parameter for curl-friendliness.  Replies
     ``{"pairs": [[doc_id, data_start, query_start, overlap], ...],
     "num_pairs": N, "cached": bool, "seconds": s, "index_epoch": e}``.
@@ -191,10 +195,20 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         if timeout is not None and not isinstance(timeout, (int, float)):
             self._reply_error(400, "'timeout' must be a number of seconds")
             return
+        routing = payload.get("routing")
+        if routing is not None:
+            from ..errors import ConfigurationError
+            from ..routing import RoutingPolicy
+
+            try:
+                routing = RoutingPolicy.from_dict(routing)
+            except ConfigurationError as exc:
+                self._reply_error(400, str(exc))
+                return
         try:
             if payload.get("text") is not None:
                 response = service.search_text(
-                    str(payload["text"]), timeout=timeout
+                    str(payload["text"]), timeout=timeout, routing=routing
                 )
             elif payload.get("token_ids") is not None:
                 from ..corpus import Document
@@ -206,7 +220,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                     self._reply_error(400, "'token_ids' must be a list of ints")
                     return
                 response = service.search(
-                    Document(-1, token_ids, name="http-query"), timeout=timeout
+                    Document(-1, token_ids, name="http-query"),
+                    timeout=timeout,
+                    routing=routing,
                 )
             else:
                 self._reply_error(400, "body needs 'text' or 'token_ids'")

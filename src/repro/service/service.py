@@ -53,6 +53,7 @@ from ..errors import (
 )
 from ..eval.harness import canonical_pair_order
 from ..obs import MetricsRegistry
+from ..routing import RoutingPolicy
 from .cache import CacheKey, ResultCache, query_token_hash
 
 #: Floor for retry-after estimates so clients never busy-spin.
@@ -174,7 +175,9 @@ class ServiceFuture:
 class _Request:
     """Internal queue entry."""
 
-    __slots__ = ("query", "deadline", "future", "enqueued_at", "cache_key")
+    __slots__ = (
+        "query", "deadline", "future", "enqueued_at", "cache_key", "routing",
+    )
 
     def __init__(
         self,
@@ -182,12 +185,14 @@ class _Request:
         deadline: float | None,
         future: ServiceFuture,
         cache_key: CacheKey | None,
+        routing=None,
     ) -> None:
         self.query = query
         self.deadline = deadline
         self.future = future
         self.enqueued_at = time.monotonic()
         self.cache_key = cache_key
+        self.routing = routing
 
 
 #: Sentinel that tells a worker thread to exit.
@@ -264,8 +269,10 @@ class SearchService:
         try:
             signature = inspect.signature(searcher.search)
             self._supports_cancel = "cancel" in signature.parameters
+            self._supports_routing = "routing" in signature.parameters
         except (TypeError, ValueError):  # builtins without signatures
             self._supports_cancel = False
+            self._supports_routing = False
         self._queue: deque[_Request] = deque()
         self._queue_capacity = max_queue
         self._queue_lock = threading.Lock()
@@ -365,11 +372,19 @@ class SearchService:
         backlog = self.queue_depth + len(self._workers)
         return max(MIN_RETRY_AFTER, backlog * latency / len(self._workers))
 
-    def _cache_key(self, query: Document) -> CacheKey:
-        return (query_token_hash(query.tokens), self._params_key, self.index_epoch)
+    def _cache_key(self, query: Document, routing=None) -> CacheKey:
+        params_key = (
+            self._params_key if routing is None
+            else (self._params_key, repr(routing))
+        )
+        return (query_token_hash(query.tokens), params_key, self.index_epoch)
 
     def submit(
-        self, query: Document, *, timeout: float | None = None
+        self,
+        query: Document,
+        *,
+        timeout: float | None = None,
+        routing=None,
     ) -> ServiceFuture:
         """Admit one query; returns a future resolving to its response.
 
@@ -378,15 +393,28 @@ class SearchService:
         queue — or is rejected with
         :class:`~repro.errors.ServiceOverloadError` when the queue is
         at capacity.
+
+        ``routing`` overrides the searcher's
+        :class:`~repro.RoutingPolicy` for this request only; cached
+        entries are keyed per policy, so routed and unrouted results
+        never mix.
         """
         if self._closed:
             raise ServiceClosedError(f"{self.name} is closed")
+        if routing is not None:
+            routing = RoutingPolicy.from_dict(routing)
+            if not self._supports_routing:
+                raise ConfigurationError(
+                    f"{type(self.searcher).__name__} does not support "
+                    f"fingerprint routing; serve a pkwise interval engine "
+                    f"or drop the routing override"
+                )
         if timeout is None:
             timeout = self.default_timeout
         with self._metrics_lock:
             self._registry.counter("service.requests").inc()
         future = ServiceFuture()
-        key = self._cache_key(query)
+        key = self._cache_key(query, routing)
         cached = self.cache.get(key)
         if cached is not None:
             with self._metrics_lock:
@@ -397,7 +425,7 @@ class SearchService:
             )
             return future
         deadline = time.monotonic() + timeout if timeout is not None else None
-        request = _Request(query, deadline, future, key)
+        request = _Request(query, deadline, future, key, routing)
         with self._queue_lock:
             if self._closed:
                 raise ServiceClosedError(f"{self.name} is closed")
@@ -420,12 +448,22 @@ class SearchService:
         return future
 
     def search(
-        self, query: Document, *, timeout: float | None = None
+        self,
+        query: Document,
+        *,
+        timeout: float | None = None,
+        routing=None,
     ) -> ServiceResponse:
         """Blocking convenience wrapper around :meth:`submit`."""
-        return self.submit(query, timeout=timeout).result()
+        return self.submit(query, timeout=timeout, routing=routing).result()
 
-    def search_text(self, text: str, *, timeout: float | None = None) -> ServiceResponse:
+    def search_text(
+        self,
+        text: str,
+        *,
+        timeout: float | None = None,
+        routing=None,
+    ) -> ServiceResponse:
         """Encode ``text`` against the bundled collection and search it."""
         if self.data is None:
             raise ReproError(
@@ -433,7 +471,9 @@ class SearchService:
                 "its data bundle (repro index saves it by default) or "
                 "submit pre-encoded Document queries"
             )
-        return self.search(self.data.encode_query(text), timeout=timeout)
+        return self.search(
+            self.data.encode_query(text), timeout=timeout, routing=routing
+        )
 
     # ------------------------------------------------------------------
     # Index mutation (write side)
@@ -551,8 +591,10 @@ class SearchService:
             try:
                 signature = inspect.signature(searcher.search)
                 self._supports_cancel = "cancel" in signature.parameters
+                self._supports_routing = "routing" in signature.parameters
             except (TypeError, ValueError):
                 self._supports_cancel = False
+                self._supports_routing = False
             self.generation += 1
             generation = self.generation
         finally:
@@ -623,12 +665,14 @@ class SearchService:
                 was_cached = True
             else:
                 was_cached = False
+                kwargs = {}
                 if self._supports_cancel:
-                    result = self.searcher.search(request.query, cancel=cancelled)
-                else:
                     # Searcher without a cancel hook: deadlines are still
                     # enforced at dequeue time, just not mid-query.
-                    result = self.searcher.search(request.query)
+                    kwargs["cancel"] = cancelled
+                if request.routing is not None and self._supports_routing:
+                    kwargs["routing"] = request.routing
+                result = self.searcher.search(request.query, **kwargs)
                 pairs = tuple(canonical_pair_order(list(result.pairs)))
                 self.cache.put(key, pairs)
         except SearchCancelled as exc:

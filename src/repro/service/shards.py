@@ -401,8 +401,10 @@ class LocalShardBackend:
         self.doc_hi = doc_hi
         self.replica = replica
 
-    def search(self, query: Document, *, timeout: float | None) -> _ShardReply:
-        response = self.service.search(query, timeout=timeout)
+    def search(
+        self, query: Document, *, timeout: float | None, routing=None
+    ) -> _ShardReply:
+        response = self.service.search(query, timeout=timeout, routing=routing)
         return _ShardReply(response.pairs, response.cached, response.index_epoch)
 
     def healthz(self) -> dict:
@@ -466,9 +468,11 @@ class HTTPShardBackend:
             http_timeout=http_timeout,
         )
 
-    def search(self, query: Document, *, timeout: float | None) -> _ShardReply:
+    def search(
+        self, query: Document, *, timeout: float | None, routing=None
+    ) -> _ShardReply:
         reply = self._client.search(
-            token_ids=list(query.tokens), timeout=timeout
+            token_ids=list(query.tokens), timeout=timeout, routing=routing
         )
         pairs = tuple(MatchPair(*pair) for pair in reply.get("pairs", ()))
         return _ShardReply(
@@ -1019,14 +1023,19 @@ class ShardRouter:
     # Query path
     # ------------------------------------------------------------------
     def search(
-        self, query: Document, *, timeout: float | None = None
+        self,
+        query: Document,
+        *,
+        timeout: float | None = None,
+        routing=None,
     ) -> RouterResponse:
         """Scatter ``query`` to every shard and gather a merged response.
 
         Raises only when *no* shard responded (the last shard error is
         chained); otherwise missing shards are reported on
         ``response.failures`` and the merged pairs cover the shards
-        that answered.
+        that answered.  ``routing`` is forwarded to every shard as its
+        per-request fingerprint routing override.
         """
         if self._closed:
             raise ServiceClosedError(f"{self.name} is closed")
@@ -1036,7 +1045,9 @@ class ShardRouter:
         deadline_at = start + timeout if timeout is not None else None
         with self._metrics_lock:
             self._registry.counter("router.requests").inc()
-        results, failures, last_error = self._scatter_gather(query, deadline_at)
+        results, failures, last_error = self._scatter_gather(
+            query, deadline_at, routing
+        )
         if not results:
             with self._metrics_lock:
                 self._registry.counter("router.errors").inc()
@@ -1086,7 +1097,7 @@ class ShardRouter:
         )
 
     def search_text(
-        self, text: str, *, timeout: float | None = None
+        self, text: str, *, timeout: float | None = None, routing=None
     ) -> RouterResponse:
         """Encode ``text`` (any shard vocabulary works) and search it."""
         if self.data is None:
@@ -1094,10 +1105,16 @@ class ShardRouter:
                 "router has no document collection to encode text queries; "
                 "submit pre-encoded Document queries instead"
             )
-        return self.search(self.data.encode_query(text), timeout=timeout)
+        return self.search(
+            self.data.encode_query(text), timeout=timeout, routing=routing
+        )
 
     def search_many(
-        self, queries: Sequence[Document], *, timeout: float | None = None
+        self,
+        queries: Sequence[Document],
+        *,
+        timeout: float | None = None,
+        routing=None,
     ) -> AggregateRun:
         """Serve a batch; shard failures aggregate per query position."""
         start = time.monotonic()
@@ -1105,7 +1122,7 @@ class ShardRouter:
         failures: list[QueryFailure] = []
         for position, query in enumerate(queries):
             try:
-                response = self.search(query, timeout=timeout)
+                response = self.search(query, timeout=timeout, routing=routing)
             except ReproError as exc:
                 failures.append(
                     QueryFailure(
@@ -1138,6 +1155,7 @@ class ShardRouter:
         backend,
         query: Document,
         deadline_at: float | None,
+        routing=None,
         *,
         is_failover: bool = False,
     ):
@@ -1153,7 +1171,7 @@ class ShardRouter:
         timeout = None
         if deadline_at is not None:
             timeout = max(1e-3, deadline_at - time.monotonic())
-        return backend.search(query, timeout=timeout)
+        return backend.search(query, timeout=timeout, routing=routing)
 
     def _shard_failure(
         self, query: Document, shard_id: int, error: Exception, attempts: int
@@ -1167,7 +1185,9 @@ class ShardRouter:
             attempts=attempts,
         )
 
-    def _scatter_gather(self, query: Document, deadline_at: float | None):
+    def _scatter_gather(
+        self, query: Document, deadline_at: float | None, routing=None
+    ):
         """Fan out one sub-request per shard; fail over, hedge, collect.
 
         Per shard the replicas form a preference list (healthy first).
@@ -1200,6 +1220,7 @@ class ShardRouter:
                 backend,
                 query,
                 deadline_at,
+                routing,
                 is_failover=is_failover,
             )
             outstanding[future] = (shard_id, backend)

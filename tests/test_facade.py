@@ -1,4 +1,4 @@
-"""Tests for the repro.api facade: Index plus the deprecated 1.1 names."""
+"""Tests for the repro.api facade: Index plus the removed 1.1 names."""
 
 from __future__ import annotations
 
@@ -6,7 +6,7 @@ import pytest
 
 import repro
 from repro import ConfigurationError, DocumentCollection, Index, SearchParams, api
-from repro.api import Searcher, build_index, open_index, save_index
+from repro.api import Searcher
 from repro.baselines import (
     AdaptSearcher,
     BruteForceSearcher,
@@ -166,31 +166,23 @@ class TestSearcherProtocol:
         assert isinstance(Index.build(TEXTS, w=10, tau=2, k_max=3), Searcher)
 
 
-class TestDeprecatedFacadeNames:
-    def test_build_index_warns_and_returns_bundle(self):
-        with pytest.warns(DeprecationWarning, match="Index.build"):
-            bundle = build_index(TEXTS, w=10, tau=2, k_max=3)
-        assert isinstance(bundle, SearcherBundle)
-        assert len(bundle.search_text(TEXTS[0]).pairs) > 0
+class TestRemovedFacadeNames:
+    """The pre-1.2 function facade is gone in 1.3, not just deprecated."""
 
-    def test_save_open_index_warn_and_roundtrip(self, tmp_path):
-        index = Index.build(TEXTS, w=10, tau=2, k_max=3)
-        path = tmp_path / "corpus.idx"
-        with pytest.warns(DeprecationWarning, match="Index.save"):
-            save_index(index, path)
-        with pytest.warns(DeprecationWarning, match="Index.open"):
-            bundle = open_index(path)
-        assert isinstance(bundle, SearcherBundle)
-        assert (
-            bundle.search_text(TEXTS[0]).sorted_pairs()
-            == index.search_text(TEXTS[0]).sorted_pairs()
-        )
+    @pytest.mark.parametrize(
+        "name", ["build_index", "open_index", "save_index"]
+    )
+    def test_function_facade_removed(self, name):
+        assert not hasattr(api, name)
+        with pytest.raises(AttributeError):
+            getattr(repro, name)
 
-    def test_save_index_accepts_bare_searcher(self, tmp_path):
+    def test_bare_searcher_save_via_index(self, tmp_path):
         index = Index.build(TEXTS, w=10, tau=2, k_max=3)
         path = tmp_path / "lean.idx"
-        with pytest.warns(DeprecationWarning, match="Index.save"):
-            save_index(index.searcher(), path)  # no data bundled
+        from repro.persistence import save_searcher
+
+        save_searcher(index.searcher(), path)  # no data bundled
         loaded = Index.open(path)
         assert loaded.data is None
         with pytest.raises(Exception, match="ids-only"):
@@ -275,8 +267,8 @@ class TestModuleSurface:
     def test_api_module_exported(self):
         assert repro.api is api
         assert repro.Index is Index
-        assert repro.build_index is build_index
-        assert repro.open_index is open_index
+        assert "build_index" not in repro.__all__
+        assert "open_index" not in repro.__all__
 
     def test_version_bumped(self):
-        assert repro.__version__ == "1.2.0"
+        assert repro.__version__ == "1.3.0"

@@ -141,9 +141,9 @@ class TestSearchStatsOnRegistry:
             sum(row[name] for name in STAT_TIMER_FIELDS)
         )
 
-    def test_phase_seconds_names_the_three_phases(self):
+    def test_phase_seconds_names_the_phases(self):
         phases = self.make_stats().phase_seconds()
-        assert set(phases) == {"signature", "candidate", "verify"}
+        assert set(phases) == {"routing", "signature", "candidate", "verify"}
 
 
 @pytest.fixture
@@ -187,10 +187,12 @@ class TestSerialParallelCounterParity:
         searcher = PKWiseSearcher(data, SearchParams(w=12, tau=3, k_max=2))
         run = run_searcher(searcher, queries, jobs=2)
         payload = json.loads(json.dumps(run.to_dict()))
-        assert set(payload["phases"]) == {"signature", "candidate", "verify"}
+        assert set(payload["phases"]) == {
+            "routing", "signature", "candidate", "verify",
+        }
         for report in payload["workers"]:
             assert set(report["phases"]) == {
-                "signature", "candidate", "verify", "other",
+                "routing", "signature", "candidate", "verify", "other",
             }
             assert report["phases"]["other"] >= 0.0
         rebuilt = SearchStats.from_snapshot(

@@ -237,8 +237,8 @@ class TestDegenerateWorkloads:
         # The dict form is well-formed (no division-by-zero artifacts).
         row = run.to_dict()
         assert row["worker_skew"] == 1.0
-        assert row["phases"] == {"signature": 0.0, "candidate": 0.0,
-                                 "verify": 0.0}
+        assert row["phases"] == {"routing": 0.0, "signature": 0.0,
+                                 "candidate": 0.0, "verify": 0.0}
 
     @pytest.mark.parametrize("jobs,num_queries", [(8, 2), (16, 3), (64, 2)])
     def test_jobs_larger_than_chunks(self, corpus, params, jobs, num_queries):

@@ -1,0 +1,476 @@
+"""Tests for the fingerprint routing tier (:mod:`repro.routing`).
+
+The contract under test:
+
+* **Conservativeness** — ``exact`` mode never changes results: over
+  random corpora and a ``(w, tau)`` grid, a routed searcher returns
+  pair-for-pair the results of the same searcher with routing off —
+  serially, under fork and spawn workers, through a 3-shard router,
+  and across any LSM interleaving of adds/removes/flushes/compactions.
+* **API surface** — :class:`~repro.RoutingPolicy` is a frozen kw-only
+  dataclass that normalizes from strings/dicts, rides on
+  :class:`~repro.SearchParams`, and round-trips through format-v3
+  snapshots; asking a fingerprint-less snapshot to route raises the
+  typed :class:`~repro.RoutingUnavailableError` (eagerly at
+  ``Index.open``, lazily at query time).
+* **Observability** — the ``routing.*`` counters report checked and
+  pruned documents identically across start methods.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+import random
+import threading
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConfigurationError,
+    DocumentCollection,
+    Index,
+    IngestStore,
+    PKWiseSearcher,
+    RoutingPolicy,
+    RoutingUnavailableError,
+    SearchParams,
+    SearchService,
+)
+from repro.errors import IndexStateError
+from repro.eval.harness import canonical_pair_order, run_searcher
+from repro.routing import (
+    FINGERPRINT_BITS,
+    FingerprintTier,
+    exact_hamming_budget,
+)
+from repro.service import ShardRouter, serve_http
+
+from .conftest import pairs_as_set
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+PARAM_GRID = [
+    SearchParams(w=8, tau=1, k_max=2),
+    SearchParams(w=8, tau=2, k_max=2),
+    SearchParams(w=12, tau=3, k_max=2),
+]
+
+
+def make_corpus(seed, *, docs=6, length=80, vocab=40, planted=True):
+    """Random corpus; optionally plant a near-duplicate cross-doc segment."""
+    rng = random.Random(seed)
+    data = DocumentCollection()
+    token_docs = [
+        [f"t{rng.randrange(vocab)}" for _ in range(length)] for _ in range(docs)
+    ]
+    if planted and docs >= 4:
+        segment = token_docs[0][10:40]
+        segment[5] = "t-planted"
+        token_docs[3][20:50] = segment
+    for tokens in token_docs:
+        data.add_tokens(tokens)
+    return data, rng
+
+
+def make_queries(data, rng, *, count=4, vocab=40, length=30):
+    """Mix of planted (from doc 0) and random queries."""
+    queries = []
+    for i in range(count):
+        if i % 2 == 0 and len(data) > 0:
+            tokens = data.vocabulary.decode(data[0].tokens[8 : 8 + length])
+        else:
+            tokens = [f"t{rng.randrange(vocab)}" for _ in range(length)]
+        queries.append(data.encode_query_tokens(tokens, name=f"q{i}"))
+    return queries
+
+
+def routed_pair(data, params):
+    """(off, exact) searcher pair over the same collection."""
+    off = PKWiseSearcher(data, params.with_routing("off"))
+    routed = PKWiseSearcher(data, params.with_routing("exact"))
+    return off, routed
+
+
+# ----------------------------------------------------------------------
+class TestRoutingPolicy:
+    def test_defaults_and_enabled(self):
+        policy = RoutingPolicy()
+        assert policy.mode == "off"
+        assert not policy.enabled
+        assert RoutingPolicy(mode="exact").enabled
+        assert RoutingPolicy(mode="approx").enabled
+
+    def test_frozen_and_kwonly(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            RoutingPolicy().mode = "exact"  # type: ignore[misc]
+        with pytest.raises(TypeError):
+            RoutingPolicy("exact")  # positional rejected
+
+    def test_from_dict_normalizes(self):
+        assert RoutingPolicy.from_dict(None) == RoutingPolicy()
+        assert RoutingPolicy.from_dict("exact").mode == "exact"
+        policy = RoutingPolicy.from_dict(
+            {"mode": "approx", "hamming_budget": 3, "bands": 2}
+        )
+        assert (policy.mode, policy.hamming_budget, policy.bands) == (
+            "approx",
+            3,
+            2,
+        )
+        assert RoutingPolicy.from_dict(policy) is policy
+
+    def test_round_trips_through_dict(self):
+        policy = RoutingPolicy(mode="exact", bands=2, block_tokens=64)
+        assert RoutingPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_validation_errors_are_typed(self):
+        with pytest.raises(ConfigurationError):
+            RoutingPolicy(mode="fuzzy")
+        with pytest.raises(ConfigurationError):
+            RoutingPolicy.from_dict("fuzzy")
+        with pytest.raises(ConfigurationError):
+            RoutingPolicy(bands=0)
+        with pytest.raises(ConfigurationError):
+            RoutingPolicy(block_tokens=0)
+        with pytest.raises(ConfigurationError):
+            RoutingPolicy.from_dict(3.14)
+
+    def test_with_mode(self):
+        policy = RoutingPolicy(mode="off", bands=2)
+        routed = policy.with_mode("exact")
+        assert routed.mode == "exact" and routed.bands == 2
+        assert policy.mode == "off"  # original untouched
+
+    def test_rides_on_params_and_repr(self):
+        params = SearchParams(w=8, tau=2, k_max=2).with_routing("exact")
+        assert params.routing.mode == "exact"
+        # Policy must be visible in repr: service cache keys depend on it.
+        assert "exact" in repr(params)
+
+
+# ----------------------------------------------------------------------
+class TestFingerprintTier:
+    PARAMS = SearchParams(w=8, tau=2, k_max=2)
+
+    def _tier_and_corpus(self, seed=0):
+        data, rng = make_corpus(seed)
+        searcher = PKWiseSearcher(data, self.PARAMS)
+        rank_docs = searcher.rank_docs
+        tier = FingerprintTier.from_rank_docs(rank_docs, block_len=16, bands=4)
+        return data, searcher, rank_docs, tier
+
+    def test_survivors_keep_every_true_match(self):
+        data, searcher, rank_docs, tier = self._tier_and_corpus()
+        query = data.encode_query_tokens(
+            data.vocabulary.decode(data[0].tokens[8:38])
+        )
+        ranks = [searcher.order.rank(token) for token in query.tokens]
+        mask = tier.survivors(ranks, w=self.PARAMS.w, tau=self.PARAMS.tau)
+        matched_docs = {pair.doc_id for pair in searcher.search(query).pairs}
+        assert matched_docs  # the planted copy matches
+        for doc_id in matched_docs:
+            assert mask is None or mask[doc_id]
+
+    def test_survivors_prune_unrelated_docs(self):
+        data, searcher, rank_docs, tier = self._tier_and_corpus()
+        # A query over a disjoint token universe shares no fingerprint
+        # bits with any document: everything must be pruned.
+        alien = [hash(f"alien{i}") % (2**31) for i in range(30)]
+        mask = tier.survivors(alien, w=self.PARAMS.w, tau=self.PARAMS.tau)
+        assert mask is not None
+        assert not mask.any()
+
+    def test_survivors_none_when_unprunable(self):
+        empty = FingerprintTier(block_len=16, bands=4)
+        assert empty.survivors([1, 2, 3], w=8, tau=2) is None
+        data, searcher, rank_docs, tier = self._tier_and_corpus()
+        # Query shorter than w: no window to fingerprint.
+        assert tier.survivors([1, 2], w=8, tau=2) is None
+        # Budget at/above the width can never prune.
+        assert (
+            tier.survivors(
+                list(range(30)),
+                w=8,
+                tau=2,
+                mode="approx",
+                hamming_budget=FINGERPRINT_BITS,
+            )
+            is None
+        )
+
+    def test_doc_lo_offsets_global_mask(self):
+        _, searcher, rank_docs, _ = self._tier_and_corpus()
+        tier = FingerprintTier.from_rank_docs(
+            rank_docs, block_len=16, bands=4, doc_lo=2
+        )
+        alien = [hash(f"alien{i}") % (2**31) for i in range(30)]
+        mask = tier.survivors(alien, w=8, tau=2)
+        assert len(mask) == len(rank_docs)
+        assert not mask[:2].any()  # prefix below doc_lo is never alive
+
+    def test_array_round_trip_is_identical(self):
+        data, searcher, rank_docs, tier = self._tier_and_corpus()
+        arrays = {
+            key: np.asarray(value) for key, value in tier.to_arrays().items()
+        }
+        meta = tier.describe()
+        loaded = FingerprintTier.from_arrays(
+            arrays,
+            block_len=meta["block_len"],
+            bands=meta["bands"],
+            doc_lo=meta["doc_lo"],
+        )
+        assert loaded.frozen and loaded.ndocs == tier.ndocs
+        query = list(range(40))
+        got = loaded.survivors(query, w=8, tau=2)
+        want = tier.survivors(query, w=8, tau=2)
+        assert np.array_equal(got, want)
+        with pytest.raises(IndexStateError):
+            loaded.add([1, 2, 3])
+
+    def test_exact_budget_derivation(self):
+        assert exact_hamming_budget(0) == 0
+        assert exact_hamming_budget(3) == 6
+
+
+# ----------------------------------------------------------------------
+class TestExactRoutingIdentity:
+    """Property: exact routing is pair-for-pair identical to off."""
+
+    @pytest.mark.parametrize("params", PARAM_GRID, ids=lambda p: f"w{p.w}t{p.tau}")
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_off_vs_exact_over_random_corpora(self, params, seed):
+        data, rng = make_corpus(seed)
+        off, routed = routed_pair(data, params)
+        for query in make_queries(data, rng):
+            want = canonical_pair_order(off.search(query).pairs)
+            got = canonical_pair_order(routed.search(query).pairs)
+            assert got == want
+
+    def test_per_request_override_matches_params_policy(self):
+        params = PARAM_GRID[1]
+        data, rng = make_corpus(3)
+        off, routed = routed_pair(data, params)
+        query = make_queries(data, rng, count=1)[0]
+        want = pairs_as_set(off.search(query))
+        # Routed params + off override == off; off params + exact
+        # override == off results (conservative).
+        assert pairs_as_set(routed.search(query, routing=RoutingPolicy())) == want
+        assert (
+            pairs_as_set(
+                off.search(query, routing=RoutingPolicy(mode="exact"))
+            )
+            == want
+        )
+
+    def test_routing_counters_report_pruning(self):
+        params = PARAM_GRID[1]
+        data, rng = make_corpus(4)
+        _, routed = routed_pair(data, params)
+        query = make_queries(data, rng, count=2)[1]  # random: prunable
+        result = routed.search(query)
+        stats = result.stats
+        assert stats.routing_checked_docs == len(data)
+        assert 0 <= stats.routing_pruned_docs <= stats.routing_checked_docs
+        assert stats.phase_seconds()["routing"] >= 0.0
+
+    @pytest.mark.parametrize(
+        "start_method",
+        [
+            pytest.param(
+                "fork",
+                marks=pytest.mark.skipif(not HAVE_FORK, reason="no fork"),
+            ),
+            "spawn",
+        ],
+    )
+    def test_parallel_workers_match_serial(self, start_method):
+        params = PARAM_GRID[1]
+        data, rng = make_corpus(5)
+        _, routed = routed_pair(data, params)
+        queries = make_queries(data, rng)
+        serial = run_searcher(routed, queries)
+        parallel = run_searcher(
+            routed, queries, jobs=2, start_method=start_method
+        )
+        assert parallel.results_by_query == serial.results_by_query
+        # routing.* counters must merge identically across workers.
+        assert (
+            parallel.stats.routing_checked_docs
+            == serial.stats.routing_checked_docs
+        )
+        assert (
+            parallel.stats.routing_pruned_docs
+            == serial.stats.routing_pruned_docs
+        )
+
+    def test_sharded_router_matches_single_index(self):
+        params = PARAM_GRID[1]
+        data, rng = make_corpus(6)
+        query = make_queries(data, rng, count=1)[0]
+        off = PKWiseSearcher(data, params.with_routing("off"))
+        want = pairs_as_set(off.search(query))
+        with ShardRouter.local(
+            data, params.with_routing("exact"), shards=3
+        ) as router:
+            assert pairs_as_set(router.search(query)) == want
+            # Per-request override through the scatter-gather path.
+            assert (
+                pairs_as_set(router.search(query, routing="exact")) == want
+            )
+            assert pairs_as_set(router.search(query, routing="off")) == want
+
+    @pytest.mark.parametrize("seed", [17, 29])
+    def test_lsm_interleaving_matches_off(self, seed):
+        params = SearchParams(w=8, tau=2, k_max=2)
+        rng = random.Random(seed)
+        stores = [
+            IngestStore.create(
+                params.with_routing(mode), data=DocumentCollection()
+            )
+            for mode in ("off", "exact")
+        ]
+        vocab = 40
+
+        def new_tokens(length=60):
+            return [f"t{rng.randrange(vocab)}" for _ in range(length)]
+
+        live = []
+        for step in range(30):
+            op = rng.random()
+            if op < 0.55 or not live:
+                tokens = new_tokens()
+                ids = [store.add_tokens(tokens) for store in stores]
+                assert ids[0] == ids[1]
+                live.append(ids[0])
+            elif op < 0.75:
+                victim = rng.choice(live)
+                live.remove(victim)
+                for store in stores:
+                    store.remove(victim)
+            elif op < 0.9:
+                for store in stores:
+                    store.flush()
+            else:
+                for store in stores:
+                    store.compact()
+            if step % 5 == 4:
+                query_tokens = new_tokens(24)
+                results = [
+                    canonical_pair_order(
+                        store.searcher()
+                        .search(store.data.encode_query_tokens(query_tokens))
+                        .pairs
+                    )
+                    for store in stores
+                ]
+                assert results[0] == results[1], f"diverged at step {step}"
+        for store in stores:
+            store.close()
+
+
+# ----------------------------------------------------------------------
+class TestRoutingPersistence:
+    PARAMS = SearchParams(w=8, tau=2, k_max=2)
+
+    def _build(self, routing):
+        data, rng = make_corpus(8)
+        texts = [" ".join(data.vocabulary.decode(doc.tokens)) for doc in data]
+        index = Index.build(texts, self.PARAMS, routing=routing)
+        query_text = " ".join(
+            data.vocabulary.decode(data[0].tokens[8:38])
+        )
+        return index, query_text
+
+    @pytest.mark.parametrize("compact", [False, True])
+    def test_fingerprints_round_trip_v3(self, tmp_path, compact):
+        index, query_text = self._build("exact")
+        want = pairs_as_set(index.search_text(query_text))
+        path = tmp_path / "routed.pkz"
+        index.save(path, compact=compact)
+        loaded = Index.open(path, mmap=compact)
+        assert loaded.params.routing.mode == "exact"
+        if compact:
+            tier = loaded.searcher()._routing_tier
+            assert isinstance(tier, FingerprintTier) and tier.frozen
+        assert pairs_as_set(loaded.search_text(query_text)) == want
+        result = loaded.search_text(query_text)
+        assert result.stats.routing_checked_docs > 0
+        loaded.close()
+
+    def test_open_raises_eagerly_without_fingerprints(self, tmp_path):
+        index, _ = self._build(None)  # saved with routing off
+        path = tmp_path / "plain.pkz"
+        index.save(path, compact=True)
+        with pytest.raises(RoutingUnavailableError):
+            Index.open(path, mmap=True, routing="exact")
+        # Overriding with "off" on the same snapshot is fine.
+        Index.open(path, mmap=True, routing="off").close()
+
+    def test_query_time_raise_without_fingerprints(self, tmp_path):
+        index, query_text = self._build(None)
+        path = tmp_path / "plain.pkz"
+        index.save(path, compact=True)
+        loaded = Index.open(path, mmap=True)
+        with pytest.raises(RoutingUnavailableError):
+            loaded.search_text(query_text, routing="exact")
+        # Routing off still searches.
+        assert loaded.search_text(query_text, routing="off").pairs
+        loaded.close()
+
+
+# ----------------------------------------------------------------------
+class TestRoutingService:
+    PARAMS = SearchParams(w=8, tau=2, k_max=2)
+
+    def _service(self):
+        data, rng = make_corpus(9)
+        searcher = PKWiseSearcher(data, self.PARAMS.with_routing("exact"))
+        return SearchService(searcher, data), data, rng
+
+    def test_cache_is_keyed_per_policy(self):
+        service, data, rng = self._service()
+        query = make_queries(data, rng, count=1)[0]
+        first = service.search(query, routing="exact")
+        second = service.search(query, routing="exact")
+        crossed = service.search(query, routing="off")
+        assert not first.cached
+        assert second.cached
+        assert not crossed.cached  # a different policy is a different key
+        assert pairs_as_set(first) == pairs_as_set(crossed)
+        service.close()
+
+    def test_http_routing_body(self):
+        service, data, rng = self._service()
+        query_text = " ".join(data.vocabulary.decode(data[0].tokens[8:38]))
+        httpd = serve_http(service, port=0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            def post(payload):
+                request = urllib.request.Request(
+                    f"{httpd.url}/search",
+                    data=json.dumps(payload).encode(),
+                    headers={"Content-Type": "application/json"},
+                )
+                try:
+                    with urllib.request.urlopen(request) as reply:
+                        return reply.status, json.loads(reply.read())
+                except urllib.error.HTTPError as exc:
+                    return exc.code, json.loads(exc.read())
+
+            status, routed = post({"text": query_text, "routing": "exact"})
+            assert status == 200
+            status, off = post({"text": query_text, "routing": {"mode": "off"}})
+            assert status == 200
+            assert routed["pairs"] == off["pairs"]
+            status, error = post({"text": query_text, "routing": "fuzzy"})
+            assert status == 400 and "routing" in error["error"]
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            service.close()
